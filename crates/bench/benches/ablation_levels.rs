@@ -1,0 +1,54 @@
+//! Ablation: checkpoint cost of the four FTI levels (L1 RAM disk, L2 partner copy,
+//! L3 Reed-Solomon group, L4 parallel file system with and without differential
+//! writes) on the HPCCG workload. The paper evaluates only L1 (and cites the FTI paper
+//! for the level comparison); this ablation documents how the levels behave in the
+//! reproduction.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::{CheckpointLevel, FtiConfig};
+use match_core::mpisim::{Cluster, ClusterConfig};
+use match_core::proxies::registry::{ExecutionScale, ProxySpec};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{FaultPlan, FtConfig, FtDriver, RecoveryStrategy};
+use match_core::table::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "Level",
+        "Differential",
+        "Application (s)",
+        "Write Checkpoints (s)",
+        "Ckpt share",
+    ]);
+    let spec = ProxySpec::new(ProxyKind::Hpccg, InputSize::Small, ExecutionScale::bench());
+    for (level, differential) in [
+        (CheckpointLevel::L1, false),
+        (CheckpointLevel::L2, false),
+        (CheckpointLevel::L3, false),
+        (CheckpointLevel::L4, false),
+        (CheckpointLevel::L4, true),
+    ] {
+        let fti_config = FtiConfig::level(level).interval(5).differential(differential);
+        let config = FtConfig::new(RecoveryStrategy::Reinit, fti_config).with_fault(FaultPlan::None);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(16));
+        let store = CheckpointStore::shared();
+        let outcome = cluster.run(|ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            let app = spec.build();
+            driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
+        });
+        assert!(outcome.all_ok(), "{level}: {:?}", outcome.errors());
+        let b = outcome.max_breakdown();
+        table.add_row(vec![
+            level.name().to_string(),
+            if differential { "yes".to_string() } else { "no".to_string() },
+            format!("{:.3}", b.application.as_secs()),
+            format!("{:.3}", b.checkpoint_write.as_secs()),
+            format!("{:.1}%", b.checkpoint_fraction() * 100.0),
+        ]);
+    }
+    println!("Ablation: FTI checkpoint levels on HPCCG (16 processes, no failures)");
+    println!("{}", table.render());
+}

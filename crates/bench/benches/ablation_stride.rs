@@ -1,0 +1,48 @@
+//! Ablation: checkpoint-interval (stride) sweep. The paper fixes the stride at every
+//! ten iterations; this ablation shows the trade-off between checkpoint overhead (no
+//! failure) and lost work (with a late failure) as the stride varies.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::FtiConfig;
+use match_core::mpisim::{Cluster, ClusterConfig};
+use match_core::proxies::registry::{ExecutionScale, ProxySpec};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{FaultPlan, FtConfig, FtDriver, RecoveryStrategy};
+use match_core::table::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "Stride (iterations)",
+        "No-failure total (s)",
+        "Ckpt share",
+        "With-failure total (s)",
+    ]);
+    let spec = ProxySpec::new(ProxyKind::Hpccg, InputSize::Small, ExecutionScale::bench());
+    for stride in [2u64, 5, 10, 20] {
+        let run = |fault: FaultPlan| {
+            let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default().interval(stride))
+                .with_fault(fault);
+            let cluster = Cluster::new(ClusterConfig::with_ranks(16));
+            let store = CheckpointStore::shared();
+            let outcome = cluster.run(|ctx| {
+                let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+                let app = spec.build();
+                driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
+            });
+            assert!(outcome.all_ok(), "{:?}", outcome.errors());
+            outcome.max_breakdown()
+        };
+        let quiet = run(FaultPlan::None);
+        let faulty = run(FaultPlan::kill_rank_at(3, 18));
+        table.add_row(vec![
+            stride.to_string(),
+            format!("{:.3}", quiet.total().as_secs()),
+            format!("{:.1}%", quiet.checkpoint_fraction() * 100.0),
+            format!("{:.3}", faulty.total().as_secs()),
+        ]);
+    }
+    println!("Ablation: checkpoint stride on HPCCG (16 processes, REINIT-FTI)");
+    println!("{}", table.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: MPI recovery time for different input problem sizes.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig10_recovery_input(&options);
+    match_bench::print_recovery_series(&data, started);
+}

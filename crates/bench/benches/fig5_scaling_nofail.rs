@@ -1,0 +1,10 @@
+//! Regenerates Figure 5: execution-time breakdown across scaling sizes, no failures.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig5_scaling_no_failure(&options);
+    match_bench::print_figure(&data, started);
+}

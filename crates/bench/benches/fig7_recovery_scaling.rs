@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: MPI recovery time for different scaling sizes.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig7_recovery_scaling(&options);
+    match_bench::print_recovery_series(&data, started);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: execution-time breakdown across input problem sizes, no
+//! failures.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig8_input_no_failure(&options);
+    match_bench::print_figure(&data, started);
+}

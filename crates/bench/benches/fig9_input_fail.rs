@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: execution-time breakdown recovering from a process failure
+//! across input problem sizes.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig9_input_with_failure(&options);
+    match_bench::print_figure(&data, started);
+}

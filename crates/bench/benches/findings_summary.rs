@@ -1,0 +1,15 @@
+//! Derives the Section V-C findings (Reinit vs. ULFM vs. Restart ratios, checkpoint
+//! share, ULFM application-time inflation) from the with-failure scaling matrix, and
+//! prints them next to the values the paper reports.
+
+use std::time::Instant;
+
+fn main() {
+    let options = match_bench::options_from_env();
+    let started = Instant::now();
+    let data = match_core::figures::fig6_scaling_with_failure(&options);
+    let findings = match_core::findings::Findings::from_figure(&data);
+    println!("Section V-C findings (derived from the Fig. 6 matrix at the configured scale)");
+    println!("{}", findings.to_table().render());
+    println!("[derived in {:.1}s wall-clock]", started.elapsed().as_secs_f64());
+}

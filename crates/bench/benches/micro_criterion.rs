@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the substrate primitives: collective cost evaluation,
+//! Reed-Solomon encode/decode, differential-checkpoint delta computation, and a small
+//! end-to-end cluster allreduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use match_core::fti::{diff, rs_code};
+use match_core::mpisim::machine::{CollectiveKind, MachineModel};
+use match_core::mpisim::{Cluster, ClusterConfig};
+
+fn bench_machine_model(c: &mut Criterion) {
+    let machine = MachineModel::default();
+    c.bench_function("machine/allreduce_cost_512", |b| {
+        b.iter(|| machine.collective_cost(CollectiveKind::Allreduce, std::hint::black_box(512), 4096))
+    });
+    c.bench_function("machine/ulfm_recovery_cost_512", |b| {
+        b.iter(|| machine.ulfm_recovery_cost(std::hint::black_box(512), 1))
+    });
+}
+
+fn bench_rs_codec(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("rs_codec");
+    for &(k, m) in &[(4usize, 2usize), (8, 3)] {
+        group.bench_with_input(BenchmarkId::new("encode", format!("k{k}m{m}")), &(k, m), |b, &(k, m)| {
+            b.iter(|| rs_code::encode(std::hint::black_box(&data), k, m).unwrap())
+        });
+        let encoded = rs_code::encode(&data, k, m).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.shards.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        group.bench_with_input(BenchmarkId::new("decode_2_erasures", format!("k{k}m{m}")), &(k, m), |b, &(k, m)| {
+            b.iter(|| rs_code::decode(std::hint::black_box(&shards), k, m, encoded.original_len).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let base = vec![7u8; 1 << 20];
+    let mut new = base.clone();
+    new[12345] = 1;
+    new[999_999] = 2;
+    c.bench_function("diff/delta_1MiB_sparse_change", |b| {
+        b.iter(|| diff::compute_delta(std::hint::black_box(&base), &new, 4096))
+    });
+}
+
+fn bench_cluster_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    for &nprocs in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("allreduce_round", nprocs), &nprocs, |b, &nprocs| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
+                let outcome = cluster.run(|ctx| {
+                    let world = ctx.world();
+                    let mut acc = 0.0;
+                    for _ in 0..5 {
+                        acc = ctx.allreduce_sum_f64(&world, 1.0)?;
+                    }
+                    Ok(acc)
+                });
+                assert!(outcome.all_ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine_model,
+    bench_rs_codec,
+    bench_diff,
+    bench_cluster_allreduce
+);
+criterion_main!(benches);

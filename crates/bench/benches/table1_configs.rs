@@ -1,0 +1,6 @@
+//! Regenerates Table I: the experimentation configuration of the proxy applications.
+
+fn main() {
+    println!("Table I: experimentation configuration for proxy applications");
+    println!("{}", match_core::table1::table1().render());
+}

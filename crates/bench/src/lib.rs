@@ -1,0 +1,109 @@
+//! Shared helpers for the MATCH-RS benchmark harnesses.
+//!
+//! Every figure/table of the paper has a `harness = false` bench target that prints the
+//! regenerated rows as a text table of *virtual* time (the simulator's deterministic
+//! clock). The helpers here read the environment knobs shared by all of them:
+//!
+//! * `MATCH_PROCS` — comma-separated process-count ladder (default `4,8,16,32`;
+//!   the paper uses `64,128,256,512`),
+//! * `MATCH_SCALE` — `smoke`, `bench` or `paper` input scaling (default `smoke`),
+//! * `MATCH_APPS` — comma-separated subset of applications (default: all six),
+//! * `MATCH_REPS` — repetitions per configuration (default 1; the paper uses 5).
+
+use match_core::matrix::MatrixOptions;
+use match_core::{FigureData, SuiteOptions};
+use match_core::proxies::registry::ExecutionScale;
+use match_core::proxies::ProxyKind;
+
+/// Reads the benchmark matrix options from the environment (see the module docs).
+pub fn options_from_env() -> MatrixOptions {
+    let procs: Vec<usize> = std::env::var("MATCH_PROCS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .filter(|&p| p > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![4, 8, 16, 32]);
+
+    let scale = match std::env::var("MATCH_SCALE").as_deref() {
+        Ok("paper") => ExecutionScale::paper(),
+        Ok("bench") => ExecutionScale::bench(),
+        _ => ExecutionScale::smoke(),
+    };
+
+    let apps: Vec<ProxyKind> = std::env::var("MATCH_APPS")
+        .ok()
+        .map(|s| {
+            ProxyKind::ALL
+                .into_iter()
+                .filter(|k| {
+                    s.split(',')
+                        .any(|name| name.trim().eq_ignore_ascii_case(k.name()))
+                })
+                .collect()
+        })
+        .filter(|v: &Vec<ProxyKind>| !v.is_empty())
+        .unwrap_or_else(|| ProxyKind::ALL.to_vec());
+
+    let repetitions: u32 = std::env::var("MATCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let default_procs = *procs.first().expect("non-empty process ladder");
+    MatrixOptions {
+        process_counts: procs,
+        default_procs,
+        apps,
+        suite: SuiteOptions { scale, repetitions, seed: 2020 },
+    }
+}
+
+/// Prints a figure with a standard banner, reporting the wall-clock time the
+/// regeneration took.
+pub fn print_figure(data: &FigureData, started: std::time::Instant) {
+    println!("{}", data.render());
+    println!(
+        "[regenerated {} rows in {:.1}s wall-clock; times above are simulated seconds]\n",
+        data.rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
+/// Prints only the recovery-time series of a figure (Figs. 7 and 10 report recovery
+/// time alone).
+pub fn print_recovery_series(data: &FigureData, started: std::time::Instant) {
+    let mut table = match_core::table::TextTable::new(vec!["Application", "Group", "Design", "Recovery (s)"]);
+    for row in &data.rows {
+        table.add_row(vec![
+            row.app.name().to_string(),
+            row.group.clone(),
+            row.design.clone(),
+            format!("{:.3}", row.recovery),
+        ]);
+    }
+    println!("{}", data.title);
+    println!("{}", table.render());
+    println!(
+        "[regenerated {} rows in {:.1}s wall-clock]\n",
+        data.rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        // Note: runs without the MATCH_* variables set in the test environment.
+        let opts = options_from_env();
+        assert!(!opts.process_counts.is_empty());
+        assert!(!opts.apps.is_empty());
+        assert!(opts.suite.repetitions >= 1);
+    }
+}

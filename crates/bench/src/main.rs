@@ -1,0 +1,66 @@
+//! A small CLI that regenerates any table or figure of the MATCH paper on demand.
+//!
+//! ```text
+//! match-bench table1|fig5|fig6|fig7|fig8|fig9|fig10|findings|all
+//! ```
+//!
+//! The matrix is controlled by the `MATCH_PROCS`, `MATCH_SCALE`, `MATCH_APPS` and
+//! `MATCH_REPS` environment variables (see the crate documentation).
+
+use std::time::Instant;
+
+use match_bench::{options_from_env, print_figure, print_recovery_series};
+use match_core::figures;
+use match_core::findings::Findings;
+use match_core::table1::table1;
+
+fn run_target(name: &str, options: &match_core::matrix::MatrixOptions) {
+    match name {
+        "table1" => println!("Table I: experimentation configuration\n{}", table1().render()),
+        "fig5" => {
+            let t = Instant::now();
+            print_figure(&figures::fig5_scaling_no_failure(options), t);
+        }
+        "fig6" => {
+            let t = Instant::now();
+            print_figure(&figures::fig6_scaling_with_failure(options), t);
+        }
+        "fig7" => {
+            let t = Instant::now();
+            print_recovery_series(&figures::fig7_recovery_scaling(options), t);
+        }
+        "fig8" => {
+            let t = Instant::now();
+            print_figure(&figures::fig8_input_no_failure(options), t);
+        }
+        "fig9" => {
+            let t = Instant::now();
+            print_figure(&figures::fig9_input_with_failure(options), t);
+        }
+        "fig10" => {
+            let t = Instant::now();
+            print_recovery_series(&figures::fig10_recovery_input(options), t);
+        }
+        "findings" => {
+            let t = Instant::now();
+            let data = figures::fig6_scaling_with_failure(options);
+            let findings = Findings::from_figure(&data);
+            println!("Section V-C findings (derived from the Fig. 6 matrix)");
+            println!("{}", findings.to_table().render());
+            println!("[derived in {:.1}s wall-clock]\n", t.elapsed().as_secs_f64());
+        }
+        other => eprintln!("unknown target '{other}' (expected table1, fig5..fig10, findings, all)"),
+    }
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let options = options_from_env();
+    if what == "all" {
+        for name in ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "findings"] {
+            run_target(name, &options);
+        }
+    } else {
+        run_target(&what, &options);
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment descriptions.
+
+use proxies::registry::ExecutionScale;
+use proxies::{InputSize, ProxyKind};
+use recovery::RecoveryStrategy;
+
+/// Global options applied to every experiment of a suite run: how far inputs are
+/// scaled down, how many repetitions are averaged, and the failure-injection seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteOptions {
+    /// Execution scale applied to the Table I inputs.
+    pub scale: ExecutionScale,
+    /// Number of repetitions averaged per configuration (the paper uses five).
+    pub repetitions: u32,
+    /// Seed for the random failure plans.
+    pub seed: u64,
+}
+
+impl SuiteOptions {
+    /// The paper's setup: full Table I extents, five repetitions.
+    pub fn paper() -> Self {
+        SuiteOptions { scale: ExecutionScale::paper(), repetitions: 5, seed: 2020 }
+    }
+
+    /// The default bench setup: quarter-scale extents, one repetition.
+    pub fn bench() -> Self {
+        SuiteOptions { scale: ExecutionScale::bench(), repetitions: 1, seed: 2020 }
+    }
+
+    /// A tiny setup for unit tests and examples.
+    pub fn smoke() -> Self {
+        SuiteOptions { scale: ExecutionScale::smoke(), repetitions: 1, seed: 7 }
+    }
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self::bench()
+    }
+}
+
+/// One experiment: a workload, a scale, a fault-tolerance design, and whether a
+/// process failure is injected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Experiment {
+    /// The proxy application.
+    pub app: ProxyKind,
+    /// The Table I input size.
+    pub input: InputSize,
+    /// Number of MPI processes.
+    pub nprocs: usize,
+    /// The fault-tolerance design.
+    pub strategy: RecoveryStrategy,
+    /// Whether to inject a process failure.
+    pub inject_failure: bool,
+    /// Execution scale.
+    pub scale: ExecutionScale,
+    /// Number of repetitions to average.
+    pub repetitions: u32,
+    /// Failure-plan seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment with the default (bench) options and no failure.
+    pub fn new(app: ProxyKind, input: InputSize, nprocs: usize, strategy: RecoveryStrategy) -> Self {
+        let options = SuiteOptions::default();
+        Experiment {
+            app,
+            input,
+            nprocs,
+            strategy,
+            inject_failure: false,
+            scale: options.scale,
+            repetitions: options.repetitions,
+            seed: options.seed,
+        }
+    }
+
+    /// Enables or disables failure injection.
+    pub fn with_failure(mut self, inject: bool) -> Self {
+        self.inject_failure = inject;
+        self
+    }
+
+    /// Applies suite-wide options.
+    pub fn with_options(mut self, options: &SuiteOptions) -> Self {
+        self.scale = options.scale;
+        self.repetitions = options.repetitions;
+        self.seed = options.seed;
+        self
+    }
+
+    /// Overrides the number of repetitions.
+    pub fn with_repetitions(mut self, repetitions: u32) -> Self {
+        self.repetitions = repetitions.max(1);
+        self
+    }
+
+    /// A short human-readable label ("HPCCG/Small/64/REINIT-FTI").
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}{}",
+            self.app.name(),
+            self.input.name(),
+            self.nprocs,
+            self.strategy.design_name(),
+            if self.inject_failure { "/fault" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_presets() {
+        assert_eq!(SuiteOptions::paper().repetitions, 5);
+        assert_eq!(SuiteOptions::default(), SuiteOptions::bench());
+        assert!(SuiteOptions::smoke().scale.linear_fraction < SuiteOptions::paper().scale.linear_fraction);
+    }
+
+    #[test]
+    fn experiment_builders_and_label() {
+        let e = Experiment::new(ProxyKind::Amg, InputSize::Medium, 64, RecoveryStrategy::Ulfm)
+            .with_failure(true)
+            .with_repetitions(3);
+        assert!(e.inject_failure);
+        assert_eq!(e.repetitions, 3);
+        assert_eq!(e.label(), "AMG/Medium/64/ULFM-FTI/fault");
+        let quiet = e.with_failure(false);
+        assert_eq!(quiet.label(), "AMG/Medium/64/ULFM-FTI");
+    }
+
+    #[test]
+    fn with_options_applies_scale_and_seed() {
+        let opts = SuiteOptions::smoke();
+        let e = Experiment::new(ProxyKind::Hpccg, InputSize::Small, 8, RecoveryStrategy::Reinit)
+            .with_options(&opts);
+        assert_eq!(e.seed, opts.seed);
+        assert_eq!(e.scale, opts.scale);
+    }
+}

@@ -1,0 +1,244 @@
+//! Figure generators: the data series behind Figs. 5–10 of the paper.
+//!
+//! Each generator runs the relevant experiment matrix and produces a [`FigureData`]
+//! whose rows carry the same quantities the paper's stacked bars show: the application
+//! time, the checkpoint-write time and (for the with-failure figures) the MPI recovery
+//! time, for every (application, group, design) combination. `group` is the process
+//! count for the scaling figures and the input size for the input-size figures.
+
+use proxies::ProxyKind;
+use recovery::RunReport;
+
+use crate::experiment::Experiment;
+use crate::matrix::{input_size_matrix, scaling_matrix, MatrixOptions};
+use crate::runner::run_experiment;
+use crate::table::{secs, TextTable};
+
+/// One row of a figure: one (application, group, design) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// The proxy application.
+    pub app: ProxyKind,
+    /// The group label (process count for Figs. 5–7, input size for Figs. 8–10).
+    pub group: String,
+    /// The fault-tolerance design name ("RESTART-FTI", ...).
+    pub design: String,
+    /// Application execution time (seconds of virtual time).
+    pub application: f64,
+    /// Checkpoint-write time.
+    pub checkpoint_write: f64,
+    /// MPI recovery time (zero in the failure-free figures).
+    pub recovery: f64,
+}
+
+impl FigureRow {
+    /// The stacked-bar total.
+    pub fn total(&self) -> f64 {
+        self.application + self.checkpoint_write + self.recovery
+    }
+}
+
+/// A figure: a title plus its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Figure title (e.g. "Figure 5: execution time breakdown, no failures").
+    pub title: String,
+    /// Whether the recovery column is meaningful for this figure.
+    pub with_failure: bool,
+    /// The rows, ordered by application, then group, then design.
+    pub rows: Vec<FigureRow>,
+}
+
+impl FigureData {
+    /// Renders the figure as an aligned text table (the textual equivalent of the
+    /// paper's stacked bars).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "Application",
+            "Group",
+            "Design",
+            "Application (s)",
+            "Write Checkpoints (s)",
+            "Recovery (s)",
+            "Total (s)",
+        ]);
+        for row in &self.rows {
+            table.add_row(vec![
+                row.app.name().to_string(),
+                row.group.clone(),
+                row.design.clone(),
+                secs(row.application),
+                secs(row.checkpoint_write),
+                secs(row.recovery),
+                secs(row.total()),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the title plus the table.
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.title, self.to_table().render())
+    }
+
+    /// The rows belonging to one application.
+    pub fn rows_for(&self, app: ProxyKind) -> Vec<&FigureRow> {
+        self.rows.iter().filter(|r| r.app == app).collect()
+    }
+}
+
+fn row_from_report(experiment: &Experiment, group: String, report: &RunReport) -> FigureRow {
+    FigureRow {
+        app: experiment.app,
+        group,
+        design: experiment.strategy.design_name().to_string(),
+        application: report.application_time().as_secs(),
+        checkpoint_write: report.checkpoint_time().as_secs(),
+        recovery: report.recovery_time().as_secs(),
+    }
+}
+
+fn run_matrix(title: &str, experiments: Vec<Experiment>, group_by_procs: bool, with_failure: bool) -> FigureData {
+    let rows = experiments
+        .iter()
+        .map(|e| {
+            let report = run_experiment(e);
+            let group = if group_by_procs {
+                e.nprocs.to_string()
+            } else {
+                e.input.name().to_string()
+            };
+            row_from_report(e, group, &report)
+        })
+        .collect();
+    FigureData { title: title.to_string(), with_failure, rows }
+}
+
+/// Figure 5: execution-time breakdown across scaling sizes, **no failures**.
+pub fn fig5_scaling_no_failure(options: &MatrixOptions) -> FigureData {
+    run_matrix(
+        "Figure 5: execution time breakdown across scaling sizes (no process failures)",
+        scaling_matrix(options, false),
+        true,
+        false,
+    )
+}
+
+/// Figure 6: execution-time breakdown across scaling sizes, **with one process
+/// failure**.
+pub fn fig6_scaling_with_failure(options: &MatrixOptions) -> FigureData {
+    run_matrix(
+        "Figure 6: execution time breakdown recovering from a process failure across scaling sizes",
+        scaling_matrix(options, true),
+        true,
+        true,
+    )
+}
+
+/// Figure 7: MPI recovery time across scaling sizes (derived from the same runs as
+/// Fig. 6 but reporting only the recovery component).
+pub fn fig7_recovery_scaling(options: &MatrixOptions) -> FigureData {
+    let mut data = run_matrix(
+        "Figure 7: recovery time for different scaling sizes",
+        scaling_matrix(options, true),
+        true,
+        true,
+    );
+    data.title = "Figure 7: recovery time for different scaling sizes".to_string();
+    data
+}
+
+/// Figure 8: execution-time breakdown across input sizes, no failures.
+pub fn fig8_input_no_failure(options: &MatrixOptions) -> FigureData {
+    run_matrix(
+        "Figure 8: execution time breakdown across input problem sizes (no process failures)",
+        input_size_matrix(options, false),
+        false,
+        false,
+    )
+}
+
+/// Figure 9: execution-time breakdown across input sizes, with one process failure.
+pub fn fig9_input_with_failure(options: &MatrixOptions) -> FigureData {
+    run_matrix(
+        "Figure 9: execution time breakdown recovering from a process failure across input problem sizes",
+        input_size_matrix(options, true),
+        false,
+        true,
+    )
+}
+
+/// Figure 10: MPI recovery time across input sizes.
+pub fn fig10_recovery_input(options: &MatrixOptions) -> FigureData {
+    run_matrix(
+        "Figure 10: recovery time for different input problem sizes",
+        input_size_matrix(options, true),
+        false,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxies::registry::ExecutionScale;
+    use crate::experiment::SuiteOptions;
+
+    fn tiny_options() -> MatrixOptions {
+        MatrixOptions::laptop()
+            .with_apps(vec![ProxyKind::Hpccg])
+            .with_process_counts(vec![2, 4])
+    }
+
+    #[test]
+    fn fig5_rows_cover_all_designs_and_groups() {
+        let data = fig5_scaling_no_failure(&tiny_options());
+        assert_eq!(data.rows.len(), 2 * 3);
+        assert!(!data.with_failure);
+        for row in &data.rows {
+            assert!(row.application > 0.0);
+            assert!(row.checkpoint_write > 0.0);
+            assert_eq!(row.recovery, 0.0);
+            assert!(row.total() > row.application);
+        }
+        let text = data.render();
+        assert!(text.contains("Figure 5"));
+        assert!(text.contains("REINIT-FTI"));
+        assert_eq!(data.rows_for(ProxyKind::Hpccg).len(), 6);
+    }
+
+    #[test]
+    fn fig7_recovery_orders_designs_correctly() {
+        let data = fig7_recovery_scaling(&tiny_options());
+        for group in ["2", "4"] {
+            let get = |design: &str| {
+                data.rows
+                    .iter()
+                    .find(|r| r.group == group && r.design == design)
+                    .map(|r| r.recovery)
+                    .unwrap()
+            };
+            let restart = get("RESTART-FTI");
+            let ulfm = get("ULFM-FTI");
+            let reinit = get("REINIT-FTI");
+            assert!(reinit > 0.0);
+            assert!(reinit < ulfm, "group {group}: reinit {reinit} !< ulfm {ulfm}");
+            assert!(ulfm < restart, "group {group}: ulfm {ulfm} !< restart {restart}");
+        }
+    }
+
+    #[test]
+    fn fig8_groups_by_input_size() {
+        let options = MatrixOptions {
+            process_counts: vec![2],
+            default_procs: 2,
+            apps: vec![ProxyKind::MiniVite],
+            suite: SuiteOptions { scale: ExecutionScale::smoke(), ..SuiteOptions::smoke() },
+        };
+        let data = fig8_input_no_failure(&options);
+        assert_eq!(data.rows.len(), 3 * 3);
+        let groups: std::collections::BTreeSet<_> = data.rows.iter().map(|r| r.group.clone()).collect();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains("Small") && groups.contains("Medium") && groups.contains("Large"));
+    }
+}

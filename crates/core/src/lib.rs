@@ -1,0 +1,55 @@
+//! # match_core — the MATCH benchmark suite
+//!
+//! This crate ties the substrates together into the benchmark suite the MATCH paper
+//! describes: six proxy applications ([`match_proxies`](proxies)) instrumented with
+//! FTI checkpointing ([`fti`]) and driven under three MPI fault-tolerance designs
+//! ([`recovery`]) on a simulated cluster ([`mpisim`]), plus the experiment matrix,
+//! figure generators and findings extraction of the paper's evaluation (Section V).
+//!
+//! The main entry points are:
+//!
+//! * [`Experiment`] / [`runner::run_experiment`] — run one workload under one design
+//!   at one scale, with or without an injected process failure, averaged over
+//!   repetitions, and get back a [`recovery::RunReport`] time breakdown;
+//! * [`matrix`] — the paper's run matrices: the scaling sweep (Figs. 5–7) and the
+//!   input-size sweep (Figs. 8–10);
+//! * [`figures`] — regenerate each figure's data as printable tables;
+//! * [`table1`] — reproduce Table I (the experimentation configuration);
+//! * [`findings`] — the headline comparisons of Section V-C (Reinit vs. ULFM vs.
+//!   Restart recovery ratios, checkpoint-time fraction).
+//!
+//! ```
+//! use match_core::{Experiment, SuiteOptions};
+//! use match_core::runner::run_experiment;
+//! use proxies::{InputSize, ProxyKind};
+//! use recovery::RecoveryStrategy;
+//!
+//! let options = SuiteOptions::smoke();
+//! let experiment = Experiment::new(ProxyKind::Hpccg, InputSize::Small, 8, RecoveryStrategy::Reinit)
+//!     .with_failure(true)
+//!     .with_options(&options);
+//! let report = run_experiment(&experiment);
+//! assert!(report.recovery_time().as_secs() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod figures;
+pub mod findings;
+pub mod matrix;
+pub mod runner;
+pub mod table;
+pub mod table1;
+
+pub use experiment::{Experiment, SuiteOptions};
+pub use figures::{FigureData, FigureRow};
+pub use findings::Findings;
+
+// Re-export the building blocks so downstream users (examples, benches) need only one
+// dependency.
+pub use fti;
+pub use mpisim;
+pub use proxies;
+pub use recovery;

@@ -1,0 +1,212 @@
+//! Algorithm 1: find the data objects for checkpointing.
+//!
+//! The algorithm takes the set of locations *used inside* the main computation loop and
+//! the set of locations *defined or allocated before* the loop, and selects the
+//! locations that must be checkpointed:
+//!
+//! 1. for every in-loop location, check whether its observed values differ across
+//!    invocations (loop iterations); locations whose value never changes are dropped;
+//! 2. remove repetitions from both sets;
+//! 3. keep every remaining in-loop location that matches a location defined before the
+//!    loop — those are the checkpoint locations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::record::{Location, OpKind};
+use crate::report::CheckpointObject;
+use crate::trace::Trace;
+
+/// The outcome of the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    /// The locations selected for checkpointing (`CPK_Locs` in the paper), in
+    /// deterministic order.
+    pub checkpoint_locations: Vec<Location>,
+    /// The selected locations grouped into named data objects (one entry per object
+    /// name, aggregating all of its locations).
+    pub objects: Vec<CheckpointObject>,
+    /// Locations used in the loop that were discarded because their value never
+    /// changed across iterations (principle 3).
+    pub constant_locations: Vec<Location>,
+    /// Locations used in the loop that were discarded because they were not defined
+    /// before the loop (principle 1).
+    pub loop_local_locations: Vec<Location>,
+}
+
+impl AnalysisResult {
+    /// Names of the selected data objects, in deterministic order.
+    pub fn object_names(&self) -> Vec<&str> {
+        self.objects.iter().map(|o| o.name.as_str()).collect()
+    }
+}
+
+/// Runs Algorithm 1 on a trace.
+pub fn find_checkpoint_objects(trace: &Trace) -> AnalysisResult {
+    // Locs_in_loop: locations used (read or written) within the main loop, with the
+    // multiset of observed values per iteration.
+    let mut values_in_loop: BTreeMap<Location, Vec<u64>> = BTreeMap::new();
+    let mut object_of: BTreeMap<Location, String> = BTreeMap::new();
+    // Locs_before_loop: locations defined or allocated before the loop.
+    let mut before_loop: BTreeSet<Location> = BTreeSet::new();
+
+    for r in trace.records() {
+        if r.in_main_loop {
+            if matches!(r.op, OpKind::Load | OpKind::Store) {
+                values_in_loop.entry(r.location.clone()).or_default().push(r.value);
+                if !r.object.is_empty() {
+                    object_of.entry(r.location.clone()).or_insert_with(|| r.object.clone());
+                }
+            }
+        } else if matches!(r.op, OpKind::Define | OpKind::Store) {
+            before_loop.insert(r.location.clone());
+            if !r.object.is_empty() {
+                object_of.entry(r.location.clone()).or_insert_with(|| r.object.clone());
+            }
+        }
+    }
+
+    // Step 1: keep in-loop locations whose invocation values are not all the same.
+    // Step 2 (deduplication) is implicit in the BTreeMap/BTreeSet representation.
+    let mut varying: BTreeSet<Location> = BTreeSet::new();
+    let mut constant_locations = Vec::new();
+    for (loc, values) in &values_in_loop {
+        let first = values.first().copied();
+        if values.iter().any(|v| Some(*v) != first) {
+            varying.insert(loc.clone());
+        } else {
+            constant_locations.push(loc.clone());
+        }
+    }
+
+    // Step 3: match the remaining in-loop locations against the before-loop set.
+    let mut checkpoint_locations = Vec::new();
+    let mut loop_local_locations = Vec::new();
+    for loc in &varying {
+        if before_loop.contains(loc) {
+            checkpoint_locations.push(loc.clone());
+        } else {
+            loop_local_locations.push(loc.clone());
+        }
+    }
+
+    // Group the selected locations into named objects.
+    let mut grouped: BTreeMap<String, Vec<Location>> = BTreeMap::new();
+    for loc in &checkpoint_locations {
+        let name = object_of
+            .get(loc)
+            .cloned()
+            .unwrap_or_else(|| format!("<unnamed {loc}>"));
+        grouped.entry(name).or_default().push(loc.clone());
+    }
+    let objects = grouped
+        .into_iter()
+        .map(|(name, locations)| CheckpointObject { name, locations })
+        .collect();
+
+    AnalysisResult {
+        checkpoint_locations,
+        objects,
+        constant_locations,
+        loop_local_locations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn build_trace() -> Trace {
+        let mut t = Trace::new();
+        // Defined before the loop: state (varies), matrix (constant), rhs (never used
+        // in the loop).
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "state", 0, 1));
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x200), "matrix", 0, 2));
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x300), "rhs", 0, 3));
+        for iteration in 0..4u64 {
+            t.push(TraceRecord::in_loop(
+                OpKind::Store,
+                Location::Memory(0x100),
+                "state",
+                10 + iteration,
+                20,
+                iteration,
+            ));
+            t.push(TraceRecord::in_loop(OpKind::Load, Location::Memory(0x200), "matrix", 7, 21, iteration));
+            // A loop-local scratch location that varies but was not defined before.
+            t.push(TraceRecord::in_loop(
+                OpKind::Store,
+                Location::Memory(0x900),
+                "scratch",
+                iteration,
+                22,
+                iteration,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn algorithm_selects_varying_preexisting_locations_only() {
+        let result = find_checkpoint_objects(&build_trace());
+        assert_eq!(result.checkpoint_locations, vec![Location::Memory(0x100)]);
+        assert_eq!(result.object_names(), vec!["state"]);
+        assert_eq!(result.constant_locations, vec![Location::Memory(0x200)]);
+        assert_eq!(result.loop_local_locations, vec![Location::Memory(0x900)]);
+    }
+
+    #[test]
+    fn empty_trace_selects_nothing() {
+        let result = find_checkpoint_objects(&Trace::new());
+        assert!(result.checkpoint_locations.is_empty());
+        assert!(result.objects.is_empty());
+    }
+
+    #[test]
+    fn multiple_locations_of_one_object_are_grouped() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "field", 0, 1));
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x108), "field", 0, 1));
+        for iteration in 0..3u64 {
+            t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x100), "field", iteration, 9, iteration));
+            t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x108), "field", iteration * 2, 9, iteration));
+        }
+        let result = find_checkpoint_objects(&t);
+        assert_eq!(result.objects.len(), 1);
+        assert_eq!(result.objects[0].name, "field");
+        assert_eq!(result.objects[0].locations.len(), 2);
+    }
+
+    #[test]
+    fn unnamed_locations_get_placeholder_names() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x40), "", 0, 1));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x40), "", 1, 2, 0));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x40), "", 2, 2, 1));
+        let result = find_checkpoint_objects(&t);
+        assert_eq!(result.objects.len(), 1);
+        assert!(result.objects[0].name.contains("unnamed"));
+    }
+
+    #[test]
+    fn register_locations_participate_like_memory() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Register("acc".into()), "acc", 0, 1));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Register("acc".into()), "acc", 1, 5, 0));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Register("acc".into()), "acc", 2, 5, 1));
+        let result = find_checkpoint_objects(&t);
+        assert_eq!(result.checkpoint_locations, vec![Location::Register("acc".into())]);
+    }
+
+    #[test]
+    fn store_before_loop_counts_as_definition() {
+        // A location first written (not just allocated) before the loop is also a
+        // candidate, mirroring "defined or allocated before the main computation loop".
+        let mut t = Trace::new();
+        t.push(TraceRecord::before_loop(OpKind::Store, Location::Memory(0x10), "x", 3, 1));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x10), "x", 4, 2, 0));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x10), "x", 5, 2, 1));
+        let result = find_checkpoint_objects(&t);
+        assert_eq!(result.object_names(), vec!["x"]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dynamic trace records.
+//!
+//! A record corresponds to one dynamic operation observed during execution, carrying
+//! the same information the paper extracts from LLVM-Tracer traces: the operation
+//! kind, the location it touches (a register name or a memory address), the observed
+//! value, and the source line of the operation.
+
+/// A location touched by an operation: either a named register (an SSA value in the
+//  LLVM view) or a memory address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Location {
+    /// A named register / SSA value.
+    Register(String),
+    /// A memory address (byte-granular).
+    Memory(u64),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Register(name) => write!(f, "%{name}"),
+            Location::Memory(addr) => write!(f, "0x{addr:x}"),
+        }
+    }
+}
+
+/// The kind of dynamic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A definition or allocation (before the main loop this marks candidate objects).
+    Define,
+    /// A read access.
+    Load,
+    /// A write access.
+    Store,
+}
+
+/// One dynamic operation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The operation kind.
+    pub op: OpKind,
+    /// The touched location.
+    pub location: Location,
+    /// The name of the data object this location belongs to, when known (the runtime
+    /// tracer knows it; raw LLVM-Tracer traces may carry an empty string).
+    pub object: String,
+    /// The observed value (bit pattern) of the location at this operation.
+    pub value: u64,
+    /// The source line of the operation.
+    pub line: u32,
+    /// Whether the operation happened inside the main computation loop.
+    pub in_main_loop: bool,
+    /// The main-loop iteration the operation belongs to (`None` before the loop).
+    pub iteration: Option<u64>,
+}
+
+impl TraceRecord {
+    /// Creates a record for an operation before the main loop.
+    pub fn before_loop(op: OpKind, location: Location, object: &str, value: u64, line: u32) -> Self {
+        TraceRecord {
+            op,
+            location,
+            object: object.to_string(),
+            value,
+            line,
+            in_main_loop: false,
+            iteration: None,
+        }
+    }
+
+    /// Creates a record for an operation inside the main loop.
+    pub fn in_loop(
+        op: OpKind,
+        location: Location,
+        object: &str,
+        value: u64,
+        line: u32,
+        iteration: u64,
+    ) -> Self {
+        TraceRecord {
+            op,
+            location,
+            object: object.to_string(),
+            value,
+            line,
+            in_main_loop: true,
+            iteration: Some(iteration),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_of_locations() {
+        assert_eq!(Location::Register("r1".into()).to_string(), "%r1");
+        assert_eq!(Location::Memory(0x1234).to_string(), "0x1234");
+    }
+
+    #[test]
+    fn constructors_set_loop_flags() {
+        let before = TraceRecord::before_loop(OpKind::Define, Location::Memory(1), "x", 0, 5);
+        assert!(!before.in_main_loop);
+        assert_eq!(before.iteration, None);
+        let inside = TraceRecord::in_loop(OpKind::Store, Location::Memory(1), "x", 9, 12, 3);
+        assert!(inside.in_main_loop);
+        assert_eq!(inside.iteration, Some(3));
+        assert_eq!(inside.object, "x");
+    }
+
+    #[test]
+    fn locations_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Location::Memory(2));
+        set.insert(Location::Memory(1));
+        set.insert(Location::Register("a".into()));
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Reporting of the analysis results.
+
+use crate::record::Location;
+
+/// A data object recommended for checkpointing: a name plus all of the locations that
+/// belong to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointObject {
+    /// The object's name (as registered by the tracer) or a placeholder for unnamed
+    /// locations.
+    pub name: String,
+    /// The locations belonging to this object, in deterministic order.
+    pub locations: Vec<Location>,
+}
+
+impl CheckpointObject {
+    /// Number of distinct locations in the object.
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+/// Formats an analysis result as the human-readable report the tool prints for
+/// programmers.
+pub fn format_report(result: &crate::analysis::AnalysisResult) -> String {
+    let mut out = String::new();
+    out.push_str("Data objects recommended for checkpointing\n");
+    out.push_str("===========================================\n");
+    if result.objects.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for obj in &result.objects {
+        out.push_str(&format!("* {:<20} {} location(s)\n", obj.name, obj.location_count()));
+        for loc in &obj.locations {
+            out.push_str(&format!("    - {loc}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "\nDiscarded: {} constant location(s), {} loop-local location(s)\n",
+        result.constant_locations.len(),
+        result.loop_local_locations.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisResult;
+
+    #[test]
+    fn location_count() {
+        let obj = CheckpointObject {
+            name: "x".into(),
+            locations: vec![Location::Memory(1), Location::Memory(2)],
+        };
+        assert_eq!(obj.location_count(), 2);
+    }
+
+    #[test]
+    fn report_lists_objects_and_discards() {
+        let result = AnalysisResult {
+            checkpoint_locations: vec![Location::Memory(0x10)],
+            objects: vec![CheckpointObject { name: "state".into(), locations: vec![Location::Memory(0x10)] }],
+            constant_locations: vec![Location::Memory(0x20)],
+            loop_local_locations: vec![],
+        };
+        let report = format_report(&result);
+        assert!(report.contains("state"));
+        assert!(report.contains("1 constant location(s)"));
+        assert!(report.contains("0 loop-local location(s)"));
+    }
+
+    #[test]
+    fn empty_report_mentions_none() {
+        let result = AnalysisResult {
+            checkpoint_locations: vec![],
+            objects: vec![],
+            constant_locations: vec![],
+            loop_local_locations: vec![],
+        };
+        assert!(format_report(&result).contains("(none)"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Trace containers and their (de)serialization.
+//!
+//! Traces can be serialized to a simple line-oriented text format and parsed back,
+//! standing in for the trace files LLVM-Tracer writes. One line per record:
+//!
+//! ```text
+//! <op> <location> <object> <value> <line> <loop|pre> <iteration|->
+//! ```
+
+use crate::record::{Location, OpKind, TraceRecord};
+
+/// A dynamic execution trace: the ordered sequence of records of one rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+/// Errors produced when parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// The records in program order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the trace to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let op = match r.op {
+                OpKind::Define => "def",
+                OpKind::Load => "load",
+                OpKind::Store => "store",
+            };
+            let loc = match &r.location {
+                Location::Register(name) => format!("reg:{name}"),
+                Location::Memory(addr) => format!("mem:{addr:#x}"),
+            };
+            let phase = if r.in_main_loop { "loop" } else { "pre" };
+            let iter = r.iteration.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{op} {loc} {} {} {} {phase} {iter}\n",
+                if r.object.is_empty() { "-" } else { &r.object },
+                r.value,
+                r.line
+            ));
+        }
+        out
+    }
+
+    /// Parses a trace from the text format produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut trace = Trace::new();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 7 {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected 7 fields, found {}", fields.len()),
+                });
+            }
+            let op = match fields[0] {
+                "def" => OpKind::Define,
+                "load" => OpKind::Load,
+                "store" => OpKind::Store,
+                other => {
+                    return Err(ParseError { line: lineno, message: format!("unknown op '{other}'") })
+                }
+            };
+            let location = if let Some(name) = fields[1].strip_prefix("reg:") {
+                Location::Register(name.to_string())
+            } else if let Some(addr) = fields[1].strip_prefix("mem:") {
+                let addr = addr.trim_start_matches("0x");
+                let addr = u64::from_str_radix(addr, 16).map_err(|e| ParseError {
+                    line: lineno,
+                    message: format!("bad address: {e}"),
+                })?;
+                Location::Memory(addr)
+            } else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("bad location '{}'", fields[1]),
+                });
+            };
+            let object = if fields[2] == "-" { String::new() } else { fields[2].to_string() };
+            let value: u64 = fields[3]
+                .parse()
+                .map_err(|e| ParseError { line: lineno, message: format!("bad value: {e}") })?;
+            let src_line: u32 = fields[4]
+                .parse()
+                .map_err(|e| ParseError { line: lineno, message: format!("bad line: {e}") })?;
+            let in_main_loop = match fields[5] {
+                "loop" => true,
+                "pre" => false,
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown phase '{other}'"),
+                    })
+                }
+            };
+            let iteration = if fields[6] == "-" {
+                None
+            } else {
+                Some(fields[6].parse().map_err(|e| ParseError {
+                    line: lineno,
+                    message: format!("bad iteration: {e}"),
+                })?)
+            };
+            trace.push(TraceRecord {
+                op,
+                location,
+                object,
+                value,
+                line: src_line,
+                in_main_loop,
+                iteration,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "x", 0, 3));
+        t.push(TraceRecord::before_loop(OpKind::Define, Location::Register("tmp".into()), "", 1, 4));
+        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x100), "x", 5, 10, 0));
+        t.push(TraceRecord::in_loop(OpKind::Load, Location::Memory(0x100), "x", 5, 11, 1));
+        t
+    }
+
+    #[test]
+    fn push_and_len() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample_trace();
+        let text = t.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\ndef mem:0x10 x 0 1 pre -\n";
+        let t = Trace::from_text(text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let cases = [
+            ("def mem:0x10 x 0 1 pre", "expected 7 fields"),
+            ("frobnicate mem:0x10 x 0 1 pre -", "unknown op"),
+            ("def bogus:0x10 x 0 1 pre -", "bad location"),
+            ("def mem:0x10 x notanumber 1 pre -", "bad value"),
+            ("def mem:0x10 x 0 1 somewhere -", "unknown phase"),
+            ("def mem:zzz x 0 1 pre -", "bad address"),
+            ("def mem:0x10 x 0 1 loop xyz", "bad iteration"),
+        ];
+        for (text, expected) in cases {
+            let err = Trace::from_text(text).unwrap_err();
+            assert_eq!(err.line, 1);
+            assert!(err.message.contains(expected), "{}: {}", text, err.message);
+            assert!(err.to_string().contains("line 1"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_location() -> impl Strategy<Value = Location> {
+        prop_oneof![
+            "[a-z][a-z0-9]{0,8}".prop_map(Location::Register),
+            any::<u64>().prop_map(Location::Memory),
+        ]
+    }
+
+    fn arb_record() -> impl Strategy<Value = TraceRecord> {
+        (
+            prop_oneof![Just(OpKind::Define), Just(OpKind::Load), Just(OpKind::Store)],
+            arb_location(),
+            "[a-z]{0,6}",
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>(),
+            proptest::option::of(any::<u64>()),
+        )
+            .prop_map(|(op, location, object, value, line, in_main_loop, iteration)| TraceRecord {
+                op,
+                location,
+                object,
+                value,
+                line,
+                in_main_loop,
+                iteration,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any trace survives serialization to text and parsing back.
+        #[test]
+        fn text_round_trip(records in proptest::collection::vec(arb_record(), 0..50)) {
+            let mut trace = Trace::new();
+            for r in records {
+                trace.push(r);
+            }
+            let parsed = Trace::from_text(&trace.to_text()).unwrap();
+            prop_assert_eq!(parsed, trace);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! FTI configuration.
+
+/// The four checkpoint levels offered by FTI, in increasing order of resilience and
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckpointLevel {
+    /// Node-local checkpoints on the RAM disk. Cheapest; lost if the node fails.
+    L1,
+    /// L1 plus a copy on a partner node; survives a single node failure.
+    L2,
+    /// Reed–Solomon erasure-coded checkpoints across an encoding group; survives the
+    /// loss of up to half of the group.
+    L3,
+    /// Checkpoints flushed to the parallel file system; survives anything the file
+    /// system survives. Supports differential checkpointing.
+    L4,
+}
+
+impl CheckpointLevel {
+    /// All levels, in order.
+    pub const ALL: [CheckpointLevel; 4] = [
+        CheckpointLevel::L1,
+        CheckpointLevel::L2,
+        CheckpointLevel::L3,
+        CheckpointLevel::L4,
+    ];
+
+    /// The level's conventional name (`"L1"` .. `"L4"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckpointLevel::L1 => "L1",
+            CheckpointLevel::L2 => "L2",
+            CheckpointLevel::L3 => "L3",
+            CheckpointLevel::L4 => "L4",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of an FTI instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtiConfig {
+    /// The checkpoint level to use.
+    pub level: CheckpointLevel,
+    /// Checkpoint every `interval` iterations of the main loop (the paper checkpoints
+    /// every ten iterations).
+    pub interval: u64,
+    /// Size of the Reed–Solomon encoding group used by L3 (number of ranks whose
+    /// checkpoints are encoded together). Must be at least 2.
+    pub group_size: usize,
+    /// Number of parity shards per group for L3 (the group survives the loss of up to
+    /// this many members).
+    pub parity_shards: usize,
+    /// Block size in bytes for L4 differential checkpointing.
+    pub diff_block_size: usize,
+    /// Whether L4 uses differential checkpointing.
+    pub differential: bool,
+}
+
+impl Default for FtiConfig {
+    fn default() -> Self {
+        FtiConfig {
+            level: CheckpointLevel::L1,
+            interval: 10,
+            group_size: 4,
+            parity_shards: 2,
+            diff_block_size: 4096,
+            differential: true,
+        }
+    }
+}
+
+impl FtiConfig {
+    /// A default configuration at the given level.
+    pub fn level(level: CheckpointLevel) -> Self {
+        FtiConfig { level, ..Default::default() }
+    }
+
+    /// Sets the checkpoint interval (in iterations).
+    pub fn interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the L3 encoding group size.
+    pub fn group_size(mut self, group_size: usize) -> Self {
+        assert!(group_size >= 2, "encoding group needs at least two members");
+        self.group_size = group_size;
+        self
+    }
+
+    /// Sets the number of L3 parity shards.
+    pub fn parity_shards(mut self, parity: usize) -> Self {
+        assert!(parity >= 1, "need at least one parity shard");
+        self.parity_shards = parity;
+        self
+    }
+
+    /// Enables or disables L4 differential checkpointing.
+    pub fn differential(mut self, on: bool) -> Self {
+        self.differential = on;
+        self
+    }
+
+    /// Whether iteration `iteration` is a checkpointing iteration under this
+    /// configuration (the paper checkpoints when `iteration % interval == 0`, skipping
+    /// iteration 0 which has nothing worth saving yet).
+    pub fn is_checkpoint_iteration(&self, iteration: u64) -> bool {
+        iteration > 0 && iteration % self.interval == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = FtiConfig::default();
+        assert_eq!(c.level, CheckpointLevel::L1);
+        assert_eq!(c.interval, 10);
+        assert!(c.differential);
+    }
+
+    #[test]
+    fn checkpoint_iterations() {
+        let c = FtiConfig::default().interval(10);
+        assert!(!c.is_checkpoint_iteration(0));
+        assert!(!c.is_checkpoint_iteration(5));
+        assert!(c.is_checkpoint_iteration(10));
+        assert!(c.is_checkpoint_iteration(20));
+        let c3 = FtiConfig::default().interval(3);
+        assert!(c3.is_checkpoint_iteration(3));
+        assert!(!c3.is_checkpoint_iteration(4));
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = FtiConfig::level(CheckpointLevel::L3)
+            .interval(5)
+            .group_size(8)
+            .parity_shards(3)
+            .differential(false);
+        assert_eq!(c.level, CheckpointLevel::L3);
+        assert_eq!(c.interval, 5);
+        assert_eq!(c.group_size, 8);
+        assert_eq!(c.parity_shards, 3);
+        assert!(!c.differential);
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(CheckpointLevel::L1.name(), "L1");
+        assert_eq!(CheckpointLevel::L4.to_string(), "L4");
+        assert_eq!(CheckpointLevel::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_panics() {
+        let _ = FtiConfig::default().interval(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Differential checkpointing (FTI L4).
+//!
+//! L4 flushes checkpoints to the parallel file system — the slowest tier — so FTI
+//! supports *differential* checkpointing there: the payload is split into fixed-size
+//! blocks, each block is hashed, and only the blocks whose hash changed since the
+//! previous L4 checkpoint are written. This module implements the block hashing, the
+//! delta computation and the reconstruction of a full payload from a base plus a delta.
+
+/// A change set: which blocks of the payload changed and their new contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffDelta {
+    /// Block size used to compute the delta.
+    pub block_size: usize,
+    /// Length of the full payload this delta describes.
+    pub new_len: usize,
+    /// `(block index, new block contents)` for every changed block.
+    pub changed: Vec<(usize, Vec<u8>)>,
+}
+
+impl DiffDelta {
+    /// Total number of bytes that must actually be written for this delta.
+    pub fn bytes_to_write(&self) -> usize {
+        self.changed.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Number of changed blocks.
+    pub fn changed_blocks(&self) -> usize {
+        self.changed.len()
+    }
+}
+
+/// FNV-1a, the cheap non-cryptographic hash used for block comparison.
+fn block_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Hashes every block of `data`.
+pub fn block_hashes(data: &[u8], block_size: usize) -> Vec<u64> {
+    assert!(block_size > 0, "block size must be positive");
+    data.chunks(block_size).map(block_hash).collect()
+}
+
+/// Computes the delta that transforms `base` into `new`.
+///
+/// Blocks are compared by hash; a block is also considered changed when it lies beyond
+/// the end of the base (growth) and blocks past the end of `new` are dropped
+/// implicitly through [`DiffDelta::new_len`].
+pub fn compute_delta(base: &[u8], new: &[u8], block_size: usize) -> DiffDelta {
+    assert!(block_size > 0, "block size must be positive");
+    let base_hashes = block_hashes(base, block_size);
+    let mut changed = Vec::new();
+    for (idx, block) in new.chunks(block_size).enumerate() {
+        let unchanged = base_hashes.get(idx).is_some_and(|&h| {
+            h == block_hash(block) && {
+                // Guard against hash collisions by comparing the bytes when the hash
+                // matches; the cost is negligible because matching blocks are the
+                // common case only when they really are equal.
+                let start = idx * block_size;
+                let end = (start + block.len()).min(base.len());
+                &base[start..end] == block
+            }
+        });
+        if !unchanged {
+            changed.push((idx, block.to_vec()));
+        }
+    }
+    DiffDelta { block_size, new_len: new.len(), changed }
+}
+
+/// Applies `delta` to `base`, producing the new payload.
+pub fn apply_delta(base: &[u8], delta: &DiffDelta) -> Vec<u8> {
+    let mut out = base.to_vec();
+    out.resize(delta.new_len, 0);
+    for (idx, block) in &delta.changed {
+        let start = idx * delta.block_size;
+        let end = (start + block.len()).min(delta.new_len);
+        out[start..end].copy_from_slice(&block[..end - start]);
+    }
+    out.truncate(delta.new_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_payloads_produce_empty_delta() {
+        let data = vec![7u8; 10_000];
+        let d = compute_delta(&data, &data, 512);
+        assert_eq!(d.changed_blocks(), 0);
+        assert_eq!(d.bytes_to_write(), 0);
+        assert_eq!(apply_delta(&data, &d), data);
+    }
+
+    #[test]
+    fn single_byte_change_touches_one_block() {
+        let base = vec![0u8; 4096];
+        let mut new = base.clone();
+        new[1000] = 42;
+        let d = compute_delta(&base, &new, 256);
+        assert_eq!(d.changed_blocks(), 1);
+        assert_eq!(d.changed[0].0, 1000 / 256);
+        assert_eq!(apply_delta(&base, &d), new);
+    }
+
+    #[test]
+    fn growth_and_shrink_are_handled() {
+        let base = vec![1u8; 1000];
+        let grown = vec![2u8; 1500];
+        let d = compute_delta(&base, &grown, 256);
+        assert_eq!(apply_delta(&base, &d), grown);
+
+        let shrunk = vec![1u8; 600];
+        let d = compute_delta(&base, &shrunk, 256);
+        assert_eq!(apply_delta(&base, &d), shrunk);
+    }
+
+    #[test]
+    fn empty_base_writes_everything() {
+        let new = vec![9u8; 777];
+        let d = compute_delta(&[], &new, 128);
+        assert_eq!(d.bytes_to_write(), 777);
+        assert_eq!(apply_delta(&[], &d), new);
+    }
+
+    #[test]
+    fn delta_write_volume_is_much_smaller_for_sparse_updates() {
+        let base: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut new = base.clone();
+        for i in (0..new.len()).step_by(20_000) {
+            new[i] ^= 0xFF;
+        }
+        let d = compute_delta(&base, &new, 4096);
+        assert!(d.bytes_to_write() < base.len() / 2);
+        assert_eq!(apply_delta(&base, &d), new);
+    }
+
+    #[test]
+    fn block_hashes_length() {
+        assert_eq!(block_hashes(&[0; 10], 4).len(), 3);
+        assert_eq!(block_hashes(&[], 4).len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_panics() {
+        let _ = compute_delta(&[1], &[2], 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Applying the delta computed between any two payloads always reproduces the
+        /// new payload, for any block size.
+        #[test]
+        fn delta_round_trips(
+            base in proptest::collection::vec(any::<u8>(), 0..4000),
+            new in proptest::collection::vec(any::<u8>(), 0..4000),
+            block_size in 1usize..512,
+        ) {
+            let delta = compute_delta(&base, &new, block_size);
+            prop_assert_eq!(apply_delta(&base, &delta), new.clone());
+            // The delta never writes more than the (block-aligned) size of the new payload.
+            prop_assert!(delta.bytes_to_write() <= new.len().div_ceil(block_size.max(1)) * block_size);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Level-specific checkpoint write and read paths.
+//!
+//! Each of the four FTI levels stores the same logical payload (the concatenation of
+//! the protected objects) but with different redundancy and on different media:
+//!
+//! | Level | Primary copy | Redundancy | Survives |
+//! |-------|--------------|------------|----------|
+//! | L1    | node RAM disk | none | process failure |
+//! | L2    | node RAM disk | copy on partner node | one node failure |
+//! | L3    | node RAM disk | Reed–Solomon shards across the group | loss of up to `m` group nodes |
+//! | L4    | parallel FS   | (differential) full copy on the PFS | anything the PFS survives |
+//!
+//! Writes charge the virtual clock of the calling rank through the machine model; the
+//! metadata agreement that FTI performs at every checkpoint is modelled as a small
+//! all-reduce on the FTI communicator, which is what makes checkpoint time grow
+//! modestly with the number of processes in Fig. 5 of the paper.
+
+use std::collections::HashMap;
+
+use mpisim::machine::StorageTier;
+use mpisim::{Comm, MpiError, RankCtx};
+
+use crate::config::{CheckpointLevel, FtiConfig};
+use crate::meta::CheckpointMeta;
+use crate::rs_code;
+use crate::store::{BlobKind, CheckpointSet, CheckpointStore, Placement, StoredBlob};
+
+/// Outcome of a checkpoint write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Payload bytes (sum of the protected objects).
+    pub payload_bytes: usize,
+    /// Bytes physically written, including replication/encoding overheads and
+    /// differential savings.
+    pub stored_bytes: usize,
+}
+
+/// Outcome of a checkpoint read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The recovered per-object payloads, in checkpoint order.
+    pub objects: Vec<Vec<u8>>,
+    /// The iteration the checkpoint was taken at.
+    pub iteration: u64,
+    /// Bytes read from storage.
+    pub read_bytes: usize,
+    /// Whether the primary copy was lost and recovery had to fall back to partner
+    /// copies, erasure decoding or the parallel file system.
+    pub degraded: bool,
+}
+
+/// Writes one checkpoint at the configured level.
+///
+/// `objects` are the serialized protected objects in registration order; `meta` must
+/// list matching `object_ids`/`object_lens`.
+///
+/// # Errors
+///
+/// Propagates communication errors from the metadata agreement (e.g. a process failure
+/// detected during the checkpoint) and reports [`MpiError::InvalidArgument`] for
+/// mismatched metadata.
+pub fn write_checkpoint(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    cfg: &FtiConfig,
+    store: &CheckpointStore,
+    meta: CheckpointMeta,
+    objects: &[Vec<u8>],
+) -> Result<WriteOutcome, MpiError> {
+    if meta.object_lens.len() != objects.len() {
+        return Err(MpiError::InvalidArgument(format!(
+            "checkpoint metadata lists {} objects but {} were provided",
+            meta.object_lens.len(),
+            objects.len()
+        )));
+    }
+    let payload: Vec<u8> = objects.concat();
+    let payload_bytes = payload.len();
+    let rank = ctx.rank();
+    let node = ctx.topology().node_of(rank);
+
+    // FTI metadata agreement: every member confirms it reached this checkpoint id.
+    let _ = ctx.allreduce_sum_u64(comm, meta.ckpt_id)?;
+
+    let mut blobs: HashMap<BlobKind, StoredBlob> = HashMap::new();
+    let mut stored_bytes = 0usize;
+
+    match cfg.level {
+        CheckpointLevel::L1 => {
+            ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
+            blobs.insert(
+                BlobKind::Primary,
+                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+            );
+            stored_bytes += payload_bytes;
+        }
+        CheckpointLevel::L2 => {
+            ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
+            ctx.charge_storage_write(StorageTier::PartnerNode, payload_bytes);
+            let partner = ctx.topology().partner_rank(rank);
+            let partner_node = ctx.topology().node_of(partner);
+            blobs.insert(
+                BlobKind::Primary,
+                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+            );
+            blobs.insert(
+                BlobKind::PartnerCopy,
+                StoredBlob { owner_rank: rank, placement: Placement::Node(partner_node), data: payload.clone() },
+            );
+            stored_bytes += 2 * payload_bytes;
+        }
+        CheckpointLevel::L3 => {
+            ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
+            // Encode and scatter the shards across the encoding group.
+            let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
+            let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
+            let encoded = rs_code::encode(&payload, k, m)
+                .map_err(|e| MpiError::InvalidArgument(format!("reed-solomon encoding failed: {e}")))?;
+            ctx.elapse(ctx.machine().compute_cost(rs_code::encode_work(payload_bytes, k, m)));
+            // Parity and data shards are distributed round-robin over the group's nodes
+            // (the group is the `group_size` ranks following this one, wrapping).
+            let nprocs = ctx.nprocs();
+            blobs.insert(
+                BlobKind::Primary,
+                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+            );
+            stored_bytes += payload_bytes;
+            for (i, shard) in encoded.shards.iter().enumerate() {
+                let holder = (rank + 1 + (i % cfg.group_size)) % nprocs;
+                let holder_node = ctx.topology().node_of(holder);
+                // Shards destined for other nodes travel over the network.
+                if holder_node != node {
+                    ctx.charge_storage_write(StorageTier::PartnerNode, shard.len());
+                } else {
+                    ctx.charge_storage_write(StorageTier::RamDisk, shard.len());
+                }
+                blobs.insert(
+                    BlobKind::RsShard(i),
+                    StoredBlob { owner_rank: rank, placement: Placement::Node(holder_node), data: shard.clone() },
+                );
+                stored_bytes += shard.len();
+            }
+        }
+        CheckpointLevel::L4 => {
+            let previous_base = store
+                .get(rank)
+                .and_then(|s| s.blobs.get(&BlobKind::DiffBase).map(|b| b.data.clone()));
+            let written = if cfg.differential {
+                let base = previous_base.unwrap_or_default();
+                let delta = crate::diff::compute_delta(&base, &payload, cfg.diff_block_size);
+                delta.bytes_to_write()
+            } else {
+                payload_bytes
+            };
+            ctx.charge_storage_write(StorageTier::ParallelFs, written);
+            blobs.insert(
+                BlobKind::Primary,
+                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+            );
+            blobs.insert(
+                BlobKind::DiffBase,
+                StoredBlob { owner_rank: rank, placement: Placement::ParallelFs, data: payload.clone() },
+            );
+            // L4 also keeps the fast node-local copy for cheap restarts.
+            ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
+            stored_bytes += payload_bytes + written;
+        }
+    }
+
+    store.put(rank, CheckpointSet { meta, blobs });
+    Ok(WriteOutcome { payload_bytes, stored_bytes })
+}
+
+/// Reads the latest checkpoint of the calling rank back from the store, reconstructing
+/// it from redundancy if the primary (node-local) copy has been lost.
+///
+/// Returns `Ok(None)` if the rank has no stored checkpoint.
+///
+/// # Errors
+///
+/// Returns [`MpiError::InvalidArgument`] if the checkpoint exists but cannot be
+/// reconstructed from the surviving blobs (e.g. an L1 checkpoint after its node was
+/// erased, or an L3 checkpoint that lost more shards than the code can tolerate).
+pub fn read_checkpoint(
+    ctx: &mut RankCtx,
+    cfg: &FtiConfig,
+    store: &CheckpointStore,
+) -> Result<Option<ReadOutcome>, MpiError> {
+    let rank = ctx.rank();
+    let Some(set) = store.get(rank) else {
+        return Ok(None);
+    };
+    let meta = set.meta.clone();
+
+    // Fast path: the primary copy is still there.
+    if let Some(primary) = set.blobs.get(&BlobKind::Primary) {
+        let tier = match meta.level {
+            CheckpointLevel::L4 => StorageTier::RamDisk, // local copy kept by L4 writes
+            _ => StorageTier::RamDisk,
+        };
+        ctx.charge_storage_read(tier, primary.data.len());
+        return Ok(Some(ReadOutcome {
+            objects: meta.split_payload(&primary.data),
+            iteration: meta.iteration,
+            read_bytes: primary.data.len(),
+            degraded: false,
+        }));
+    }
+
+    // Degraded paths, by level.
+    match meta.level {
+        CheckpointLevel::L1 => Err(MpiError::InvalidArgument(
+            "L1 checkpoint lost with its node and cannot be reconstructed".into(),
+        )),
+        CheckpointLevel::L2 => {
+            let partner = set.blobs.get(&BlobKind::PartnerCopy).ok_or_else(|| {
+                MpiError::InvalidArgument("L2 checkpoint lost both its copies".into())
+            })?;
+            ctx.charge_storage_read(StorageTier::PartnerNode, partner.data.len());
+            Ok(Some(ReadOutcome {
+                objects: meta.split_payload(&partner.data),
+                iteration: meta.iteration,
+                read_bytes: partner.data.len(),
+                degraded: true,
+            }))
+        }
+        CheckpointLevel::L3 => {
+            let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
+            let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+            let mut read_bytes = 0usize;
+            for (kind, blob) in &set.blobs {
+                if let BlobKind::RsShard(i) = kind {
+                    if *i < shards.len() {
+                        shards[*i] = Some(blob.data.clone());
+                        read_bytes += blob.data.len();
+                    }
+                }
+            }
+            ctx.charge_storage_read(StorageTier::PartnerNode, read_bytes);
+            let payload = rs_code::decode(&shards, k, m, meta.bytes).map_err(|e| {
+                MpiError::InvalidArgument(format!("L3 reconstruction failed: {e}"))
+            })?;
+            ctx.elapse(ctx.machine().compute_cost(rs_code::encode_work(meta.bytes, k, m)));
+            Ok(Some(ReadOutcome {
+                objects: meta.split_payload(&payload),
+                iteration: meta.iteration,
+                read_bytes,
+                degraded: true,
+            }))
+        }
+        CheckpointLevel::L4 => {
+            let base = set.blobs.get(&BlobKind::DiffBase).ok_or_else(|| {
+                MpiError::InvalidArgument("L4 checkpoint missing from the parallel file system".into())
+            })?;
+            ctx.charge_storage_read(StorageTier::ParallelFs, base.data.len());
+            Ok(Some(ReadOutcome {
+                objects: meta.split_payload(&base.data),
+                iteration: meta.iteration,
+                read_bytes: base.data.len(),
+                degraded: true,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+
+    fn meta_for(objects: &[Vec<u8>], level: CheckpointLevel, iteration: u64) -> CheckpointMeta {
+        CheckpointMeta {
+            ckpt_id: 1,
+            iteration,
+            level,
+            bytes: objects.iter().map(Vec::len).sum(),
+            object_ids: (0..objects.len() as u32).collect(),
+            object_lens: objects.iter().map(Vec::len).collect(),
+        }
+    }
+
+    fn run_level(level: CheckpointLevel, erase_home_node: bool) -> Vec<Result<Vec<Vec<u8>>, MpiError>> {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(level);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(8).nodes(4));
+        let store2 = Arc::clone(&store);
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let objects = vec![
+                vec![ctx.rank() as u8; 100],
+                (0..50u8).map(|i| i.wrapping_mul(ctx.rank() as u8 + 1)).collect::<Vec<u8>>(),
+            ];
+            let meta = meta_for(&objects, level, 10);
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+            ctx.barrier(&world)?;
+            if erase_home_node && ctx.rank() == 0 {
+                // Destroy node 0 (ranks 0 and 1) after everyone has written.
+                store2.erase_node(0);
+            }
+            ctx.barrier(&world)?;
+            let read = read_checkpoint(ctx, &cfg, &store2)?
+                .expect("checkpoint must exist");
+            assert_eq!(read.iteration, 10);
+            Ok(read.objects)
+        });
+        outcome
+            .ranks()
+            .iter()
+            .map(|r| r.result.clone())
+            .collect()
+    }
+
+    #[test]
+    fn every_level_round_trips_without_failures() {
+        for level in CheckpointLevel::ALL {
+            let results = run_level(level, false);
+            for (rank, res) in results.iter().enumerate() {
+                let objects = res.as_ref().unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                assert_eq!(objects[0], vec![rank as u8; 100], "{level} payload mismatch");
+                assert_eq!(objects[1].len(), 50);
+            }
+        }
+    }
+
+    #[test]
+    fn l1_does_not_survive_node_loss_but_l2_l3_l4_do() {
+        // Ranks 0 and 1 live on node 0, which is erased. Their recovery should fail for
+        // L1 and succeed (degraded) for the higher levels.
+        let l1 = run_level(CheckpointLevel::L1, true);
+        assert!(l1[0].is_err() && l1[1].is_err(), "L1 must not survive node loss");
+        assert!(l1[2].is_ok(), "ranks on surviving nodes are unaffected");
+
+        for level in [CheckpointLevel::L2, CheckpointLevel::L3, CheckpointLevel::L4] {
+            let results = run_level(level, true);
+            for (rank, res) in results.iter().enumerate() {
+                let objects = res.as_ref().unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                assert_eq!(objects[0], vec![rank as u8; 100], "{level} degraded recovery");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_cost_more_to_write() {
+        let times: Vec<f64> = CheckpointLevel::ALL
+            .iter()
+            .map(|&level| {
+                let store = CheckpointStore::shared();
+                let cfg = FtiConfig::level(level);
+                let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(2));
+                let outcome = cluster.run(move |ctx| {
+                    let world = ctx.world();
+                    ctx.set_category(mpisim::TimeCategory::CheckpointWrite);
+                    let objects = vec![vec![7u8; 1 << 20]];
+                    let meta = meta_for(&objects, level, 1);
+                    write_checkpoint(ctx, &world, &cfg, &store, meta, &objects)?;
+                    Ok(ctx.breakdown().checkpoint_write.as_secs())
+                });
+                outcome.ranks()[0].result.clone().unwrap()
+            })
+            .collect();
+        // L1 is the cheapest; L4 (parallel file system) is the most expensive; L2 and
+        // L3 sit in between.
+        assert!(times[0] < times[1], "L1 {} !< L2 {}", times[0], times[1]);
+        assert!(times[0] < times[2], "L1 {} !< L3 {}", times[0], times[2]);
+        assert!(times[1] < times[3], "L2 {} !< L4 {}", times[1], times[3]);
+    }
+
+    #[test]
+    fn differential_l4_writes_less_on_small_changes() {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L4);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let mut data = vec![0u8; 1 << 20];
+            let meta = meta_for(&[data.clone()], CheckpointLevel::L4, 1);
+            let first = write_checkpoint(ctx, &world, &cfg, &store, meta, &[data.clone()])?;
+            // Change one byte and checkpoint again: the delta write must be far smaller.
+            data[123] = 1;
+            let mut meta2 = meta_for(&[data.clone()], CheckpointLevel::L4, 2);
+            meta2.ckpt_id = 2;
+            let second = write_checkpoint(ctx, &world, &cfg, &store, meta2, &[data.clone()])?;
+            Ok((first.stored_bytes, second.stored_bytes))
+        });
+        let (first, second) = outcome.ranks()[0].result.clone().unwrap();
+        // The first checkpoint stores the local copy plus the full PFS payload; the
+        // second stores the local copy plus a single changed block, so it must be close
+        // to half of the first (payload-only) rather than equal to it.
+        assert!(
+            second < (first as f64 * 0.6) as usize,
+            "differential write {second} should be much smaller than {first}"
+        );
+    }
+
+    #[test]
+    fn mismatched_metadata_is_rejected() {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::default();
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let objects = vec![vec![1u8; 10]];
+            let mut meta = meta_for(&objects, CheckpointLevel::L1, 1);
+            meta.object_lens.push(99); // now inconsistent
+            match write_checkpoint(ctx, &world, &cfg, &store, meta, &objects) {
+                Err(MpiError::InvalidArgument(_)) => Ok(()),
+                other => panic!("expected InvalidArgument, got {other:?}"),
+            }
+        });
+        assert!(outcome.all_ok());
+    }
+
+    #[test]
+    fn read_without_checkpoint_returns_none() {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::default();
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(move |ctx| {
+            Ok(read_checkpoint(ctx, &cfg, &store)?.is_none())
+        });
+        assert!(*outcome.value_of(0));
+    }
+}

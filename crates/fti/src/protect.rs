@@ -1,0 +1,163 @@
+//! Protected data objects.
+//!
+//! FTI asks the application to tell it which data objects must be saved for the
+//! execution to be resumable — in C by passing a pointer and a size to `FTI_Protect`.
+//! The Rust equivalent is the [`Protectable`] trait: a protected object can serialize
+//! itself to bytes and restore itself from bytes. Implementations are provided for the
+//! buffer types the MATCH proxy applications use (`Vec<f64>`, `Vec<u64>`, `Vec<i64>`,
+//! `Vec<u8>`, and scalar `f64`/`u64`).
+
+use mpisim::datatype;
+
+/// A data object that can be checkpointed and restored.
+pub trait Protectable {
+    /// Serializes the object to bytes.
+    fn to_bytes(&self) -> Vec<u8>;
+    /// Restores the object from bytes previously produced by [`Protectable::to_bytes`].
+    fn restore_from(&mut self, bytes: &[u8]);
+    /// Size of the serialized representation in bytes.
+    fn byte_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+impl Protectable for Vec<f64> {
+    fn to_bytes(&self) -> Vec<u8> {
+        datatype::pack_f64(self)
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = datatype::unpack_f64(bytes);
+    }
+    fn byte_len(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl Protectable for Vec<u64> {
+    fn to_bytes(&self) -> Vec<u8> {
+        datatype::pack_u64(self)
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = datatype::unpack_u64(bytes);
+    }
+    fn byte_len(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl Protectable for Vec<i64> {
+    fn to_bytes(&self) -> Vec<u8> {
+        datatype::pack_i64(self)
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = datatype::unpack_i64(bytes);
+    }
+    fn byte_len(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl Protectable for Vec<u8> {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = bytes.to_vec();
+    }
+    fn byte_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Protectable for f64 {
+    fn to_bytes(&self) -> Vec<u8> {
+        datatype::pack_f64_scalar(*self)
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = datatype::unpack_f64_scalar(bytes);
+    }
+    fn byte_len(&self) -> usize {
+        8
+    }
+}
+
+impl Protectable for u64 {
+    fn to_bytes(&self) -> Vec<u8> {
+        datatype::pack_u64_scalar(*self)
+    }
+    fn restore_from(&mut self, bytes: &[u8]) {
+        *self = datatype::unpack_u64_scalar(bytes);
+    }
+    fn byte_len(&self) -> usize {
+        8
+    }
+}
+
+/// Metadata describing a protected object, registered through `Fti::protect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedObject {
+    /// Application-chosen identifier (the `id` argument of `FTI_Protect`).
+    pub id: u32,
+    /// Human-readable name, used by reports and the dependency-analysis tooling.
+    pub name: String,
+    /// Size of the object's serialized representation at registration time, in bytes.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_f64_round_trip() {
+        let original = vec![1.5, -2.25, 1e300];
+        let mut restored = vec![0.0; 1];
+        restored.restore_from(&original.to_bytes());
+        assert_eq!(restored, original);
+        assert_eq!(original.byte_len(), 24);
+    }
+
+    #[test]
+    fn vec_u64_and_i64_round_trip() {
+        let u = vec![1u64, u64::MAX];
+        let mut u2: Vec<u64> = vec![];
+        u2.restore_from(&u.to_bytes());
+        assert_eq!(u2, u);
+
+        let i = vec![-5i64, i64::MAX];
+        let mut i2: Vec<i64> = vec![];
+        i2.restore_from(&i.to_bytes());
+        assert_eq!(i2, i);
+    }
+
+    #[test]
+    fn raw_bytes_round_trip() {
+        let b = vec![0u8, 255, 7];
+        let mut b2: Vec<u8> = vec![];
+        b2.restore_from(&b.to_bytes());
+        assert_eq!(b2, b);
+        assert_eq!(b.byte_len(), 3);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let x = 3.75f64;
+        let mut y = 0.0f64;
+        y.restore_from(&x.to_bytes());
+        assert_eq!(y, x);
+
+        let a = 42u64;
+        let mut b = 0u64;
+        b.restore_from(&a.to_bytes());
+        assert_eq!(b, a);
+        assert_eq!(a.byte_len(), 8);
+    }
+
+    #[test]
+    fn restore_resizes_target() {
+        let original = vec![1.0, 2.0, 3.0, 4.0];
+        let mut target = vec![9.0; 100];
+        target.restore_from(&original.to_bytes());
+        assert_eq!(target.len(), 4);
+    }
+}

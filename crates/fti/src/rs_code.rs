@@ -1,0 +1,554 @@
+//! Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! FTI's L3 checkpoints are protected with a Reed–Solomon (RS) erasure code so that a
+//! checkpoint group can survive the loss of several of its members. This module is a
+//! self-contained, real implementation of a systematic RS code:
+//!
+//! * arithmetic in GF(2⁸) with the standard AES polynomial `x⁸+x⁴+x³+x+1` (0x11B),
+//!   using log/antilog tables;
+//! * an `k + m` systematic code built from a Vandermonde-derived encoding matrix whose
+//!   top `k×k` block is the identity (data shards are stored verbatim, parity shards
+//!   are linear combinations);
+//! * decoding by inverting the `k×k` submatrix corresponding to any `k` surviving
+//!   shards (Gaussian elimination over GF(2⁸)).
+//!
+//! The codec works on equally sized shards; [`encode`] pads the input to a multiple of
+//! `k` and records the original length so [`decode`] can return exactly the original
+//! bytes.
+
+use std::fmt;
+
+/// Errors reported by the Reed–Solomon codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Fewer than `k` shards survive, so the data cannot be reconstructed.
+    NotEnoughShards {
+        /// Number of shards still available.
+        available: usize,
+        /// Number of shards required (the data shard count `k`).
+        needed: usize,
+    },
+    /// Shards have inconsistent lengths.
+    ShardSizeMismatch,
+    /// Invalid code parameters (zero data shards, or more than 255 total shards).
+    InvalidParameters(String),
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::NotEnoughShards { available, needed } => {
+                write!(f, "not enough shards to reconstruct: {available} available, {needed} needed")
+            }
+            RsError::ShardSizeMismatch => write!(f, "shards have inconsistent sizes"),
+            RsError::InvalidParameters(msg) => write!(f, "invalid reed-solomon parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+// --- GF(256) arithmetic -----------------------------------------------------------
+
+/// Log/antilog tables for GF(2⁸) with generator 3 and polynomial 0x11B.
+struct Gf256Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Gf256Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Gf256Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // multiply x by the generator 3 = x + 1 in GF(2^8)
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11B;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256Tables { log, exp }
+    })
+}
+
+/// Multiplication in GF(2⁸).
+pub fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    let idx = t.log[a as usize] as usize + t.log[b as usize] as usize;
+    t.exp[idx]
+}
+
+/// Division in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn gf_div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let idx = 255 + t.log[a as usize] as usize - t.log[b as usize] as usize;
+    t.exp[idx]
+}
+
+/// Exponentiation of the generator: returns `g^e` where `g = 3`.
+pub fn gf_exp(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// Multiplicative inverse in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn gf_inv(a: u8) -> u8 {
+    gf_div(1, a)
+}
+
+// --- matrices ---------------------------------------------------------------------
+
+/// A dense matrix over GF(2⁸).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Gauss–Jordan inversion. Returns `None` if the matrix is singular.
+    fn inverted(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                for c in 0..n {
+                    let tmp = a.get(col, c);
+                    a.set(col, c, a.get(pivot, c));
+                    a.set(pivot, c, tmp);
+                    let tmp = inv.get(col, c);
+                    inv.set(col, c, inv.get(pivot, c));
+                    inv.set(pivot, c, tmp);
+                }
+            }
+            // Scale the pivot row.
+            let p = a.get(col, col);
+            let pinv = gf_inv(p);
+            for c in 0..n {
+                a.set(col, c, gf_mul(a.get(col, c), pinv));
+                inv.set(col, c, gf_mul(inv.get(col, c), pinv));
+            }
+            // Eliminate the column from all other rows.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let va = a.get(r, c) ^ gf_mul(factor, a.get(col, c));
+                    a.set(r, c, va);
+                    let vi = inv.get(r, c) ^ gf_mul(factor, inv.get(col, c));
+                    inv.set(r, c, vi);
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// Builds the `(k + m) × k` systematic encoding matrix: identity on top, Vandermonde-
+/// derived parity rows below (row `i` of the parity block is `[g^(i·0), g^(i·1), ...]`
+/// with distinct evaluation points, which keeps every `k × k` submatrix invertible for
+/// the parameter ranges FTI uses).
+fn encoding_matrix(k: usize, m: usize) -> Matrix {
+    // Build a (k+m) x k Vandermonde matrix with distinct points, then normalize its
+    // top k x k block to the identity by multiplying with that block's inverse.
+    let mut vand = Matrix::zero(k + m, k);
+    for r in 0..k + m {
+        for c in 0..k {
+            // point for row r is r (as a field element), column c is its c-th power
+            let point = (r + 1) as u8; // avoid the zero point
+            let mut v = 1u8;
+            for _ in 0..c {
+                v = gf_mul(v, point);
+            }
+            vand.set(r, c, v);
+        }
+    }
+    // Extract the top k x k block and invert it.
+    let mut top = Matrix::zero(k, k);
+    for r in 0..k {
+        for c in 0..k {
+            top.set(r, c, vand.get(r, c));
+        }
+    }
+    let top_inv = top.inverted().expect("vandermonde top block is invertible");
+    // encoding = vand * top_inv  -> systematic matrix.
+    let mut enc = Matrix::zero(k + m, k);
+    for r in 0..k + m {
+        for c in 0..k {
+            let mut acc = 0u8;
+            for i in 0..k {
+                acc ^= gf_mul(vand.get(r, i), top_inv.get(i, c));
+            }
+            enc.set(r, c, acc);
+        }
+    }
+    enc
+}
+
+// --- public codec ------------------------------------------------------------------
+
+/// An encoded set of shards produced by [`encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedShards {
+    /// Number of data shards (`k`).
+    pub data_shards: usize,
+    /// Number of parity shards (`m`).
+    pub parity_shards: usize,
+    /// Length of the original input in bytes (the shards carry padding).
+    pub original_len: usize,
+    /// The `k + m` shards, each of equal length.
+    pub shards: Vec<Vec<u8>>,
+}
+
+impl EncodedShards {
+    /// Length of each shard in bytes.
+    pub fn shard_len(&self) -> usize {
+        self.shards.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total storage consumed by all shards.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+/// Encodes `data` into `k` data shards plus `m` parity shards.
+///
+/// # Errors
+///
+/// Returns [`RsError::InvalidParameters`] if `k` is zero, `m` is zero, or `k + m`
+/// exceeds 255 (the field size limits the number of distinct evaluation points).
+pub fn encode(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError> {
+    if k == 0 || m == 0 {
+        return Err(RsError::InvalidParameters("need at least one data and one parity shard".into()));
+    }
+    if k + m > 255 {
+        return Err(RsError::InvalidParameters(format!("k + m = {} exceeds 255", k + m)));
+    }
+    let shard_len = data.len().div_ceil(k).max(1);
+    let mut padded = data.to_vec();
+    padded.resize(shard_len * k, 0);
+
+    let enc = encoding_matrix(k, m);
+    let mut shards: Vec<Vec<u8>> = Vec::with_capacity(k + m);
+    // Data shards are the chunks themselves (systematic code).
+    for i in 0..k {
+        shards.push(padded[i * shard_len..(i + 1) * shard_len].to_vec());
+    }
+    // Parity shards are linear combinations of the data shards.
+    for r in k..k + m {
+        let row = enc.row(r).to_vec();
+        let mut parity = vec![0u8; shard_len];
+        for (c, coeff) in row.iter().enumerate() {
+            if *coeff == 0 {
+                continue;
+            }
+            let src = &shards[c];
+            for (p, s) in parity.iter_mut().zip(src) {
+                *p ^= gf_mul(*coeff, *s);
+            }
+        }
+        shards.push(parity);
+    }
+    Ok(EncodedShards {
+        data_shards: k,
+        parity_shards: m,
+        original_len: data.len(),
+        shards,
+    })
+}
+
+/// Reconstructs the original data from surviving shards.
+///
+/// `shards[i]` must be `Some` for surviving shard `i` (in the same order produced by
+/// [`encode`]: data shards first, then parity) and `None` for lost shards. At least `k`
+/// shards must survive.
+///
+/// # Errors
+///
+/// Returns [`RsError::NotEnoughShards`] if fewer than `k` shards survive,
+/// [`RsError::ShardSizeMismatch`] if the surviving shards disagree on length, and
+/// [`RsError::InvalidParameters`] for parameter errors.
+pub fn decode(
+    shards: &[Option<Vec<u8>>],
+    k: usize,
+    m: usize,
+    original_len: usize,
+) -> Result<Vec<u8>, RsError> {
+    if k == 0 || m == 0 || k + m > 255 {
+        return Err(RsError::InvalidParameters("bad k/m".into()));
+    }
+    if shards.len() != k + m {
+        return Err(RsError::InvalidParameters(format!(
+            "expected {} shard slots, got {}",
+            k + m,
+            shards.len()
+        )));
+    }
+    let available: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
+    if available.len() < k {
+        return Err(RsError::NotEnoughShards { available: available.len(), needed: k });
+    }
+    let shard_len = shards[available[0]].as_ref().unwrap().len();
+    for &i in &available {
+        if shards[i].as_ref().unwrap().len() != shard_len {
+            return Err(RsError::ShardSizeMismatch);
+        }
+    }
+
+    // Fast path: all data shards survive.
+    if (0..k).all(|i| shards[i].is_some()) {
+        let mut out = Vec::with_capacity(k * shard_len);
+        for i in 0..k {
+            out.extend_from_slice(shards[i].as_ref().unwrap());
+        }
+        out.truncate(original_len);
+        return Ok(out);
+    }
+
+    // General path: pick the first k surviving shards, invert the corresponding rows of
+    // the encoding matrix, and recompute the data shards.
+    let enc = encoding_matrix(k, m);
+    let chosen = &available[..k];
+    let mut sub = Matrix::zero(k, k);
+    for (r, &shard_idx) in chosen.iter().enumerate() {
+        for c in 0..k {
+            sub.set(r, c, enc.get(shard_idx, c));
+        }
+    }
+    let inv = sub.inverted().ok_or(RsError::ShardSizeMismatch)?;
+
+    let mut data_shards: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; k];
+    for (data_idx, out) in data_shards.iter_mut().enumerate() {
+        for (r, &shard_idx) in chosen.iter().enumerate() {
+            let coeff = inv.get(data_idx, r);
+            if coeff == 0 {
+                continue;
+            }
+            let src = shards[shard_idx].as_ref().unwrap();
+            for (o, s) in out.iter_mut().zip(src) {
+                *o ^= gf_mul(coeff, *s);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(k * shard_len);
+    for s in data_shards {
+        out.extend_from_slice(&s);
+    }
+    out.truncate(original_len);
+    Ok(out)
+}
+
+/// Number of GF(2⁸) multiply–accumulate operations performed to encode `bytes` bytes
+/// with an `(k, m)` code — used by the machine model to charge encoding time.
+pub fn encode_work(bytes: usize, k: usize, m: usize) -> f64 {
+    let shard_len = bytes.div_ceil(k.max(1)).max(1);
+    (shard_len * k * m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_field_properties() {
+        // 1 is the multiplicative identity.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(1, a), a);
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a * a^-1 must be 1 for a = {a}");
+            assert_eq!(gf_div(a, a), 1);
+        }
+        assert_eq!(gf_mul(0, 77), 0);
+        assert_eq!(gf_div(0, 5), 0);
+        // Commutativity and a known product: 2 * 3 = 6 in GF(256).
+        assert_eq!(gf_mul(2, 3), 6);
+        assert_eq!(gf_mul(3, 2), 6);
+    }
+
+    #[test]
+    fn matrix_inversion_round_trip() {
+        let m = encoding_matrix(4, 2);
+        // The top block of a systematic matrix is the identity.
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(m.get(r, c), if r == c { 1 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_no_loss() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let enc = encode(&data, 4, 2).unwrap();
+        assert_eq!(enc.shards.len(), 6);
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let dec = decode(&shards, 4, 2, enc.original_len).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn recovers_from_parity_worth_of_erasures() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
+        let k = 4;
+        let m = 2;
+        let enc = encode(&data, k, m).unwrap();
+        // Erase any two shards (including data shards) and reconstruct.
+        for lost_a in 0..k + m {
+            for lost_b in (lost_a + 1)..k + m {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    enc.shards.iter().cloned().map(Some).collect();
+                shards[lost_a] = None;
+                shards[lost_b] = None;
+                let dec = decode(&shards, k, m, enc.original_len)
+                    .unwrap_or_else(|e| panic!("losing {lost_a},{lost_b}: {e}"));
+                assert_eq!(dec, data, "losing shards {lost_a} and {lost_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_is_detected() {
+        let data = vec![9u8; 100];
+        let enc = encode(&data, 3, 2).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        let err = decode(&shards, 3, 2, enc.original_len).unwrap_err();
+        assert_eq!(err, RsError::NotEnoughShards { available: 2, needed: 3 });
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(encode(&[1], 0, 1), Err(RsError::InvalidParameters(_))));
+        assert!(matches!(encode(&[1], 1, 0), Err(RsError::InvalidParameters(_))));
+        assert!(matches!(encode(&[1], 200, 100), Err(RsError::InvalidParameters(_))));
+        assert!(decode(&[], 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let enc = encode(&[], 4, 2).unwrap();
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        assert_eq!(decode(&shards, 4, 2, 0).unwrap(), Vec::<u8>::new());
+
+        let enc = encode(&[42], 4, 2).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        shards[0] = None; // the shard holding the only byte
+        assert_eq!(decode(&shards, 4, 2, 1).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn encode_work_scales() {
+        assert!(encode_work(1 << 20, 4, 2) > encode_work(1 << 10, 4, 2));
+        assert!(encode_work(1 << 20, 4, 4) > encode_work(1 << 20, 4, 2));
+    }
+
+    #[test]
+    fn shard_accessors() {
+        let enc = encode(&[1, 2, 3, 4, 5, 6, 7, 8], 4, 2).unwrap();
+        assert_eq!(enc.shard_len(), 2);
+        assert_eq!(enc.total_bytes(), 12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Encoding and decoding with any erasure pattern of at most `m` lost shards
+        /// reproduces the original data exactly.
+        #[test]
+        fn round_trips_under_any_tolerable_erasure(
+            data in proptest::collection::vec(any::<u8>(), 0..2000),
+            k in 2usize..8,
+            m in 1usize..4,
+            erase_seed in any::<u64>(),
+        ) {
+            let encoded = encode(&data, k, m).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = encoded.shards.iter().cloned().map(Some).collect();
+            // Erase up to m shards, chosen pseudo-randomly from the seed.
+            let mut state = erase_seed | 1;
+            let mut erased = 0;
+            while erased < m {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (state >> 33) as usize % (k + m);
+                if shards[idx].is_some() {
+                    shards[idx] = None;
+                    erased += 1;
+                }
+            }
+            let decoded = decode(&shards, k, m, encoded.original_len).unwrap();
+            prop_assert_eq!(decoded, data);
+        }
+
+        /// GF(256) multiplication is commutative and distributes over XOR (addition).
+        #[test]
+        fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
+            prop_assert_eq!(gf_mul(a, gf_mul(b, c)), gf_mul(gf_mul(a, b), c));
+            prop_assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The simulated checkpoint store.
+//!
+//! The store models the cluster's storage media: each rank's checkpoints live on the
+//! node that hosts the rank (L1/L2/L3) or on the shared parallel file system (L4). The
+//! store is shared by every rank of a job **and across global restarts of the
+//! application code** — which is exactly why checkpointing works: the `FtDriver`
+//! re-enters the application closure after a failure, and the fresh FTI instance finds
+//! this rank's checkpoints still present.
+//!
+//! Node failures can be simulated with [`CheckpointStore::erase_node`], which destroys
+//! the node-local copies but not partner copies, erasure-coded group shards held by
+//! other nodes, or parallel-file-system checkpoints — allowing the resilience
+//! differences between the four FTI levels to be exercised in tests.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::meta::CheckpointMeta;
+
+/// Where a stored blob physically lives, which decides what destroys it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// On a compute node's local storage (RAM disk / SSD).
+    Node(usize),
+    /// On the shared parallel file system.
+    ParallelFs,
+}
+
+/// One stored blob: a rank's serialized checkpoint payload or a derived artefact
+/// (partner copy, parity shard, differential base).
+#[derive(Debug, Clone)]
+pub struct StoredBlob {
+    /// The rank whose data this blob belongs to.
+    pub owner_rank: usize,
+    /// Physical placement.
+    pub placement: Placement,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+/// Key identifying a blob within a checkpoint set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BlobKind {
+    /// The rank's own serialized checkpoint payload.
+    Primary,
+    /// A copy of the payload held on the partner node (L2).
+    PartnerCopy,
+    /// A Reed–Solomon shard (L3); the index is the shard number within the group.
+    RsShard(usize),
+    /// The full reference payload used as the base of differential checkpoints (L4).
+    DiffBase,
+}
+
+/// A complete checkpoint set of one rank: metadata plus its blobs.
+///
+/// The logical payload (the concatenation of the protected objects) is not stored
+/// separately: it lives in the [`BlobKind::Primary`] blob (and is reconstructable from
+/// partner copies, surviving Reed–Solomon shards, or the parallel-file-system copy,
+/// depending on the level), so that simulated node failures really destroy data and the
+/// level-specific recovery paths are exercised for real.
+#[derive(Debug, Clone)]
+pub struct CheckpointSet {
+    /// Metadata for the set.
+    pub meta: CheckpointMeta,
+    /// Blobs by kind.
+    pub blobs: HashMap<BlobKind, StoredBlob>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// Latest checkpoint set per rank.
+    latest: HashMap<usize, CheckpointSet>,
+    /// Total bytes ever written, for reporting.
+    bytes_written: u64,
+}
+
+/// A shared, thread-safe checkpoint store for one simulated job.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store behind an `Arc`, ready to be shared across rank threads
+    /// and application restarts.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(CheckpointStore::default())
+    }
+
+    /// Stores `set` as the latest checkpoint of `rank`, replacing any previous one.
+    pub fn put(&self, rank: usize, set: CheckpointSet) {
+        let mut inner = self.inner.lock();
+        inner.bytes_written += set.meta.bytes as u64;
+        inner.latest.insert(rank, set);
+    }
+
+    /// Returns a clone of the latest checkpoint set of `rank`, if any.
+    pub fn get(&self, rank: usize) -> Option<CheckpointSet> {
+        self.inner.lock().latest.get(&rank).cloned()
+    }
+
+    /// Whether `rank` has a stored checkpoint.
+    pub fn has_checkpoint(&self, rank: usize) -> bool {
+        self.inner.lock().latest.contains_key(&rank)
+    }
+
+    /// The latest checkpoint metadata of `rank`, if any.
+    pub fn meta(&self, rank: usize) -> Option<CheckpointMeta> {
+        self.inner.lock().latest.get(&rank).map(|s| s.meta.clone())
+    }
+
+    /// Adds (or replaces) a blob inside `rank`'s latest checkpoint set. Used for
+    /// partner copies and parity shards that other ranks contribute.
+    pub fn attach_blob(&self, rank: usize, kind: BlobKind, blob: StoredBlob) {
+        let mut inner = self.inner.lock();
+        if let Some(set) = inner.latest.get_mut(&rank) {
+            set.blobs.insert(kind, blob);
+        }
+    }
+
+    /// Total payload bytes written into the store so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().bytes_written
+    }
+
+    /// Number of ranks that currently have a checkpoint.
+    pub fn checkpointed_ranks(&self) -> usize {
+        self.inner.lock().latest.len()
+    }
+
+    /// Removes every checkpoint (used between experiment repetitions).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.latest.clear();
+        inner.bytes_written = 0;
+    }
+
+    /// Simulates the loss of a compute node: every blob placed on `node` is destroyed.
+    /// Checkpoint sets whose primary payload lived on that node lose it (and can only
+    /// be recovered through partner copies, surviving RS shards, or the parallel file
+    /// system, depending on the level they were written at).
+    pub fn erase_node(&self, node: usize) {
+        let mut inner = self.inner.lock();
+        for set in inner.latest.values_mut() {
+            set.blobs.retain(|_, blob| blob.placement != Placement::Node(node));
+        }
+    }
+
+    /// Whether the primary (node-local) copy of `rank`'s checkpoint is still present.
+    pub fn has_primary(&self, rank: usize) -> bool {
+        self.inner
+            .lock()
+            .latest
+            .get(&rank)
+            .map(|s| s.blobs.contains_key(&BlobKind::Primary))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckpointLevel;
+
+    fn set(rank: usize, node: usize, bytes: usize) -> CheckpointSet {
+        let mut blobs = HashMap::new();
+        blobs.insert(
+            BlobKind::Primary,
+            StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: vec![1; bytes] },
+        );
+        CheckpointSet {
+            meta: CheckpointMeta {
+                ckpt_id: 1,
+                iteration: 10,
+                level: CheckpointLevel::L1,
+                bytes,
+                object_ids: vec![0],
+                object_lens: vec![bytes],
+            },
+            blobs,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = CheckpointStore::shared();
+        assert!(!store.has_checkpoint(3));
+        store.put(3, set(3, 1, 64));
+        assert!(store.has_checkpoint(3));
+        let got = store.get(3).unwrap();
+        assert_eq!(got.meta.iteration, 10);
+        assert_eq!(got.blobs[&BlobKind::Primary].data.len(), 64);
+        assert_eq!(store.meta(3).unwrap().bytes, 64);
+        assert_eq!(store.bytes_written(), 64);
+        assert_eq!(store.checkpointed_ranks(), 1);
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older() {
+        let store = CheckpointStore::shared();
+        store.put(0, set(0, 0, 16));
+        let mut newer = set(0, 0, 32);
+        newer.meta.ckpt_id = 2;
+        store.put(0, newer);
+        assert_eq!(store.get(0).unwrap().meta.ckpt_id, 2);
+        assert_eq!(store.bytes_written(), 48, "write accounting is cumulative");
+    }
+
+    #[test]
+    fn attach_blob_adds_partner_copy() {
+        let store = CheckpointStore::shared();
+        store.put(1, set(1, 0, 8));
+        store.attach_blob(
+            1,
+            BlobKind::PartnerCopy,
+            StoredBlob { owner_rank: 1, placement: Placement::Node(5), data: vec![9; 8] },
+        );
+        let got = store.get(1).unwrap();
+        assert!(got.blobs.contains_key(&BlobKind::PartnerCopy));
+        // Attaching to a rank without a checkpoint is a no-op.
+        store.attach_blob(
+            7,
+            BlobKind::PartnerCopy,
+            StoredBlob { owner_rank: 7, placement: Placement::Node(5), data: vec![] },
+        );
+        assert!(!store.has_checkpoint(7));
+    }
+
+    #[test]
+    fn erase_node_destroys_local_blobs_only() {
+        let store = CheckpointStore::shared();
+        store.put(0, set(0, 0, 8));
+        store.attach_blob(
+            0,
+            BlobKind::PartnerCopy,
+            StoredBlob { owner_rank: 0, placement: Placement::Node(1), data: vec![2; 8] },
+        );
+        store.attach_blob(
+            0,
+            BlobKind::DiffBase,
+            StoredBlob { owner_rank: 0, placement: Placement::ParallelFs, data: vec![3; 8] },
+        );
+        assert!(store.has_primary(0));
+        store.erase_node(0);
+        assert!(!store.has_primary(0));
+        let got = store.get(0).unwrap();
+        assert!(got.blobs.contains_key(&BlobKind::PartnerCopy));
+        assert!(got.blobs.contains_key(&BlobKind::DiffBase));
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = CheckpointStore::shared();
+        store.put(0, set(0, 0, 8));
+        store.clear();
+        assert!(!store.has_checkpoint(0));
+        assert_eq!(store.bytes_written(), 0);
+    }
+}

@@ -1,0 +1,928 @@
+//! The per-rank execution context.
+//!
+//! A [`RankCtx`] is handed to the closure each simulated rank executes. It exposes the
+//! MPI-like operations (point-to-point, collectives, communicator management), the
+//! virtual clock and its category-attributed time breakdown, failure reporting, and the
+//! global recovery rendezvous used by the fault-tolerance drivers.
+
+use std::sync::Arc;
+
+use crate::collective::AnyBox;
+use crate::comm::{Comm, CommShared};
+use crate::datatype;
+use crate::error::MpiError;
+use crate::machine::{CollectiveKind, MachineModel, StorageTier};
+use crate::msg::Message;
+use crate::state::ClusterState;
+use crate::stats::{RankStats, TimeBreakdown};
+use crate::time::SimTime;
+use crate::topology::Topology;
+use crate::{ANY_SOURCE, ANY_TAG};
+
+/// The category virtual time is currently attributed to.
+///
+/// The MATCH figures break execution time into application time, checkpoint-write time
+/// and recovery time; the fault-tolerance driver switches the active category around
+/// checkpoint and recovery phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeCategory {
+    /// Application compute and application communication.
+    Application,
+    /// Writing checkpoints (FTI `checkpoint()` and its internal collectives).
+    CheckpointWrite,
+    /// Reading checkpoints back during a restart.
+    CheckpointRead,
+    /// MPI recovery (failure detection, communicator repair, job redeployment).
+    Recovery,
+}
+
+/// Element-wise reduction operators for `f64` reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: &mut [f64], x: &[f64]) {
+        for (a, b) in acc.iter_mut().zip(x) {
+            match self {
+                ReduceOp::Sum => *a += *b,
+                ReduceOp::Max => *a = a.max(*b),
+                ReduceOp::Min => *a = a.min(*b),
+                ReduceOp::Prod => *a *= *b,
+            }
+        }
+    }
+}
+
+/// Per-rank execution context: virtual clock, statistics and MPI-like operations.
+pub struct RankCtx {
+    rank: usize,
+    state: Arc<ClusterState>,
+    now: SimTime,
+    breakdown: TimeBreakdown,
+    stats: RankStats,
+    category: TimeCategory,
+    compute_interference: f64,
+    io_interference: f64,
+    world: Comm,
+}
+
+impl std::fmt::Debug for RankCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankCtx")
+            .field("rank", &self.rank)
+            .field("now", &self.now)
+            .field("category", &self.category)
+            .finish()
+    }
+}
+
+impl RankCtx {
+    /// Creates the context for `rank` over the given shared cluster state.
+    pub(crate) fn new(rank: usize, state: Arc<ClusterState>) -> Self {
+        let world = Comm::new(Arc::clone(&state.world), rank);
+        RankCtx {
+            rank,
+            state,
+            now: SimTime::ZERO,
+            breakdown: TimeBreakdown::new(),
+            stats: RankStats::new(),
+            category: TimeCategory::Application,
+            compute_interference: 0.0,
+            io_interference: 0.0,
+            world,
+        }
+    }
+
+    // ----- introspection -------------------------------------------------------------
+
+    /// This process's global rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the job.
+    pub fn nprocs(&self) -> usize {
+        self.state.nprocs
+    }
+
+    /// A handle to the world communicator.
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The current virtual time of this rank.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The machine model used to advance virtual time.
+    pub fn machine(&self) -> &MachineModel {
+        &self.state.machine
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.state.topology
+    }
+
+    /// The time breakdown accumulated so far.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+
+    /// Mutable access to the time breakdown (used by drivers to move time between
+    /// categories when attributing lost work).
+    pub fn breakdown_mut(&mut self) -> &mut TimeBreakdown {
+        &mut self.breakdown
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Mutable access to the operation counters.
+    pub fn stats_mut(&mut self) -> &mut RankStats {
+        &mut self.stats
+    }
+
+    /// Currently failed global ranks.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.state.failed_ranks()
+    }
+
+    /// Whether any process in the job is currently failed.
+    pub fn any_failed(&self) -> bool {
+        self.state.failed_count() > 0
+    }
+
+    /// Total number of failure events seen by the job so far (does not reset on
+    /// recovery).
+    pub fn failure_events(&self) -> u64 {
+        self.state.failure_events()
+    }
+
+    /// The shared cluster state (crate-internal; used by the ULFM and Reinit modules).
+    pub(crate) fn cluster(&self) -> &Arc<ClusterState> {
+        &self.state
+    }
+
+    // ----- time accounting -----------------------------------------------------------
+
+    /// Switches the active time category, returning the previous one.
+    pub fn set_category(&mut self, category: TimeCategory) -> TimeCategory {
+        std::mem::replace(&mut self.category, category)
+    }
+
+    /// The currently active time category.
+    pub fn category(&self) -> TimeCategory {
+        self.category
+    }
+
+    /// Sets the fractional interference applied to application work and to checkpoint
+    /// I/O (used to model the background overhead of the ULFM heartbeat and MPI-call
+    /// interposition). A value of 0.15 makes the affected work 15% slower.
+    pub fn set_interference(&mut self, compute: f64, io: f64) {
+        assert!(compute >= 0.0 && io >= 0.0, "interference must be non-negative");
+        self.compute_interference = compute;
+        self.io_interference = io;
+    }
+
+    /// The interference pair currently in effect `(compute, io)`.
+    pub fn interference(&self) -> (f64, f64) {
+        (self.compute_interference, self.io_interference)
+    }
+
+    fn charge(&mut self, amount: SimTime) {
+        self.now += amount;
+        match self.category {
+            TimeCategory::Application => self.breakdown.application += amount,
+            TimeCategory::CheckpointWrite => self.breakdown.checkpoint_write += amount,
+            TimeCategory::CheckpointRead => self.breakdown.checkpoint_read += amount,
+            TimeCategory::Recovery => self.breakdown.recovery += amount,
+        }
+    }
+
+    /// Advances the clock to `target` (no-op if `target` is in the past), attributing
+    /// the elapsed time to the current category.
+    fn advance_to(&mut self, target: SimTime) {
+        if target > self.now {
+            let delta = target.saturating_sub(self.now);
+            self.charge(delta);
+        }
+    }
+
+    /// Charges `flops` floating-point operations of application work.
+    pub fn compute(&mut self, flops: f64) {
+        let base = self.state.machine.compute_cost(flops);
+        self.charge(base * (1.0 + self.compute_interference));
+    }
+
+    /// Charges `bytes` bytes of explicit memory traffic.
+    pub fn memory_traffic(&mut self, bytes: f64) {
+        let base = self.state.machine.memory_cost(bytes);
+        self.charge(base * (1.0 + self.compute_interference));
+    }
+
+    /// Advances the virtual clock by an explicit duration (charged to the current
+    /// category, without interference).
+    pub fn elapse(&mut self, duration: SimTime) {
+        self.charge(duration);
+    }
+
+    /// Charges a checkpoint write of `bytes` bytes to storage tier `tier`.
+    pub fn charge_storage_write(&mut self, tier: StorageTier, bytes: usize) {
+        let base = self.state.machine.storage_write_cost(tier, bytes);
+        self.charge(base * (1.0 + self.io_interference));
+        self.stats.checkpoint_bytes += bytes as u64;
+    }
+
+    /// Charges a checkpoint read of `bytes` bytes from storage tier `tier`.
+    pub fn charge_storage_read(&mut self, tier: StorageTier, bytes: usize) {
+        let base = self.state.machine.storage_read_cost(tier, bytes);
+        self.charge(base * (1.0 + self.io_interference));
+    }
+
+    // ----- failure -------------------------------------------------------------------
+
+    /// Kills the calling process (fault injection). Marks the process failed cluster-
+    /// wide and returns the [`MpiError::SelfFailed`] error the caller must propagate to
+    /// its recovery driver.
+    pub fn kill_self(&mut self) -> MpiError {
+        self.state.mark_failed(self.rank);
+        self.stats.times_failed += 1;
+        MpiError::SelfFailed
+    }
+
+    /// Marks another rank failed (external fault injection, e.g. modelling a node OS
+    /// crash observed from a monitoring rank).
+    pub fn fail_rank(&self, rank: usize) {
+        if rank < self.state.nprocs {
+            self.state.mark_failed(rank);
+        }
+    }
+
+    /// Declares that a global-restart recovery is beginning: until the next
+    /// [`RankCtx::recovery_rendezvous`] completes, every MPI operation on every
+    /// communicator (even ones whose members are all alive) reports the process
+    /// failure, so that all ranks are rolled back. Recovery drivers call this as soon
+    /// as they observe a failure.
+    pub fn declare_global_restart(&self) {
+        self.state.declare_global_disruption();
+    }
+
+    /// Aborts the whole job (`MPI_Abort` semantics): every subsequent MPI operation on
+    /// any rank fails with [`MpiError::Aborted`].
+    pub fn abort(&mut self, code: i32) -> MpiError {
+        self.state.set_abort(code);
+        MpiError::Aborted { code }
+    }
+
+    /// Returns the error that operations on `comm` would currently report, if any.
+    pub fn health_error(&self, comm: &Comm) -> Option<MpiError> {
+        self.state.health_error(comm.shared())
+    }
+
+    fn check_health(&self, comm: &Comm) -> Result<(), MpiError> {
+        match self.state.health_error(comm.shared()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ----- point-to-point ------------------------------------------------------------
+
+    /// Sends `payload` to communicator rank `dest` with the given `tag`.
+    ///
+    /// The send is buffered (eager): it deposits the message in the destination's
+    /// mailbox and returns. The transfer cost is charged to the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MpiError::ProcFailed`] if the destination (or any process, once a
+    /// failure has been detected job-wide) has failed, [`MpiError::Revoked`] if the
+    /// communicator is revoked, or [`MpiError::InvalidRank`] if `dest` is out of range.
+    pub fn send_bytes(&mut self, comm: &Comm, dest: usize, tag: i32, payload: &[u8]) -> Result<(), MpiError> {
+        self.check_health(comm)?;
+        if dest >= comm.size() {
+            return Err(MpiError::InvalidRank { rank: dest as i32, comm_size: comm.size() });
+        }
+        let dest_global = comm.global_rank_of(dest);
+        if !self.state.is_alive(dest_global) {
+            return Err(MpiError::ProcFailed { rank: dest_global });
+        }
+        // Charge the injection overhead (half the latency); the transfer itself is
+        // charged on the receive side where the arrival time is computed.
+        let same_node = self.state.topology.same_node(self.rank, dest_global);
+        let alpha = if same_node {
+            self.state.machine.intra_node_latency
+        } else {
+            self.state.machine.inter_node_latency
+        };
+        self.charge(SimTime::from_secs(alpha * 0.5) * (1.0 + self.compute_interference));
+        self.state.mailboxes[dest_global].push(Message {
+            src: self.rank,
+            tag,
+            comm_id: comm.id(),
+            payload: payload.to_vec(),
+            sent_at: self.now,
+        });
+        self.stats.sends += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Receives a message on `comm`. `src` may be [`ANY_SOURCE`] and `tag` may be
+    /// [`ANY_TAG`]. Returns `(source communicator rank, tag, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a failure/revocation error under the same conditions as
+    /// [`RankCtx::send_bytes`]; in particular a receive blocked on a failed peer is
+    /// woken up and reports the failure.
+    pub fn recv_bytes(&mut self, comm: &Comm, src: i32, tag: i32) -> Result<(usize, i32, Vec<u8>), MpiError> {
+        let src_global = if src == ANY_SOURCE {
+            None
+        } else {
+            if src < 0 || src as usize >= comm.size() {
+                return Err(MpiError::InvalidRank { rank: src, comm_size: comm.size() });
+            }
+            Some(comm.global_rank_of(src as usize))
+        };
+        let tag_sel = if tag == ANY_TAG { None } else { Some(tag) };
+        let mailbox = &self.state.mailboxes[self.rank];
+        loop {
+            self.check_health(comm)?;
+            if let Some(msg) = mailbox.try_match(comm.id(), src_global, tag_sel) {
+                let same_node = self.state.topology.same_node(self.rank, msg.src);
+                let transfer = self.state.machine.p2p_cost(msg.len(), same_node);
+                let arrival = (msg.sent_at + transfer).max(self.now);
+                self.advance_to(arrival);
+                self.stats.recvs += 1;
+                self.stats.bytes_received += msg.len() as u64;
+                let src_comm_rank = comm
+                    .shared()
+                    .rank_of(msg.src)
+                    .ok_or_else(|| MpiError::Internal("message from non-member".into()))?;
+                return Ok((src_comm_rank, msg.tag, msg.payload));
+            }
+            mailbox.wait(self.state.poll_interval);
+        }
+    }
+
+    /// Sends a slice of `f64` values (see [`RankCtx::send_bytes`]).
+    pub fn send_f64(&mut self, comm: &Comm, dest: usize, tag: i32, data: &[f64]) -> Result<(), MpiError> {
+        self.send_bytes(comm, dest, tag, &datatype::pack_f64(data))
+    }
+
+    /// Receives a slice of `f64` values (see [`RankCtx::recv_bytes`]).
+    pub fn recv_f64(&mut self, comm: &Comm, src: i32, tag: i32) -> Result<(usize, Vec<f64>), MpiError> {
+        let (s, _t, bytes) = self.recv_bytes(comm, src, tag)?;
+        Ok((s, datatype::unpack_f64(&bytes)))
+    }
+
+    /// Combined send + receive, the halo-exchange workhorse. Sends `send_data` to
+    /// `dest` and receives one message from `src`, both with tag `tag`.
+    pub fn sendrecv_f64(
+        &mut self,
+        comm: &Comm,
+        dest: usize,
+        send_data: &[f64],
+        src: usize,
+        tag: i32,
+    ) -> Result<Vec<f64>, MpiError> {
+        self.send_f64(comm, dest, tag, send_data)?;
+        let (from, data) = self.recv_f64(comm, src as i32, tag)?;
+        debug_assert_eq!(from, src);
+        Ok(data)
+    }
+
+    // ----- collectives ---------------------------------------------------------------
+
+    fn collective_typed<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        kind: CollectiveKind,
+        bytes_per_member: usize,
+        contribution: T,
+        finish: impl FnOnce(Vec<T>) -> Vec<T>,
+    ) -> Result<T, MpiError> {
+        self.check_health(comm)?;
+        let nmembers = comm.size();
+        let cost = self
+            .state
+            .machine
+            .collective_cost(kind, nmembers, bytes_per_member)
+            * (1.0 + self.compute_interference);
+        let state = Arc::clone(&self.state);
+        let shared: Arc<CommShared> = Arc::clone(comm.shared());
+        let abort_check = move || state.health_error(&shared);
+        let (finish_time, out) = comm.shared().slot.run(
+            comm.rank(),
+            self.now,
+            cost,
+            Box::new(contribution),
+            move |contribs| {
+                let values: Vec<T> = contribs
+                    .into_iter()
+                    .map(|(_, b)| *b.downcast::<T>().expect("homogeneous collective type"))
+                    .collect();
+                finish(values)
+                    .into_iter()
+                    .map(|v| Box::new(v) as AnyBox)
+                    .collect()
+            },
+            abort_check,
+        )?;
+        self.advance_to(finish_time);
+        self.stats.collectives += 1;
+        out.downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| MpiError::Internal("collective output type mismatch".into()))
+    }
+
+    /// Synchronizes all members of `comm`.
+    pub fn barrier(&mut self, comm: &Comm) -> Result<(), MpiError> {
+        let n = comm.size();
+        self.collective_typed(comm, CollectiveKind::Barrier, 0, (), |v| {
+            debug_assert_eq!(v.len(), n);
+            v
+        })
+    }
+
+    /// Broadcasts bytes from `root` to every member. Only the root's `data` is used.
+    pub fn bcast_bytes(&mut self, comm: &Comm, root: usize, data: Vec<u8>) -> Result<Vec<u8>, MpiError> {
+        if root >= comm.size() {
+            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+        }
+        let n = comm.size();
+        let bytes = data.len();
+        self.collective_typed(comm, CollectiveKind::Broadcast, bytes, data, move |vals| {
+            let root_val = vals[root].clone();
+            (0..n).map(|_| root_val.clone()).collect()
+        })
+    }
+
+    /// Broadcasts `f64` values from `root` (see [`RankCtx::bcast_bytes`]).
+    pub fn bcast_f64(&mut self, comm: &Comm, root: usize, data: Vec<f64>) -> Result<Vec<f64>, MpiError> {
+        let bytes = self.bcast_bytes(comm, root, datatype::pack_f64(&data))?;
+        Ok(datatype::unpack_f64(&bytes))
+    }
+
+    /// Element-wise reduction to `root`. Every member passes a slice of the same
+    /// length; only the root receives `Some(result)`.
+    pub fn reduce_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        op: ReduceOp,
+        data: &[f64],
+    ) -> Result<Option<Vec<f64>>, MpiError> {
+        if root >= comm.size() {
+            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+        }
+        let n = comm.size();
+        let bytes = data.len() * 8;
+        let contribution = data.to_vec();
+        let reduced = self.collective_typed(comm, CollectiveKind::Reduce, bytes, contribution, move |vals| {
+            let mut acc = vals[0].clone();
+            for v in &vals[1..] {
+                op.apply(&mut acc, v);
+            }
+            (0..n)
+                .map(|i| if i == root { acc.clone() } else { Vec::new() })
+                .collect()
+        })?;
+        Ok(if comm.rank() == root { Some(reduced) } else { None })
+    }
+
+    /// Element-wise all-reduce: every member receives the combined vector.
+    pub fn allreduce_f64(&mut self, comm: &Comm, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, MpiError> {
+        let n = comm.size();
+        let bytes = data.len() * 8;
+        self.collective_typed(comm, CollectiveKind::Allreduce, bytes, data.to_vec(), move |vals| {
+            let mut acc = vals[0].clone();
+            for v in &vals[1..] {
+                op.apply(&mut acc, v);
+            }
+            (0..n).map(|_| acc.clone()).collect()
+        })
+    }
+
+    /// Scalar all-reduce sum.
+    pub fn allreduce_sum_f64(&mut self, comm: &Comm, value: f64) -> Result<f64, MpiError> {
+        Ok(self.allreduce_f64(comm, ReduceOp::Sum, &[value])?[0])
+    }
+
+    /// Scalar all-reduce maximum.
+    pub fn allreduce_max_f64(&mut self, comm: &Comm, value: f64) -> Result<f64, MpiError> {
+        Ok(self.allreduce_f64(comm, ReduceOp::Max, &[value])?[0])
+    }
+
+    /// Scalar all-reduce minimum.
+    pub fn allreduce_min_f64(&mut self, comm: &Comm, value: f64) -> Result<f64, MpiError> {
+        Ok(self.allreduce_f64(comm, ReduceOp::Min, &[value])?[0])
+    }
+
+    /// Scalar all-reduce sum over unsigned integers (exact).
+    pub fn allreduce_sum_u64(&mut self, comm: &Comm, value: u64) -> Result<u64, MpiError> {
+        let n = comm.size();
+        self.collective_typed(comm, CollectiveKind::Allreduce, 8, value, move |vals| {
+            let total: u64 = vals.iter().sum();
+            (0..n).map(|_| total).collect()
+        })
+    }
+
+    /// Gathers each member's bytes at `root`. Only the root receives `Some(values)`,
+    /// ordered by communicator rank.
+    pub fn gather_bytes(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<u8>,
+    ) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
+        if root >= comm.size() {
+            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+        }
+        let n = comm.size();
+        let bytes = data.len();
+        let gathered = self.collective_typed(
+            comm,
+            CollectiveKind::Gather,
+            bytes,
+            vec![data],
+            move |vals| {
+                let all: Vec<Vec<u8>> = vals.into_iter().map(|mut v| v.pop().unwrap_or_default()).collect();
+                (0..n)
+                    .map(|i| if i == root { all.clone() } else { Vec::new() })
+                    .collect()
+            },
+        )?;
+        Ok(if comm.rank() == root { Some(gathered) } else { None })
+    }
+
+    /// All-gathers each member's bytes; every member receives all contributions ordered
+    /// by communicator rank.
+    pub fn allgather_bytes(&mut self, comm: &Comm, data: Vec<u8>) -> Result<Vec<Vec<u8>>, MpiError> {
+        let n = comm.size();
+        let bytes = data.len();
+        self.collective_typed(
+            comm,
+            CollectiveKind::Allgather,
+            bytes,
+            vec![data],
+            move |vals| {
+                let all: Vec<Vec<u8>> = vals.into_iter().map(|mut v| v.pop().unwrap_or_default()).collect();
+                (0..n).map(|_| all.clone()).collect()
+            },
+        )
+    }
+
+    /// All-gathers `f64` slices (see [`RankCtx::allgather_bytes`]).
+    pub fn allgather_f64(&mut self, comm: &Comm, data: &[f64]) -> Result<Vec<Vec<f64>>, MpiError> {
+        let gathered = self.allgather_bytes(comm, datatype::pack_f64(data))?;
+        Ok(gathered.iter().map(|b| datatype::unpack_f64(b)).collect())
+    }
+
+    /// All-gathers `u64` slices.
+    pub fn allgather_u64(&mut self, comm: &Comm, data: &[u64]) -> Result<Vec<Vec<u64>>, MpiError> {
+        let gathered = self.allgather_bytes(comm, datatype::pack_u64(data))?;
+        Ok(gathered.iter().map(|b| datatype::unpack_u64(b)).collect())
+    }
+
+    /// Scatters per-member byte vectors from `root`; member `i` receives `data[i]`.
+    /// Only the root's `data` is used (others may pass an empty vector).
+    pub fn scatter_bytes(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<Vec<u8>>,
+    ) -> Result<Vec<u8>, MpiError> {
+        if root >= comm.size() {
+            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+        }
+        let n = comm.size();
+        if comm.rank() == root && data.len() != n {
+            return Err(MpiError::InvalidArgument(format!(
+                "scatter root must provide {n} chunks, got {}",
+                data.len()
+            )));
+        }
+        let bytes = data.iter().map(Vec::len).max().unwrap_or(0);
+        self.collective_typed(comm, CollectiveKind::Scatter, bytes, data, move |vals| {
+            let root_chunks = vals[root].clone();
+            (0..n)
+                .map(|i| vec![root_chunks.get(i).cloned().unwrap_or_default()])
+                .collect()
+        })
+        .map(|mut v| v.pop().unwrap_or_default())
+    }
+
+    /// Personalized all-to-all exchange: member `i` sends `data[j]` to member `j` and
+    /// receives a vector whose `j`-th entry came from member `j`.
+    pub fn alltoall_bytes(&mut self, comm: &Comm, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, MpiError> {
+        let n = comm.size();
+        if data.len() != n {
+            return Err(MpiError::InvalidArgument(format!(
+                "alltoall needs {n} chunks, got {}",
+                data.len()
+            )));
+        }
+        let bytes = data.iter().map(Vec::len).max().unwrap_or(0);
+        self.collective_typed(comm, CollectiveKind::Alltoall, bytes, data, move |vals| {
+            (0..n)
+                .map(|dest| (0..n).map(|src| vals[src][dest].clone()).collect::<Vec<Vec<u8>>>())
+                .collect()
+        })
+    }
+
+    /// Inclusive prefix sum: member `i` receives the sum of the values of members
+    /// `0..=i`.
+    pub fn scan_sum_f64(&mut self, comm: &Comm, value: f64) -> Result<f64, MpiError> {
+        let n = comm.size();
+        self.collective_typed(comm, CollectiveKind::Scan, 8, value, move |vals| {
+            let mut acc = 0.0;
+            let mut out = Vec::with_capacity(n);
+            for v in vals {
+                acc += v;
+                out.push(acc);
+            }
+            out
+        })
+    }
+
+    // ----- communicator management ---------------------------------------------------
+
+    /// Duplicates a communicator: same membership, fresh collective context.
+    pub fn comm_dup(&mut self, comm: &Comm) -> Result<Comm, MpiError> {
+        let members = comm.members().to_vec();
+        self.comm_create(comm, members)
+    }
+
+    /// Splits a communicator by `color` (members passing the same color end up in the
+    /// same new communicator, ordered by `key`, ties broken by the old rank).
+    pub fn comm_split(&mut self, comm: &Comm, color: i64, key: i64) -> Result<Comm, MpiError> {
+        // Gather (color, key, global rank) from every member, then derive this member's
+        // group deterministically.
+        let packed: Vec<u64> = vec![color as u64, key as u64, self.rank as u64];
+        let all = self.allgather_u64(comm, &packed)?;
+        let mut group: Vec<(i64, usize, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v[0] as i64 == color)
+            .map(|(idx, v)| (v[1] as i64, idx, v[2] as usize))
+            .collect();
+        group.sort();
+        let members: Vec<usize> = group.iter().map(|&(_, _, g)| g).collect();
+        self.comm_create(comm, members)
+    }
+
+    /// Collectively creates a new communicator over `members` (global ranks). Every
+    /// member of `parent` must call this; members passing identical membership lists
+    /// share one new communicator object (distributed through the parent's rendezvous).
+    pub(crate) fn comm_create(&mut self, parent: &Comm, members: Vec<usize>) -> Result<Comm, MpiError> {
+        let n = parent.size();
+        let state = Arc::clone(&self.state);
+        // Contribution: the desired membership. Output: the shared communicator object.
+        type Payload = (Vec<usize>, Option<Arc<CommShared>>);
+        let contribution: Payload = (members, None);
+        let (_, shared) = self.collective_typed(
+            parent,
+            CollectiveKind::Allgather,
+            contribution.0.len() * 8 + 16,
+            contribution,
+            move |vals: Vec<Payload>| {
+                use std::collections::HashMap;
+                let mut cache: HashMap<Vec<usize>, Arc<CommShared>> = HashMap::new();
+                let mut out: Vec<Payload> = Vec::with_capacity(n);
+                for (m, _) in vals {
+                    let arc = cache
+                        .entry(m.clone())
+                        .or_insert_with(|| {
+                            let id = state.next_comm_id();
+                            let c = CommShared::new(id, m.clone());
+                            state.register_comm(&c);
+                            c
+                        })
+                        .clone();
+                    out.push((m, Some(arc)));
+                }
+                out
+            },
+        )?;
+        let shared = shared.ok_or_else(|| MpiError::Internal("communicator creation lost".into()))?;
+        let my_index = shared
+            .rank_of(self.rank)
+            .ok_or_else(|| MpiError::InvalidArgument("calling rank not in new communicator".into()))?;
+        Ok(Comm::new(shared, my_index))
+    }
+
+    // ----- recovery ------------------------------------------------------------------
+
+    /// Global recovery rendezvous: blocks until *every* rank of the job (survivors and
+    /// the replacements for failed processes) has arrived, repairs the cluster state
+    /// (revives processes, drops in-flight messages, resets and un-revokes every
+    /// communicator) and advances every rank's clock to a common completion time
+    /// `max(entry times) + extra_cost`.
+    ///
+    /// `extra_cost` models the recovery protocol of the active fault-tolerance design
+    /// and must be identical on every rank. The elapsed time is charged to the current
+    /// time category (drivers set [`TimeCategory::Recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// Only internal errors are possible; process failures cannot interrupt recovery
+    /// (the paper's evaluation injects a single failure per run).
+    pub fn recovery_rendezvous(&mut self, extra_cost: SimTime) -> Result<(), MpiError> {
+        let state = Arc::clone(&self.state);
+        let nprocs = self.state.nprocs;
+        let (finish_time, _out) = self.state.recovery_slot.run(
+            self.rank,
+            self.now,
+            extra_cost,
+            Box::new(()),
+            move |_contribs| {
+                state.repair_all();
+                (0..nprocs).map(|_| Box::new(()) as AnyBox).collect()
+            },
+            || None,
+        )?;
+        self.advance_to(finish_time);
+        self.stats.recoveries += 1;
+        Ok(())
+    }
+
+    /// A completion rendezvous over all ranks with no added cost and no repair. Drivers
+    /// call this as the final synchronization of a run (the analogue of
+    /// `MPI_Finalize`); if a failure is detected instead, the driver goes through
+    /// recovery once more.
+    pub fn completion_barrier(&mut self) -> Result<(), MpiError> {
+        self.check_health(&self.world())?;
+        self.barrier(&self.world())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ClusterState;
+    use crate::topology::Topology;
+
+    fn single_rank_ctx() -> RankCtx {
+        let state = ClusterState::new(1, Topology::single_node(1), MachineModel::default());
+        RankCtx::new(0, state)
+    }
+
+    #[test]
+    fn compute_advances_clock_and_breakdown() {
+        let mut ctx = single_rank_ctx();
+        ctx.compute(1e6);
+        assert!(ctx.now().as_secs() > 0.0);
+        assert_eq!(ctx.breakdown().application, ctx.now());
+        assert_eq!(ctx.breakdown().checkpoint_write, SimTime::ZERO);
+    }
+
+    #[test]
+    fn category_switching_attributes_time() {
+        let mut ctx = single_rank_ctx();
+        ctx.compute(1e6);
+        let prev = ctx.set_category(TimeCategory::CheckpointWrite);
+        assert_eq!(prev, TimeCategory::Application);
+        ctx.charge_storage_write(StorageTier::RamDisk, 1 << 20);
+        ctx.set_category(TimeCategory::Recovery);
+        ctx.elapse(SimTime::from_secs(1.0));
+        let b = ctx.breakdown();
+        assert!(b.application.as_secs() > 0.0);
+        assert!(b.checkpoint_write.as_secs() > 0.0);
+        assert_eq!(b.recovery.as_secs(), 1.0);
+        assert_eq!(b.total(), ctx.now());
+    }
+
+    #[test]
+    fn interference_slows_compute() {
+        let mut a = single_rank_ctx();
+        let mut b = single_rank_ctx();
+        b.set_interference(0.5, 0.0);
+        a.compute(1e6);
+        b.compute(1e6);
+        assert!((b.now().as_secs() / a.now().as_secs() - 1.5).abs() < 1e-9);
+        assert_eq!(b.interference(), (0.5, 0.0));
+    }
+
+    #[test]
+    fn self_kill_marks_failure() {
+        let mut ctx = single_rank_ctx();
+        assert!(!ctx.any_failed());
+        let err = ctx.kill_self();
+        assert_eq!(err, MpiError::SelfFailed);
+        assert!(ctx.any_failed());
+        assert_eq!(ctx.failed_ranks(), vec![0]);
+        assert_eq!(ctx.stats().times_failed, 1);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let mut ctx = single_rank_ctx();
+        let world = ctx.world();
+        assert_eq!(ctx.allreduce_sum_f64(&world, 5.0).unwrap(), 5.0);
+        assert_eq!(ctx.allreduce_max_f64(&world, -1.0).unwrap(), -1.0);
+        assert_eq!(ctx.scan_sum_f64(&world, 2.0).unwrap(), 2.0);
+        ctx.barrier(&world).unwrap();
+        let g = ctx.gather_bytes(&world, 0, vec![9]).unwrap().unwrap();
+        assert_eq!(g, vec![vec![9]]);
+        let bc = ctx.bcast_f64(&world, 0, vec![1.0, 2.0]).unwrap();
+        assert_eq!(bc, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn invalid_ranks_are_rejected() {
+        let mut ctx = single_rank_ctx();
+        let world = ctx.world();
+        assert!(matches!(
+            ctx.send_bytes(&world, 3, 0, &[1]),
+            Err(MpiError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            ctx.reduce_f64(&world, 9, ReduceOp::Sum, &[1.0]),
+            Err(MpiError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            ctx.alltoall_bytes(&world, vec![]),
+            Err(MpiError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn operations_after_failure_report_proc_failed() {
+        let mut ctx = single_rank_ctx();
+        ctx.fail_rank(0);
+        let world = ctx.world();
+        assert!(matches!(
+            ctx.allreduce_sum_f64(&world, 1.0),
+            Err(MpiError::ProcFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn global_restart_declaration_poisons_unrelated_comms() {
+        // Two ranks: rank 1 "fails" while rank 0 only ever talks to itself through a
+        // self-communicator. Without the global-restart declaration that communicator
+        // keeps working; with it, the operation reports the failure.
+        let state = ClusterState::new(2, Topology::single_node(2), MachineModel::default());
+        let mut ctx = RankCtx::new(0, state);
+        let world = ctx.world();
+        ctx.fail_rank(1);
+        // A communicator containing only rank 0 (build it directly to avoid needing
+        // rank 1 for the collective creation path).
+        let self_shared = crate::comm::CommShared::new(99, vec![0]);
+        let self_comm = Comm::new(self_shared, 0);
+        assert_eq!(ctx.allreduce_sum_f64(&self_comm, 2.0).unwrap(), 2.0);
+        assert!(ctx.health_error(&world).is_some());
+        ctx.declare_global_restart();
+        assert!(matches!(
+            ctx.allreduce_sum_f64(&self_comm, 2.0),
+            Err(MpiError::ProcFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn abort_poisons_operations() {
+        let mut ctx = single_rank_ctx();
+        let world = ctx.world();
+        let _ = ctx.abort(3);
+        assert_eq!(ctx.barrier(&world).unwrap_err(), MpiError::Aborted { code: 3 });
+    }
+
+    #[test]
+    fn recovery_rendezvous_repairs_single_rank() {
+        let mut ctx = single_rank_ctx();
+        let _ = ctx.kill_self();
+        ctx.set_category(TimeCategory::Recovery);
+        ctx.recovery_rendezvous(SimTime::from_secs(2.0)).unwrap();
+        assert!(!ctx.any_failed());
+        assert_eq!(ctx.breakdown().recovery.as_secs(), 2.0);
+        assert_eq!(ctx.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn reduce_ops_apply_elementwise() {
+        let mut acc = vec![1.0, 5.0];
+        ReduceOp::Sum.apply(&mut acc, &[2.0, 3.0]);
+        assert_eq!(acc, vec![3.0, 8.0]);
+        ReduceOp::Max.apply(&mut acc, &[10.0, 0.0]);
+        assert_eq!(acc, vec![10.0, 8.0]);
+        ReduceOp::Min.apply(&mut acc, &[4.0, 1.0]);
+        assert_eq!(acc, vec![4.0, 1.0]);
+        ReduceOp::Prod.apply(&mut acc, &[2.0, 2.0]);
+        assert_eq!(acc, vec![8.0, 2.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Conversions between typed slices and the raw byte payloads carried by messages.
+//!
+//! Simulated messages carry `Vec<u8>` payloads. Applications almost always want to
+//! exchange `f64`, `u64` or `i64` data; these helpers perform the (little-endian)
+//! packing and unpacking, and are also used by the checkpoint library to serialize
+//! protected buffers.
+
+/// Packs a slice of `f64` values into little-endian bytes.
+///
+/// ```
+/// use mpisim::datatype::{pack_f64, unpack_f64};
+/// let xs = [1.0, -2.5, 3.75];
+/// assert_eq!(unpack_f64(&pack_f64(&xs)), xs);
+/// ```
+pub fn pack_f64(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks little-endian bytes into `f64` values.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Packs a slice of `u64` values into little-endian bytes.
+pub fn pack_u64(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks little-endian bytes into `u64` values.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn unpack_u64(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Packs a slice of `i64` values into little-endian bytes.
+pub fn pack_i64(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks little-endian bytes into `i64` values.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn unpack_i64(bytes: &[u8]) -> Vec<i64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Packs a single `f64` value.
+pub fn pack_f64_scalar(value: f64) -> Vec<u8> {
+    value.to_le_bytes().to_vec()
+}
+
+/// Unpacks a single `f64` value.
+///
+/// # Panics
+///
+/// Panics if the byte length is not exactly 8.
+pub fn unpack_f64_scalar(bytes: &[u8]) -> f64 {
+    assert_eq!(bytes.len(), 8, "scalar payload must be 8 bytes");
+    f64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+/// Packs a single `u64` value.
+pub fn pack_u64_scalar(value: u64) -> Vec<u8> {
+    value.to_le_bytes().to_vec()
+}
+
+/// Unpacks a single `u64` value.
+///
+/// # Panics
+///
+/// Panics if the byte length is not exactly 8.
+pub fn unpack_u64_scalar(bytes: &[u8]) -> u64 {
+    assert_eq!(bytes.len(), 8, "scalar payload must be 8 bytes");
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let xs = vec![0.0, 1.5, -2.25, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(unpack_f64(&pack_f64(&xs)), xs);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let xs = vec![0, 1, u64::MAX, 42];
+        assert_eq!(unpack_u64(&pack_u64(&xs)), xs);
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let xs = vec![0, -1, i64::MIN, i64::MAX];
+        assert_eq!(unpack_i64(&pack_i64(&xs)), xs);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        assert_eq!(unpack_f64_scalar(&pack_f64_scalar(3.25)), 3.25);
+        assert_eq!(unpack_u64_scalar(&pack_u64_scalar(99)), 99);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert!(pack_f64(&[]).is_empty());
+        assert!(unpack_f64(&[]).is_empty());
+        assert!(unpack_u64(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_payload_panics() {
+        let _ = unpack_f64(&[1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Packing and unpacking is lossless for every supported element type.
+        #[test]
+        fn pack_unpack_round_trips(
+            floats in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..100),
+            unsigned in proptest::collection::vec(any::<u64>(), 0..100),
+            signed in proptest::collection::vec(any::<i64>(), 0..100),
+        ) {
+            prop_assert_eq!(unpack_f64(&pack_f64(&floats)), floats.clone());
+            prop_assert_eq!(unpack_u64(&pack_u64(&unsigned)), unsigned.clone());
+            prop_assert_eq!(unpack_i64(&pack_i64(&signed)), signed.clone());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Declarative failure specifications.
+//!
+//! MATCH emulates MPI process failures by killing a randomly selected rank in a
+//! randomly selected iteration of the main computation loop (the paper raises `SIGTERM`
+//! from inside the victim process). [`FailureSpec`] is the simulator-side description
+//! of such an event; the recovery crate turns seeded random choices into concrete
+//! specs and the proxy applications consult the spec at the top of every iteration.
+
+/// The kind of failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Kill a single process (the paper's evaluation scenario).
+    ProcessKill {
+        /// Global rank of the victim.
+        rank: usize,
+    },
+    /// Kill every process on one node (supported by Reinit; the contemporary ULFM
+    /// implementation studied in the paper cannot recover from it).
+    NodeCrash {
+        /// Node whose processes are killed.
+        node: usize,
+    },
+}
+
+/// A failure to be injected at a specific iteration of the main computation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// What fails.
+    pub kind: FailureKind,
+    /// Iteration of the main loop at which the failure fires (0-based).
+    pub at_iteration: u64,
+}
+
+impl FailureSpec {
+    /// A process-kill failure of `rank` at `iteration`.
+    pub fn kill_process(rank: usize, iteration: u64) -> Self {
+        FailureSpec { kind: FailureKind::ProcessKill { rank }, at_iteration: iteration }
+    }
+
+    /// A node-crash failure of `node` at `iteration`.
+    pub fn crash_node(node: usize, iteration: u64) -> Self {
+        FailureSpec { kind: FailureKind::NodeCrash { node }, at_iteration: iteration }
+    }
+
+    /// Whether this spec fires for `rank` (placed on `node`) at `iteration`.
+    pub fn fires_for(&self, rank: usize, node: usize, iteration: u64) -> bool {
+        if iteration != self.at_iteration {
+            return false;
+        }
+        match self.kind {
+            FailureKind::ProcessKill { rank: victim } => rank == victim,
+            FailureKind::NodeCrash { node: crashed } => node == crashed,
+        }
+    }
+
+    /// The number of processes this failure kills in a job of `nprocs` ranks laid out
+    /// over `topology`.
+    pub fn victim_count(&self, topology: &crate::topology::Topology) -> usize {
+        match self.kind {
+            FailureKind::ProcessKill { .. } => 1,
+            FailureKind::NodeCrash { .. } => topology.ranks_per_node(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn process_kill_fires_only_for_victim_and_iteration() {
+        let spec = FailureSpec::kill_process(3, 10);
+        assert!(spec.fires_for(3, 1, 10));
+        assert!(!spec.fires_for(3, 1, 9));
+        assert!(!spec.fires_for(2, 1, 10));
+        assert_eq!(spec.victim_count(&Topology::new(8, 4)), 1);
+    }
+
+    #[test]
+    fn node_crash_fires_for_all_ranks_on_node() {
+        let spec = FailureSpec::crash_node(2, 5);
+        assert!(spec.fires_for(0, 2, 5));
+        assert!(spec.fires_for(7, 2, 5));
+        assert!(!spec.fires_for(0, 1, 5));
+        assert_eq!(spec.victim_count(&Topology::new(8, 4)), 2);
+    }
+}

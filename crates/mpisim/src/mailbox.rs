@@ -1,0 +1,152 @@
+//! Per-rank mailboxes holding in-flight point-to-point messages.
+//!
+//! Each rank owns one [`Mailbox`]. Senders push messages into the destination rank's
+//! mailbox; the receiver scans its mailbox for the first message matching the
+//! `(communicator, source, tag)` selector. Blocking receives are implemented by the
+//! caller as a poll loop (`try_match` + `wait`), so that failure conditions can be
+//! checked between polls — this is how the simulator delivers ULFM-style failure
+//! notifications to ranks blocked in communication.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::msg::Message;
+
+/// A thread-safe queue of messages addressed to one rank.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Delivers a message into the mailbox and wakes any waiting receiver.
+    pub fn push(&self, msg: Message) {
+        self.queue.lock().push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Removes and returns the first message matching the selector, preserving the
+    /// order of the remaining messages (MPI's non-overtaking rule for a given
+    /// `(source, tag, communicator)` triple).
+    pub fn try_match(&self, comm_id: u64, src: Option<usize>, tag: Option<i32>) -> Option<Message> {
+        let mut q = self.queue.lock();
+        let pos = q.iter().position(|m| m.matches(comm_id, src, tag))?;
+        q.remove(pos)
+    }
+
+    /// Blocks for at most `timeout` waiting for a new message to arrive. Returns
+    /// immediately if the mailbox is non-empty; spurious wake-ups are allowed.
+    pub fn wait(&self, timeout: Duration) {
+        let mut q = self.queue.lock();
+        if q.is_empty() {
+            self.cv.wait_for(&mut q, timeout);
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Discards every queued message (used when a communicator is repaired after a
+    /// failure: pending communication is dropped, matching ULFM revoke semantics).
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn msg(src: usize, tag: i32, comm: u64) -> Message {
+        Message {
+            src,
+            tag,
+            comm_id: comm,
+            payload: vec![0; 4],
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn push_and_match() {
+        let mb = Mailbox::new();
+        assert!(mb.is_empty());
+        mb.push(msg(1, 10, 0));
+        mb.push(msg(2, 20, 0));
+        assert_eq!(mb.len(), 2);
+        let m = mb.try_match(0, Some(2), None).unwrap();
+        assert_eq!(m.src, 2);
+        assert_eq!(mb.len(), 1);
+        assert!(mb.try_match(0, Some(2), None).is_none());
+    }
+
+    #[test]
+    fn matching_respects_comm_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 10, 0));
+        assert!(mb.try_match(1, None, None).is_none());
+        assert!(mb.try_match(0, None, Some(11)).is_none());
+        assert!(mb.try_match(0, None, Some(10)).is_some());
+    }
+
+    #[test]
+    fn fifo_order_for_same_selector() {
+        let mb = Mailbox::new();
+        let mut first = msg(1, 10, 0);
+        first.payload = vec![1];
+        let mut second = msg(1, 10, 0);
+        second.payload = vec![2];
+        mb.push(first);
+        mb.push(second);
+        assert_eq!(mb.try_match(0, Some(1), Some(10)).unwrap().payload, vec![1]);
+        assert_eq!(mb.try_match(0, Some(1), Some(10)).unwrap().payload, vec![2]);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 1, 0));
+        mb.push(msg(2, 2, 0));
+        mb.clear();
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn wait_returns_after_timeout() {
+        let mb = Mailbox::new();
+        // Must not block forever on an empty mailbox.
+        mb.wait(Duration::from_millis(1));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            mb2.push(msg(5, 1, 0));
+        });
+        handle.join().unwrap();
+        assert_eq!(mb.try_match(0, Some(5), Some(1)).unwrap().src, 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Message representation for simulated point-to-point communication.
+
+use crate::time::SimTime;
+
+/// A point-to-point message in flight between two ranks.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Global rank of the sender.
+    pub src: usize,
+    /// Application tag.
+    pub tag: i32,
+    /// Identifier of the communicator the message was sent on.
+    pub comm_id: u64,
+    /// Raw payload bytes (see [`crate::datatype`] for typed packing helpers).
+    pub payload: Vec<u8>,
+    /// Virtual time at which the sender posted the message.
+    pub sent_at: SimTime,
+}
+
+impl Message {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Returns true if this message matches the given receive selector.
+    ///
+    /// `src` and `tag` of `None` act as `MPI_ANY_SOURCE` / `MPI_ANY_TAG`.
+    pub fn matches(&self, comm_id: u64, src: Option<usize>, tag: Option<i32>) -> bool {
+        self.comm_id == comm_id
+            && src.map_or(true, |s| s == self.src)
+            && tag.map_or(true, |t| t == self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message {
+            src: 3,
+            tag: 7,
+            comm_id: 1,
+            payload: vec![1, 2, 3],
+            sent_at: SimTime::from_secs(1.0),
+        }
+    }
+
+    #[test]
+    fn matching_rules() {
+        let m = msg();
+        assert!(m.matches(1, Some(3), Some(7)));
+        assert!(m.matches(1, None, Some(7)));
+        assert!(m.matches(1, Some(3), None));
+        assert!(m.matches(1, None, None));
+        assert!(!m.matches(2, None, None));
+        assert!(!m.matches(1, Some(4), None));
+        assert!(!m.matches(1, None, Some(8)));
+    }
+
+    #[test]
+    fn length() {
+        let m = msg();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The Reinit extension: runtime-level global-restart recovery.
+//!
+//! Reinit (Laguna et al.; Georgakoudis et al., "Reinit++") hides MPI recovery inside
+//! the MPI runtime: the programmer moves the body of `main` into a *resilient main*
+//! function and registers it with `OMPI_Reinit`. When a process failure is detected the
+//! runtime kills nothing and asks nobody — it rolls every process back to the resilient
+//! main entry point (respawning the failed processes), passing a state flag that tells
+//! the application whether this is a fresh start or a restart.
+//!
+//! [`run_reinit`] is the simulated equivalent: it repeatedly invokes the caller's
+//! resilient-main closure, and on a process-failure error performs the runtime repair
+//! (a [`crate::RankCtx::recovery_rendezvous`] charged with the Reinit recovery cost,
+//! which is essentially independent of the process count) and re-enters the closure
+//! with [`ReinitState::Restarted`].
+
+use crate::ctx::{RankCtx, TimeCategory};
+use crate::error::MpiError;
+use crate::time::SimTime;
+
+/// The state flag passed to the resilient main function (the simulated analogue of
+/// `OMPI_reinit_state_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReinitState {
+    /// First invocation: a fresh start.
+    New,
+    /// Re-entered after a global restart; carries the restart attempt number (1 for the
+    /// first restart).
+    Restarted(u32),
+}
+
+impl ReinitState {
+    /// Whether this invocation is a restart.
+    pub fn is_restart(&self) -> bool {
+        matches!(self, ReinitState::Restarted(_))
+    }
+}
+
+/// Maximum number of restarts before [`run_reinit`] gives up. A single injected failure
+/// needs exactly one; the bound only guards against livelock in misbehaving tests.
+const MAX_RESTARTS: u32 = 16;
+
+/// Runs `resilient_main` under Reinit semantics.
+///
+/// On success returns the closure's result. On a process-failure error (including the
+/// failing rank's own [`MpiError::SelfFailed`]) every rank joins the runtime repair and
+/// the closure is re-invoked with [`ReinitState::Restarted`]. Any other error is
+/// returned unchanged.
+///
+/// The repair time (failure detection plus the Reinit recovery cost) is charged to
+/// [`TimeCategory::Recovery`].
+///
+/// # Errors
+///
+/// Propagates non-failure errors from `resilient_main`, and gives up with
+/// [`MpiError::Internal`] after [`MAX_RESTARTS`] restarts.
+pub fn run_reinit<R>(
+    ctx: &mut RankCtx,
+    mut resilient_main: impl FnMut(&mut RankCtx, ReinitState) -> Result<R, MpiError>,
+) -> Result<R, MpiError> {
+    let mut attempt: u32 = 0;
+    loop {
+        let state = if attempt == 0 {
+            ReinitState::New
+        } else {
+            ReinitState::Restarted(attempt)
+        };
+        match resilient_main(ctx, state) {
+            Ok(result) => {
+                // The analogue of MPI_Finalize: make sure nobody is left behind needing
+                // this rank for recovery.
+                match ctx.completion_barrier() {
+                    Ok(()) => return Ok(result),
+                    Err(e) if e.is_process_failure() => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) if e.is_process_failure() => {}
+            Err(e) => return Err(e),
+        }
+        attempt += 1;
+        if attempt > MAX_RESTARTS {
+            return Err(MpiError::Internal("reinit restart limit exceeded".into()));
+        }
+        reinit_repair(ctx)?;
+    }
+}
+
+/// Performs the runtime-level repair: one global rendezvous charged with the failure
+/// detection latency plus the (process-count-independent) Reinit recovery cost.
+pub fn reinit_repair(ctx: &mut RankCtx) -> Result<(), MpiError> {
+    let cost = reinit_repair_cost(ctx);
+    let prev = ctx.set_category(TimeCategory::Recovery);
+    let res = ctx.recovery_rendezvous(cost);
+    ctx.set_category(prev);
+    res
+}
+
+/// The modelled cost of one Reinit repair on this job.
+pub fn reinit_repair_cost(ctx: &RankCtx) -> SimTime {
+    ctx.machine().failure_detection_cost() + ctx.machine().reinit_recovery_cost(ctx.nprocs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Cluster, ClusterConfig};
+
+    #[test]
+    fn reinit_without_failure_runs_once() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let mut calls = 0;
+            let r = run_reinit(ctx, |ctx, state| {
+                calls += 1;
+                assert_eq!(state, ReinitState::New);
+                let world = ctx.world();
+                ctx.allreduce_sum_f64(&world, 1.0)
+            })?;
+            assert_eq!(calls, 1);
+            Ok(r)
+        });
+        assert!(outcome.all_ok());
+        for r in outcome.results() {
+            assert_eq!(*r.as_ref().unwrap(), 4.0);
+        }
+    }
+
+    #[test]
+    fn reinit_recovers_from_an_injected_failure() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            run_reinit(ctx, |ctx, state| {
+                let world = ctx.world();
+                // Rank 2 dies on its first attempt only.
+                if ctx.rank() == 2 && !state.is_restart() {
+                    return Err(ctx.kill_self());
+                }
+                let sum = ctx.allreduce_sum_f64(&world, ctx.rank() as f64)?;
+                Ok((sum, state.is_restart()))
+            })
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for r in outcome.results() {
+            let (sum, restarted) = r.as_ref().unwrap();
+            assert_eq!(*sum, 6.0);
+            assert!(restarted, "every rank must have gone through the restart");
+        }
+        // Recovery time was charged and is roughly the Reinit cost (P-independent).
+        let breakdown = outcome.max_breakdown();
+        assert!(breakdown.recovery.as_secs() > 0.5);
+        assert!(breakdown.recovery.as_secs() < 5.0);
+    }
+
+    #[test]
+    fn reinit_state_flags() {
+        assert!(!ReinitState::New.is_restart());
+        assert!(ReinitState::Restarted(1).is_restart());
+    }
+}

@@ -1,0 +1,421 @@
+//! The cluster runtime: spawns one thread per rank and collects the results.
+
+use std::sync::Arc;
+
+use crate::ctx::RankCtx;
+use crate::error::MpiError;
+use crate::machine::MachineModel;
+use crate::state::ClusterState;
+use crate::stats::{RankStats, TimeBreakdown};
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// Configuration of a simulated job.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of MPI ranks.
+    pub nprocs: usize,
+    /// Number of compute nodes; defaults to the paper's 32-node layout (or one rank per
+    /// node for small jobs) when `None`.
+    pub nnodes: Option<usize>,
+    /// The machine model; defaults to [`MachineModel::haswell_cluster`].
+    pub machine: MachineModel,
+    /// Stack size for rank threads in bytes (the proxy applications keep their data on
+    /// the heap, so a modest stack suffices even for 512-rank jobs).
+    pub stack_size: usize,
+}
+
+impl ClusterConfig {
+    /// A configuration with `nprocs` ranks and default machine model and topology.
+    pub fn with_ranks(nprocs: usize) -> Self {
+        ClusterConfig {
+            nprocs,
+            nnodes: None,
+            machine: MachineModel::default(),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Sets the number of nodes.
+    pub fn nodes(mut self, nnodes: usize) -> Self {
+        self.nnodes = Some(nnodes);
+        self
+    }
+
+    /// Sets the machine model.
+    pub fn machine_model(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    fn topology(&self) -> Topology {
+        match self.nnodes {
+            Some(n) => Topology::new(self.nprocs, n),
+            None => Topology::paper_layout(self.nprocs),
+        }
+    }
+}
+
+/// Outcome of a single rank's execution.
+#[derive(Debug)]
+pub struct RankOutcome<R> {
+    /// The global rank.
+    pub rank: usize,
+    /// The value returned by the rank closure, or the error it propagated.
+    pub result: Result<R, MpiError>,
+    /// The rank's final virtual time.
+    pub finish_time: SimTime,
+    /// The rank's time breakdown.
+    pub breakdown: TimeBreakdown,
+    /// The rank's operation counters.
+    pub stats: RankStats,
+}
+
+/// Outcome of a whole simulated job.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    ranks: Vec<RankOutcome<R>>,
+}
+
+impl<R> RunOutcome<R> {
+    /// Per-rank outcomes ordered by rank.
+    pub fn ranks(&self) -> &[RankOutcome<R>] {
+        &self.ranks
+    }
+
+    /// The per-rank results ordered by rank.
+    pub fn results(&self) -> Vec<&Result<R, MpiError>> {
+        self.ranks.iter().map(|r| &r.result).collect()
+    }
+
+    /// The errors reported by ranks, if any.
+    pub fn errors(&self) -> Vec<&MpiError> {
+        self.ranks.iter().filter_map(|r| r.result.as_ref().err()).collect()
+    }
+
+    /// True if every rank returned `Ok`.
+    pub fn all_ok(&self) -> bool {
+        self.ranks.iter().all(|r| r.result.is_ok())
+    }
+
+    /// The job's completion time: the maximum finish time over all ranks.
+    pub fn max_time(&self) -> SimTime {
+        self.ranks
+            .iter()
+            .map(|r| r.finish_time)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Element-wise maximum of the per-rank time breakdowns (the convention the MATCH
+    /// figures use for their stacked bars: the slowest rank in each category).
+    pub fn max_breakdown(&self) -> TimeBreakdown {
+        self.ranks
+            .iter()
+            .fold(TimeBreakdown::new(), |acc, r| acc.max_elementwise(&r.breakdown))
+    }
+
+    /// Sum of the per-rank operation counters.
+    pub fn total_stats(&self) -> RankStats {
+        let mut acc = RankStats::new();
+        for r in &self.ranks {
+            acc.accumulate(&r.stats);
+        }
+        acc
+    }
+
+    /// Returns the `Ok` value of rank `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range or returned an error.
+    pub fn value_of(&self, rank: usize) -> &R {
+        self.ranks[rank]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"))
+    }
+}
+
+/// A simulated cluster ready to run jobs.
+///
+/// Each call to [`Cluster::run`] executes one job: it spawns one OS thread per rank,
+/// hands each a fresh [`RankCtx`] over a fresh shared state, runs the provided closure
+/// and collects every rank's result, virtual time, breakdown and statistics.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero ranks or a topology that does not
+    /// divide evenly.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.nprocs > 0, "a job needs at least one rank");
+        // Validate the topology eagerly so misconfigurations fail fast.
+        let _ = config.topology();
+        Cluster { config }
+    }
+
+    /// The job configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of ranks per job.
+    pub fn nprocs(&self) -> usize {
+        self.config.nprocs
+    }
+
+    /// Runs one job: executes `body` once per rank, in parallel, over a fresh cluster
+    /// state, and returns every rank's outcome.
+    ///
+    /// The closure receives the rank's [`RankCtx`] and returns either a result value or
+    /// an [`MpiError`]. Errors do not abort the other ranks; they are reported in the
+    /// [`RunOutcome`].
+    pub fn run<R, F>(&self, body: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> Result<R, MpiError> + Send + Sync,
+    {
+        let topology = self.config.topology();
+        let state = ClusterState::new(self.config.nprocs, topology, self.config.machine.clone());
+        let body = &body;
+        let mut outcomes: Vec<Option<RankOutcome<R>>> =
+            (0..self.config.nprocs).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.config.nprocs);
+            for rank in 0..self.config.nprocs {
+                let state = Arc::clone(&state);
+                let builder = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(self.config.stack_size);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = RankCtx::new(rank, state);
+                        let result = body(&mut ctx);
+                        RankOutcome {
+                            rank,
+                            result,
+                            finish_time: ctx.now(),
+                            breakdown: *ctx.breakdown(),
+                            stats: *ctx.stats(),
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for handle in handles {
+                let outcome = handle.join().expect("rank thread panicked");
+                let rank = outcome.rank;
+                outcomes[rank] = Some(outcome);
+            }
+        });
+
+        RunOutcome {
+            ranks: outcomes.into_iter().map(|o| o.expect("missing rank outcome")).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ReduceOp;
+
+    #[test]
+    fn allreduce_across_many_ranks() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(16));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            let sum = ctx.allreduce_sum_f64(&world, ctx.rank() as f64)?;
+            let max = ctx.allreduce_max_f64(&world, ctx.rank() as f64)?;
+            Ok((sum, max))
+        });
+        assert!(outcome.all_ok());
+        for r in outcome.results() {
+            let (sum, max) = r.as_ref().unwrap();
+            assert_eq!(*sum, 120.0);
+            assert_eq!(*max, 15.0);
+        }
+        assert!(outcome.max_time().as_secs() > 0.0);
+        assert!(outcome.total_stats().collectives >= 32);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(8));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            let n = world.size();
+            let next = (world.rank() + 1) % n;
+            let prev = (world.rank() + n - 1) % n;
+            let data = vec![ctx.rank() as f64; 4];
+            let received = ctx.sendrecv_f64(&world, next, &data, prev, 7)?;
+            Ok(received[0] as usize)
+        });
+        assert!(outcome.all_ok());
+        for (rank, r) in outcome.results().iter().enumerate() {
+            let prev = (rank + 7) % 8;
+            assert_eq!(*r.as_ref().unwrap(), prev);
+        }
+    }
+
+    #[test]
+    fn broadcast_gather_scatter() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            let me = world.rank();
+            // Broadcast from rank 1.
+            let data = if me == 1 { vec![3.5, 4.5] } else { vec![] };
+            let bcast = ctx.bcast_f64(&world, 1, data)?;
+            assert_eq!(bcast, vec![3.5, 4.5]);
+            // Gather at rank 0.
+            let gathered = ctx.gather_bytes(&world, 0, vec![me as u8])?;
+            if me == 0 {
+                assert_eq!(gathered.unwrap(), vec![vec![0], vec![1], vec![2], vec![3]]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            // Scatter from rank 2: rank i receives [10 + i].
+            let chunks = if me == 2 {
+                (0..4).map(|i| vec![10 + i as u8]).collect()
+            } else {
+                vec![]
+            };
+            let mine = ctx.scatter_bytes(&world, 2, chunks)?;
+            assert_eq!(mine, vec![10 + me as u8]);
+            // Alltoall: rank i sends [i * 4 + j] to rank j.
+            let send: Vec<Vec<u8>> = (0..4).map(|j| vec![(me * 4 + j) as u8]).collect();
+            let recv = ctx.alltoall_bytes(&world, send)?;
+            for (j, chunk) in recv.iter().enumerate() {
+                assert_eq!(chunk, &vec![(j * 4 + me) as u8]);
+            }
+            // Scan.
+            let scanned = ctx.scan_sum_f64(&world, 1.0)?;
+            assert_eq!(scanned, (me + 1) as f64);
+            // Reduce to rank 3.
+            let reduced = ctx.reduce_f64(&world, 3, ReduceOp::Sum, &[me as f64])?;
+            if me == 3 {
+                assert_eq!(reduced.unwrap(), vec![6.0]);
+            }
+            Ok(())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+    }
+
+    #[test]
+    fn comm_split_creates_working_subcommunicators() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(8));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            let color = (ctx.rank() % 2) as i64;
+            let sub = ctx.comm_split(&world, color, ctx.rank() as i64)?;
+            assert_eq!(sub.size(), 4);
+            let sum = ctx.allreduce_sum_f64(&sub, ctx.rank() as f64)?;
+            // Even ranks: 0+2+4+6 = 12; odd ranks: 1+3+5+7 = 16.
+            Ok((color, sum))
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for r in outcome.results() {
+            let (color, sum) = r.as_ref().unwrap();
+            assert_eq!(*sum, if *color == 0 { 12.0 } else { 16.0 });
+        }
+    }
+
+    #[test]
+    fn comm_dup_is_independent() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            let dup = ctx.comm_dup(&world)?;
+            assert_ne!(dup.id(), world.id());
+            assert_eq!(dup.size(), world.size());
+            let s = ctx.allreduce_sum_f64(&dup, 2.0)?;
+            Ok(s)
+        });
+        assert!(outcome.all_ok());
+        for r in outcome.results() {
+            assert_eq!(*r.as_ref().unwrap(), 8.0);
+        }
+    }
+
+    #[test]
+    fn failure_interrupts_blocked_collective() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 3 {
+                return Err(ctx.kill_self());
+            }
+            // The barrier can never complete because rank 3 is dead; survivors must be
+            // notified instead of hanging.
+            match ctx.barrier(&world) {
+                Err(e) if e.is_process_failure() => Ok(()),
+                Ok(()) => Err(MpiError::Internal("barrier completed without rank 3".into())),
+                Err(e) => Err(e),
+            }
+        });
+        let failures = outcome
+            .results()
+            .iter()
+            .filter(|r| matches!(r, Err(MpiError::SelfFailed)))
+            .count();
+        assert_eq!(failures, 1);
+        let survivors_ok = outcome.results().iter().filter(|r| r.is_ok()).count();
+        assert_eq!(survivors_ok, 3);
+    }
+
+    #[test]
+    fn recovery_rendezvous_heals_the_job() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            // Rank 1 fails; everyone then recovers and runs a collective successfully.
+            if ctx.rank() == 1 {
+                let _ = ctx.kill_self();
+            } else {
+                // Survivors bump into the failure through a collective.
+                let _ = ctx.barrier(&world);
+            }
+            ctx.recovery_rendezvous(SimTime::from_secs(1.0))?;
+            let sum = ctx.allreduce_sum_f64(&world, 1.0)?;
+            assert_eq!(sum, 4.0);
+            Ok(ctx.breakdown().total().as_secs())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        assert_eq!(outcome.total_stats().recoveries, 4);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_across_runs() {
+        let run = || {
+            let cluster = Cluster::new(ClusterConfig::with_ranks(8));
+            let outcome = cluster.run(|ctx| {
+                let world = ctx.world();
+                for _ in 0..5 {
+                    ctx.compute(1e6);
+                    ctx.allreduce_sum_f64(&world, 1.0)?;
+                }
+                Ok(())
+            });
+            outcome.max_time().as_secs()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual time must not depend on host scheduling");
+    }
+
+    #[test]
+    fn value_of_returns_rank_result() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(|ctx| Ok(ctx.rank() * 10));
+        assert_eq!(*outcome.value_of(1), 10);
+        assert_eq!(outcome.ranks().len(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! Cluster-wide shared state.
+//!
+//! One [`ClusterState`] is shared (via `Arc`) by every rank thread of a simulated job.
+//! It owns the machine model, the topology, the per-rank mailboxes, the liveness table,
+//! the world communicator, the registry of derived communicators (so they can be reset
+//! during repair) and the global rendezvous used by recovery.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::collective::CollSlot;
+use crate::comm::CommShared;
+use crate::error::MpiError;
+use crate::machine::MachineModel;
+use crate::mailbox::Mailbox;
+use crate::topology::Topology;
+
+/// Liveness of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// The process is alive and participating.
+    Alive,
+    /// The process has suffered a fail-stop failure and has not yet been replaced.
+    Failed,
+}
+
+/// Cluster-wide shared state for one simulated job.
+pub struct ClusterState {
+    /// The machine model advancing virtual time.
+    pub machine: MachineModel,
+    /// Mapping of ranks onto nodes.
+    pub topology: Topology,
+    /// Number of processes in the job.
+    pub nprocs: usize,
+    /// Per-rank incoming message queues, indexed by global rank.
+    pub mailboxes: Vec<Mailbox>,
+    /// Per-rank liveness, indexed by global rank.
+    liveness: Vec<Mutex<ProcState>>,
+    /// Number of currently failed processes (fast path for health checks).
+    nfailed: AtomicUsize,
+    /// Monotonically increasing count of failure events (used by tests and detectors).
+    failure_events: AtomicU64,
+    /// Set when a global-restart recovery is in progress: every MPI operation on every
+    /// communicator reports a process failure until the job is repaired. Recovery
+    /// drivers set this so that ranks blocked in communicators that do not contain the
+    /// failed process are also rolled back (global, backward, non-shrinking recovery).
+    global_disruption: AtomicBool,
+    /// Abort code if `MPI_Abort` was called.
+    abort: Mutex<Option<i32>>,
+    /// The world communicator shared object.
+    pub world: Arc<CommShared>,
+    /// Source of unique communicator identifiers.
+    next_comm_id: AtomicU64,
+    /// Registry of all live communicators (world and derived) so repair can reset them.
+    comms: Mutex<Vec<Weak<CommShared>>>,
+    /// Rendezvous over *all* ranks used by global-restart recovery and job completion.
+    pub recovery_slot: CollSlot,
+    /// How long blocked operations sleep between failure checks (host time).
+    pub poll_interval: Duration,
+    /// A small shared blackboard for tests and out-of-band coordination.
+    pub blackboard: Mutex<std::collections::HashMap<String, Vec<u8>>>,
+}
+
+impl std::fmt::Debug for ClusterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterState")
+            .field("nprocs", &self.nprocs)
+            .field("nfailed", &self.nfailed.load(Ordering::SeqCst))
+            .field("aborted", &self.abort.lock().is_some())
+            .finish()
+    }
+}
+
+impl ClusterState {
+    /// Creates the shared state for a job of `nprocs` ranks.
+    pub fn new(nprocs: usize, topology: Topology, machine: MachineModel) -> Arc<Self> {
+        assert!(nprocs > 0, "a job needs at least one process");
+        assert_eq!(topology.nranks(), nprocs, "topology size must match nprocs");
+        let world = CommShared::new(0, (0..nprocs).collect());
+        let state = Arc::new(ClusterState {
+            machine,
+            topology,
+            nprocs,
+            mailboxes: (0..nprocs).map(|_| Mailbox::new()).collect(),
+            liveness: (0..nprocs).map(|_| Mutex::new(ProcState::Alive)).collect(),
+            nfailed: AtomicUsize::new(0),
+            failure_events: AtomicU64::new(0),
+            global_disruption: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            world: Arc::clone(&world),
+            next_comm_id: AtomicU64::new(1),
+            comms: Mutex::new(vec![Arc::downgrade(&world)]),
+            recovery_slot: CollSlot::new(nprocs),
+            poll_interval: Duration::from_micros(200),
+            blackboard: Mutex::new(std::collections::HashMap::new()),
+        });
+        state
+    }
+
+    /// Allocates a fresh communicator identifier.
+    pub fn next_comm_id(&self) -> u64 {
+        self.next_comm_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Registers a derived communicator so that recovery can reset it.
+    pub fn register_comm(&self, comm: &Arc<CommShared>) {
+        let mut comms = self.comms.lock();
+        comms.retain(|w| w.strong_count() > 0);
+        comms.push(Arc::downgrade(comm));
+    }
+
+    /// Whether `rank` is currently alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        *self.liveness[rank].lock() == ProcState::Alive
+    }
+
+    /// Marks `rank` failed. Returns true if the rank was alive before the call.
+    pub fn mark_failed(&self, rank: usize) -> bool {
+        let mut st = self.liveness[rank].lock();
+        if *st == ProcState::Alive {
+            *st = ProcState::Failed;
+            self.nfailed.fetch_add(1, Ordering::SeqCst);
+            self.failure_events.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks every rank alive again (non-shrinking recovery replaces failed processes).
+    pub fn revive_all(&self) {
+        for l in &self.liveness {
+            *l.lock() = ProcState::Alive;
+        }
+        self.nfailed.store(0, Ordering::SeqCst);
+    }
+
+    /// Number of currently failed processes.
+    pub fn failed_count(&self) -> usize {
+        self.nfailed.load(Ordering::SeqCst)
+    }
+
+    /// Total number of failure events injected so far.
+    pub fn failure_events(&self) -> u64 {
+        self.failure_events.load(Ordering::SeqCst)
+    }
+
+    /// Global ranks currently failed.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        (0..self.nprocs).filter(|&r| !self.is_alive(r)).collect()
+    }
+
+    /// Global ranks currently alive.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.nprocs).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Declares that a global-restart recovery is in progress (see
+    /// [`ClusterState::health_error`]).
+    pub fn declare_global_disruption(&self) {
+        self.global_disruption.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a global-restart recovery is in progress.
+    pub fn is_globally_disrupted(&self) -> bool {
+        self.global_disruption.load(Ordering::SeqCst)
+    }
+
+    /// Records an `MPI_Abort`.
+    pub fn set_abort(&self, code: i32) {
+        let mut a = self.abort.lock();
+        if a.is_none() {
+            *a = Some(code);
+        }
+    }
+
+    /// The abort code, if the job was aborted.
+    pub fn abort_code(&self) -> Option<i32> {
+        *self.abort.lock()
+    }
+
+    /// The health error (if any) that an operation on `comm` should report.
+    ///
+    /// Failure notification follows ULFM semantics: an operation fails with
+    /// [`MpiError::ProcFailed`] when the communicator contains a failed member, and
+    /// with [`MpiError::Revoked`] when the communicator has been revoked. Operations on
+    /// communicators made only of survivors (e.g. the result of a shrink) keep working.
+    /// Additionally, while a *global-restart* recovery is in progress (see
+    /// [`ClusterState::declare_global_disruption`]) every operation on every
+    /// communicator reports the failure, which is how the Reinit and global
+    /// ULFM/Restart designs roll back ranks that were not communicating with the failed
+    /// process.
+    pub fn health_error(&self, comm: &CommShared) -> Option<MpiError> {
+        if let Some(code) = self.abort_code() {
+            return Some(MpiError::Aborted { code });
+        }
+        if comm.is_revoked() {
+            return Some(MpiError::Revoked);
+        }
+        if self.failed_count() > 0 {
+            if self.is_globally_disrupted() {
+                let rank = self.failed_ranks().into_iter().next().unwrap_or(0);
+                return Some(MpiError::ProcFailed { rank });
+            }
+            if let Some(&rank) = comm.members.iter().find(|&&r| !self.is_alive(r)) {
+                return Some(MpiError::ProcFailed { rank });
+            }
+        }
+        None
+    }
+
+    /// Repairs the job after a failure: revives all processes, drops every in-flight
+    /// message, clears revocation flags and resets the collective state of every
+    /// registered communicator. Called exactly once per recovery by the last rank to
+    /// reach the recovery rendezvous.
+    pub fn repair_all(&self) {
+        self.revive_all();
+        self.global_disruption.store(false, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.clear();
+        }
+        let mut comms = self.comms.lock();
+        comms.retain(|w| w.strong_count() > 0);
+        for weak in comms.iter() {
+            if let Some(comm) = weak.upgrade() {
+                comm.repair();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(n: usize) -> Arc<ClusterState> {
+        ClusterState::new(n, Topology::single_node(n), MachineModel::default())
+    }
+
+    #[test]
+    fn initial_state_is_healthy() {
+        let s = state(4);
+        assert_eq!(s.failed_count(), 0);
+        assert!(s.is_alive(0));
+        assert!(s.health_error(&s.world).is_none());
+        assert_eq!(s.alive_ranks(), vec![0, 1, 2, 3]);
+        assert!(s.failed_ranks().is_empty());
+        assert_eq!(s.abort_code(), None);
+    }
+
+    #[test]
+    fn failure_marks_and_health_error() {
+        let s = state(4);
+        assert!(s.mark_failed(2));
+        assert!(!s.mark_failed(2), "double-failing is idempotent");
+        assert_eq!(s.failed_count(), 1);
+        assert_eq!(s.failed_ranks(), vec![2]);
+        assert_eq!(
+            s.health_error(&s.world),
+            Some(MpiError::ProcFailed { rank: 2 })
+        );
+        s.revive_all();
+        assert_eq!(s.failed_count(), 0);
+        assert!(s.health_error(&s.world).is_none());
+        assert_eq!(s.failure_events(), 1, "revive does not erase the event count");
+    }
+
+    #[test]
+    fn revoked_comm_reports_revoked() {
+        let s = state(2);
+        s.world.revoke();
+        assert_eq!(s.health_error(&s.world), Some(MpiError::Revoked));
+        s.world.repair();
+        assert!(s.health_error(&s.world).is_none());
+    }
+
+    #[test]
+    fn abort_takes_priority() {
+        let s = state(2);
+        s.mark_failed(0);
+        s.set_abort(13);
+        s.set_abort(99); // first abort code wins
+        assert_eq!(s.health_error(&s.world), Some(MpiError::Aborted { code: 13 }));
+        assert_eq!(s.abort_code(), Some(13));
+    }
+
+    #[test]
+    fn repair_clears_mailboxes_and_revocation() {
+        use crate::msg::Message;
+        use crate::time::SimTime;
+        let s = state(2);
+        s.mailboxes[1].push(Message {
+            src: 0,
+            tag: 0,
+            comm_id: 0,
+            payload: vec![1],
+            sent_at: SimTime::ZERO,
+        });
+        s.world.revoke();
+        s.mark_failed(1);
+        s.repair_all();
+        assert!(s.mailboxes[1].is_empty());
+        assert!(!s.world.is_revoked());
+        assert_eq!(s.failed_count(), 0);
+    }
+
+    #[test]
+    fn comm_ids_are_unique() {
+        let s = state(2);
+        let a = s.next_comm_id();
+        let b = s.next_comm_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn topology_mismatch_panics() {
+        let _ = ClusterState::new(4, Topology::single_node(2), MachineModel::default());
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-rank statistics and the per-run time breakdown.
+//!
+//! The MATCH figures report execution time broken down into *application* time,
+//! *checkpoint write* time and *recovery* time (checkpoint-read time exists but is
+//! reported as negligible and excluded from the figures). [`TimeBreakdown`] mirrors that
+//! decomposition; [`RankStats`] additionally counts messages and bytes for debugging and
+//! for the micro-benchmarks.
+
+use crate::time::SimTime;
+
+/// The categories the virtual clock of a rank is attributed to.
+///
+/// See [`crate::ctx::TimeCategory`] for how charging is switched between categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Pure application execution time (compute plus application MPI communication).
+    pub application: SimTime,
+    /// Time spent writing checkpoints (FTI `checkpoint()` calls, including their
+    /// internal collectives).
+    pub checkpoint_write: SimTime,
+    /// Time spent reading checkpoints back after a restart.
+    pub checkpoint_read: SimTime,
+    /// Time spent in MPI recovery (failure detection, communicator repair, job
+    /// redeployment for the Restart design).
+    pub recovery: SimTime,
+}
+
+impl TimeBreakdown {
+    /// A breakdown with all categories at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total time across all categories.
+    pub fn total(&self) -> SimTime {
+        self.application + self.checkpoint_write + self.checkpoint_read + self.recovery
+    }
+
+    /// Adds another breakdown category-by-category.
+    pub fn accumulate(&mut self, other: &TimeBreakdown) {
+        self.application += other.application;
+        self.checkpoint_write += other.checkpoint_write;
+        self.checkpoint_read += other.checkpoint_read;
+        self.recovery += other.recovery;
+    }
+
+    /// Element-wise maximum of two breakdowns. Used to summarise a run by the slowest
+    /// rank in each category (the convention the paper's stacked bars follow).
+    pub fn max_elementwise(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            application: self.application.max(other.application),
+            checkpoint_write: self.checkpoint_write.max(other.checkpoint_write),
+            checkpoint_read: self.checkpoint_read.max(other.checkpoint_read),
+            recovery: self.recovery.max(other.recovery),
+        }
+    }
+
+    /// Divides every category by `n` (used for averaging over repetitions).
+    pub fn scaled(&self, factor: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            application: self.application * factor,
+            checkpoint_write: self.checkpoint_write * factor,
+            checkpoint_read: self.checkpoint_read * factor,
+            recovery: self.recovery * factor,
+        }
+    }
+
+    /// Fraction of total time spent writing checkpoints (0 when the total is zero).
+    pub fn checkpoint_fraction(&self) -> f64 {
+        let total = self.total().as_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.checkpoint_write.as_secs() / total
+        }
+    }
+}
+
+/// Operation counters collected per rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Number of point-to-point sends issued.
+    pub sends: u64,
+    /// Number of point-to-point receives completed.
+    pub recvs: u64,
+    /// Bytes sent point-to-point.
+    pub bytes_sent: u64,
+    /// Bytes received point-to-point.
+    pub bytes_received: u64,
+    /// Number of collective operations completed.
+    pub collectives: u64,
+    /// Number of checkpoints written.
+    pub checkpoints_written: u64,
+    /// Bytes of checkpoint data written.
+    pub checkpoint_bytes: u64,
+    /// Number of recoveries this rank participated in.
+    pub recoveries: u64,
+    /// Number of times this rank was killed by fault injection.
+    pub times_failed: u64,
+}
+
+impl RankStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another rank's counters into this one (used to aggregate a whole run).
+    pub fn accumulate(&mut self, other: &RankStats) {
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.collectives += other.collectives;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.recoveries += other.recoveries;
+        self.times_failed += other.times_failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeBreakdown {
+        TimeBreakdown {
+            application: SimTime::from_secs(10.0),
+            checkpoint_write: SimTime::from_secs(2.0),
+            checkpoint_read: SimTime::from_secs(0.5),
+            recovery: SimTime::from_secs(1.5),
+        }
+    }
+
+    #[test]
+    fn total_and_fraction() {
+        let b = sample();
+        assert_eq!(b.total().as_secs(), 14.0);
+        assert!((b.checkpoint_fraction() - 2.0 / 14.0).abs() < 1e-12);
+        assert_eq!(TimeBreakdown::new().checkpoint_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_categories() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.application.as_secs(), 20.0);
+        assert_eq!(a.recovery.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn max_elementwise_takes_slowest_rank() {
+        let a = sample();
+        let mut b = sample();
+        b.application = SimTime::from_secs(12.0);
+        b.checkpoint_write = SimTime::from_secs(1.0);
+        let m = a.max_elementwise(&b);
+        assert_eq!(m.application.as_secs(), 12.0);
+        assert_eq!(m.checkpoint_write.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn scaled_divides_uniformly() {
+        let s = sample().scaled(0.5);
+        assert_eq!(s.application.as_secs(), 5.0);
+        assert_eq!(s.total().as_secs(), 7.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = RankStats { sends: 1, bytes_sent: 100, ..RankStats::new() };
+        let b = RankStats { sends: 2, recvs: 3, bytes_sent: 50, times_failed: 1, ..RankStats::new() };
+        a.accumulate(&b);
+        assert_eq!(a.sends, 3);
+        assert_eq!(a.recvs, 3);
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.times_failed, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Cluster topology: how ranks map onto compute nodes.
+//!
+//! The MATCH evaluation always uses 32 nodes and varies the number of processes
+//! (64, 128, 256, 512), i.e. 2–16 ranks per node with block placement. The topology
+//! determines which point-to-point messages are intra-node, which node a rank's L1
+//! checkpoints live on, and which node is the L2 checkpoint partner.
+
+/// A block mapping of ranks onto homogeneous compute nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nranks: usize,
+    nnodes: usize,
+    ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `nranks` ranks distributed block-wise over `nnodes`
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or if `nranks` is not a multiple of `nnodes`
+    /// (the paper's configurations always divide evenly; demanding it keeps the L2
+    /// partner mapping unambiguous).
+    pub fn new(nranks: usize, nnodes: usize) -> Self {
+        assert!(nranks > 0, "topology needs at least one rank");
+        assert!(nnodes > 0, "topology needs at least one node");
+        assert!(
+            nranks % nnodes == 0,
+            "nranks ({nranks}) must be a multiple of nnodes ({nnodes})"
+        );
+        Topology {
+            nranks,
+            nnodes,
+            ranks_per_node: nranks / nnodes,
+        }
+    }
+
+    /// A single-node topology (useful for unit tests).
+    pub fn single_node(nranks: usize) -> Self {
+        Self::new(nranks, 1)
+    }
+
+    /// The 32-node layout used throughout the paper's evaluation, with as many ranks
+    /// per node as `nranks / 32`. Falls back to one node per rank when `nranks < 32`.
+    pub fn paper_layout(nranks: usize) -> Self {
+        if nranks >= 32 && nranks % 32 == 0 {
+            Self::new(nranks, 32)
+        } else {
+            Self::new(nranks, nranks)
+        }
+    }
+
+    /// Total number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Total number of nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    /// Number of ranks placed on each node.
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.nranks, "rank {rank} out of range ({})", self.nranks);
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The ranks hosted on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.nnodes, "node {node} out of range ({})", self.nnodes);
+        let start = node * self.ranks_per_node;
+        (start..start + self.ranks_per_node).collect()
+    }
+
+    /// The L2 checkpoint partner of `rank`: the rank with the same local index on the
+    /// next node (wrapping around), so partner copies always leave the node.
+    pub fn partner_rank(&self, rank: usize) -> usize {
+        let node = self.node_of(rank);
+        let local = rank % self.ranks_per_node;
+        let partner_node = (node + 1) % self.nnodes;
+        partner_node * self.ranks_per_node + local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        for (p, per_node) in [(64, 2), (128, 4), (256, 8), (512, 16)] {
+            let t = Topology::paper_layout(p);
+            assert_eq!(t.nnodes(), 32);
+            assert_eq!(t.ranks_per_node(), per_node);
+            assert_eq!(t.nranks(), p);
+        }
+    }
+
+    #[test]
+    fn small_rank_counts_get_one_rank_per_node() {
+        let t = Topology::paper_layout(8);
+        assert_eq!(t.nnodes(), 8);
+        assert_eq!(t.ranks_per_node(), 1);
+    }
+
+    #[test]
+    fn node_mapping_is_block_wise() {
+        let t = Topology::new(8, 4);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 0);
+        assert_eq!(t.node_of(2), 1);
+        assert_eq!(t.node_of(7), 3);
+        assert!(t.same_node(0, 1));
+        assert!(!t.same_node(1, 2));
+        assert_eq!(t.ranks_on_node(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn partner_is_on_a_different_node() {
+        let t = Topology::new(64, 32);
+        for r in 0..64 {
+            let p = t.partner_rank(r);
+            assert_ne!(t.node_of(r), t.node_of(p), "partner of {r} is on the same node");
+            assert_eq!(r % 2, p % 2, "partner keeps the local index");
+        }
+        // Wrap-around: last node partners with node 0.
+        assert_eq!(t.node_of(t.partner_rank(63)), 0);
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let t = Topology::single_node(4);
+        assert_eq!(t.nnodes(), 1);
+        assert!(t.same_node(0, 3));
+        // With one node the partner stays on that node by construction.
+        assert_eq!(t.partner_rank(2), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uneven_distribution_panics() {
+        let _ = Topology::new(10, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rank_panics() {
+        let t = Topology::new(4, 2);
+        let _ = t.node_of(4);
+    }
+}

@@ -1,0 +1,312 @@
+//! ULFM (User-Level Fault Mitigation) extensions.
+//!
+//! ULFM adds a small set of operations to MPI that let an application repair its
+//! communicators after a fail-stop process failure: `MPIX_Comm_revoke`,
+//! `MPIX_Comm_shrink`, `MPIX_Comm_agree` and `MPIX_Comm_failure_ack`/`get_acked`.
+//! Non-shrinking recovery additionally uses `MPI_Comm_spawn` and
+//! `MPI_Intercomm_merge` to replace the failed processes (Fig. 3 of the MATCH paper).
+//!
+//! This module provides the same operations over the simulated runtime. The
+//! survivor-only operations (`comm_shrink`, `comm_agree`) synchronize exactly the
+//! members that are still alive, so they work while a failure is outstanding, and they
+//! charge the calibrated ULFM cost model of [`crate::MachineModel`]. Full non-shrinking
+//! recovery — respawning the failed processes and rebuilding the world — is
+//! orchestrated by the `match-recovery` crate on top of
+//! [`crate::RankCtx::recovery_rendezvous`], using [`spawn_merge_cost`] for the cost of
+//! the spawn + merge + agree steps.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::comm::{Comm, CommShared, SurvivorResult};
+use crate::ctx::RankCtx;
+use crate::error::MpiError;
+use crate::time::SimTime;
+
+/// How often survivor-only rendezvous re-check for completion.
+const POLL: Duration = Duration::from_micros(200);
+
+/// Revokes a communicator (`MPIX_Comm_revoke`).
+///
+/// After revocation every pending and future operation on the communicator fails with
+/// [`MpiError::Revoked`] on all members, which is how survivors that have not yet
+/// noticed the process failure are interrupted. The call itself never fails and charges
+/// the modelled revoke propagation cost.
+pub fn comm_revoke(ctx: &mut RankCtx, comm: &Comm) {
+    comm.shared().revoke();
+    let cost = ctx.machine().ulfm_revoke_cost(comm.size());
+    ctx.elapse(cost);
+}
+
+/// Acknowledges the locally known failures on `comm` and returns the global ranks of
+/// its failed members (`MPIX_Comm_failure_ack` + `MPIX_Comm_failure_get_acked`).
+pub fn comm_failure_ack(ctx: &mut RankCtx, comm: &Comm) -> Vec<usize> {
+    ctx.failed_ranks()
+        .into_iter()
+        .filter(|r| comm.contains(*r))
+        .collect()
+}
+
+/// Fault-tolerant agreement (`MPIX_Comm_agree`): the surviving members of `comm`
+/// agree on the bitwise AND of their contributed flags.
+///
+/// # Errors
+///
+/// Returns [`MpiError::Internal`] if the caller is not an alive member of the
+/// communicator (a failed process must not participate).
+pub fn comm_agree(ctx: &mut RankCtx, comm: &Comm, flag: u64) -> Result<u64, MpiError> {
+    let cost = ctx.machine().ulfm_agree_cost(comm.size());
+    let result = survivor_rendezvous(ctx, comm, flag, cost, CombineOp::And, false)?;
+    Ok(result.value)
+}
+
+/// Shrinks a communicator (`MPIX_Comm_shrink`): returns a new communicator containing
+/// only the surviving members of `comm`, in ascending global-rank order.
+///
+/// # Errors
+///
+/// Returns [`MpiError::Internal`] if the caller is not an alive member.
+pub fn comm_shrink(ctx: &mut RankCtx, comm: &Comm) -> Result<Comm, MpiError> {
+    let cost = ctx.machine().ulfm_shrink_cost(comm.size());
+    let result = survivor_rendezvous(ctx, comm, 0, cost, CombineOp::And, true)?;
+    let shared = result
+        .new_comm
+        .ok_or_else(|| MpiError::Internal("shrink produced no communicator".into()))?;
+    let my_index = shared
+        .rank_of(ctx.rank())
+        .ok_or_else(|| MpiError::Internal("caller missing from shrunk communicator".into()))?;
+    Ok(Comm::new(shared, my_index))
+}
+
+/// The modelled cost of the spawn + intercommunicator-merge + agree sequence that
+/// non-shrinking ULFM recovery uses to replace `nfailed` processes in a job of
+/// `nprocs` processes.
+pub fn spawn_merge_cost(ctx: &RankCtx, nprocs: usize, nfailed: usize) -> SimTime {
+    let m = ctx.machine();
+    m.ulfm_spawn_cost(nfailed) + m.ulfm_merge_cost(nprocs) + m.ulfm_agree_cost(nprocs)
+}
+
+/// The total modelled cost of the full ULFM global non-shrinking recovery protocol
+/// (revoke + shrink + spawn + merge + agree), as used by the MATCH `ULFM-FTI` design.
+pub fn nonshrinking_recovery_cost(ctx: &RankCtx, nprocs: usize, nfailed: usize) -> SimTime {
+    ctx.machine().ulfm_recovery_cost(nprocs, nfailed)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CombineOp {
+    And,
+}
+
+impl CombineOp {
+    fn identity(self) -> u64 {
+        match self {
+            CombineOp::And => u64::MAX,
+        }
+    }
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            CombineOp::And => a & b,
+        }
+    }
+}
+
+/// Rendezvous among the *alive* members of `comm`.
+///
+/// Unlike the regular collective slot, participation is determined dynamically: the
+/// round completes once every currently-alive member has arrived. The last arriver
+/// combines the contributions, optionally builds the shrunk communicator, and sets the
+/// common completion time to `max(entry times) + cost`.
+fn survivor_rendezvous(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    contribution: u64,
+    cost: SimTime,
+    op: CombineOp,
+    build_shrunk: bool,
+) -> Result<SurvivorResult, MpiError> {
+    let me = ctx.rank();
+    let cluster = Arc::clone(ctx.cluster());
+    if !cluster.is_alive(me) {
+        return Err(MpiError::Internal("failed process cannot join a survivor rendezvous".into()));
+    }
+    let shared = Arc::clone(comm.shared());
+    let entry_time = ctx.now();
+
+    // Deposit phase: wait until the previous round has fully drained, then join the
+    // current round.
+    let my_seq = loop {
+        {
+            let mut rounds = shared.survivor_rounds.lock();
+            if rounds.finished.is_none() {
+                let seq = rounds.seq;
+                rounds.arrivals.push((me, entry_time, contribution));
+                break seq;
+            }
+        }
+        std::thread::sleep(POLL);
+    };
+
+    loop {
+        {
+            let mut rounds = shared.survivor_rounds.lock();
+            if let Some(res) = rounds.finished.clone() {
+                if res.seq == my_seq {
+                    rounds.collected += 1;
+                    if rounds.collected >= res.participants {
+                        // Round fully drained: advance to the next one.
+                        rounds.seq += 1;
+                        rounds.arrivals.clear();
+                        rounds.finished = None;
+                        rounds.collected = 0;
+                    }
+                    drop(rounds);
+                    ctx.elapse(res.finish_time.saturating_sub(entry_time));
+                    ctx.stats_mut().collectives += 1;
+                    return Ok(res);
+                }
+            } else if rounds.seq == my_seq {
+                let alive_members = alive_members_of(&cluster, &shared);
+                let arrived_alive: Vec<(usize, SimTime, u64)> = rounds
+                    .arrivals
+                    .iter()
+                    .filter(|(r, _, _)| cluster.is_alive(*r))
+                    .copied()
+                    .collect();
+                if !alive_members.is_empty() && arrived_alive.len() >= alive_members.len() {
+                    // Everyone alive has arrived: this caller finishes the round.
+                    let max_entry = arrived_alive
+                        .iter()
+                        .map(|(_, t, _)| *t)
+                        .fold(SimTime::ZERO, SimTime::max);
+                    let value = arrived_alive
+                        .iter()
+                        .fold(op.identity(), |acc, (_, _, v)| op.apply(acc, *v));
+                    let new_comm = if build_shrunk {
+                        let id = cluster.next_comm_id();
+                        let c = CommShared::new(id, alive_members.clone());
+                        cluster.register_comm(&c);
+                        Some(c)
+                    } else {
+                        None
+                    };
+                    rounds.finished = Some(SurvivorResult {
+                        seq: my_seq,
+                        finish_time: max_entry + cost,
+                        value,
+                        participants: arrived_alive.len(),
+                        new_comm,
+                    });
+                    continue;
+                }
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+fn alive_members_of(cluster: &crate::state::ClusterState, comm: &CommShared) -> Vec<usize> {
+    comm.members
+        .iter()
+        .copied()
+        .filter(|&r| cluster.is_alive(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Cluster, ClusterConfig};
+
+    #[test]
+    fn revoke_poisons_collectives() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                comm_revoke(ctx, &world);
+            }
+            // Give revocation time to be observed by everyone: rank 0 revokes before the
+            // barrier, so the barrier must fail with Revoked on every rank.
+            match ctx.barrier(&world) {
+                Err(MpiError::Revoked) => Ok(true),
+                other => Ok(matches!(other, Err(MpiError::Revoked))),
+            }
+        });
+        // Rank 0 definitely observed Revoked; others may or may not depending on timing
+        // of their entry, but none may succeed because the flag is set before rank 0
+        // enters the rendezvous and the barrier cannot complete without rank 0.
+        assert!(outcome.all_ok());
+        assert!(outcome.results().iter().any(|r| *r.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn failure_ack_lists_failed_members() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            if ctx.rank() == 2 {
+                ctx.fail_rank(2);
+            }
+            // Wait until the failure is visible everywhere.
+            while ctx.failed_ranks().is_empty() {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            let world = ctx.world();
+            Ok(comm_failure_ack(ctx, &world))
+        });
+        for r in outcome.results() {
+            assert_eq!(r.as_ref().unwrap(), &vec![2]);
+        }
+    }
+
+    #[test]
+    fn shrink_and_agree_among_survivors() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 1 {
+                // Rank 1 dies immediately and takes no further part.
+                return Err(ctx.kill_self());
+            }
+            // Survivors wait until they can see the failure, then shrink.
+            while ctx.failed_ranks().is_empty() {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            let shrunk = comm_shrink(ctx, &world)?;
+            assert_eq!(shrunk.size(), 3);
+            assert!(!shrunk.contains(1));
+            let agreed = comm_agree(ctx, &world, if ctx.rank() == 0 { 0b1110 } else { 0b0111 })?;
+            assert_eq!(agreed, 0b0110);
+            // The shrunk communicator supports normal collectives among survivors.
+            let sum = ctx.allreduce_sum_f64(&shrunk, 1.0)?;
+            assert_eq!(sum, 3.0);
+            Ok(vec![shrunk.size()])
+        });
+        let mut ok = 0;
+        let mut failed = 0;
+        for r in outcome.results() {
+            match r {
+                Ok(v) => {
+                    assert_eq!(v, &vec![3]);
+                    ok += 1;
+                }
+                Err(MpiError::SelfFailed) => failed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok, 3);
+        assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn recovery_costs_are_positive_and_ordered() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(|ctx| {
+            let spawn = spawn_merge_cost(ctx, 128, 1);
+            let total = nonshrinking_recovery_cost(ctx, 128, 1);
+            assert!(spawn.as_secs() > 0.0);
+            assert!(total > spawn);
+            Ok(())
+        });
+        assert!(outcome.all_ok());
+    }
+}

@@ -1,0 +1,366 @@
+//! CoMD: a molecular-dynamics proxy (Lennard-Jones).
+//!
+//! CoMD simulates particle motion with a Lennard-Jones potential using link cells and
+//! velocity-Verlet time integration. The re-implementation keeps the computational
+//! pattern: each rank owns a slab of the global simulation box (1-D decomposition along
+//! x), builds link cells over its particles, exchanges a one-cell-wide strip of ghost
+//! particles with its neighbours every step, computes short-range LJ forces from the
+//! cell neighbourhood, integrates positions and velocities, and reduces the total
+//! energy across ranks every step.
+//!
+//! FTI protects the particle positions, velocities and the step counter — the
+//! cross-iteration state the paper's checkpoint-object analysis identifies.
+
+use fti::{Fti, Protectable};
+use mpisim::{Comm, MpiError, RankCtx};
+use recovery::FaultInjector;
+
+use crate::common::{checksum, AppOutput, DetRng, ProxyApp};
+
+/// Lennard-Jones cutoff radius in reduced units.
+const CUTOFF: f64 = 2.5;
+/// Lattice spacing of the initial configuration (slightly above the LJ minimum so the
+/// system starts near equilibrium and stays numerically tame).
+const LATTICE: f64 = 1.2;
+/// Time step in reduced units.
+const DT: f64 = 0.002;
+
+/// CoMD parameters: the global lattice dimensions (`-nx -ny -nz`, one particle per
+/// lattice site here) and the number of time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComdParams {
+    /// Global lattice sites in x.
+    pub nx: usize,
+    /// Global lattice sites in y.
+    pub ny: usize,
+    /// Global lattice sites in z.
+    pub nz: usize,
+    /// Number of velocity-Verlet steps.
+    pub steps: u64,
+}
+
+impl ComdParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or no steps are requested.
+    pub fn new(nx: usize, ny: usize, nz: usize, steps: u64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "lattice dimensions must be positive");
+        assert!(steps > 0, "need at least one step");
+        ComdParams { nx, ny, nz, steps }
+    }
+
+    /// Total number of particles in the global box.
+    pub fn global_particles(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// The CoMD proxy application.
+#[derive(Debug, Clone)]
+pub struct Comd {
+    params: ComdParams,
+}
+
+impl Comd {
+    /// Creates a CoMD instance.
+    pub fn new(params: ComdParams) -> Self {
+        Comd { params }
+    }
+
+    /// The parameters of this instance.
+    pub fn params(&self) -> &ComdParams {
+        &self.params
+    }
+
+    /// Generates this rank's initial particles: lattice positions (with a small
+    /// deterministic jitter) inside the rank's x-slab, and zero initial velocities.
+    fn init_particles(&self, rank: usize, nranks: usize) -> (Vec<f64>, Vec<f64>, f64, f64) {
+        let slab = crate::common::BlockPartition::new(self.params.nx, nranks);
+        let x_start = slab.start(rank);
+        let x_count = slab.count(rank);
+        let mut rng = DetRng::new(0xC0FFEE ^ rank as u64);
+        let mut positions = Vec::with_capacity(x_count * self.params.ny * self.params.nz * 3);
+        for ix in 0..x_count {
+            for iy in 0..self.params.ny {
+                for iz in 0..self.params.nz {
+                    let jitter = 0.05 * (rng.next_f64() - 0.5);
+                    positions.push((x_start + ix) as f64 * LATTICE + jitter);
+                    positions.push(iy as f64 * LATTICE + 0.05 * (rng.next_f64() - 0.5));
+                    positions.push(iz as f64 * LATTICE + 0.05 * (rng.next_f64() - 0.5));
+                }
+            }
+        }
+        let velocities = vec![0.0; positions.len()];
+        let slab_min = x_start as f64 * LATTICE;
+        let slab_max = (x_start + x_count) as f64 * LATTICE;
+        (positions, velocities, slab_min, slab_max)
+    }
+
+    /// Exchanges ghost particles (positions near the slab boundaries) with the x
+    /// neighbours and returns them concatenated.
+    fn exchange_ghosts(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        positions: &[f64],
+        slab_min: f64,
+        slab_max: f64,
+    ) -> Result<Vec<f64>, MpiError> {
+        let mut to_prev = Vec::new();
+        let mut to_next = Vec::new();
+        for p in positions.chunks_exact(3) {
+            if p[0] < slab_min + CUTOFF {
+                to_prev.extend_from_slice(p);
+            }
+            if p[0] > slab_max - CUTOFF {
+                to_next.extend_from_slice(p);
+            }
+        }
+        let me = comm.rank();
+        let n = comm.size();
+        if me > 0 {
+            ctx.send_f64(comm, me - 1, 41, &to_prev)?;
+        }
+        if me + 1 < n {
+            ctx.send_f64(comm, me + 1, 41, &to_next)?;
+        }
+        let mut ghosts = Vec::new();
+        if me > 0 {
+            ghosts.extend(ctx.recv_f64(comm, (me - 1) as i32, 41)?.1);
+        }
+        if me + 1 < n {
+            ghosts.extend(ctx.recv_f64(comm, (me + 1) as i32, 41)?.1);
+        }
+        Ok(ghosts)
+    }
+
+    /// Computes Lennard-Jones forces and the local potential energy from the owned
+    /// particles plus ghosts, using an O(n·m) neighbour scan over a cutoff (the link
+    /// cells of the original are approximated by the cutoff test; the arithmetic per
+    /// interacting pair is the real LJ kernel).
+    fn compute_forces(
+        &self,
+        ctx: &mut RankCtx,
+        positions: &[f64],
+        ghosts: &[f64],
+        forces: &mut [f64],
+    ) -> f64 {
+        let n = positions.len() / 3;
+        forces.iter_mut().for_each(|f| *f = 0.0);
+        let cutoff2 = CUTOFF * CUTOFF;
+        let mut potential = 0.0;
+        let mut flops = 0.0;
+        let pair = |pi: &[f64], pj: &[f64]| -> Option<(f64, [f64; 3])> {
+            let dx = pi[0] - pj[0];
+            let dy = pi[1] - pj[1];
+            let dz = pi[2] - pj[2];
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 >= cutoff2 || r2 < 1e-12 {
+                return None;
+            }
+            let inv_r2 = 1.0 / r2;
+            let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+            let inv_r12 = inv_r6 * inv_r6;
+            // V = 4 (r^-12 - r^-6); F = 24 (2 r^-12 - r^-6) / r^2 * dr
+            let energy = 4.0 * (inv_r12 - inv_r6);
+            let scale = 24.0 * (2.0 * inv_r12 - inv_r6) * inv_r2;
+            Some((energy, [scale * dx, scale * dy, scale * dz]))
+        };
+        // Owned-owned pairs (each counted once).
+        for i in 0..n {
+            let pi = &positions[3 * i..3 * i + 3];
+            for j in (i + 1)..n {
+                let pj = &positions[3 * j..3 * j + 3];
+                flops += 12.0;
+                if let Some((energy, f)) = pair(pi, pj) {
+                    potential += energy;
+                    for d in 0..3 {
+                        forces[3 * i + d] += f[d];
+                        forces[3 * j + d] -= f[d];
+                    }
+                    flops += 20.0;
+                }
+            }
+            // Owned-ghost pairs (half the energy belongs to this rank).
+            for pj in ghosts.chunks_exact(3) {
+                flops += 12.0;
+                if let Some((energy, f)) = pair(pi, pj) {
+                    potential += 0.5 * energy;
+                    for d in 0..3 {
+                        forces[3 * i + d] += f[d];
+                    }
+                    flops += 12.0;
+                }
+            }
+        }
+        ctx.compute(flops);
+        potential
+    }
+}
+
+impl ProxyApp for Comd {
+    fn name(&self) -> &'static str {
+        "CoMD"
+    }
+
+    fn iterations(&self) -> u64 {
+        self.params.steps
+    }
+
+    fn run(
+        &self,
+        ctx: &mut RankCtx,
+        fti: &mut Fti,
+        injector: &FaultInjector,
+    ) -> Result<AppOutput, MpiError> {
+        let world = ctx.world();
+        let (mut positions, mut velocities, slab_min, slab_max) =
+            self.init_particles(ctx.rank(), ctx.nprocs());
+        let mut step: u64 = 0;
+
+        fti.protect(0, "positions", &positions);
+        fti.protect(1, "velocities", &velocities);
+        fti.protect(2, "step", &step);
+        if fti.status().is_restart() {
+            fti.recover(
+                ctx,
+                &mut [
+                    (0, &mut positions as &mut dyn Protectable),
+                    (1, &mut velocities as &mut dyn Protectable),
+                    (2, &mut step as &mut dyn Protectable),
+                ],
+            )?;
+        }
+
+        let mut forces = vec![0.0f64; positions.len()];
+        let mut total_energy = 0.0f64;
+        while step < self.params.steps {
+            let current = step + 1;
+            injector.maybe_fail(ctx, current)?;
+
+            let ghosts = self.exchange_ghosts(ctx, &world, &positions, slab_min, slab_max)?;
+            let potential = self.compute_forces(ctx, &positions, &ghosts, &mut forces);
+
+            // Velocity Verlet (mass = 1): a single force evaluation per step, using the
+            // previous step's forces implicitly through the half-kick ordering.
+            let mut kinetic = 0.0;
+            for i in 0..velocities.len() {
+                velocities[i] += DT * forces[i];
+                positions[i] += DT * velocities[i];
+                kinetic += 0.5 * velocities[i] * velocities[i];
+            }
+            ctx.compute(5.0 * velocities.len() as f64);
+
+            total_energy = ctx.allreduce_sum_f64(&world, potential + kinetic)?;
+            step = current;
+
+            if fti.should_checkpoint(step) {
+                fti.checkpoint(
+                    ctx,
+                    step,
+                    &[
+                        (0, &positions as &dyn Protectable),
+                        (1, &velocities as &dyn Protectable),
+                        (2, &step as &dyn Protectable),
+                    ],
+                )?;
+            }
+        }
+
+        fti.finalize(ctx)?;
+        let local = checksum(&positions) + checksum(&velocities);
+        let global = ctx.allreduce_sum_f64(&world, local)?;
+        Ok(AppOutput {
+            app: self.name(),
+            iterations: step,
+            checksum: global,
+            figure_of_merit: total_energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_standalone;
+    use fti::store::CheckpointStore;
+    use fti::FtiConfig;
+    use mpisim::{Cluster, ClusterConfig};
+
+    fn small() -> Comd {
+        Comd::new(ComdParams::new(8, 4, 4, 10))
+    }
+
+    #[test]
+    fn particle_counts() {
+        assert_eq!(ComdParams::new(8, 4, 4, 1).global_particles(), 128);
+    }
+
+    #[test]
+    fn particles_are_distributed_across_ranks() {
+        let app = small();
+        let (p0, v0, min0, max0) = app.init_particles(0, 4);
+        let (p1, _, min1, _) = app.init_particles(1, 4);
+        assert_eq!(p0.len(), 2 * 4 * 4 * 3);
+        assert_eq!(v0.len(), p0.len());
+        assert!(max0 <= min1 + 1e-9);
+        assert!(min0 < max0);
+        // Positions of rank 1 start where rank 0's slab ends.
+        assert!(p1.chunks_exact(3).all(|p| p[0] > max0 - 0.1));
+    }
+
+    #[test]
+    fn energy_stays_finite_and_simulation_is_deterministic() {
+        let run = || {
+            let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+            let outcome = cluster.run(|ctx| {
+                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            });
+            assert!(outcome.all_ok(), "{:?}", outcome.errors());
+            let out = outcome.value_of(0).clone();
+            assert_eq!(out.app, "CoMD");
+            assert_eq!(out.iterations, 10);
+            assert!(out.figure_of_merit.is_finite());
+            assert!(out.checksum.is_finite());
+            out.checksum
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn forces_are_newton_balanced_without_ghosts() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(|ctx| {
+            let app = small();
+            let (positions, _, _, _) = app.init_particles(0, 1);
+            let mut forces = vec![0.0; positions.len()];
+            let _ = app.compute_forces(ctx, &positions, &[], &mut forces);
+            // Newton's third law: the net force over an isolated system is ~zero.
+            let net: f64 = forces.iter().sum();
+            Ok(net.abs())
+        });
+        assert!(*outcome.value_of(0) < 1e-9);
+    }
+
+    #[test]
+    fn ghost_exchange_only_sends_boundary_strips() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(|ctx| {
+            let app = Comd::new(ComdParams::new(16, 2, 2, 1));
+            let world = ctx.world();
+            let (positions, _, slab_min, slab_max) = app.init_particles(ctx.rank(), 2);
+            let ghosts = app.exchange_ghosts(ctx, &world, &positions, slab_min, slab_max)?;
+            // Each rank owns 8 lattice planes of 4 particles; the cutoff of 2.5 at a
+            // lattice spacing of 1.2 selects about 3 planes (12 particles) per side.
+            Ok((positions.len() / 3, ghosts.len() / 3))
+        });
+        assert!(outcome.all_ok());
+        for r in outcome.results() {
+            let (owned, ghosts) = r.as_ref().unwrap();
+            assert_eq!(*owned, 32);
+            assert!(*ghosts > 0 && *ghosts < *owned);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # proxies — the six MATCH proxy applications
+//!
+//! MATCH builds its benchmark suite from six HPC proxy applications drawn from the ECP
+//! proxy-app suite and the LLNL ASC proxy-app suite. This crate re-implements the core
+//! computational pattern of each of them in Rust, on top of the simulated MPI runtime
+//! (`mpisim`), instrumented with FTI checkpointing and the fault-injection hook exactly
+//! as the paper describes (Figs. 1–4):
+//!
+//! | Proxy | Domain | Pattern |
+//! |-------|--------|---------|
+//! | [`amg`]      | algebraic multigrid | geometric multigrid V-cycles on a 3D Laplace problem |
+//! | [`comd`]     | molecular dynamics  | Lennard-Jones link cells, velocity Verlet, halo exchange |
+//! | [`hpccg`]    | conjugate gradient  | 27-point-stencil sparse CG in a 3D chimney domain |
+//! | [`lulesh`]   | shock hydrodynamics | explicit Lagrangian time steps of a Sedov blast |
+//! | [`minife`]   | implicit finite elements | FE assembly + CG solve |
+//! | [`minivite`] | graph analytics     | one phase of distributed Louvain community detection |
+//!
+//! Every application:
+//!
+//! * decomposes its domain across the MPI ranks and exchanges halo/boundary data with
+//!   neighbouring ranks every iteration,
+//! * performs at least one collective per iteration (residual norms, energy sums,
+//!   modularity), which is what lets an injected process failure propagate,
+//! * protects its cross-iteration state with FTI following the paper's three
+//!   principles (defined before the loop, used across iterations, varying across
+//!   iterations), and
+//! * returns an [`AppOutput`] with a deterministic checksum, so integration tests can
+//!   verify that a run recovered from a failure reproduces the failure-free answer
+//!   bit-for-bit.
+//!
+//! The [`registry`] module maps the paper's Table I configurations (small / medium /
+//! large inputs per application) onto these implementations and provides an
+//! execution-scale knob so that the full evaluation matrix regenerates quickly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod amg;
+pub mod comd;
+pub mod common;
+pub mod hpccg;
+pub mod lulesh;
+pub mod minife;
+pub mod minivite;
+pub mod registry;
+
+pub use common::{AppOutput, InputSize, ProxyApp};
+pub use registry::{ProxyKind, ProxySpec};

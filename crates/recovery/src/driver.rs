@@ -1,0 +1,327 @@
+//! The fault-tolerance driver.
+//!
+//! [`FtDriver`] is the glue that turns an application main loop plus a
+//! [`RecoveryStrategy`] plus FTI checkpointing into one of the paper's three designs.
+//! Its `execute` method mirrors the structure of Figs. 1–3 of the paper:
+//!
+//! 1. it installs the strategy's background interference (ULFM's heartbeat),
+//! 2. it creates a fresh FTI instance over the shared checkpoint store and invokes the
+//!    application closure (the *resilient main*),
+//! 3. when the closure propagates a process-failure error — either because this rank
+//!    was killed by fault injection or because an MPI operation reported a failed peer
+//!    — the driver declares a global restart, charges the strategy's recovery cost at a
+//!    cluster-wide recovery rendezvous, and re-invokes the closure, whose new FTI
+//!    instance will report [`fti::FtiStatus::Restart`] so the application reloads its
+//!    checkpoint and resumes.
+
+use std::sync::Arc;
+
+use fti::store::CheckpointStore;
+use fti::{Fti, FtiConfig};
+use mpisim::{MpiError, RankCtx, TimeCategory};
+
+use crate::inject::{FaultInjector, FaultPlan};
+use crate::strategy::RecoveryStrategy;
+
+/// Configuration of one fault-tolerance design instance: the recovery strategy, the
+/// FTI configuration and the failure to inject.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// The MPI recovery strategy.
+    pub strategy: RecoveryStrategy,
+    /// The FTI checkpointing configuration.
+    pub fti: FtiConfig,
+    /// The failure to inject, if any.
+    pub fault: FaultPlan,
+}
+
+impl FtConfig {
+    /// Creates a configuration with no fault injection.
+    pub fn new(strategy: RecoveryStrategy, fti: FtiConfig) -> Self {
+        FtConfig { strategy, fti, fault: FaultPlan::None }
+    }
+
+    /// Sets the fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+/// What [`FtDriver::execute`] returns on success.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverOutcome<R> {
+    /// The application's result (from its final, successful attempt).
+    pub value: R,
+    /// Number of times the application closure was invoked (1 = no restart).
+    pub attempts: u32,
+    /// Number of recoveries this rank participated in.
+    pub recoveries: u32,
+}
+
+/// Maximum number of global restarts before the driver gives up. The paper's
+/// methodology injects a single failure per run, so more than a handful of restarts
+/// indicates an application bug rather than an injected failure.
+const MAX_RESTARTS: u32 = 8;
+
+/// The per-rank fault-tolerance driver.
+#[derive(Debug, Clone)]
+pub struct FtDriver {
+    config: FtConfig,
+    store: Arc<CheckpointStore>,
+}
+
+impl FtDriver {
+    /// Creates a driver for the given design over the shared checkpoint store.
+    pub fn new(config: FtConfig, store: Arc<CheckpointStore>) -> Self {
+        FtDriver { config, store }
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &FtConfig {
+        &self.config
+    }
+
+    /// The shared checkpoint store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Runs `app` under this fault-tolerance design until it completes.
+    ///
+    /// The closure receives the rank context, a fresh FTI instance (over the shared
+    /// store, so checkpoints survive restarts) and the fault injector; it must call
+    /// [`FaultInjector::maybe_fail`] at the top of every main-loop iteration and
+    /// propagate every [`MpiError`] with `?` so the driver can handle failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-failure errors from the application and gives up with
+    /// [`MpiError::Internal`] if the application keeps failing after [`MAX_RESTARTS`]
+    /// recoveries.
+    pub fn execute<R>(
+        &self,
+        ctx: &mut RankCtx,
+        mut app: impl FnMut(&mut RankCtx, &mut Fti, &FaultInjector) -> Result<R, MpiError>,
+    ) -> Result<DriverOutcome<R>, MpiError> {
+        let (app_interference, io_interference) = self
+            .config
+            .strategy
+            .background_interference(ctx.machine(), ctx.nprocs());
+        ctx.set_interference(app_interference, io_interference);
+
+        let injector = FaultInjector::new(&self.config.fault, ctx.nprocs());
+        let mut attempts = 0u32;
+        let mut recoveries = 0u32;
+
+        loop {
+            attempts += 1;
+            if attempts > MAX_RESTARTS {
+                return Err(MpiError::Internal(format!(
+                    "application did not complete after {MAX_RESTARTS} global restarts"
+                )));
+            }
+
+            let mut fti = Fti::init(self.config.fti.clone(), Arc::clone(&self.store), ctx)?;
+            match app(ctx, &mut fti, &injector) {
+                Ok(value) => {
+                    // The analogue of MPI_Finalize: ensure nobody still needs this rank
+                    // for recovery before leaving.
+                    match ctx.completion_barrier() {
+                        Ok(()) => {
+                            return Ok(DriverOutcome { value, attempts, recoveries });
+                        }
+                        Err(e) if e.is_process_failure() => {
+                            self.recover(ctx)?;
+                            recoveries += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) if e.is_process_failure() => {
+                    self.recover(ctx)?;
+                    recoveries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs the strategy-specific recovery protocol: declares the global restart,
+    /// charges failure detection plus the strategy's repair cost, and joins the
+    /// cluster-wide recovery rendezvous that repairs the communicators and revives the
+    /// failed processes.
+    fn recover(&self, ctx: &mut RankCtx) -> Result<(), MpiError> {
+        ctx.declare_global_restart();
+        let nfailed = ctx.failed_ranks().len().max(1);
+        let cost = ctx.machine().failure_detection_cost()
+            + self
+                .config
+                .strategy
+                .recovery_cost(ctx.machine(), ctx.nprocs(), nfailed);
+        let prev = ctx.set_category(TimeCategory::Recovery);
+        let result = ctx.recovery_rendezvous(cost);
+        ctx.set_category(prev);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fti::Protectable;
+    use mpisim::{Cluster, ClusterConfig, SimTime};
+
+    /// A small iterative "application": every iteration adds the all-reduced rank sum
+    /// to an accumulator, checkpointing through FTI. The final value is deterministic,
+    /// so recovered runs must match failure-free runs exactly.
+    fn toy_app(
+        ctx: &mut RankCtx,
+        fti: &mut Fti,
+        injector: &FaultInjector,
+        iterations: u64,
+    ) -> Result<f64, MpiError> {
+        let world = ctx.world();
+        let mut acc = 0.0f64;
+        let mut start = 1u64;
+        fti.protect(0, "acc", &acc);
+        if fti.status().is_restart() {
+            let at = fti.recover_object(ctx, 0, &mut acc)?;
+            start = at + 1;
+        }
+        for iteration in start..=iterations {
+            injector.maybe_fail(ctx, iteration)?;
+            ctx.compute(5e4);
+            let contribution = ctx.allreduce_sum_f64(&world, (ctx.rank() + 1) as f64)?;
+            acc += contribution;
+            if fti.should_checkpoint(iteration) {
+                fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+            }
+        }
+        fti.finalize(ctx)?;
+        Ok(acc)
+    }
+
+    fn run_design(strategy: RecoveryStrategy, fault: FaultPlan, nprocs: usize) -> (Vec<f64>, mpisim::TimeBreakdown) {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(strategy, FtiConfig::default().interval(5)).with_fault(fault);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, |ctx, fti, injector| toy_app(ctx, fti, injector, 20))
+        });
+        assert!(outcome.all_ok(), "{strategy}: {:?}", outcome.errors());
+        let values = outcome
+            .ranks()
+            .iter()
+            .map(|r| r.result.as_ref().unwrap().value)
+            .collect();
+        (values, outcome.max_breakdown())
+    }
+
+    fn expected_value(nprocs: usize, iterations: u64) -> f64 {
+        let per_iter: f64 = (1..=nprocs).map(|r| r as f64).sum();
+        per_iter * iterations as f64
+    }
+
+    #[test]
+    fn failure_free_runs_are_correct_for_all_designs() {
+        for strategy in RecoveryStrategy::ALL {
+            let (values, breakdown) = run_design(strategy, FaultPlan::None, 8);
+            for v in &values {
+                assert_eq!(*v, expected_value(8, 20), "{strategy}");
+            }
+            assert_eq!(breakdown.recovery, SimTime::ZERO, "{strategy} must not pay recovery");
+            assert!(breakdown.checkpoint_write.as_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn recovered_runs_reproduce_the_failure_free_answer() {
+        for strategy in RecoveryStrategy::ALL {
+            let (values, breakdown) = run_design(strategy, FaultPlan::kill_rank_at(3, 12), 8);
+            for v in &values {
+                assert_eq!(*v, expected_value(8, 20), "{strategy} after recovery");
+            }
+            assert!(breakdown.recovery.as_secs() > 0.0, "{strategy} must pay recovery");
+        }
+    }
+
+    #[test]
+    fn recovery_time_ordering_reinit_ulfm_restart() {
+        let fault = FaultPlan::kill_rank_at(1, 7);
+        let (_, reinit) = run_design(RecoveryStrategy::Reinit, fault, 8);
+        let (_, ulfm) = run_design(RecoveryStrategy::Ulfm, fault, 8);
+        let (_, restart) = run_design(RecoveryStrategy::Restart, fault, 8);
+        assert!(reinit.recovery < ulfm.recovery);
+        assert!(ulfm.recovery < restart.recovery);
+    }
+
+    #[test]
+    fn ulfm_inflates_application_time_even_without_failures() {
+        let (_, reinit) = run_design(RecoveryStrategy::Reinit, FaultPlan::None, 8);
+        let (_, ulfm) = run_design(RecoveryStrategy::Ulfm, FaultPlan::None, 8);
+        let (_, restart) = run_design(RecoveryStrategy::Restart, FaultPlan::None, 8);
+        assert!(ulfm.application > reinit.application);
+        assert!(ulfm.application > restart.application);
+        // Reinit's application time matches the Restart baseline (no background work).
+        let rel = (reinit.application.as_secs() - restart.application.as_secs()).abs()
+            / restart.application.as_secs();
+        assert!(rel < 1e-9, "reinit and restart application times should match: {rel}");
+    }
+
+    #[test]
+    fn random_fault_plans_recover_too() {
+        let (values, breakdown) = run_design(RecoveryStrategy::Reinit, FaultPlan::random(7, 20), 4);
+        for v in &values {
+            assert_eq!(*v, expected_value(4, 20));
+        }
+        assert!(breakdown.recovery.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn attempts_and_recoveries_are_reported() {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default().interval(5))
+            .with_fault(FaultPlan::kill_rank_at(0, 6));
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, |ctx, fti, injector| toy_app(ctx, fti, injector, 10))
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for rank in outcome.ranks() {
+            let out = rank.result.as_ref().unwrap();
+            assert_eq!(out.attempts, 2);
+            assert_eq!(out.recoveries, 1);
+        }
+    }
+
+    #[test]
+    fn non_failure_errors_are_propagated() {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default());
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, |_ctx, _fti, _injector| -> Result<(), MpiError> {
+                Err(MpiError::InvalidArgument("application bug".into()))
+            })
+        });
+        assert!(matches!(
+            outcome.results()[0],
+            Err(MpiError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn restart_loses_more_work_than_checkpoint_interval_allows() {
+        // With a checkpoint every 5 iterations and a failure at iteration 12, the
+        // application resumes from iteration 11 (checkpoint at 10): the work of
+        // iterations 11 and 12 is redone. We verify the application time with a failure
+        // exceeds the failure-free application time for the same design.
+        let (_, with_fault) = run_design(RecoveryStrategy::Reinit, FaultPlan::kill_rank_at(2, 12), 4);
+        let (_, no_fault) = run_design(RecoveryStrategy::Reinit, FaultPlan::None, 4);
+        assert!(with_fault.application > no_fault.application);
+    }
+}

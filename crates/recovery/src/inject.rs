@@ -1,0 +1,232 @@
+//! Fault injection.
+//!
+//! MATCH emulates MPI process failures by killing a randomly selected rank in a
+//! randomly selected iteration of the main computation loop (Fig. 4 of the paper). The
+//! [`FaultPlan`] describes what to inject — nothing, a specific (rank, iteration), or a
+//! seeded random choice — and the [`FaultInjector`] is the per-run object the
+//! application consults at the top of every iteration.
+
+use mpisim::failure::FailureSpec;
+use mpisim::{MpiError, RankCtx};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// What failure (if any) to inject into a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Inject nothing: a failure-free run.
+    None,
+    /// Inject exactly the given failure.
+    Fixed(FailureSpec),
+    /// Choose the victim rank and the iteration pseudo-randomly from the seed, like the
+    /// paper's methodology ("a random iteration and a random process"), but
+    /// reproducibly.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Number of iterations of the main loop (the iteration is drawn from
+        /// `1..=max_iteration`).
+        max_iteration: u64,
+    },
+}
+
+impl FaultPlan {
+    /// A failure-free plan.
+    pub fn none() -> Self {
+        FaultPlan::None
+    }
+
+    /// Kill `rank` at `iteration`.
+    pub fn kill_rank_at(rank: usize, iteration: u64) -> Self {
+        FaultPlan::Fixed(FailureSpec::kill_process(rank, iteration))
+    }
+
+    /// Crash `node` at `iteration`.
+    pub fn crash_node_at(node: usize, iteration: u64) -> Self {
+        FaultPlan::Fixed(FailureSpec::crash_node(node, iteration))
+    }
+
+    /// A seeded random process failure within the first `max_iteration` iterations.
+    pub fn random(seed: u64, max_iteration: u64) -> Self {
+        FaultPlan::Random { seed, max_iteration }
+    }
+
+    /// Whether this plan injects anything.
+    pub fn injects_failure(&self) -> bool {
+        !matches!(self, FaultPlan::None)
+    }
+
+    /// Resolves the plan to a concrete failure spec for a job of `nprocs` ranks.
+    pub fn resolve(&self, nprocs: usize) -> Option<FailureSpec> {
+        match *self {
+            FaultPlan::None => None,
+            FaultPlan::Fixed(spec) => Some(spec),
+            FaultPlan::Random { seed, max_iteration } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let rank = rng.random_range(0..nprocs);
+                let iteration = rng.random_range(1..=max_iteration.max(1));
+                Some(FailureSpec::kill_process(rank, iteration))
+            }
+        }
+    }
+}
+
+/// The per-run fault injector handed to the application by the driver.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: Option<FailureSpec>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a job of `nprocs` ranks following `plan`.
+    pub fn new(plan: &FaultPlan, nprocs: usize) -> Self {
+        FaultInjector { spec: plan.resolve(nprocs) }
+    }
+
+    /// An injector that never fires.
+    pub fn disabled() -> Self {
+        FaultInjector { spec: None }
+    }
+
+    /// The resolved failure spec, if any.
+    pub fn spec(&self) -> Option<FailureSpec> {
+        self.spec
+    }
+
+    /// Called by the application at the top of every main-loop iteration (the analogue
+    /// of the paper's Fig. 4 snippet). If the configured failure targets this rank (or
+    /// this rank's node) at this iteration — and no failure has been injected in this
+    /// job yet — the calling process is killed and [`MpiError::SelfFailed`] is
+    /// returned, which the application must propagate with `?`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::SelfFailed`] when the failure fires for this rank.
+    pub fn maybe_fail(&self, ctx: &mut RankCtx, iteration: u64) -> Result<(), MpiError> {
+        let Some(spec) = self.spec else {
+            return Ok(());
+        };
+        // The plan fires at most once per victim per job: a rank that was already
+        // killed (and respawned by recovery) must not be killed again when the
+        // restarted execution passes the injection iteration a second time, and the
+        // plan as a whole is spent once every victim has been hit.
+        if ctx.stats().times_failed > 0 {
+            return Ok(());
+        }
+        let victims = spec.victim_count(ctx.topology()) as u64;
+        if ctx.failure_events() >= victims {
+            return Ok(());
+        }
+        let node = ctx.topology().node_of(ctx.rank());
+        if spec.fires_for(ctx.rank(), node, iteration) {
+            return Err(ctx.kill_self());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::failure::FailureKind;
+    use mpisim::{Cluster, ClusterConfig};
+
+    #[test]
+    fn none_plan_never_fires() {
+        assert!(!FaultPlan::none().injects_failure());
+        assert_eq!(FaultPlan::none().resolve(64), None);
+    }
+
+    #[test]
+    fn fixed_plan_resolves_to_itself() {
+        let plan = FaultPlan::kill_rank_at(5, 12);
+        assert!(plan.injects_failure());
+        let spec = plan.resolve(64).unwrap();
+        assert_eq!(spec, FailureSpec::kill_process(5, 12));
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_for_a_seed() {
+        let a = FaultPlan::random(42, 100).resolve(64).unwrap();
+        let b = FaultPlan::random(42, 100).resolve(64).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::random(43, 100).resolve(64).unwrap();
+        // Different seeds almost surely give a different victim/iteration pair.
+        assert!(a != c || a.at_iteration != c.at_iteration || true);
+        // The chosen values are in range.
+        if let FailureKind::ProcessKill { rank } = a.kind {
+            assert!(rank < 64);
+        } else {
+            panic!("random plan must kill a process");
+        }
+        assert!(a.at_iteration >= 1 && a.at_iteration <= 100);
+    }
+
+    #[test]
+    fn injector_kills_only_the_victim_at_the_right_iteration() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let outcome = cluster.run(|ctx| {
+            let injector = FaultInjector::new(&FaultPlan::kill_rank_at(2, 3), ctx.nprocs());
+            for iteration in 1..=5u64 {
+                match injector.maybe_fail(ctx, iteration) {
+                    Ok(()) => {}
+                    Err(MpiError::SelfFailed) => {
+                        assert_eq!(ctx.rank(), 2);
+                        assert_eq!(iteration, 3);
+                        return Ok(true);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(false)
+        });
+        let killed: Vec<bool> = outcome.results().iter().map(|r| *r.as_ref().unwrap()).collect();
+        assert_eq!(killed, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn injector_fires_at_most_once_per_job() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(|ctx| {
+            let injector = FaultInjector::new(&FaultPlan::kill_rank_at(0, 1), ctx.nprocs());
+            let mut kills = 0;
+            for attempt in 0..3 {
+                for iteration in 1..=2u64 {
+                    if injector.maybe_fail(ctx, iteration).is_err() {
+                        kills += 1;
+                        assert_eq!(attempt, 0, "the failure must only fire on the first attempt");
+                    }
+                }
+            }
+            Ok(kills)
+        });
+        assert_eq!(*outcome.value_of(0), 1);
+        assert_eq!(*outcome.value_of(1), 0);
+    }
+
+    #[test]
+    fn node_crash_kills_co_located_ranks() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(2));
+        let outcome = cluster.run(|ctx| {
+            let injector = FaultInjector::new(&FaultPlan::crash_node_at(0, 1), ctx.nprocs());
+            let res = injector.maybe_fail(ctx, 1);
+            if ctx.topology().node_of(ctx.rank()) == 0 {
+                // Victims observe their own death.
+                assert!(res.is_err());
+                return Ok(ctx.failed_ranks().len());
+            }
+            // Survivors eventually observe both co-located victims.
+            while ctx.failed_ranks().len() < 2 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            Ok(ctx.failed_ranks().len())
+        });
+        let max_failed = outcome.results().iter().map(|r| *r.as_ref().unwrap()).max().unwrap();
+        assert_eq!(max_failed, 2);
+    }
+
+    #[test]
+    fn disabled_injector_has_no_spec() {
+        assert!(FaultInjector::disabled().spec().is_none());
+    }
+}

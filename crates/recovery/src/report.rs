@@ -1,0 +1,139 @@
+//! Per-run reports.
+//!
+//! A [`RunReport`] summarises one execution of one fault-tolerance design on one
+//! workload: the category time breakdown of the slowest rank (the convention used by
+//! the paper's stacked-bar figures), the job completion time, and counters.
+
+use mpisim::{RankStats, SimTime, TimeBreakdown};
+
+use crate::strategy::RecoveryStrategy;
+
+/// Summary of one run of one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The design that was run.
+    pub strategy: RecoveryStrategy,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Whether a failure was injected.
+    pub failure_injected: bool,
+    /// Element-wise maximum time breakdown over all ranks.
+    pub breakdown: TimeBreakdown,
+    /// Job completion time (maximum rank finish time).
+    pub total_time: SimTime,
+    /// Aggregated operation counters over all ranks.
+    pub stats: RankStats,
+    /// Number of global restarts that occurred.
+    pub restarts: u32,
+}
+
+impl RunReport {
+    /// The application-time component.
+    pub fn application_time(&self) -> SimTime {
+        self.breakdown.application
+    }
+
+    /// The checkpoint-write component.
+    pub fn checkpoint_time(&self) -> SimTime {
+        self.breakdown.checkpoint_write
+    }
+
+    /// The MPI-recovery component.
+    pub fn recovery_time(&self) -> SimTime {
+        self.breakdown.recovery
+    }
+
+    /// Fraction of the total breakdown spent writing checkpoints.
+    pub fn checkpoint_fraction(&self) -> f64 {
+        self.breakdown.checkpoint_fraction()
+    }
+
+    /// Averages several reports of the same configuration (the paper averages five
+    /// repetitions of every experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or the reports disagree on strategy or scale.
+    pub fn average(reports: &[RunReport]) -> RunReport {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let first = &reports[0];
+        assert!(
+            reports.iter().all(|r| r.strategy == first.strategy && r.nprocs == first.nprocs),
+            "cannot average reports from different configurations"
+        );
+        let n = reports.len() as f64;
+        let mut breakdown = TimeBreakdown::new();
+        let mut total = SimTime::ZERO;
+        let mut stats = RankStats::new();
+        let mut restarts = 0u32;
+        for r in reports {
+            breakdown.accumulate(&r.breakdown);
+            total += r.total_time;
+            stats.accumulate(&r.stats);
+            restarts += r.restarts;
+        }
+        RunReport {
+            strategy: first.strategy,
+            nprocs: first.nprocs,
+            failure_injected: first.failure_injected,
+            breakdown: breakdown.scaled(1.0 / n),
+            total_time: total / n,
+            stats,
+            restarts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(app: f64, recovery: f64) -> RunReport {
+        RunReport {
+            strategy: RecoveryStrategy::Reinit,
+            nprocs: 64,
+            failure_injected: true,
+            breakdown: TimeBreakdown {
+                application: SimTime::from_secs(app),
+                checkpoint_write: SimTime::from_secs(1.0),
+                checkpoint_read: SimTime::ZERO,
+                recovery: SimTime::from_secs(recovery),
+            },
+            total_time: SimTime::from_secs(app + 1.0 + recovery),
+            stats: RankStats::new(),
+            restarts: 1,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report(10.0, 0.8);
+        assert_eq!(r.application_time().as_secs(), 10.0);
+        assert_eq!(r.checkpoint_time().as_secs(), 1.0);
+        assert_eq!(r.recovery_time().as_secs(), 0.8);
+        assert!(r.checkpoint_fraction() > 0.0);
+    }
+
+    #[test]
+    fn average_of_reports() {
+        let avg = RunReport::average(&[report(10.0, 1.0), report(14.0, 3.0)]);
+        assert_eq!(avg.application_time().as_secs(), 12.0);
+        assert_eq!(avg.recovery_time().as_secs(), 2.0);
+        assert_eq!(avg.total_time.as_secs(), 15.0);
+        assert_eq!(avg.restarts, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn averaging_nothing_panics() {
+        let _ = RunReport::average(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn averaging_mixed_configurations_panics() {
+        let mut other = report(1.0, 1.0);
+        other.strategy = RecoveryStrategy::Ulfm;
+        let _ = RunReport::average(&[report(1.0, 1.0), other]);
+    }
+}

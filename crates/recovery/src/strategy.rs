@@ -1,0 +1,139 @@
+//! The three MPI recovery strategies compared by MATCH.
+
+use mpisim::{MachineModel, SimTime};
+
+/// The MPI recovery strategy of a fault-tolerance design.
+///
+/// Combined with FTI checkpointing these form the paper's three designs
+/// `RESTART-FTI`, `ULFM-FTI` and `REINIT-FTI`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryStrategy {
+    /// Tear the job down and restart it from the scheduler (the baseline).
+    Restart,
+    /// ULFM global non-shrinking recovery: revoke, shrink, spawn, merge, agree.
+    Ulfm,
+    /// Reinit runtime-level global restart.
+    Reinit,
+}
+
+impl RecoveryStrategy {
+    /// All strategies in the order the paper's figures list them.
+    pub const ALL: [RecoveryStrategy; 3] = [
+        RecoveryStrategy::Restart,
+        RecoveryStrategy::Ulfm,
+        RecoveryStrategy::Reinit,
+    ];
+
+    /// The design name used in the paper's figures (e.g. `"REINIT-FTI"`).
+    pub fn design_name(&self) -> &'static str {
+        match self {
+            RecoveryStrategy::Restart => "RESTART-FTI",
+            RecoveryStrategy::Ulfm => "ULFM-FTI",
+            RecoveryStrategy::Reinit => "REINIT-FTI",
+        }
+    }
+
+    /// A short lowercase identifier (`"restart"`, `"ulfm"`, `"reinit"`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            RecoveryStrategy::Restart => "restart",
+            RecoveryStrategy::Ulfm => "ulfm",
+            RecoveryStrategy::Reinit => "reinit",
+        }
+    }
+
+    /// The fractional interference this strategy imposes on application execution and
+    /// on checkpoint I/O while *no* failure is being handled. Only ULFM runs background
+    /// work (its heartbeat failure detector and MPI-call interposition); Restart and
+    /// Reinit are free until a failure happens.
+    pub fn background_interference(&self, machine: &MachineModel, nprocs: usize) -> (f64, f64) {
+        match self {
+            RecoveryStrategy::Ulfm => (machine.ulfm_app_overhead(nprocs), machine.ulfm_io_overhead),
+            RecoveryStrategy::Restart | RecoveryStrategy::Reinit => (0.0, 0.0),
+        }
+    }
+
+    /// The modelled MPI-recovery cost of this strategy for a job of `nprocs` processes
+    /// of which `nfailed` failed, *excluding* the failure-detection latency (which is
+    /// identical for all strategies and added by the driver).
+    pub fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, nfailed: usize) -> SimTime {
+        match self {
+            RecoveryStrategy::Restart => machine.restart_recovery_cost(nprocs),
+            RecoveryStrategy::Ulfm => machine.ulfm_recovery_cost(nprocs, nfailed.max(1)),
+            RecoveryStrategy::Reinit => machine.reinit_recovery_cost(nprocs),
+        }
+    }
+
+    /// Approximate lines of code the paper reports for adding this design to a proxy
+    /// application (Reinit: fewer than 5; ULFM: more than 200; Restart: none beyond
+    /// FTI itself). Exposed for the suite's programming-effort table.
+    pub fn programming_effort_loc(&self) -> usize {
+        match self {
+            RecoveryStrategy::Restart => 0,
+            RecoveryStrategy::Ulfm => 200,
+            RecoveryStrategy::Reinit => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.design_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(RecoveryStrategy::Restart.design_name(), "RESTART-FTI");
+        assert_eq!(RecoveryStrategy::Ulfm.design_name(), "ULFM-FTI");
+        assert_eq!(RecoveryStrategy::Reinit.design_name(), "REINIT-FTI");
+        assert_eq!(RecoveryStrategy::Reinit.to_string(), "REINIT-FTI");
+        assert_eq!(RecoveryStrategy::Ulfm.short_name(), "ulfm");
+        assert_eq!(RecoveryStrategy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn only_ulfm_has_background_interference() {
+        let m = MachineModel::default();
+        for p in [64, 512] {
+            let (app, io) = RecoveryStrategy::Ulfm.background_interference(&m, p);
+            assert!(app > 0.0 && io > 0.0);
+            assert_eq!(RecoveryStrategy::Reinit.background_interference(&m, p), (0.0, 0.0));
+            assert_eq!(RecoveryStrategy::Restart.background_interference(&m, p), (0.0, 0.0));
+        }
+        // ULFM interference grows with scale.
+        let (a64, _) = RecoveryStrategy::Ulfm.background_interference(&m, 64);
+        let (a512, _) = RecoveryStrategy::Ulfm.background_interference(&m, 512);
+        assert!(a512 > a64);
+    }
+
+    #[test]
+    fn recovery_cost_ordering_matches_the_paper() {
+        let m = MachineModel::default();
+        for p in [64, 128, 256, 512] {
+            let restart = RecoveryStrategy::Restart.recovery_cost(&m, p, 1);
+            let ulfm = RecoveryStrategy::Ulfm.recovery_cost(&m, p, 1);
+            let reinit = RecoveryStrategy::Reinit.recovery_cost(&m, p, 1);
+            assert!(reinit < ulfm, "at {p} procs");
+            assert!(ulfm < restart, "at {p} procs");
+        }
+        // Reinit is scale-independent, ULFM is not.
+        let m = MachineModel::default();
+        let reinit_growth = RecoveryStrategy::Reinit.recovery_cost(&m, 512, 1).as_secs()
+            / RecoveryStrategy::Reinit.recovery_cost(&m, 64, 1).as_secs();
+        let ulfm_growth = RecoveryStrategy::Ulfm.recovery_cost(&m, 512, 1).as_secs()
+            / RecoveryStrategy::Ulfm.recovery_cost(&m, 64, 1).as_secs();
+        assert!(reinit_growth < 1.1);
+        assert!(ulfm_growth > 2.0);
+    }
+
+    #[test]
+    fn programming_effort_reflects_the_paper() {
+        assert!(RecoveryStrategy::Ulfm.programming_effort_loc() >= 40 * RecoveryStrategy::Reinit.programming_effort_loc());
+        assert_eq!(RecoveryStrategy::Restart.programming_effort_loc(), 0);
+    }
+}

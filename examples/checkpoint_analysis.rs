@@ -1,0 +1,53 @@
+//! Checkpoint-object analysis: trace a small iterative solver with the runtime tracer
+//! and let Algorithm 1 decide which data objects must be checkpointed.
+//!
+//! ```text
+//! cargo run --example checkpoint_analysis
+//! ```
+
+use match_core::proxies::common::DetRng;
+use deptrace::analysis::find_checkpoint_objects;
+use deptrace::report::format_report;
+use deptrace::Tracer;
+
+fn main() {
+    let mut tracer = Tracer::new();
+
+    // "Allocate" the solver state before the main loop.
+    let solution_addr = 0x1000;
+    let residual_addr = 0x2000;
+    let matrix_addr = 0x3000;
+    let tolerance_addr = 0x4000;
+    tracer.record_definition("solution", solution_addr, 101);
+    tracer.record_definition("residual", residual_addr, 102);
+    tracer.record_definition("matrix", matrix_addr, 103);
+    tracer.record_definition("tolerance", tolerance_addr, 104);
+
+    // Run a toy Jacobi-style iteration, tracing the accesses.
+    let mut rng = DetRng::new(42);
+    let mut solution = 0.0f64;
+    let mut residual = 1.0f64;
+    tracer.begin_main_loop();
+    for iteration in 0..12u64 {
+        tracer.begin_iteration(iteration);
+        let update = 0.5 * residual + 0.01 * rng.next_f64();
+        solution += update;
+        residual *= 0.6;
+        tracer.record_write_f64("solution", solution_addr, solution, 120);
+        tracer.record_write_f64("residual", residual_addr, residual, 121);
+        tracer.record_read("matrix", matrix_addr, 7, 122); // read-only operator
+        tracer.record_read("tolerance", tolerance_addr, 42, 123); // constant
+        // A loop-local temporary (defined inside the loop).
+        tracer.record_write_f64("update", 0x9000, update, 124);
+    }
+
+    let trace = tracer.into_trace();
+    println!("traced {} dynamic records", trace.len());
+    let result = find_checkpoint_objects(&trace);
+    println!("{}", format_report(&result));
+    println!(
+        "Algorithm 1 keeps exactly the objects that are defined before the loop, used across\n\
+         iterations and vary across iterations — here: {:?}.",
+        result.object_names()
+    );
+}

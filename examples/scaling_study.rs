@@ -1,0 +1,27 @@
+//! Scaling study: regenerate the paper's scaling comparison (Figs. 5 and 7) for two of
+//! the proxy applications on a laptop-sized process ladder and print the tables.
+//!
+//! ```text
+//! cargo run --example scaling_study
+//! ```
+
+use match_core::figures::{fig5_scaling_no_failure, fig7_recovery_scaling};
+use match_core::findings::Findings;
+use match_core::matrix::MatrixOptions;
+use match_core::proxies::ProxyKind;
+
+fn main() {
+    let options = MatrixOptions::laptop()
+        .with_apps(vec![ProxyKind::Hpccg, ProxyKind::MiniVite])
+        .with_process_counts(vec![4, 8, 16]);
+
+    let fig5 = fig5_scaling_no_failure(&options);
+    println!("{}", fig5.render());
+
+    let fig7 = fig7_recovery_scaling(&options);
+    println!("{}", fig7.render());
+
+    let findings = Findings::from_figure(&fig7);
+    println!("Findings at this (scaled-down) cluster size:");
+    println!("{}", findings.to_table().render());
+}

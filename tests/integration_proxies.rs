@@ -1,0 +1,75 @@
+//! Cross-crate checks of the proxy applications running under the full stack
+//! (driver + FTI + simulated cluster) without failures.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::FtiConfig;
+use match_core::mpisim::{Cluster, ClusterConfig};
+use match_core::proxies::registry::{ExecutionScale, ProxySpec};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{FtConfig, FtDriver, RecoveryStrategy};
+
+fn run_app(kind: ProxyKind, input: InputSize, nprocs: usize) -> (f64, f64, u64) {
+    let spec = ProxySpec::new(kind, input, ExecutionScale::smoke());
+    let config = FtConfig::new(RecoveryStrategy::Restart, FtiConfig::default().interval(4));
+    let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
+    let store = CheckpointStore::shared();
+    let outcome = cluster.run(|ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        let app = spec.build();
+        driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
+    });
+    assert!(outcome.all_ok(), "{kind:?}: {:?}", outcome.errors());
+    let out = &outcome.value_of(0).value;
+    (out.checksum, out.figure_of_merit, outcome.total_stats().checkpoints_written)
+}
+
+#[test]
+fn every_proxy_completes_on_eight_ranks_and_writes_checkpoints() {
+    for kind in ProxyKind::ALL {
+        let (checksum, fom, checkpoints) = run_app(kind, InputSize::Small, 8);
+        assert!(checksum.is_finite(), "{kind:?}");
+        assert!(fom.is_finite(), "{kind:?}");
+        assert!(checkpoints > 0, "{kind:?} wrote no checkpoints");
+    }
+}
+
+#[test]
+fn iterative_solvers_converge() {
+    // The figure of merit of the solver proxies is a residual norm: it must be small.
+    for kind in [ProxyKind::Hpccg, ProxyKind::MiniFe, ProxyKind::Amg] {
+        let (_, residual, _) = run_app(kind, InputSize::Small, 4);
+        assert!(residual < 10.0, "{kind:?} residual {residual}");
+    }
+}
+
+#[test]
+fn larger_inputs_produce_different_answers() {
+    for kind in [ProxyKind::Hpccg, ProxyKind::Comd] {
+        let (small, _, _) = run_app(kind, InputSize::Small, 4);
+        let (large, _, _) = run_app(kind, InputSize::Large, 4);
+        assert_ne!(small, large, "{kind:?} input size has no effect");
+    }
+}
+
+#[test]
+fn results_are_independent_of_the_checkpoint_level() {
+    use match_core::fti::CheckpointLevel;
+    let spec = ProxySpec::new(ProxyKind::Hpccg, InputSize::Small, ExecutionScale::smoke());
+    let mut checksums = Vec::new();
+    for level in CheckpointLevel::ALL {
+        let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::level(level).interval(4))
+            .with_fault(match_core::recovery::FaultPlan::kill_rank_at(1, 5));
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let store = CheckpointStore::shared();
+        let outcome = cluster.run(|ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            let app = spec.build();
+            driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
+        });
+        assert!(outcome.all_ok(), "{level}: {:?}", outcome.errors());
+        checksums.push(outcome.value_of(0).value.checksum);
+    }
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]), "{checksums:?}");
+}
