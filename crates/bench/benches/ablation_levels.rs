@@ -30,8 +30,11 @@ fn main() {
         (CheckpointLevel::L4, false),
         (CheckpointLevel::L4, true),
     ] {
-        let fti_config = FtiConfig::level(level).interval(5).differential(differential);
-        let config = FtConfig::new(RecoveryStrategy::Reinit, fti_config).with_fault(FaultPlan::None);
+        let fti_config = FtiConfig::level(level)
+            .interval(5)
+            .differential(differential);
+        let config =
+            FtConfig::new(RecoveryStrategy::Reinit, fti_config).with_fault(FaultPlan::None);
         let cluster = Cluster::new(ClusterConfig::with_ranks(16));
         let store = CheckpointStore::shared();
         let outcome = cluster.run(|ctx| {
@@ -43,7 +46,11 @@ fn main() {
         let b = outcome.max_breakdown();
         table.add_row(vec![
             level.name().to_string(),
-            if differential { "yes".to_string() } else { "no".to_string() },
+            if differential {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
             format!("{:.3}", b.application.as_secs()),
             format!("{:.3}", b.checkpoint_write.as_secs()),
             format!("{:.1}%", b.checkpoint_fraction() * 100.0),

@@ -22,8 +22,11 @@ fn main() {
     let spec = ProxySpec::new(ProxyKind::Hpccg, InputSize::Small, ExecutionScale::bench());
     for stride in [2u64, 5, 10, 20] {
         let run = |fault: FaultPlan| {
-            let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default().interval(stride))
-                .with_fault(fault);
+            let config = FtConfig::new(
+                RecoveryStrategy::Reinit,
+                FtiConfig::default().interval(stride),
+            )
+            .with_fault(fault);
             let cluster = Cluster::new(ClusterConfig::with_ranks(16));
             let store = CheckpointStore::shared();
             let outcome = cluster.run(|ctx| {

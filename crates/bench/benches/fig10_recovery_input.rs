@@ -2,9 +2,12 @@
 
 use std::time::Instant;
 
+use match_core::SuiteEngine;
+
 fn main() {
     let options = match_bench::options_from_env();
     let started = Instant::now();
-    let data = match_core::figures::fig10_recovery_input(&options);
+    let data = match_core::figures::fig10_recovery_input(&options).expect("figure 10 matrix");
     match_bench::print_recovery_series(&data, started);
+    match_bench::print_engine_line(SuiteEngine::global());
 }

@@ -2,9 +2,12 @@
 
 use std::time::Instant;
 
+use match_core::SuiteEngine;
+
 fn main() {
     let options = match_bench::options_from_env();
     let started = Instant::now();
-    let data = match_core::figures::fig5_scaling_no_failure(&options);
+    let data = match_core::figures::fig5_scaling_no_failure(&options).expect("figure 5 matrix");
     match_bench::print_figure(&data, started);
+    match_bench::print_engine_line(SuiteEngine::global());
 }

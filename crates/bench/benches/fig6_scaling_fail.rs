@@ -3,9 +3,12 @@
 
 use std::time::Instant;
 
+use match_core::SuiteEngine;
+
 fn main() {
     let options = match_bench::options_from_env();
     let started = Instant::now();
-    let data = match_core::figures::fig6_scaling_with_failure(&options);
+    let data = match_core::figures::fig6_scaling_with_failure(&options).expect("figure 6 matrix");
     match_bench::print_figure(&data, started);
+    match_bench::print_engine_line(SuiteEngine::global());
 }

@@ -2,9 +2,12 @@
 
 use std::time::Instant;
 
+use match_core::SuiteEngine;
+
 fn main() {
     let options = match_bench::options_from_env();
     let started = Instant::now();
-    let data = match_core::figures::fig7_recovery_scaling(&options);
+    let data = match_core::figures::fig7_recovery_scaling(&options).expect("figure 7 matrix");
     match_bench::print_recovery_series(&data, started);
+    match_bench::print_engine_line(SuiteEngine::global());
 }

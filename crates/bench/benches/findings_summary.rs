@@ -4,12 +4,19 @@
 
 use std::time::Instant;
 
+use match_core::findings::Findings;
+use match_core::SuiteEngine;
+
 fn main() {
     let options = match_bench::options_from_env();
     let started = Instant::now();
-    let data = match_core::figures::fig6_scaling_with_failure(&options);
-    let findings = match_core::findings::Findings::from_figure(&data);
+    let engine = SuiteEngine::global();
+    let findings = Findings::compute(engine, &options).expect("findings matrix");
     println!("Section V-C findings (derived from the Fig. 6 matrix at the configured scale)");
     println!("{}", findings.to_table().render());
-    println!("[derived in {:.1}s wall-clock]", started.elapsed().as_secs_f64());
+    println!(
+        "[derived in {:.1}s wall-clock]",
+        started.elapsed().as_secs_f64()
+    );
+    match_bench::print_engine_line(engine);
 }

@@ -1,78 +1,123 @@
-//! Criterion micro-benchmarks of the substrate primitives: collective cost evaluation,
+//! Micro-benchmarks of the substrate primitives: collective cost evaluation,
 //! Reed-Solomon encode/decode, differential-checkpoint delta computation, and a small
 //! end-to-end cluster allreduce.
+//!
+//! The build environment is fully offline, so instead of the criterion crate this
+//! harness uses a small built-in timer: each benchmark is warmed up, then run in
+//! batches until a time budget is spent, and the per-iteration minimum, median and
+//! mean are reported (the minimum is the most noise-resistant of the three on a
+//! shared machine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use match_core::fti::{diff, rs_code};
 use match_core::mpisim::machine::{CollectiveKind, MachineModel};
 use match_core::mpisim::{Cluster, ClusterConfig};
 
-fn bench_machine_model(c: &mut Criterion) {
+const WARMUP: Duration = Duration::from_millis(50);
+const BUDGET: Duration = Duration::from_millis(300);
+
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm up and estimate a batch size targeting ~1ms per sample.
+    let warm_start = Instant::now();
+    let mut warm_iters: u32 = 0;
+    while warm_start.elapsed() < WARMUP {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let batch = ((1e-3 / per_iter.max(1e-9)) as u32).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = Vec::new();
+    let run_start = Instant::now();
+    while run_start.elapsed() < BUDGET {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples x {batch} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else {
+        format!("{:.2} ms", seconds * 1e3)
+    }
+}
+
+fn bench_machine_model() {
     let machine = MachineModel::default();
-    c.bench_function("machine/allreduce_cost_512", |b| {
-        b.iter(|| machine.collective_cost(CollectiveKind::Allreduce, std::hint::black_box(512), 4096))
+    bench("machine/allreduce_cost_512", || {
+        black_box(machine.collective_cost(CollectiveKind::Allreduce, black_box(512), 4096));
     });
-    c.bench_function("machine/ulfm_recovery_cost_512", |b| {
-        b.iter(|| machine.ulfm_recovery_cost(std::hint::black_box(512), 1))
+    bench("machine/ulfm_recovery_cost_512", || {
+        black_box(machine.ulfm_recovery_cost(black_box(512), 1));
     });
 }
 
-fn bench_rs_codec(c: &mut Criterion) {
+fn bench_rs_codec() {
     let data: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
-    let mut group = c.benchmark_group("rs_codec");
     for &(k, m) in &[(4usize, 2usize), (8, 3)] {
-        group.bench_with_input(BenchmarkId::new("encode", format!("k{k}m{m}")), &(k, m), |b, &(k, m)| {
-            b.iter(|| rs_code::encode(std::hint::black_box(&data), k, m).unwrap())
+        bench(&format!("rs_codec/encode/k{k}m{m}"), || {
+            black_box(rs_code::encode(black_box(&data), k, m).unwrap());
         });
         let encoded = rs_code::encode(&data, k, m).unwrap();
         let mut shards: Vec<Option<Vec<u8>>> = encoded.shards.iter().cloned().map(Some).collect();
         shards[0] = None;
         shards[1] = None;
-        group.bench_with_input(BenchmarkId::new("decode_2_erasures", format!("k{k}m{m}")), &(k, m), |b, &(k, m)| {
-            b.iter(|| rs_code::decode(std::hint::black_box(&shards), k, m, encoded.original_len).unwrap())
+        bench(&format!("rs_codec/decode_2_erasures/k{k}m{m}"), || {
+            black_box(rs_code::decode(black_box(&shards), k, m, encoded.original_len).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_diff(c: &mut Criterion) {
+fn bench_diff() {
     let base = vec![7u8; 1 << 20];
     let mut new = base.clone();
     new[12345] = 1;
     new[999_999] = 2;
-    c.bench_function("diff/delta_1MiB_sparse_change", |b| {
-        b.iter(|| diff::compute_delta(std::hint::black_box(&base), &new, 4096))
+    bench("diff/delta_1MiB_sparse_change", || {
+        black_box(diff::compute_delta(black_box(&base), &new, 4096));
     });
 }
 
-fn bench_cluster_allreduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster");
-    group.sample_size(10);
+fn bench_cluster_allreduce() {
     for &nprocs in &[4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("allreduce_round", nprocs), &nprocs, |b, &nprocs| {
-            b.iter(|| {
-                let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
-                let outcome = cluster.run(|ctx| {
-                    let world = ctx.world();
-                    let mut acc = 0.0;
-                    for _ in 0..5 {
-                        acc = ctx.allreduce_sum_f64(&world, 1.0)?;
-                    }
-                    Ok(acc)
-                });
-                assert!(outcome.all_ok());
-            })
+        bench(&format!("cluster/allreduce_round/{nprocs}"), || {
+            let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
+            let outcome = cluster.run(|ctx| {
+                let world = ctx.world();
+                let mut acc = 0.0;
+                for _ in 0..5 {
+                    acc = ctx.allreduce_sum_f64(&world, 1.0)?;
+                }
+                Ok(acc)
+            });
+            assert!(outcome.all_ok());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_machine_model,
-    bench_rs_codec,
-    bench_diff,
-    bench_cluster_allreduce
-);
-criterion_main!(benches);
+fn main() {
+    println!("MATCH-RS micro-benchmarks (built-in timer; lower is better)\n");
+    bench_machine_model();
+    bench_rs_codec();
+    bench_diff();
+    bench_cluster_allreduce();
+}

@@ -8,12 +8,15 @@
 //!   the paper uses `64,128,256,512`),
 //! * `MATCH_SCALE` — `smoke`, `bench` or `paper` input scaling (default `smoke`),
 //! * `MATCH_APPS` — comma-separated subset of applications (default: all six),
-//! * `MATCH_REPS` — repetitions per configuration (default 1; the paper uses 5).
+//! * `MATCH_REPS` — repetitions per configuration (default 1; the paper uses 5),
+//! * `MATCH_JOBS` — number of experiments run concurrently by the
+//!   [`SuiteEngine`] (default: the host's available parallelism; the `match-bench`
+//!   CLI also accepts `--jobs N`).
 
 use match_core::matrix::MatrixOptions;
-use match_core::{FigureData, SuiteOptions};
 use match_core::proxies::registry::ExecutionScale;
 use match_core::proxies::ProxyKind;
+use match_core::{FigureData, SuiteEngine, SuiteOptions};
 
 /// Reads the benchmark matrix options from the environment (see the module docs).
 pub fn options_from_env() -> MatrixOptions {
@@ -58,7 +61,11 @@ pub fn options_from_env() -> MatrixOptions {
         process_counts: procs,
         default_procs,
         apps,
-        suite: SuiteOptions { scale, repetitions, seed: 2020 },
+        suite: SuiteOptions {
+            scale,
+            repetitions,
+            seed: 2020,
+        },
     }
 }
 
@@ -67,7 +74,7 @@ pub fn options_from_env() -> MatrixOptions {
 pub fn print_figure(data: &FigureData, started: std::time::Instant) {
     println!("{}", data.render());
     println!(
-        "[regenerated {} rows in {:.1}s wall-clock; times above are simulated seconds]\n",
+        "[regenerated {} rows in {:.1}s wall-clock; times above are simulated seconds]",
         data.rows.len(),
         started.elapsed().as_secs_f64()
     );
@@ -76,7 +83,8 @@ pub fn print_figure(data: &FigureData, started: std::time::Instant) {
 /// Prints only the recovery-time series of a figure (Figs. 7 and 10 report recovery
 /// time alone).
 pub fn print_recovery_series(data: &FigureData, started: std::time::Instant) {
-    let mut table = match_core::table::TextTable::new(vec!["Application", "Group", "Design", "Recovery (s)"]);
+    let mut table =
+        match_core::table::TextTable::new(vec!["Application", "Group", "Design", "Recovery (s)"]);
     for row in &data.rows {
         table.add_row(vec![
             row.app.name().to_string(),
@@ -88,9 +96,20 @@ pub fn print_recovery_series(data: &FigureData, started: std::time::Instant) {
     println!("{}", data.title);
     println!("{}", table.render());
     println!(
-        "[regenerated {} rows in {:.1}s wall-clock]\n",
+        "[regenerated {} rows in {:.1}s wall-clock]",
         data.rows.len(),
         started.elapsed().as_secs_f64()
+    );
+}
+
+/// Prints the engine's scheduling and cache counters — the line every harness emits
+/// after its tables so cache reuse (e.g. `fig6` answering `findings` for free) is
+/// visible in the output.
+pub fn print_engine_line(engine: &SuiteEngine) {
+    println!(
+        "[engine: jobs={}; cache: {}]\n",
+        engine.jobs(),
+        engine.cache_stats()
     );
 }
 

@@ -1,66 +1,154 @@
 //! A small CLI that regenerates any table or figure of the MATCH paper on demand.
 //!
 //! ```text
-//! match-bench table1|fig5|fig6|fig7|fig8|fig9|fig10|findings|all
+//! match-bench [--jobs N] [table1|fig5|fig6|fig7|fig8|fig9|fig10|findings|all ...]
 //! ```
 //!
-//! The matrix is controlled by the `MATCH_PROCS`, `MATCH_SCALE`, `MATCH_APPS` and
-//! `MATCH_REPS` environment variables (see the crate documentation).
+//! The matrix is controlled by the `MATCH_PROCS`, `MATCH_SCALE`, `MATCH_APPS`,
+//! `MATCH_REPS` and `MATCH_JOBS` environment variables (see the crate documentation);
+//! `--jobs N` overrides `MATCH_JOBS`. All targets of one invocation share one
+//! [`SuiteEngine`], so overlapping targets (`fig6 fig7 findings`, or `all`) are
+//! answered from the result cache instead of re-running their experiments — the
+//! engine/cache line printed after each target shows the reuse.
 
 use std::time::Instant;
 
-use match_bench::{options_from_env, print_figure, print_recovery_series};
+use match_bench::{options_from_env, print_engine_line, print_figure, print_recovery_series};
 use match_core::figures;
 use match_core::findings::Findings;
+use match_core::matrix::full_suite_matrix;
 use match_core::table1::table1;
+use match_core::SuiteEngine;
 
-fn run_target(name: &str, options: &match_core::matrix::MatrixOptions) {
-    match name {
-        "table1" => println!("Table I: experimentation configuration\n{}", table1().render()),
+/// Every valid target, in the order `all` runs them.
+const TARGETS: [&str; 8] = [
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "findings",
+];
+
+fn run_target(name: &str, engine: &SuiteEngine, options: &match_core::matrix::MatrixOptions) {
+    let result = match name {
+        "table1" => {
+            println!(
+                "Table I: experimentation configuration\n{}",
+                table1().render()
+            );
+            return;
+        }
         "fig5" => {
             let t = Instant::now();
-            print_figure(&figures::fig5_scaling_no_failure(options), t);
+            figures::fig5_with_engine(engine, options).map(|data| print_figure(&data, t))
         }
         "fig6" => {
             let t = Instant::now();
-            print_figure(&figures::fig6_scaling_with_failure(options), t);
+            figures::fig6_with_engine(engine, options).map(|data| print_figure(&data, t))
         }
         "fig7" => {
             let t = Instant::now();
-            print_recovery_series(&figures::fig7_recovery_scaling(options), t);
+            figures::fig7_with_engine(engine, options).map(|data| print_recovery_series(&data, t))
         }
         "fig8" => {
             let t = Instant::now();
-            print_figure(&figures::fig8_input_no_failure(options), t);
+            figures::fig8_with_engine(engine, options).map(|data| print_figure(&data, t))
         }
         "fig9" => {
             let t = Instant::now();
-            print_figure(&figures::fig9_input_with_failure(options), t);
+            figures::fig9_with_engine(engine, options).map(|data| print_figure(&data, t))
         }
         "fig10" => {
             let t = Instant::now();
-            print_recovery_series(&figures::fig10_recovery_input(options), t);
+            figures::fig10_with_engine(engine, options).map(|data| print_recovery_series(&data, t))
         }
         "findings" => {
             let t = Instant::now();
-            let data = figures::fig6_scaling_with_failure(options);
-            let findings = Findings::from_figure(&data);
-            println!("Section V-C findings (derived from the Fig. 6 matrix)");
-            println!("{}", findings.to_table().render());
-            println!("[derived in {:.1}s wall-clock]\n", t.elapsed().as_secs_f64());
+            Findings::compute(engine, options).map(|findings| {
+                println!("Section V-C findings (derived from the Fig. 6 matrix)");
+                println!("{}", findings.to_table().render());
+                println!("[derived in {:.1}s wall-clock]", t.elapsed().as_secs_f64());
+            })
         }
-        other => eprintln!("unknown target '{other}' (expected table1, fig5..fig10, findings, all)"),
+        other => unreachable!("target '{other}' was validated against TARGETS in main"),
+    };
+    match result {
+        Ok(()) => print_engine_line(engine),
+        Err(error) => {
+            eprintln!("target '{name}' failed: {error}");
+            std::process::exit(1);
+        }
     }
 }
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let options = options_from_env();
-    if what == "all" {
-        for name in ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "findings"] {
-            run_target(name, &options);
+    let mut jobs: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--jobs=") => match flag["--jobs=".len()..].parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer, got '{flag}'");
+                    std::process::exit(2);
+                }
+            },
+            target => targets.push(target.to_string()),
         }
-    } else {
-        run_target(&what, &options);
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    let engine = jobs.map(SuiteEngine::with_jobs).unwrap_or_default();
+    let options = options_from_env();
+
+    let expanded: Vec<&str> = targets
+        .iter()
+        .flat_map(|t| {
+            if t == "all" {
+                TARGETS.to_vec()
+            } else {
+                vec![t.as_str()]
+            }
+        })
+        .collect();
+
+    // Reject typos before any simulation runs — a bad name at the end of the list
+    // must not surface only after minutes of matrix work.
+    for name in &expanded {
+        if !TARGETS.contains(name) {
+            eprintln!("unknown target '{name}' (expected table1, fig5..fig10, findings, all)");
+            std::process::exit(2);
+        }
+    }
+
+    // When the whole evaluation is requested, schedule the full experiment union as
+    // one wave first: it saturates the worker pool once, and every figure below then
+    // renders from cache.
+    if targets.iter().any(|t| t == "all") {
+        let t = Instant::now();
+        let matrix = full_suite_matrix(&options);
+        if let Err(error) = engine.run_matrix(&matrix) {
+            eprintln!("experiment matrix failed: {error}");
+            std::process::exit(1);
+        }
+        println!(
+            "[ran the full {}-cell matrix in {:.1}s wall-clock with {} job(s)]\n",
+            matrix.len(),
+            t.elapsed().as_secs_f64(),
+            engine.jobs()
+        );
+    }
+
+    for name in expanded {
+        run_target(name, &engine, &options);
     }
 }

@@ -1,0 +1,383 @@
+//! Content-addressed result caching for the [`SuiteEngine`](crate::engine::SuiteEngine).
+//!
+//! The paper's evaluation matrices overlap heavily: Fig. 7 re-reports the Fig. 6 runs,
+//! the Section V-C findings re-derive from the Fig. 6 matrix, and repeated bench
+//! invocations re-run identical cells. The cache keys every run by an
+//! [`ExperimentId`] — a canonical encoding of *every* field of an
+//! [`Experiment`](crate::Experiment), including the execution scale and seed — so two
+//! experiments collide exactly when they describe the same simulation. Failure-free
+//! cells are bit-deterministic, so a recall equals a recompute exactly; with-failure
+//! cells carry the simulator's microsecond-level failure-detection jitter between
+//! fresh runs, and the cache pins the first computed report for them.
+//!
+//! The cache is thread-safe and deduplicates *in-flight* computation: when two engine
+//! workers ask for the same cell concurrently, one computes while the other blocks on
+//! the cell's condition variable and receives the finished report, so no cell is ever
+//! simulated twice within a process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use recovery::RunReport;
+
+use crate::engine::SuiteError;
+use crate::experiment::Experiment;
+
+/// Canonical cache key derived from every field of an [`Experiment`].
+///
+/// Floating-point fields (the execution scale's `linear_fraction`) are encoded through
+/// their IEEE-754 bit patterns so the key is `Eq + Hash` without rounding surprises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExperimentId {
+    app: u8,
+    input: u8,
+    strategy: u8,
+    nprocs: usize,
+    inject_failure: bool,
+    scale_linear_fraction_bits: u64,
+    scale_iteration_cap: u64,
+    scale_min_extent: usize,
+    repetitions: u32,
+    seed: u64,
+}
+
+impl ExperimentId {
+    /// Derives the canonical id of an experiment.
+    pub fn of(experiment: &Experiment) -> Self {
+        use proxies::ProxyKind;
+        use recovery::RecoveryStrategy;
+
+        let app = match experiment.app {
+            ProxyKind::Amg => 0,
+            ProxyKind::Comd => 1,
+            ProxyKind::Hpccg => 2,
+            ProxyKind::Lulesh => 3,
+            ProxyKind::MiniFe => 4,
+            ProxyKind::MiniVite => 5,
+        };
+        let input = match experiment.input {
+            proxies::InputSize::Small => 0,
+            proxies::InputSize::Medium => 1,
+            proxies::InputSize::Large => 2,
+        };
+        let strategy = match experiment.strategy {
+            RecoveryStrategy::Restart => 0,
+            RecoveryStrategy::Ulfm => 1,
+            RecoveryStrategy::Reinit => 2,
+        };
+        ExperimentId {
+            app,
+            input,
+            strategy,
+            nprocs: experiment.nprocs,
+            inject_failure: experiment.inject_failure,
+            scale_linear_fraction_bits: experiment.scale.linear_fraction.to_bits(),
+            scale_iteration_cap: experiment.scale.iteration_cap,
+            scale_min_extent: experiment.scale.min_extent,
+            repetitions: experiment.repetitions.max(1),
+            seed: experiment.seed,
+        }
+    }
+}
+
+/// Snapshot of the cache's hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a finished or in-flight entry.
+    pub hits: u64,
+    /// Lookups that had to compute the cell.
+    pub misses: u64,
+    /// Number of cached cells.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} entries ({:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// One cache cell: empty while its first requester computes, then holds the result.
+#[derive(Debug)]
+struct Cell {
+    slot: Mutex<Option<Result<RunReport, SuiteError>>>,
+    ready: Condvar,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<RunReport, SuiteError> {
+        let mut slot = self.slot.lock().expect("cache cell lock");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("cache cell wait");
+        }
+        slot.as_ref().expect("filled cell").clone()
+    }
+
+    fn fill(&self, value: Result<RunReport, SuiteError>) {
+        *self.slot.lock().expect("cache cell lock") = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// A thread-safe, in-memory map from [`ExperimentId`] to finished run reports.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    cells: Mutex<HashMap<ExperimentId, Arc<Cell>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached result for `id`, computing it with `compute` on first
+    /// request. Concurrent requests for the same id block until the first finishes
+    /// and then share its result; they are counted as hits. `label` is the
+    /// experiment's human-readable name, used to contextualise a contained panic.
+    pub fn get_or_compute<F>(
+        &self,
+        id: ExperimentId,
+        label: &str,
+        compute: F,
+    ) -> Result<RunReport, SuiteError>
+    where
+        F: FnOnce() -> Result<RunReport, SuiteError>,
+    {
+        let (cell, is_owner) = {
+            let mut cells = self.cells.lock().expect("cache map lock");
+            match cells.get(&id) {
+                Some(cell) => (Arc::clone(cell), false),
+                None => {
+                    let cell = Arc::new(Cell::new());
+                    cells.insert(id, Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+        if is_owner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            // Convert a panicking compute into an error so waiters are not stranded
+            // on a cell that will never fill.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
+                .unwrap_or_else(|payload| Err(SuiteError::panicked_experiment(label, payload)));
+            cell.fill(result.clone());
+            result
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            cell.wait()
+        }
+    }
+
+    /// Returns the finished result for `id` if it is already cached (does not count
+    /// as a hit or miss, and does not block on in-flight cells).
+    pub fn peek(&self, id: &ExperimentId) -> Option<Result<RunReport, SuiteError>> {
+        let cell = {
+            let cells = self.cells.lock().expect("cache map lock");
+            Arc::clone(cells.get(id)?)
+        };
+        let slot = cell.slot.lock().expect("cache cell lock");
+        slot.clone()
+    }
+
+    /// Current hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cells.lock().expect("cache map lock").len(),
+        }
+    }
+
+    /// Drops every *finished* entry and resets the counters. Cells whose first
+    /// computation is still in flight are kept, so their owner fills a cell that
+    /// waiters (current and future) still see — the compute-once guarantee survives
+    /// a concurrent `clear`.
+    pub fn clear(&self) {
+        let mut cells = self.cells.lock().expect("cache map lock");
+        cells.retain(|_, cell| cell.slot.lock().expect("cache cell lock").is_none());
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SuiteOptions;
+    use proxies::{InputSize, ProxyKind};
+    use recovery::RecoveryStrategy;
+
+    fn experiment() -> Experiment {
+        Experiment::new(
+            ProxyKind::Hpccg,
+            InputSize::Small,
+            4,
+            RecoveryStrategy::Reinit,
+        )
+        .with_options(&SuiteOptions::smoke())
+    }
+
+    fn report(nprocs: usize) -> RunReport {
+        RunReport {
+            strategy: RecoveryStrategy::Reinit,
+            nprocs,
+            failure_injected: false,
+            breakdown: mpisim::TimeBreakdown::new(),
+            total_time: mpisim::SimTime::from_secs(1.0),
+            stats: mpisim::RankStats::new(),
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn id_is_stable_and_distinguishes_every_field() {
+        let base = experiment();
+        assert_eq!(ExperimentId::of(&base), ExperimentId::of(&base.clone()));
+        let mut other = base;
+        other.seed ^= 1;
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+        let mut other = base;
+        other.inject_failure = true;
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+        let mut other = base;
+        other.scale.linear_fraction += 0.001;
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+        let mut other = base;
+        other.nprocs += 1;
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+        let mut other = base;
+        other.strategy = RecoveryStrategy::Ulfm;
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+    }
+
+    #[test]
+    fn repetition_floor_is_canonicalised() {
+        // `run_experiment` treats 0 repetitions as 1, so the ids must collide.
+        let mut zero = experiment();
+        zero.repetitions = 0;
+        let one = experiment().with_repetitions(1);
+        assert_eq!(ExperimentId::of(&zero), ExperimentId::of(&one));
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_skips_compute() {
+        let cache = ResultCache::new();
+        let id = ExperimentId::of(&experiment());
+        let first = cache.get_or_compute(id, "t", || Ok(report(4))).unwrap();
+        let second = cache
+            .get_or_compute(id, "t", || panic!("must not recompute a cached cell"))
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let cache = ResultCache::new();
+        let id = ExperimentId::of(&experiment());
+        let err = SuiteError::RankFailures {
+            label: "test".into(),
+            errors: vec![(0, mpisim::MpiError::Revoked)],
+        };
+        let e = err.clone();
+        assert!(cache.get_or_compute(id, "t", move || Err(e)).is_err());
+        let again = cache.get_or_compute(id, "t", || panic!("must not recompute"));
+        assert_eq!(again.unwrap_err(), err);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let cache = Arc::new(ResultCache::new());
+        let id = ExperimentId::of(&experiment());
+        let computations = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computations = Arc::clone(&computations);
+                scope.spawn(move || {
+                    let r = cache.get_or_compute(id, "t", || {
+                        computations.fetch_add(1, Ordering::Relaxed);
+                        // Give the other threads time to pile onto the in-flight cell.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(report(4))
+                    });
+                    assert!(r.is_ok());
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ResultCache::new();
+        let id = ExperimentId::of(&experiment());
+        let _ = cache.get_or_compute(id, "t", || Ok(report(4)));
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.peek(&id).is_none());
+    }
+
+    #[test]
+    fn clear_during_in_flight_compute_keeps_the_cell() {
+        let cache = Arc::new(ResultCache::new());
+        let id = ExperimentId::of(&experiment());
+        let computations = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            let owner_cache = Arc::clone(&cache);
+            let owner_count = Arc::clone(&computations);
+            scope.spawn(move || {
+                let _ = owner_cache.get_or_compute(id, "t", || {
+                    owner_count.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    Ok(report(4))
+                });
+            });
+            // Wait until the owner holds the cell, then clear: the pending cell must
+            // survive so this request joins it instead of recomputing.
+            while cache.stats().misses == 0 {
+                std::thread::yield_now();
+            }
+            cache.clear();
+            let joined =
+                cache.get_or_compute(id, "t", || panic!("must not recompute an in-flight cell"));
+            assert!(joined.is_ok());
+        });
+        assert_eq!(computations.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! The suite execution engine: parallel, cached, fallible experiment execution.
+//!
+//! [`SuiteEngine`] owns the execution of experiment matrices end-to-end and is the
+//! single path every consumer (figures, findings, the `match-bench` CLI, the bench
+//! harnesses and the examples) goes through:
+//!
+//! * **caching** — every run is keyed by its canonical
+//!   [`ExperimentId`](crate::cache::ExperimentId) in a thread-safe
+//!   [`ResultCache`](crate::cache::ResultCache), so overlapping matrices (Fig. 6 and
+//!   Fig. 7 share every cell; the findings re-derive from the Fig. 6 matrix) never
+//!   simulate the same cell twice in one process;
+//! * **parallelism** — independent experiments of a matrix run concurrently on a
+//!   work-stealing pool of `std` threads bounded by [`SuiteEngine::jobs`] (the
+//!   `MATCH_JOBS` environment variable, defaulting to the host's available
+//!   parallelism), while each experiment still runs its own thread-per-rank cluster;
+//! * **fallibility** — a failed rank no longer panics the process: runs return
+//!   `Result<RunReport, `[`SuiteError`]`>` carrying the experiment label and the
+//!   per-rank errors, and matrix runs surface the first failing cell.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use mpisim::MpiError;
+use recovery::RunReport;
+
+use crate::cache::{CacheStats, ExperimentId, ResultCache};
+use crate::experiment::Experiment;
+use crate::runner;
+
+/// Environment variable bounding the number of experiments run concurrently.
+pub const JOBS_ENV_VAR: &str = "MATCH_JOBS";
+
+/// An experiment (or the engine running it) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteError {
+    /// One or more ranks of the experiment reported an error the fault-tolerance
+    /// design did not recover from.
+    RankFailures {
+        /// The experiment's human-readable label ("HPCCG/Small/8/REINIT-FTI/fault").
+        label: String,
+        /// The failing ranks and the errors they reported, ordered by rank.
+        errors: Vec<(usize, MpiError)>,
+    },
+    /// The computation panicked; the panic was contained by the engine.
+    Panicked {
+        /// What was being computed and what the panic said.
+        context: String,
+    },
+}
+
+impl SuiteError {
+    /// Builds the error for a run whose outcome contains failing ranks.
+    pub fn from_outcome<R>(label: String, outcome: &mpisim::RunOutcome<R>) -> Self {
+        let errors = outcome
+            .ranks()
+            .iter()
+            .filter_map(|r| r.result.as_ref().err().map(|e| (r.rank, e.clone())))
+            .collect();
+        SuiteError::RankFailures { label, errors }
+    }
+
+    /// The label of the experiment that failed, when one is known.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            SuiteError::RankFailures { label, .. } => Some(label),
+            SuiteError::Panicked { .. } => None,
+        }
+    }
+
+    /// The per-rank errors, when the failure came from ranks.
+    pub fn rank_errors(&self) -> &[(usize, MpiError)] {
+        match self {
+            SuiteError::RankFailures { errors, .. } => errors,
+            SuiteError::Panicked { .. } => &[],
+        }
+    }
+
+    pub(crate) fn panicked_experiment(label: &str, payload: Box<dyn std::any::Any + Send>) -> Self {
+        SuiteError::Panicked {
+            context: format!("{label}: {}", panic_message(payload)),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::RankFailures { label, errors } => {
+                write!(f, "experiment {label} failed on {} rank(s):", errors.len())?;
+                for (rank, error) in errors {
+                    write!(f, " [rank {rank}: {error}]")?;
+                }
+                Ok(())
+            }
+            SuiteError::Panicked { context } => write!(f, "experiment panicked: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// The parallel, cached experiment executor (see the module docs).
+#[derive(Debug)]
+pub struct SuiteEngine {
+    jobs: usize,
+    cache: ResultCache,
+}
+
+impl Default for SuiteEngine {
+    /// Same as [`SuiteEngine::new`].
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuiteEngine {
+    /// Creates an engine with the default concurrency: the `MATCH_JOBS` environment
+    /// variable if set to a positive integer, otherwise the host's available
+    /// parallelism.
+    pub fn new() -> Self {
+        Self::with_jobs(default_jobs())
+    }
+
+    /// Creates an engine running at most `jobs` experiments concurrently (`0` is
+    /// treated as `1`).
+    pub fn with_jobs(jobs: usize) -> Self {
+        SuiteEngine {
+            jobs: jobs.max(1),
+            cache: ResultCache::new(),
+        }
+    }
+
+    /// Creates a strictly serial engine (equivalent to `MATCH_JOBS=1`).
+    pub fn serial() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// The process-wide shared engine. All convenience entry points
+    /// ([`runner::run_experiment`], the figure generators) go through this instance,
+    /// so results are shared across figure targets within one process.
+    pub fn global() -> &'static SuiteEngine {
+        static GLOBAL: OnceLock<SuiteEngine> = OnceLock::new();
+        GLOBAL.get_or_init(SuiteEngine::new)
+    }
+
+    /// The maximum number of experiments this engine runs concurrently.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs (or recalls) one experiment. Panics inside the computation are contained
+    /// by the cache's single backstop, labelled with the experiment's readable name.
+    pub fn run(&self, experiment: &Experiment) -> Result<RunReport, SuiteError> {
+        self.cache
+            .get_or_compute(ExperimentId::of(experiment), &experiment.label(), || {
+                runner::run_experiment_uncached(experiment)
+            })
+    }
+
+    /// Runs a whole matrix: unique cells are scheduled across the worker pool (every
+    /// already-cached cell is recalled instead), then the reports are returned in the
+    /// input's order — duplicates included. The first failing cell (in input order)
+    /// is returned as the error. Scheduling stops early once any cell fails:
+    /// in-flight cells finish, unstarted ones are never launched.
+    pub fn run_matrix(&self, experiments: &[Experiment]) -> Result<Vec<RunReport>, SuiteError> {
+        let mut seen = std::collections::HashSet::new();
+        let unique: Vec<&Experiment> = experiments
+            .iter()
+            .filter(|e| seen.insert(ExperimentId::of(e)))
+            .collect();
+
+        let failed = AtomicBool::new(false);
+        let workers = self.jobs.min(unique.len());
+        if workers > 1 {
+            let cursor = AtomicUsize::new(0);
+            let unique = &unique;
+            let failed = &failed;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(experiment) = unique.get(i) else {
+                            break;
+                        };
+                        // Errors are cached; they surface during collection below.
+                        if self.run(experiment).is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        } else {
+            for experiment in &unique {
+                if self.run(experiment).is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+
+        if failed.load(Ordering::Relaxed) {
+            // Surface the first failing cell in input order; cells that were never
+            // scheduled because of the abort must not be recomputed here.
+            for e in experiments {
+                if let Some(Err(error)) = self.cache.peek(&ExperimentId::of(e)) {
+                    return Err(error);
+                }
+            }
+        }
+
+        experiments
+            .iter()
+            .map(|e| {
+                self.cache
+                    .peek(&ExperimentId::of(e))
+                    .unwrap_or_else(|| self.run(e))
+            })
+            .collect()
+    }
+
+    /// Runs the same workload under all three designs, in
+    /// [`recovery::RecoveryStrategy::ALL`] order (Restart, Ulfm, Reinit).
+    pub fn run_all_designs(&self, base: &Experiment) -> Result<Vec<RunReport>, SuiteError> {
+        let experiments: Vec<Experiment> = recovery::RecoveryStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                let mut e = *base;
+                e.strategy = strategy;
+                e
+            })
+            .collect();
+        self.run_matrix(&experiments)
+    }
+
+    /// Hit/miss counters of the engine's cache. Counters track *scheduled* cells: a
+    /// matrix row recalled during result collection does not bump them.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached result (mainly for tests that measure cold-cache work).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+/// `MATCH_JOBS` if set and positive, otherwise the host's available parallelism.
+fn default_jobs() -> usize {
+    std::env::var(JOBS_ENV_VAR)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SuiteOptions;
+    use proxies::{InputSize, ProxyKind};
+    use recovery::RecoveryStrategy;
+
+    fn smoke(strategy: RecoveryStrategy, inject: bool) -> Experiment {
+        Experiment::new(ProxyKind::Hpccg, InputSize::Small, 4, strategy)
+            .with_options(&SuiteOptions::smoke())
+            .with_failure(inject)
+    }
+
+    #[test]
+    fn run_caches_the_second_lookup() {
+        let engine = SuiteEngine::serial();
+        let first = engine.run(&smoke(RecoveryStrategy::Reinit, false)).unwrap();
+        let second = engine.run(&smoke(RecoveryStrategy::Reinit, false)).unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn matrix_dedups_overlapping_cells() {
+        let engine = SuiteEngine::with_jobs(2);
+        let e = smoke(RecoveryStrategy::Reinit, true);
+        let matrix = vec![e, smoke(RecoveryStrategy::Ulfm, true), e];
+        let reports = engine.run_matrix(&matrix).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports[0], reports[2],
+            "duplicate rows share one computed report"
+        );
+        assert_eq!(
+            engine.cache_stats().misses,
+            2,
+            "only two unique cells computed"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_engines_agree() {
+        // Failure-free runs are bit-deterministic, so the comparison can be exact.
+        let experiments: Vec<Experiment> = RecoveryStrategy::ALL
+            .iter()
+            .map(|&s| smoke(s, false))
+            .collect();
+        let serial = SuiteEngine::serial().run_matrix(&experiments).unwrap();
+        let parallel = SuiteEngine::with_jobs(8).run_matrix(&experiments).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "virtual time must not depend on engine scheduling"
+        );
+    }
+
+    #[test]
+    fn run_all_designs_orders_like_the_strategy_list() {
+        let engine = SuiteEngine::serial();
+        let reports = engine
+            .run_all_designs(&smoke(RecoveryStrategy::Restart, true))
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].strategy, RecoveryStrategy::Restart);
+        assert_eq!(reports[1].strategy, RecoveryStrategy::Ulfm);
+        assert_eq!(reports[2].strategy, RecoveryStrategy::Reinit);
+        assert!(reports[2].recovery_time() < reports[1].recovery_time());
+        assert!(reports[1].recovery_time() < reports[0].recovery_time());
+    }
+
+    #[test]
+    fn jobs_floor_is_one() {
+        assert_eq!(SuiteEngine::with_jobs(0).jobs(), 1);
+        assert!(SuiteEngine::new().jobs() >= 1);
+        assert_eq!(SuiteEngine::global().jobs(), SuiteEngine::global().jobs());
+    }
+
+    #[test]
+    fn matrix_aborts_early_on_failure() {
+        let engine = SuiteEngine::serial();
+        let bad = Experiment::new(
+            ProxyKind::Hpccg,
+            InputSize::Small,
+            0,
+            RecoveryStrategy::Reinit,
+        )
+        .with_options(&SuiteOptions::smoke());
+        let good = smoke(RecoveryStrategy::Reinit, false);
+        let error = engine.run_matrix(&[bad, good]).unwrap_err();
+        assert!(error.to_string().contains("HPCCG/Small/0"), "{error}");
+        // The failing first cell aborted scheduling: the good cell never ran.
+        assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn panics_surface_with_the_experiment_label() {
+        // Zero ranks trips the cluster constructor's assertion; the engine must
+        // contain the panic and name the cell by its human-readable label.
+        let bad = Experiment::new(
+            ProxyKind::Hpccg,
+            InputSize::Small,
+            0,
+            RecoveryStrategy::Reinit,
+        )
+        .with_options(&SuiteOptions::smoke());
+        let engine = SuiteEngine::serial();
+        let error = engine.run(&bad).unwrap_err();
+        assert!(
+            error.to_string().contains("HPCCG/Small/0/REINIT-FTI"),
+            "panic context must carry the label: {error}"
+        );
+    }
+
+    #[test]
+    fn suite_error_renders_label_and_ranks() {
+        let err = SuiteError::RankFailures {
+            label: "HPCCG/Small/4/REINIT-FTI".into(),
+            errors: vec![(2, MpiError::Revoked)],
+        };
+        let text = err.to_string();
+        assert!(text.contains("HPCCG/Small/4/REINIT-FTI"));
+        assert!(text.contains("rank 2"));
+        assert_eq!(err.label(), Some("HPCCG/Small/4/REINIT-FTI"));
+        assert_eq!(err.rank_errors().len(), 1);
+        let panicked = SuiteError::Panicked {
+            context: "boom".into(),
+        };
+        assert!(panicked.to_string().contains("boom"));
+        assert!(panicked.label().is_none());
+        assert!(panicked.rank_errors().is_empty());
+    }
+}

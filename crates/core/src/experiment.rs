@@ -19,17 +19,29 @@ pub struct SuiteOptions {
 impl SuiteOptions {
     /// The paper's setup: full Table I extents, five repetitions.
     pub fn paper() -> Self {
-        SuiteOptions { scale: ExecutionScale::paper(), repetitions: 5, seed: 2020 }
+        SuiteOptions {
+            scale: ExecutionScale::paper(),
+            repetitions: 5,
+            seed: 2020,
+        }
     }
 
     /// The default bench setup: quarter-scale extents, one repetition.
     pub fn bench() -> Self {
-        SuiteOptions { scale: ExecutionScale::bench(), repetitions: 1, seed: 2020 }
+        SuiteOptions {
+            scale: ExecutionScale::bench(),
+            repetitions: 1,
+            seed: 2020,
+        }
     }
 
     /// A tiny setup for unit tests and examples.
     pub fn smoke() -> Self {
-        SuiteOptions { scale: ExecutionScale::smoke(), repetitions: 1, seed: 7 }
+        SuiteOptions {
+            scale: ExecutionScale::smoke(),
+            repetitions: 1,
+            seed: 7,
+        }
     }
 }
 
@@ -63,7 +75,12 @@ pub struct Experiment {
 
 impl Experiment {
     /// Creates an experiment with the default (bench) options and no failure.
-    pub fn new(app: ProxyKind, input: InputSize, nprocs: usize, strategy: RecoveryStrategy) -> Self {
+    pub fn new(
+        app: ProxyKind,
+        input: InputSize,
+        nprocs: usize,
+        strategy: RecoveryStrategy,
+    ) -> Self {
         let options = SuiteOptions::default();
         Experiment {
             app,
@@ -118,14 +135,22 @@ mod tests {
     fn options_presets() {
         assert_eq!(SuiteOptions::paper().repetitions, 5);
         assert_eq!(SuiteOptions::default(), SuiteOptions::bench());
-        assert!(SuiteOptions::smoke().scale.linear_fraction < SuiteOptions::paper().scale.linear_fraction);
+        assert!(
+            SuiteOptions::smoke().scale.linear_fraction
+                < SuiteOptions::paper().scale.linear_fraction
+        );
     }
 
     #[test]
     fn experiment_builders_and_label() {
-        let e = Experiment::new(ProxyKind::Amg, InputSize::Medium, 64, RecoveryStrategy::Ulfm)
-            .with_failure(true)
-            .with_repetitions(3);
+        let e = Experiment::new(
+            ProxyKind::Amg,
+            InputSize::Medium,
+            64,
+            RecoveryStrategy::Ulfm,
+        )
+        .with_failure(true)
+        .with_repetitions(3);
         assert!(e.inject_failure);
         assert_eq!(e.repetitions, 3);
         assert_eq!(e.label(), "AMG/Medium/64/ULFM-FTI/fault");
@@ -136,8 +161,13 @@ mod tests {
     #[test]
     fn with_options_applies_scale_and_seed() {
         let opts = SuiteOptions::smoke();
-        let e = Experiment::new(ProxyKind::Hpccg, InputSize::Small, 8, RecoveryStrategy::Reinit)
-            .with_options(&opts);
+        let e = Experiment::new(
+            ProxyKind::Hpccg,
+            InputSize::Small,
+            8,
+            RecoveryStrategy::Reinit,
+        )
+        .with_options(&opts);
         assert_eq!(e.seed, opts.seed);
         assert_eq!(e.scale, opts.scale);
     }

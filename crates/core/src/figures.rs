@@ -5,13 +5,19 @@
 //! time, the checkpoint-write time and (for the with-failure figures) the MPI recovery
 //! time, for every (application, group, design) combination. `group` is the process
 //! count for the scaling figures and the input size for the input-size figures.
+//!
+//! All generators execute through a [`SuiteEngine`]: the plain functions use the
+//! process-wide [`SuiteEngine::global`] instance (so repeated targets — Fig. 6
+//! followed by Fig. 7 or the findings — are answered from the result cache), and each
+//! has a `*_with_engine` variant for callers that manage their own engine, e.g. to
+//! pin the job count or isolate cache statistics.
 
 use proxies::ProxyKind;
 use recovery::RunReport;
 
+use crate::engine::{SuiteEngine, SuiteError};
 use crate::experiment::Experiment;
 use crate::matrix::{input_size_matrix, scaling_matrix, MatrixOptions};
-use crate::runner::run_experiment;
 use crate::table::{secs, TextTable};
 
 /// One row of a figure: one (application, group, design) cell.
@@ -98,25 +104,45 @@ fn row_from_report(experiment: &Experiment, group: String, report: &RunReport) -
     }
 }
 
-fn run_matrix(title: &str, experiments: Vec<Experiment>, group_by_procs: bool, with_failure: bool) -> FigureData {
+fn run_matrix(
+    engine: &SuiteEngine,
+    title: &str,
+    experiments: Vec<Experiment>,
+    group_by_procs: bool,
+    with_failure: bool,
+) -> Result<FigureData, SuiteError> {
+    let reports = engine.run_matrix(&experiments)?;
     let rows = experiments
         .iter()
-        .map(|e| {
-            let report = run_experiment(e);
+        .zip(&reports)
+        .map(|(e, report)| {
             let group = if group_by_procs {
                 e.nprocs.to_string()
             } else {
                 e.input.name().to_string()
             };
-            row_from_report(e, group, &report)
+            row_from_report(e, group, report)
         })
         .collect();
-    FigureData { title: title.to_string(), with_failure, rows }
+    Ok(FigureData {
+        title: title.to_string(),
+        with_failure,
+        rows,
+    })
 }
 
 /// Figure 5: execution-time breakdown across scaling sizes, **no failures**.
-pub fn fig5_scaling_no_failure(options: &MatrixOptions) -> FigureData {
+pub fn fig5_scaling_no_failure(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig5_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig5_scaling_no_failure`] on a caller-provided engine.
+pub fn fig5_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
     run_matrix(
+        engine,
         "Figure 5: execution time breakdown across scaling sizes (no process failures)",
         scaling_matrix(options, false),
         true,
@@ -126,8 +152,17 @@ pub fn fig5_scaling_no_failure(options: &MatrixOptions) -> FigureData {
 
 /// Figure 6: execution-time breakdown across scaling sizes, **with one process
 /// failure**.
-pub fn fig6_scaling_with_failure(options: &MatrixOptions) -> FigureData {
+pub fn fig6_scaling_with_failure(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig6_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig6_scaling_with_failure`] on a caller-provided engine.
+pub fn fig6_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
     run_matrix(
+        engine,
         "Figure 6: execution time breakdown recovering from a process failure across scaling sizes",
         scaling_matrix(options, true),
         true,
@@ -136,21 +171,38 @@ pub fn fig6_scaling_with_failure(options: &MatrixOptions) -> FigureData {
 }
 
 /// Figure 7: MPI recovery time across scaling sizes (derived from the same runs as
-/// Fig. 6 but reporting only the recovery component).
-pub fn fig7_recovery_scaling(options: &MatrixOptions) -> FigureData {
-    let mut data = run_matrix(
+/// Fig. 6 but reporting only the recovery component — with the engine cache, the
+/// second of the two figures costs no additional simulation).
+pub fn fig7_recovery_scaling(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig7_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig7_recovery_scaling`] on a caller-provided engine.
+pub fn fig7_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
+    run_matrix(
+        engine,
         "Figure 7: recovery time for different scaling sizes",
         scaling_matrix(options, true),
         true,
         true,
-    );
-    data.title = "Figure 7: recovery time for different scaling sizes".to_string();
-    data
+    )
 }
 
 /// Figure 8: execution-time breakdown across input sizes, no failures.
-pub fn fig8_input_no_failure(options: &MatrixOptions) -> FigureData {
+pub fn fig8_input_no_failure(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig8_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig8_input_no_failure`] on a caller-provided engine.
+pub fn fig8_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
     run_matrix(
+        engine,
         "Figure 8: execution time breakdown across input problem sizes (no process failures)",
         input_size_matrix(options, false),
         false,
@@ -159,8 +211,17 @@ pub fn fig8_input_no_failure(options: &MatrixOptions) -> FigureData {
 }
 
 /// Figure 9: execution-time breakdown across input sizes, with one process failure.
-pub fn fig9_input_with_failure(options: &MatrixOptions) -> FigureData {
+pub fn fig9_input_with_failure(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig9_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig9_input_with_failure`] on a caller-provided engine.
+pub fn fig9_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
     run_matrix(
+        engine,
         "Figure 9: execution time breakdown recovering from a process failure across input problem sizes",
         input_size_matrix(options, true),
         false,
@@ -168,9 +229,19 @@ pub fn fig9_input_with_failure(options: &MatrixOptions) -> FigureData {
     )
 }
 
-/// Figure 10: MPI recovery time across input sizes.
-pub fn fig10_recovery_input(options: &MatrixOptions) -> FigureData {
+/// Figure 10: MPI recovery time across input sizes (shares every run with Fig. 9
+/// through the engine cache).
+pub fn fig10_recovery_input(options: &MatrixOptions) -> Result<FigureData, SuiteError> {
+    fig10_with_engine(SuiteEngine::global(), options)
+}
+
+/// [`fig10_recovery_input`] on a caller-provided engine.
+pub fn fig10_with_engine(
+    engine: &SuiteEngine,
+    options: &MatrixOptions,
+) -> Result<FigureData, SuiteError> {
     run_matrix(
+        engine,
         "Figure 10: recovery time for different input problem sizes",
         input_size_matrix(options, true),
         false,
@@ -181,8 +252,8 @@ pub fn fig10_recovery_input(options: &MatrixOptions) -> FigureData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proxies::registry::ExecutionScale;
     use crate::experiment::SuiteOptions;
+    use proxies::registry::ExecutionScale;
 
     fn tiny_options() -> MatrixOptions {
         MatrixOptions::laptop()
@@ -192,7 +263,7 @@ mod tests {
 
     #[test]
     fn fig5_rows_cover_all_designs_and_groups() {
-        let data = fig5_scaling_no_failure(&tiny_options());
+        let data = fig5_scaling_no_failure(&tiny_options()).unwrap();
         assert_eq!(data.rows.len(), 2 * 3);
         assert!(!data.with_failure);
         for row in &data.rows {
@@ -209,7 +280,7 @@ mod tests {
 
     #[test]
     fn fig7_recovery_orders_designs_correctly() {
-        let data = fig7_recovery_scaling(&tiny_options());
+        let data = fig7_recovery_scaling(&tiny_options()).unwrap();
         for group in ["2", "4"] {
             let get = |design: &str| {
                 data.rows
@@ -222,8 +293,14 @@ mod tests {
             let ulfm = get("ULFM-FTI");
             let reinit = get("REINIT-FTI");
             assert!(reinit > 0.0);
-            assert!(reinit < ulfm, "group {group}: reinit {reinit} !< ulfm {ulfm}");
-            assert!(ulfm < restart, "group {group}: ulfm {ulfm} !< restart {restart}");
+            assert!(
+                reinit < ulfm,
+                "group {group}: reinit {reinit} !< ulfm {ulfm}"
+            );
+            assert!(
+                ulfm < restart,
+                "group {group}: ulfm {ulfm} !< restart {restart}"
+            );
         }
     }
 
@@ -233,12 +310,41 @@ mod tests {
             process_counts: vec![2],
             default_procs: 2,
             apps: vec![ProxyKind::MiniVite],
-            suite: SuiteOptions { scale: ExecutionScale::smoke(), ..SuiteOptions::smoke() },
+            suite: SuiteOptions {
+                scale: ExecutionScale::smoke(),
+                ..SuiteOptions::smoke()
+            },
         };
-        let data = fig8_input_no_failure(&options);
+        let data = fig8_input_no_failure(&options).unwrap();
         assert_eq!(data.rows.len(), 3 * 3);
-        let groups: std::collections::BTreeSet<_> = data.rows.iter().map(|r| r.group.clone()).collect();
+        let groups: std::collections::BTreeSet<_> =
+            data.rows.iter().map(|r| r.group.clone()).collect();
         assert_eq!(groups.len(), 3);
         assert!(groups.contains("Small") && groups.contains("Medium") && groups.contains("Large"));
+    }
+
+    #[test]
+    fn fig6_then_fig7_reuses_every_run() {
+        let engine = SuiteEngine::with_jobs(2);
+        let options = tiny_options();
+        let fig6 = fig6_with_engine(&engine, &options).unwrap();
+        let after_fig6 = engine.cache_stats();
+        assert_eq!(after_fig6.hits, 0);
+        assert_eq!(after_fig6.misses as usize, fig6.rows.len());
+        let fig7 = fig7_with_engine(&engine, &options).unwrap();
+        let after_fig7 = engine.cache_stats();
+        assert_eq!(
+            after_fig7.misses, after_fig6.misses,
+            "fig7 recomputes nothing"
+        );
+        assert_eq!(
+            after_fig7.hits as usize,
+            fig7.rows.len(),
+            "fig7 is all cache hits"
+        );
+        // And the shared cells carry identical numbers.
+        for (a, b) in fig6.rows.iter().zip(&fig7.rows) {
+            assert_eq!(a.recovery, b.recovery);
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! * checkpoint writing accounts for about 13% of the total execution time;
 //! * ULFM delays application execution even without failures, Reinit does not.
 
-use crate::figures::FigureData;
+use crate::engine::{SuiteEngine, SuiteError};
+use crate::figures::{fig6_with_engine, FigureData};
+use crate::matrix::MatrixOptions;
 use crate::table::TextTable;
 
 /// Aggregated comparison ratios between the three designs.
@@ -32,6 +34,13 @@ pub struct Findings {
 }
 
 impl Findings {
+    /// Regenerates the Fig. 6 matrix through `engine` and derives the findings from
+    /// it. When the engine already ran Fig. 6 (or Fig. 7, which shares every cell),
+    /// this recomputes nothing: all cells are answered from the result cache.
+    pub fn compute(engine: &SuiteEngine, options: &MatrixOptions) -> Result<Findings, SuiteError> {
+        Ok(Findings::from_figure(&fig6_with_engine(engine, options)?))
+    }
+
     /// Derives the findings from with-failure figure data (Fig. 6/7 or Fig. 9/10
     /// style). Cells are matched by (application, group).
     ///
@@ -45,10 +54,14 @@ impl Findings {
         let mut ckpt_fraction = Vec::new();
         let mut app_inflation = Vec::new();
 
-        let mut cells: std::collections::BTreeMap<(String, String), [Option<&crate::figures::FigureRow>; 3]> =
-            std::collections::BTreeMap::new();
+        let mut cells: std::collections::BTreeMap<
+            (String, String),
+            [Option<&crate::figures::FigureRow>; 3],
+        > = std::collections::BTreeMap::new();
         for row in &data.rows {
-            let entry = cells.entry((row.app.name().to_string(), row.group.clone())).or_default();
+            let entry = cells
+                .entry((row.app.name().to_string(), row.group.clone()))
+                .or_default();
             match row.design.as_str() {
                 "RESTART-FTI" => entry[0] = Some(row),
                 "ULFM-FTI" => entry[1] = Some(row),
@@ -57,9 +70,11 @@ impl Findings {
             }
         }
         for ((app, group), designs) in &cells {
-            let restart = designs[0].unwrap_or_else(|| panic!("missing RESTART-FTI for {app}/{group}"));
+            let restart =
+                designs[0].unwrap_or_else(|| panic!("missing RESTART-FTI for {app}/{group}"));
             let ulfm = designs[1].unwrap_or_else(|| panic!("missing ULFM-FTI for {app}/{group}"));
-            let reinit = designs[2].unwrap_or_else(|| panic!("missing REINIT-FTI for {app}/{group}"));
+            let reinit =
+                designs[2].unwrap_or_else(|| panic!("missing REINIT-FTI for {app}/{group}"));
             if data.with_failure && reinit.recovery > 0.0 {
                 ulfm_ratio.push(ulfm.recovery / reinit.recovery);
                 restart_ratio.push(restart.recovery / reinit.recovery);
@@ -77,7 +92,13 @@ impl Findings {
             }
         }
 
-        let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
         let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
 
         Findings {
@@ -155,7 +176,11 @@ mod tests {
                 recovery,
             });
         }
-        FigureData { title: "synthetic".into(), with_failure: true, rows }
+        FigureData {
+            title: "synthetic".into(),
+            with_failure: true,
+            rows,
+        }
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!
 //! The main entry points are:
 //!
+//! * [`engine::SuiteEngine`] — the execution engine: runs experiments in parallel
+//!   (bounded by the `MATCH_JOBS` environment variable), caches every result by
+//!   content ([`cache::ExperimentId`]), and reports failures as
+//!   [`engine::SuiteError`] values instead of panicking;
 //! * [`Experiment`] / [`runner::run_experiment`] — run one workload under one design
 //!   at one scale, with or without an injected process failure, averaged over
 //!   repetitions, and get back a [`recovery::RunReport`] time breakdown;
@@ -19,8 +23,7 @@
 //!   Restart recovery ratios, checkpoint-time fraction).
 //!
 //! ```
-//! use match_core::{Experiment, SuiteOptions};
-//! use match_core::runner::run_experiment;
+//! use match_core::{Experiment, SuiteEngine, SuiteOptions};
 //! use proxies::{InputSize, ProxyKind};
 //! use recovery::RecoveryStrategy;
 //!
@@ -28,13 +31,19 @@
 //! let experiment = Experiment::new(ProxyKind::Hpccg, InputSize::Small, 8, RecoveryStrategy::Reinit)
 //!     .with_failure(true)
 //!     .with_options(&options);
-//! let report = run_experiment(&experiment);
+//! let engine = SuiteEngine::new();
+//! let report = engine.run(&experiment).expect("experiment must recover");
 //! assert!(report.recovery_time().as_secs() > 0.0);
+//! // Asking again is answered from the engine's result cache.
+//! assert_eq!(engine.run(&experiment).unwrap(), report);
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
+pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod findings;
@@ -43,6 +52,8 @@ pub mod runner;
 pub mod table;
 pub mod table1;
 
+pub use cache::{CacheStats, ExperimentId};
+pub use engine::{SuiteEngine, SuiteError};
 pub use experiment::{Experiment, SuiteOptions};
 pub use figures::{FigureData, FigureRow};
 pub use findings::Findings;

@@ -50,7 +50,10 @@ impl MatrixOptions {
             process_counts: vec![8, 16, 32, 64],
             default_procs: 8,
             apps: ProxyKind::ALL.to_vec(),
-            suite: SuiteOptions { scale: proxies::registry::ExecutionScale::smoke(), ..SuiteOptions::bench() },
+            suite: SuiteOptions {
+                scale: proxies::registry::ExecutionScale::smoke(),
+                ..SuiteOptions::bench()
+            },
         }
     }
 
@@ -136,6 +139,21 @@ pub fn input_size_matrix(options: &MatrixOptions, inject_failure: bool) -> Vec<E
     experiments
 }
 
+/// The union of every experiment behind Figs. 5–10: the scaling sweep and the
+/// input-size sweep, each with and without fault injection.
+///
+/// The `match-bench all` target feeds this to
+/// [`SuiteEngine::run_matrix`](crate::engine::SuiteEngine::run_matrix) as one wave,
+/// so the whole evaluation saturates the worker pool once and every figure then
+/// renders from cache.
+pub fn full_suite_matrix(options: &MatrixOptions) -> Vec<Experiment> {
+    let mut experiments = scaling_matrix(options, false);
+    experiments.extend(scaling_matrix(options, true));
+    experiments.extend(input_size_matrix(options, false));
+    experiments.extend(input_size_matrix(options, true));
+    experiments
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,8 +173,14 @@ mod tests {
     #[test]
     fn lulesh_only_gets_first_and_last_rung() {
         let options = MatrixOptions::laptop();
-        assert_eq!(scaled_process_counts(ProxyKind::Lulesh, &options), vec![8, 64]);
-        assert_eq!(scaled_process_counts(ProxyKind::Amg, &options), vec![8, 16, 32, 64]);
+        assert_eq!(
+            scaled_process_counts(ProxyKind::Lulesh, &options),
+            vec![8, 64]
+        );
+        assert_eq!(
+            scaled_process_counts(ProxyKind::Amg, &options),
+            vec![8, 16, 32, 64]
+        );
     }
 
     #[test]
@@ -174,5 +198,14 @@ mod tests {
     #[should_panic]
     fn empty_process_counts_panic() {
         let _ = MatrixOptions::laptop().with_process_counts(vec![]);
+    }
+
+    #[test]
+    fn full_suite_matrix_is_the_union_of_the_four_sweeps() {
+        let options = MatrixOptions::paper();
+        let all = full_suite_matrix(&options);
+        // 66 scaling cells and 54 input cells, each with and without failure.
+        assert_eq!(all.len(), 2 * 66 + 2 * 54);
+        assert_eq!(all.iter().filter(|e| e.inject_failure).count(), 66 + 54);
     }
 }

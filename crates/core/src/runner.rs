@@ -1,4 +1,10 @@
 //! Executes experiments on the simulated cluster.
+//!
+//! [`run_experiment`] and [`run_all_designs`] are convenience fronts over the
+//! process-wide [`SuiteEngine`](crate::engine::SuiteEngine): results are cached by
+//! experiment content and failures are reported as [`SuiteError`] values instead of
+//! panics. The uncached single-run primitives ([`run_experiment_uncached`],
+//! [`run_single`]) remain available for tests and tools that must bypass the cache.
 
 use std::sync::Arc;
 
@@ -6,30 +12,40 @@ use fti::store::CheckpointStore;
 use fti::FtiConfig;
 use mpisim::{Cluster, ClusterConfig};
 use proxies::registry::ProxySpec;
-use recovery::{FaultPlan, FtConfig, FtDriver, RecoveryStrategy, RunReport};
+use recovery::{FaultPlan, FtConfig, FtDriver, RunReport};
 
+use crate::engine::{SuiteEngine, SuiteError};
 use crate::experiment::Experiment;
 
-/// Runs one experiment: builds the cluster, runs the configured proxy application under
-/// the configured fault-tolerance design `repetitions` times, and averages the
-/// resulting time breakdowns (the paper averages five repetitions to reduce noise; the
-/// simulator is deterministic, so repetitions mostly matter when sweeping seeds).
+/// Runs one experiment through the process-wide engine: the result is recalled from
+/// the cache when the same experiment (by content) has already run, and computed on
+/// the spot otherwise.
 ///
-/// # Panics
-///
-/// Panics if any rank of any repetition reports an error — an experiment that cannot
-/// complete indicates a bug in the suite rather than a measurement.
-pub fn run_experiment(experiment: &Experiment) -> RunReport {
-    let reports: Vec<RunReport> = (0..experiment.repetitions.max(1))
-        .map(|rep| run_single(experiment, rep))
-        .collect();
-    RunReport::average(&reports)
+/// An experiment whose ranks report unrecovered errors yields a
+/// [`SuiteError::RankFailures`] instead of panicking.
+pub fn run_experiment(experiment: &Experiment) -> Result<RunReport, SuiteError> {
+    SuiteEngine::global().run(experiment)
 }
 
-/// Runs one repetition of an experiment.
-pub fn run_single(experiment: &Experiment, repetition: u32) -> RunReport {
+/// Runs one experiment without consulting any cache: builds the cluster, runs the
+/// configured proxy application under the configured fault-tolerance design
+/// `repetitions` times, and averages the resulting time breakdowns (the paper
+/// averages five repetitions to reduce noise; the simulator is deterministic, so
+/// repetitions mostly matter when sweeping seeds).
+pub fn run_experiment_uncached(experiment: &Experiment) -> Result<RunReport, SuiteError> {
+    let reports: Vec<RunReport> = (0..experiment.repetitions.max(1))
+        .map(|rep| run_single(experiment, rep))
+        .collect::<Result<_, _>>()?;
+    Ok(RunReport::average(&reports))
+}
+
+/// Runs one repetition of an experiment, uncached.
+pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport, SuiteError> {
     let spec = ProxySpec::new(experiment.app, experiment.input, experiment.scale);
-    let iterations = spec.build().iterations();
+    // Build the application once: the instance is immutable during execution, so all
+    // ranks can run the same one, and its iteration count feeds the fault plan.
+    let app = spec.build();
+    let iterations = app.iterations();
     let fault = if experiment.inject_failure {
         // Like the paper: a random rank and a random iteration, reproducible through
         // the seed (varied per repetition).
@@ -44,23 +60,18 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> RunReport {
     // iterations, so the interval is tightened to keep at least two checkpoints per
     // run (never more often than every other iteration).
     let interval = 10u64.min((iterations / 2).max(1));
-    let ft_config =
-        FtConfig::new(experiment.strategy, FtiConfig::default().interval(interval)).with_fault(fault);
+    let ft_config = FtConfig::new(experiment.strategy, FtiConfig::default().interval(interval))
+        .with_fault(fault);
 
     let cluster = Cluster::new(ClusterConfig::with_ranks(experiment.nprocs));
     let store = CheckpointStore::shared();
-    let outcome = cluster.run(|ctx| {
+    let outcome = cluster.run(move |ctx| {
         let driver = FtDriver::new(ft_config.clone(), Arc::clone(&store));
-        let app = spec.build();
         driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
     });
 
     if !outcome.all_ok() {
-        panic!(
-            "experiment {} failed: {:?}",
-            experiment.label(),
-            outcome.errors()
-        );
+        return Err(SuiteError::from_outcome(experiment.label(), &outcome));
     }
 
     let restarts = outcome
@@ -70,7 +81,7 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> RunReport {
         .max()
         .unwrap_or(0);
 
-    RunReport {
+    Ok(RunReport {
         strategy: experiment.strategy,
         nprocs: experiment.nprocs,
         failure_injected: experiment.inject_failure,
@@ -78,22 +89,16 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> RunReport {
         total_time: outcome.max_time(),
         stats: outcome.total_stats(),
         restarts,
-    }
+    })
 }
 
 /// Runs the same workload under all three designs and returns the reports in the
 /// paper's order (RESTART-FTI, ULFM-FTI, REINIT-FTI is presented as REINIT last in the
 /// text but the figures order the bars RESTART, REINIT, ULFM; here we return them in
-/// [`RecoveryStrategy::ALL`] order: Restart, Ulfm, Reinit).
-pub fn run_all_designs(base: &Experiment) -> Vec<RunReport> {
-    RecoveryStrategy::ALL
-        .iter()
-        .map(|&strategy| {
-            let mut e = *base;
-            e.strategy = strategy;
-            run_experiment(&e)
-        })
-        .collect()
+/// [`recovery::RecoveryStrategy::ALL`] order: Restart, Ulfm, Reinit). Scheduled through the
+/// process-wide engine, so the three designs run concurrently when jobs allow.
+pub fn run_all_designs(base: &Experiment) -> Result<Vec<RunReport>, SuiteError> {
+    SuiteEngine::global().run_all_designs(base)
 }
 
 #[cfg(test)]
@@ -102,6 +107,7 @@ mod tests {
     use crate::experiment::SuiteOptions;
     use mpisim::SimTime;
     use proxies::{InputSize, ProxyKind};
+    use recovery::RecoveryStrategy;
 
     fn smoke_experiment(strategy: RecoveryStrategy, inject: bool) -> Experiment {
         Experiment::new(ProxyKind::Hpccg, InputSize::Small, 4, strategy)
@@ -111,7 +117,7 @@ mod tests {
 
     #[test]
     fn failure_free_run_has_no_recovery_time() {
-        let report = run_experiment(&smoke_experiment(RecoveryStrategy::Reinit, false));
+        let report = run_experiment(&smoke_experiment(RecoveryStrategy::Reinit, false)).unwrap();
         assert_eq!(report.recovery_time(), SimTime::ZERO);
         assert!(report.application_time().as_secs() > 0.0);
         assert!(report.checkpoint_time().as_secs() > 0.0);
@@ -121,7 +127,7 @@ mod tests {
 
     #[test]
     fn injected_failure_produces_recovery_time_and_a_restart() {
-        let report = run_experiment(&smoke_experiment(RecoveryStrategy::Reinit, true));
+        let report = run_experiment(&smoke_experiment(RecoveryStrategy::Reinit, true)).unwrap();
         assert!(report.recovery_time().as_secs() > 0.0);
         assert!(report.restarts >= 1);
         assert!(report.failure_injected);
@@ -130,7 +136,7 @@ mod tests {
     #[test]
     fn all_designs_complete_and_are_ordered_on_recovery() {
         let base = smoke_experiment(RecoveryStrategy::Restart, true);
-        let reports = run_all_designs(&base);
+        let reports = run_all_designs(&base).unwrap();
         assert_eq!(reports.len(), 3);
         let restart = &reports[0];
         let ulfm = &reports[1];
@@ -143,10 +149,19 @@ mod tests {
     fn repetitions_average_deterministic_runs() {
         let mut e = smoke_experiment(RecoveryStrategy::Reinit, false);
         e = e.with_repetitions(2);
-        let avg = run_experiment(&e);
-        let single = run_experiment(&e.with_repetitions(1));
+        let avg = run_experiment(&e).unwrap();
+        let single = run_experiment(&e.with_repetitions(1)).unwrap();
         // The simulator is deterministic, so averaging identical repetitions changes
         // nothing.
         assert!((avg.total_time.as_secs() - single.total_time.as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree_exactly() {
+        // Failure-free, hence bit-deterministic.
+        let e = smoke_experiment(RecoveryStrategy::Ulfm, false);
+        let through_engine = run_experiment(&e).unwrap();
+        let fresh = run_experiment_uncached(&e).unwrap();
+        assert_eq!(through_engine, fresh);
     }
 }

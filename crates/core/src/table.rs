@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -20,7 +23,11 @@ impl TextTable {
     /// Panics if the row has a different number of columns than the header.
     pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
     }
 
@@ -68,7 +75,14 @@ impl TextTable {
                 cell.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -52,15 +52,22 @@ pub fn find_checkpoint_objects(trace: &Trace) -> AnalysisResult {
     for r in trace.records() {
         if r.in_main_loop {
             if matches!(r.op, OpKind::Load | OpKind::Store) {
-                values_in_loop.entry(r.location.clone()).or_default().push(r.value);
+                values_in_loop
+                    .entry(r.location.clone())
+                    .or_default()
+                    .push(r.value);
                 if !r.object.is_empty() {
-                    object_of.entry(r.location.clone()).or_insert_with(|| r.object.clone());
+                    object_of
+                        .entry(r.location.clone())
+                        .or_insert_with(|| r.object.clone());
                 }
             }
         } else if matches!(r.op, OpKind::Define | OpKind::Store) {
             before_loop.insert(r.location.clone());
             if !r.object.is_empty() {
-                object_of.entry(r.location.clone()).or_insert_with(|| r.object.clone());
+                object_of
+                    .entry(r.location.clone())
+                    .or_insert_with(|| r.object.clone());
             }
         }
     }
@@ -120,9 +127,27 @@ mod tests {
         let mut t = Trace::new();
         // Defined before the loop: state (varies), matrix (constant), rhs (never used
         // in the loop).
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "state", 0, 1));
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x200), "matrix", 0, 2));
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x300), "rhs", 0, 3));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x100),
+            "state",
+            0,
+            1,
+        ));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x200),
+            "matrix",
+            0,
+            2,
+        ));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x300),
+            "rhs",
+            0,
+            3,
+        ));
         for iteration in 0..4u64 {
             t.push(TraceRecord::in_loop(
                 OpKind::Store,
@@ -132,7 +157,14 @@ mod tests {
                 20,
                 iteration,
             ));
-            t.push(TraceRecord::in_loop(OpKind::Load, Location::Memory(0x200), "matrix", 7, 21, iteration));
+            t.push(TraceRecord::in_loop(
+                OpKind::Load,
+                Location::Memory(0x200),
+                "matrix",
+                7,
+                21,
+                iteration,
+            ));
             // A loop-local scratch location that varies but was not defined before.
             t.push(TraceRecord::in_loop(
                 OpKind::Store,
@@ -165,11 +197,37 @@ mod tests {
     #[test]
     fn multiple_locations_of_one_object_are_grouped() {
         let mut t = Trace::new();
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "field", 0, 1));
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x108), "field", 0, 1));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x100),
+            "field",
+            0,
+            1,
+        ));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x108),
+            "field",
+            0,
+            1,
+        ));
         for iteration in 0..3u64 {
-            t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x100), "field", iteration, 9, iteration));
-            t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x108), "field", iteration * 2, 9, iteration));
+            t.push(TraceRecord::in_loop(
+                OpKind::Store,
+                Location::Memory(0x100),
+                "field",
+                iteration,
+                9,
+                iteration,
+            ));
+            t.push(TraceRecord::in_loop(
+                OpKind::Store,
+                Location::Memory(0x108),
+                "field",
+                iteration * 2,
+                9,
+                iteration,
+            ));
         }
         let result = find_checkpoint_objects(&t);
         assert_eq!(result.objects.len(), 1);
@@ -180,9 +238,29 @@ mod tests {
     #[test]
     fn unnamed_locations_get_placeholder_names() {
         let mut t = Trace::new();
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x40), "", 0, 1));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x40), "", 1, 2, 0));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x40), "", 2, 2, 1));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x40),
+            "",
+            0,
+            1,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Memory(0x40),
+            "",
+            1,
+            2,
+            0,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Memory(0x40),
+            "",
+            2,
+            2,
+            1,
+        ));
         let result = find_checkpoint_objects(&t);
         assert_eq!(result.objects.len(), 1);
         assert!(result.objects[0].name.contains("unnamed"));
@@ -191,11 +269,34 @@ mod tests {
     #[test]
     fn register_locations_participate_like_memory() {
         let mut t = Trace::new();
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Register("acc".into()), "acc", 0, 1));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Register("acc".into()), "acc", 1, 5, 0));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Register("acc".into()), "acc", 2, 5, 1));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Register("acc".into()),
+            "acc",
+            0,
+            1,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Register("acc".into()),
+            "acc",
+            1,
+            5,
+            0,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Register("acc".into()),
+            "acc",
+            2,
+            5,
+            1,
+        ));
         let result = find_checkpoint_objects(&t);
-        assert_eq!(result.checkpoint_locations, vec![Location::Register("acc".into())]);
+        assert_eq!(
+            result.checkpoint_locations,
+            vec![Location::Register("acc".into())]
+        );
     }
 
     #[test]
@@ -203,9 +304,29 @@ mod tests {
         // A location first written (not just allocated) before the loop is also a
         // candidate, mirroring "defined or allocated before the main computation loop".
         let mut t = Trace::new();
-        t.push(TraceRecord::before_loop(OpKind::Store, Location::Memory(0x10), "x", 3, 1));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x10), "x", 4, 2, 0));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x10), "x", 5, 2, 1));
+        t.push(TraceRecord::before_loop(
+            OpKind::Store,
+            Location::Memory(0x10),
+            "x",
+            3,
+            1,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Memory(0x10),
+            "x",
+            4,
+            2,
+            0,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Memory(0x10),
+            "x",
+            5,
+            2,
+            1,
+        ));
         let result = find_checkpoint_objects(&t);
         assert_eq!(result.object_names(), vec!["x"]);
     }

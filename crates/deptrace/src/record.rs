@@ -57,7 +57,13 @@ pub struct TraceRecord {
 
 impl TraceRecord {
     /// Creates a record for an operation before the main loop.
-    pub fn before_loop(op: OpKind, location: Location, object: &str, value: u64, line: u32) -> Self {
+    pub fn before_loop(
+        op: OpKind,
+        location: Location,
+        object: &str,
+        value: u64,
+        line: u32,
+    ) -> Self {
         TraceRecord {
             op,
             location,

@@ -30,7 +30,11 @@ pub fn format_report(result: &crate::analysis::AnalysisResult) -> String {
         out.push_str("(none)\n");
     }
     for obj in &result.objects {
-        out.push_str(&format!("* {:<20} {} location(s)\n", obj.name, obj.location_count()));
+        out.push_str(&format!(
+            "* {:<20} {} location(s)\n",
+            obj.name,
+            obj.location_count()
+        ));
         for loc in &obj.locations {
             out.push_str(&format!("    - {loc}\n"));
         }
@@ -61,7 +65,10 @@ mod tests {
     fn report_lists_objects_and_discards() {
         let result = AnalysisResult {
             checkpoint_locations: vec![Location::Memory(0x10)],
-            objects: vec![CheckpointObject { name: "state".into(), locations: vec![Location::Memory(0x10)] }],
+            objects: vec![CheckpointObject {
+                name: "state".into(),
+                locations: vec![Location::Memory(0x10)],
+            }],
             constant_locations: vec![Location::Memory(0x20)],
             loop_local_locations: vec![],
         };

@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -72,7 +76,10 @@ impl Trace {
                 Location::Memory(addr) => format!("mem:{addr:#x}"),
             };
             let phase = if r.in_main_loop { "loop" } else { "pre" };
-            let iter = r.iteration.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
+            let iter = r
+                .iteration
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!(
                 "{op} {loc} {} {} {} {phase} {iter}\n",
                 if r.object.is_empty() { "-" } else { &r.object },
@@ -108,7 +115,10 @@ impl Trace {
                 "load" => OpKind::Load,
                 "store" => OpKind::Store,
                 other => {
-                    return Err(ParseError { line: lineno, message: format!("unknown op '{other}'") })
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown op '{other}'"),
+                    })
                 }
             };
             let location = if let Some(name) = fields[1].strip_prefix("reg:") {
@@ -126,13 +136,19 @@ impl Trace {
                     message: format!("bad location '{}'", fields[1]),
                 });
             };
-            let object = if fields[2] == "-" { String::new() } else { fields[2].to_string() };
-            let value: u64 = fields[3]
-                .parse()
-                .map_err(|e| ParseError { line: lineno, message: format!("bad value: {e}") })?;
-            let src_line: u32 = fields[4]
-                .parse()
-                .map_err(|e| ParseError { line: lineno, message: format!("bad line: {e}") })?;
+            let object = if fields[2] == "-" {
+                String::new()
+            } else {
+                fields[2].to_string()
+            };
+            let value: u64 = fields[3].parse().map_err(|e| ParseError {
+                line: lineno,
+                message: format!("bad value: {e}"),
+            })?;
+            let src_line: u32 = fields[4].parse().map_err(|e| ParseError {
+                line: lineno,
+                message: format!("bad line: {e}"),
+            })?;
             let in_main_loop = match fields[5] {
                 "loop" => true,
                 "pre" => false,
@@ -171,10 +187,36 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Memory(0x100), "x", 0, 3));
-        t.push(TraceRecord::before_loop(OpKind::Define, Location::Register("tmp".into()), "", 1, 4));
-        t.push(TraceRecord::in_loop(OpKind::Store, Location::Memory(0x100), "x", 5, 10, 0));
-        t.push(TraceRecord::in_loop(OpKind::Load, Location::Memory(0x100), "x", 5, 11, 1));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Memory(0x100),
+            "x",
+            0,
+            3,
+        ));
+        t.push(TraceRecord::before_loop(
+            OpKind::Define,
+            Location::Register("tmp".into()),
+            "",
+            1,
+            4,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Store,
+            Location::Memory(0x100),
+            "x",
+            5,
+            10,
+            0,
+        ));
+        t.push(TraceRecord::in_loop(
+            OpKind::Load,
+            Location::Memory(0x100),
+            "x",
+            5,
+            11,
+            1,
+        ));
         t
     }
 
@@ -235,7 +277,11 @@ mod proptests {
 
     fn arb_record() -> impl Strategy<Value = TraceRecord> {
         (
-            prop_oneof![Just(OpKind::Define), Just(OpKind::Load), Just(OpKind::Store)],
+            prop_oneof![
+                Just(OpKind::Define),
+                Just(OpKind::Load),
+                Just(OpKind::Store)
+            ],
             arb_location(),
             "[a-z]{0,6}",
             any::<u64>(),
@@ -243,15 +289,17 @@ mod proptests {
             any::<bool>(),
             proptest::option::of(any::<u64>()),
         )
-            .prop_map(|(op, location, object, value, line, in_main_loop, iteration)| TraceRecord {
-                op,
-                location,
-                object,
-                value,
-                line,
-                in_main_loop,
-                iteration,
-            })
+            .prop_map(
+                |(op, location, object, value, line, in_main_loop, iteration)| TraceRecord {
+                    op,
+                    location,
+                    object,
+                    value,
+                    line,
+                    in_main_loop,
+                    iteration,
+                },
+            )
     }
 
     proptest! {

@@ -46,7 +46,14 @@ impl Tracer {
     pub fn record_register_definition(&mut self, object: &str, register: &str, line: u32) {
         let location = Location::Register(register.to_string());
         let record = if self.in_main_loop {
-            TraceRecord::in_loop(OpKind::Define, location, object, 0, line, self.current_iteration)
+            TraceRecord::in_loop(
+                OpKind::Define,
+                location,
+                object,
+                0,
+                line,
+                self.current_iteration,
+            )
         } else {
             TraceRecord::before_loop(OpKind::Define, location, object, 0, line)
         };

@@ -88,7 +88,9 @@ impl Fti {
     ) -> Result<Self, MpiError> {
         ctx.barrier(&comm)?;
         let status = match store.meta(ctx.rank()) {
-            Some(meta) => FtiStatus::Restart { iteration: meta.iteration },
+            Some(meta) => FtiStatus::Restart {
+                iteration: meta.iteration,
+            },
             None => FtiStatus::Fresh,
         };
         let next_ckpt_id = store.meta(ctx.rank()).map(|m| m.ckpt_id + 1).unwrap_or(1);
@@ -118,7 +120,11 @@ impl Fti {
             existing.name = name.to_string();
             existing.bytes = bytes;
         } else {
-            self.registry.push(ProtectedObject { id, name: name.to_string(), bytes });
+            self.registry.push(ProtectedObject {
+                id,
+                name: name.to_string(),
+                bytes,
+            });
         }
     }
 
@@ -180,7 +186,14 @@ impl Fti {
         };
 
         let prev = ctx.set_category(TimeCategory::CheckpointWrite);
-        let result = write_checkpoint(ctx, &self.comm, &self.config, &self.store, meta, &serialized);
+        let result = write_checkpoint(
+            ctx,
+            &self.comm,
+            &self.config,
+            &self.store,
+            meta,
+            &serialized,
+        );
         ctx.set_category(prev);
 
         let outcome = result?;
@@ -218,8 +231,9 @@ impl Fti {
                 objects.len()
             )));
         }
-        for ((id, object), (stored_id, bytes)) in
-            objects.iter_mut().zip(meta.object_ids.iter().zip(&read.objects))
+        for ((id, object), (stored_id, bytes)) in objects
+            .iter_mut()
+            .zip(meta.object_ids.iter().zip(&read.objects))
         {
             if id != stored_id {
                 return Err(MpiError::InvalidArgument(format!(
@@ -253,7 +267,9 @@ impl Fti {
             .object_ids
             .iter()
             .position(|&oid| oid == id)
-            .ok_or_else(|| MpiError::InvalidArgument(format!("object {id} not present in checkpoint")))?;
+            .ok_or_else(|| {
+                MpiError::InvalidArgument(format!("object {id} not present in checkpoint"))
+            })?;
         object.restore_from(&read.objects[idx]);
         self.stats.recoveries += 1;
         self.stats.bytes_read += read.objects[idx].len() as u64;
@@ -351,7 +367,11 @@ mod tests {
             fti.checkpoint(
                 ctx,
                 20,
-                &[(0, &a as &dyn Protectable), (1, &b as &dyn Protectable), (2, &iter_count as &dyn Protectable)],
+                &[
+                    (0, &a as &dyn Protectable),
+                    (1, &b as &dyn Protectable),
+                    (2, &iter_count as &dyn Protectable),
+                ],
             )?;
 
             // Clobber everything, then recover.
@@ -480,7 +500,10 @@ mod tests {
     #[test]
     fn status_helpers() {
         assert!(FtiStatus::Restart { iteration: 5 }.is_restart());
-        assert_eq!(FtiStatus::Restart { iteration: 5 }.restart_iteration(), Some(5));
+        assert_eq!(
+            FtiStatus::Restart { iteration: 5 }.restart_iteration(),
+            Some(5)
+        );
         assert!(!FtiStatus::Fresh.is_restart());
         assert_eq!(FtiStatus::Fresh.restart_iteration(), None);
     }
@@ -490,7 +513,9 @@ mod tests {
         let store = store();
         let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(2));
         let outcome = cluster.run(move |ctx| {
-            let cfg = FtiConfig::level(CheckpointLevel::L3).group_size(4).parity_shards(2);
+            let cfg = FtiConfig::level(CheckpointLevel::L3)
+                .group_size(4)
+                .parity_shards(2);
             let mut fti = Fti::init(cfg, Arc::clone(&store), ctx)?;
             let field: Vec<f64> = (0..500).map(|i| (i + ctx.rank()) as f64).collect();
             fti.protect(0, "field", &field);

@@ -78,7 +78,10 @@ impl Default for FtiConfig {
 impl FtiConfig {
     /// A default configuration at the given level.
     pub fn level(level: CheckpointLevel) -> Self {
-        FtiConfig { level, ..Default::default() }
+        FtiConfig {
+            level,
+            ..Default::default()
+        }
     }
 
     /// Sets the checkpoint interval (in iterations).
@@ -112,7 +115,7 @@ impl FtiConfig {
     /// configuration (the paper checkpoints when `iteration % interval == 0`, skipping
     /// iteration 0 which has nothing worth saving yet).
     pub fn is_checkpoint_iteration(&self, iteration: u64) -> bool {
-        iteration > 0 && iteration % self.interval == 0
+        iteration > 0 && iteration.is_multiple_of(self.interval)
     }
 }
 

@@ -69,7 +69,11 @@ pub fn compute_delta(base: &[u8], new: &[u8], block_size: usize) -> DiffDelta {
             changed.push((idx, block.to_vec()));
         }
     }
-    DiffDelta { block_size, new_len: new.len(), changed }
+    DiffDelta {
+        block_size,
+        new_len: new.len(),
+        changed,
+    }
 }
 
 /// Applies `delta` to `base`, producing the new payload.

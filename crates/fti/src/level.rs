@@ -90,7 +90,11 @@ pub fn write_checkpoint(
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
             blobs.insert(
                 BlobKind::Primary,
-                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::Node(node),
+                    data: payload.clone(),
+                },
             );
             stored_bytes += payload_bytes;
         }
@@ -101,11 +105,19 @@ pub fn write_checkpoint(
             let partner_node = ctx.topology().node_of(partner);
             blobs.insert(
                 BlobKind::Primary,
-                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::Node(node),
+                    data: payload.clone(),
+                },
             );
             blobs.insert(
                 BlobKind::PartnerCopy,
-                StoredBlob { owner_rank: rank, placement: Placement::Node(partner_node), data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::Node(partner_node),
+                    data: payload.clone(),
+                },
             );
             stored_bytes += 2 * payload_bytes;
         }
@@ -114,15 +126,23 @@ pub fn write_checkpoint(
             // Encode and scatter the shards across the encoding group.
             let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
             let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
-            let encoded = rs_code::encode(&payload, k, m)
-                .map_err(|e| MpiError::InvalidArgument(format!("reed-solomon encoding failed: {e}")))?;
-            ctx.elapse(ctx.machine().compute_cost(rs_code::encode_work(payload_bytes, k, m)));
+            let encoded = rs_code::encode(&payload, k, m).map_err(|e| {
+                MpiError::InvalidArgument(format!("reed-solomon encoding failed: {e}"))
+            })?;
+            ctx.elapse(
+                ctx.machine()
+                    .compute_cost(rs_code::encode_work(payload_bytes, k, m)),
+            );
             // Parity and data shards are distributed round-robin over the group's nodes
             // (the group is the `group_size` ranks following this one, wrapping).
             let nprocs = ctx.nprocs();
             blobs.insert(
                 BlobKind::Primary,
-                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::Node(node),
+                    data: payload.clone(),
+                },
             );
             stored_bytes += payload_bytes;
             for (i, shard) in encoded.shards.iter().enumerate() {
@@ -136,7 +156,11 @@ pub fn write_checkpoint(
                 }
                 blobs.insert(
                     BlobKind::RsShard(i),
-                    StoredBlob { owner_rank: rank, placement: Placement::Node(holder_node), data: shard.clone() },
+                    StoredBlob {
+                        owner_rank: rank,
+                        placement: Placement::Node(holder_node),
+                        data: shard.clone(),
+                    },
                 );
                 stored_bytes += shard.len();
             }
@@ -155,11 +179,19 @@ pub fn write_checkpoint(
             ctx.charge_storage_write(StorageTier::ParallelFs, written);
             blobs.insert(
                 BlobKind::Primary,
-                StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::Node(node),
+                    data: payload.clone(),
+                },
             );
             blobs.insert(
                 BlobKind::DiffBase,
-                StoredBlob { owner_rank: rank, placement: Placement::ParallelFs, data: payload.clone() },
+                StoredBlob {
+                    owner_rank: rank,
+                    placement: Placement::ParallelFs,
+                    data: payload.clone(),
+                },
             );
             // L4 also keeps the fast node-local copy for cheap restarts.
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
@@ -168,7 +200,10 @@ pub fn write_checkpoint(
     }
 
     store.put(rank, CheckpointSet { meta, blobs });
-    Ok(WriteOutcome { payload_bytes, stored_bytes })
+    Ok(WriteOutcome {
+        payload_bytes,
+        stored_bytes,
+    })
 }
 
 /// Reads the latest checkpoint of the calling rank back from the store, reconstructing
@@ -238,10 +273,12 @@ pub fn read_checkpoint(
                 }
             }
             ctx.charge_storage_read(StorageTier::PartnerNode, read_bytes);
-            let payload = rs_code::decode(&shards, k, m, meta.bytes).map_err(|e| {
-                MpiError::InvalidArgument(format!("L3 reconstruction failed: {e}"))
-            })?;
-            ctx.elapse(ctx.machine().compute_cost(rs_code::encode_work(meta.bytes, k, m)));
+            let payload = rs_code::decode(&shards, k, m, meta.bytes)
+                .map_err(|e| MpiError::InvalidArgument(format!("L3 reconstruction failed: {e}")))?;
+            ctx.elapse(
+                ctx.machine()
+                    .compute_cost(rs_code::encode_work(meta.bytes, k, m)),
+            );
             Ok(Some(ReadOutcome {
                 objects: meta.split_payload(&payload),
                 iteration: meta.iteration,
@@ -251,7 +288,9 @@ pub fn read_checkpoint(
         }
         CheckpointLevel::L4 => {
             let base = set.blobs.get(&BlobKind::DiffBase).ok_or_else(|| {
-                MpiError::InvalidArgument("L4 checkpoint missing from the parallel file system".into())
+                MpiError::InvalidArgument(
+                    "L4 checkpoint missing from the parallel file system".into(),
+                )
             })?;
             ctx.charge_storage_read(StorageTier::ParallelFs, base.data.len());
             Ok(Some(ReadOutcome {
@@ -281,7 +320,10 @@ mod tests {
         }
     }
 
-    fn run_level(level: CheckpointLevel, erase_home_node: bool) -> Vec<Result<Vec<Vec<u8>>, MpiError>> {
+    fn run_level(
+        level: CheckpointLevel,
+        erase_home_node: bool,
+    ) -> Vec<Result<Vec<Vec<u8>>, MpiError>> {
         let store = CheckpointStore::shared();
         let cfg = FtiConfig::level(level);
         let cluster = Cluster::new(ClusterConfig::with_ranks(8).nodes(4));
@@ -290,7 +332,9 @@ mod tests {
             let world = ctx.world();
             let objects = vec![
                 vec![ctx.rank() as u8; 100],
-                (0..50u8).map(|i| i.wrapping_mul(ctx.rank() as u8 + 1)).collect::<Vec<u8>>(),
+                (0..50u8)
+                    .map(|i| i.wrapping_mul(ctx.rank() as u8 + 1))
+                    .collect::<Vec<u8>>(),
             ];
             let meta = meta_for(&objects, level, 10);
             write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
@@ -300,16 +344,11 @@ mod tests {
                 store2.erase_node(0);
             }
             ctx.barrier(&world)?;
-            let read = read_checkpoint(ctx, &cfg, &store2)?
-                .expect("checkpoint must exist");
+            let read = read_checkpoint(ctx, &cfg, &store2)?.expect("checkpoint must exist");
             assert_eq!(read.iteration, 10);
             Ok(read.objects)
         });
-        outcome
-            .ranks()
-            .iter()
-            .map(|r| r.result.clone())
-            .collect()
+        outcome.ranks().iter().map(|r| r.result.clone()).collect()
     }
 
     #[test]
@@ -317,8 +356,14 @@ mod tests {
         for level in CheckpointLevel::ALL {
             let results = run_level(level, false);
             for (rank, res) in results.iter().enumerate() {
-                let objects = res.as_ref().unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
-                assert_eq!(objects[0], vec![rank as u8; 100], "{level} payload mismatch");
+                let objects = res
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                assert_eq!(
+                    objects[0],
+                    vec![rank as u8; 100],
+                    "{level} payload mismatch"
+                );
                 assert_eq!(objects[1].len(), 50);
             }
         }
@@ -329,14 +374,27 @@ mod tests {
         // Ranks 0 and 1 live on node 0, which is erased. Their recovery should fail for
         // L1 and succeed (degraded) for the higher levels.
         let l1 = run_level(CheckpointLevel::L1, true);
-        assert!(l1[0].is_err() && l1[1].is_err(), "L1 must not survive node loss");
+        assert!(
+            l1[0].is_err() && l1[1].is_err(),
+            "L1 must not survive node loss"
+        );
         assert!(l1[2].is_ok(), "ranks on surviving nodes are unaffected");
 
-        for level in [CheckpointLevel::L2, CheckpointLevel::L3, CheckpointLevel::L4] {
+        for level in [
+            CheckpointLevel::L2,
+            CheckpointLevel::L3,
+            CheckpointLevel::L4,
+        ] {
             let results = run_level(level, true);
             for (rank, res) in results.iter().enumerate() {
-                let objects = res.as_ref().unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
-                assert_eq!(objects[0], vec![rank as u8; 100], "{level} degraded recovery");
+                let objects = res
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                assert_eq!(
+                    objects[0],
+                    vec![rank as u8; 100],
+                    "{level} degraded recovery"
+                );
             }
         }
     }
@@ -417,9 +475,7 @@ mod tests {
         let store = CheckpointStore::shared();
         let cfg = FtiConfig::default();
         let cluster = Cluster::new(ClusterConfig::with_ranks(1));
-        let outcome = cluster.run(move |ctx| {
-            Ok(read_checkpoint(ctx, &cfg, &store)?.is_none())
-        });
+        let outcome = cluster.run(move |ctx| Ok(read_checkpoint(ctx, &cfg, &store)?.is_none()));
         assert!(*outcome.value_of(0));
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for RsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsError::NotEnoughShards { available, needed } => {
-                write!(f, "not enough shards to reconstruct: {available} available, {needed} needed")
+                write!(
+                    f,
+                    "not enough shards to reconstruct: {available} available, {needed} needed"
+                )
             }
             RsError::ShardSizeMismatch => write!(f, "shards have inconsistent sizes"),
             RsError::InvalidParameters(msg) => write!(f, "invalid reed-solomon parameters: {msg}"),
@@ -63,8 +66,8 @@ fn tables() -> &'static Gf256Tables {
         let mut log = [0u8; 256];
         let mut exp = [0u8; 512];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             // multiply x by the generator 3 = x + 1 in GF(2^8)
             x = (x << 1) ^ x;
@@ -130,7 +133,11 @@ struct Matrix {
 
 impl Matrix {
     fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     fn identity(n: usize) -> Self {
@@ -276,10 +283,15 @@ impl EncodedShards {
 /// exceeds 255 (the field size limits the number of distinct evaluation points).
 pub fn encode(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError> {
     if k == 0 || m == 0 {
-        return Err(RsError::InvalidParameters("need at least one data and one parity shard".into()));
+        return Err(RsError::InvalidParameters(
+            "need at least one data and one parity shard".into(),
+        ));
     }
     if k + m > 255 {
-        return Err(RsError::InvalidParameters(format!("k + m = {} exceeds 255", k + m)));
+        return Err(RsError::InvalidParameters(format!(
+            "k + m = {} exceeds 255",
+            k + m
+        )));
     }
     let shard_len = data.len().div_ceil(k).max(1);
     let mut padded = data.to_vec();
@@ -343,7 +355,10 @@ pub fn decode(
     }
     let available: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
     if available.len() < k {
-        return Err(RsError::NotEnoughShards { available: available.len(), needed: k });
+        return Err(RsError::NotEnoughShards {
+            available: available.len(),
+            needed: k,
+        });
     }
     let shard_len = shards[available[0]].as_ref().unwrap().len();
     for &i in &available {
@@ -355,8 +370,8 @@ pub fn decode(
     // Fast path: all data shards survive.
     if (0..k).all(|i| shards[i].is_some()) {
         let mut out = Vec::with_capacity(k * shard_len);
-        for i in 0..k {
-            out.extend_from_slice(shards[i].as_ref().unwrap());
+        for shard in shards.iter().take(k) {
+            out.extend_from_slice(shard.as_ref().unwrap());
         }
         out.truncate(original_len);
         return Ok(out);
@@ -472,14 +487,29 @@ mod tests {
         shards[1] = None;
         shards[2] = None;
         let err = decode(&shards, 3, 2, enc.original_len).unwrap_err();
-        assert_eq!(err, RsError::NotEnoughShards { available: 2, needed: 3 });
+        assert_eq!(
+            err,
+            RsError::NotEnoughShards {
+                available: 2,
+                needed: 3
+            }
+        );
     }
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        assert!(matches!(encode(&[1], 0, 1), Err(RsError::InvalidParameters(_))));
-        assert!(matches!(encode(&[1], 1, 0), Err(RsError::InvalidParameters(_))));
-        assert!(matches!(encode(&[1], 200, 100), Err(RsError::InvalidParameters(_))));
+        assert!(matches!(
+            encode(&[1], 0, 1),
+            Err(RsError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            encode(&[1], 1, 0),
+            Err(RsError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            encode(&[1], 200, 100),
+            Err(RsError::InvalidParameters(_))
+        ));
         assert!(decode(&[], 2, 1, 0).is_err());
     }
 

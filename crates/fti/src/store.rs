@@ -144,7 +144,8 @@ impl CheckpointStore {
     pub fn erase_node(&self, node: usize) {
         let mut inner = self.inner.lock();
         for set in inner.latest.values_mut() {
-            set.blobs.retain(|_, blob| blob.placement != Placement::Node(node));
+            set.blobs
+                .retain(|_, blob| blob.placement != Placement::Node(node));
         }
     }
 
@@ -168,7 +169,11 @@ mod tests {
         let mut blobs = HashMap::new();
         blobs.insert(
             BlobKind::Primary,
-            StoredBlob { owner_rank: rank, placement: Placement::Node(node), data: vec![1; bytes] },
+            StoredBlob {
+                owner_rank: rank,
+                placement: Placement::Node(node),
+                data: vec![1; bytes],
+            },
         );
         CheckpointSet {
             meta: CheckpointMeta {
@@ -215,7 +220,11 @@ mod tests {
         store.attach_blob(
             1,
             BlobKind::PartnerCopy,
-            StoredBlob { owner_rank: 1, placement: Placement::Node(5), data: vec![9; 8] },
+            StoredBlob {
+                owner_rank: 1,
+                placement: Placement::Node(5),
+                data: vec![9; 8],
+            },
         );
         let got = store.get(1).unwrap();
         assert!(got.blobs.contains_key(&BlobKind::PartnerCopy));
@@ -223,7 +232,11 @@ mod tests {
         store.attach_blob(
             7,
             BlobKind::PartnerCopy,
-            StoredBlob { owner_rank: 7, placement: Placement::Node(5), data: vec![] },
+            StoredBlob {
+                owner_rank: 7,
+                placement: Placement::Node(5),
+                data: vec![],
+            },
         );
         assert!(!store.has_checkpoint(7));
     }
@@ -235,12 +248,20 @@ mod tests {
         store.attach_blob(
             0,
             BlobKind::PartnerCopy,
-            StoredBlob { owner_rank: 0, placement: Placement::Node(1), data: vec![2; 8] },
+            StoredBlob {
+                owner_rank: 0,
+                placement: Placement::Node(1),
+                data: vec![2; 8],
+            },
         );
         store.attach_blob(
             0,
             BlobKind::DiffBase,
-            StoredBlob { owner_rank: 0, placement: Placement::ParallelFs, data: vec![3; 8] },
+            StoredBlob {
+                owner_rank: 0,
+                placement: Placement::ParallelFs,
+                data: vec![3; 8],
+            },
         );
         assert!(store.has_primary(0));
         store.erase_node(0);

@@ -179,9 +179,16 @@ impl CollSlot {
                 .iter_mut()
                 .map(|c| c.take().expect("all contributions present"))
                 .collect();
-            let max_entry = raw.iter().map(|(t, _, _)| *t).fold(SimTime::ZERO, SimTime::max);
-            let max_cost = raw.iter().map(|(_, c, _)| *c).fold(SimTime::ZERO, SimTime::max);
-            let contribs: Vec<(SimTime, AnyBox)> = raw.into_iter().map(|(t, _, v)| (t, v)).collect();
+            let max_entry = raw
+                .iter()
+                .map(|(t, _, _)| *t)
+                .fold(SimTime::ZERO, SimTime::max);
+            let max_cost = raw
+                .iter()
+                .map(|(_, c, _)| *c)
+                .fold(SimTime::ZERO, SimTime::max);
+            let contribs: Vec<(SimTime, AnyBox)> =
+                raw.into_iter().map(|(t, _, v)| (t, v)).collect();
             let outputs = finish(contribs);
             if outputs.len() != self.nmembers {
                 return Err(MpiError::Internal(format!(
@@ -424,6 +431,6 @@ mod tests {
         });
         t.join().unwrap();
         slot.reset();
-        assert_eq!(format!("{slot:?}").contains("deposited: 0"), true);
+        assert!(format!("{slot:?}").contains("deposited: 0"));
     }
 }

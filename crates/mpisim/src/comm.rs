@@ -72,7 +72,10 @@ impl std::fmt::Debug for CommShared {
 impl CommShared {
     /// Creates the shared state for a communicator over `members`.
     pub fn new(id: u64, members: Vec<usize>) -> Arc<Self> {
-        assert!(!members.is_empty(), "a communicator needs at least one member");
+        assert!(
+            !members.is_empty(),
+            "a communicator needs at least one member"
+        );
         let n = members.len();
         Arc::new(CommShared {
             id,

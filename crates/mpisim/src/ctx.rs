@@ -192,7 +192,10 @@ impl RankCtx {
     /// I/O (used to model the background overhead of the ULFM heartbeat and MPI-call
     /// interposition). A value of 0.15 makes the affected work 15% slower.
     pub fn set_interference(&mut self, compute: f64, io: f64) {
-        assert!(compute >= 0.0 && io >= 0.0, "interference must be non-negative");
+        assert!(
+            compute >= 0.0 && io >= 0.0,
+            "interference must be non-negative"
+        );
         self.compute_interference = compute;
         self.io_interference = io;
     }
@@ -311,10 +314,19 @@ impl RankCtx {
     /// Fails with [`MpiError::ProcFailed`] if the destination (or any process, once a
     /// failure has been detected job-wide) has failed, [`MpiError::Revoked`] if the
     /// communicator is revoked, or [`MpiError::InvalidRank`] if `dest` is out of range.
-    pub fn send_bytes(&mut self, comm: &Comm, dest: usize, tag: i32, payload: &[u8]) -> Result<(), MpiError> {
+    pub fn send_bytes(
+        &mut self,
+        comm: &Comm,
+        dest: usize,
+        tag: i32,
+        payload: &[u8],
+    ) -> Result<(), MpiError> {
         self.check_health(comm)?;
         if dest >= comm.size() {
-            return Err(MpiError::InvalidRank { rank: dest as i32, comm_size: comm.size() });
+            return Err(MpiError::InvalidRank {
+                rank: dest as i32,
+                comm_size: comm.size(),
+            });
         }
         let dest_global = comm.global_rank_of(dest);
         if !self.state.is_alive(dest_global) {
@@ -349,12 +361,20 @@ impl RankCtx {
     /// Fails with a failure/revocation error under the same conditions as
     /// [`RankCtx::send_bytes`]; in particular a receive blocked on a failed peer is
     /// woken up and reports the failure.
-    pub fn recv_bytes(&mut self, comm: &Comm, src: i32, tag: i32) -> Result<(usize, i32, Vec<u8>), MpiError> {
+    pub fn recv_bytes(
+        &mut self,
+        comm: &Comm,
+        src: i32,
+        tag: i32,
+    ) -> Result<(usize, i32, Vec<u8>), MpiError> {
         let src_global = if src == ANY_SOURCE {
             None
         } else {
             if src < 0 || src as usize >= comm.size() {
-                return Err(MpiError::InvalidRank { rank: src, comm_size: comm.size() });
+                return Err(MpiError::InvalidRank {
+                    rank: src,
+                    comm_size: comm.size(),
+                });
             }
             Some(comm.global_rank_of(src as usize))
         };
@@ -380,12 +400,23 @@ impl RankCtx {
     }
 
     /// Sends a slice of `f64` values (see [`RankCtx::send_bytes`]).
-    pub fn send_f64(&mut self, comm: &Comm, dest: usize, tag: i32, data: &[f64]) -> Result<(), MpiError> {
+    pub fn send_f64(
+        &mut self,
+        comm: &Comm,
+        dest: usize,
+        tag: i32,
+        data: &[f64],
+    ) -> Result<(), MpiError> {
         self.send_bytes(comm, dest, tag, &datatype::pack_f64(data))
     }
 
     /// Receives a slice of `f64` values (see [`RankCtx::recv_bytes`]).
-    pub fn recv_f64(&mut self, comm: &Comm, src: i32, tag: i32) -> Result<(usize, Vec<f64>), MpiError> {
+    pub fn recv_f64(
+        &mut self,
+        comm: &Comm,
+        src: i32,
+        tag: i32,
+    ) -> Result<(usize, Vec<f64>), MpiError> {
         let (s, _t, bytes) = self.recv_bytes(comm, src, tag)?;
         Ok((s, datatype::unpack_f64(&bytes)))
     }
@@ -460,9 +491,17 @@ impl RankCtx {
     }
 
     /// Broadcasts bytes from `root` to every member. Only the root's `data` is used.
-    pub fn bcast_bytes(&mut self, comm: &Comm, root: usize, data: Vec<u8>) -> Result<Vec<u8>, MpiError> {
+    pub fn bcast_bytes(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<u8>,
+    ) -> Result<Vec<u8>, MpiError> {
         if root >= comm.size() {
-            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root as i32,
+                comm_size: comm.size(),
+            });
         }
         let n = comm.size();
         let bytes = data.len();
@@ -473,7 +512,12 @@ impl RankCtx {
     }
 
     /// Broadcasts `f64` values from `root` (see [`RankCtx::bcast_bytes`]).
-    pub fn bcast_f64(&mut self, comm: &Comm, root: usize, data: Vec<f64>) -> Result<Vec<f64>, MpiError> {
+    pub fn bcast_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+    ) -> Result<Vec<f64>, MpiError> {
         let bytes = self.bcast_bytes(comm, root, datatype::pack_f64(&data))?;
         Ok(datatype::unpack_f64(&bytes))
     }
@@ -488,34 +532,58 @@ impl RankCtx {
         data: &[f64],
     ) -> Result<Option<Vec<f64>>, MpiError> {
         if root >= comm.size() {
-            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root as i32,
+                comm_size: comm.size(),
+            });
         }
         let n = comm.size();
         let bytes = data.len() * 8;
         let contribution = data.to_vec();
-        let reduced = self.collective_typed(comm, CollectiveKind::Reduce, bytes, contribution, move |vals| {
-            let mut acc = vals[0].clone();
-            for v in &vals[1..] {
-                op.apply(&mut acc, v);
-            }
-            (0..n)
-                .map(|i| if i == root { acc.clone() } else { Vec::new() })
-                .collect()
-        })?;
-        Ok(if comm.rank() == root { Some(reduced) } else { None })
+        let reduced = self.collective_typed(
+            comm,
+            CollectiveKind::Reduce,
+            bytes,
+            contribution,
+            move |vals| {
+                let mut acc = vals[0].clone();
+                for v in &vals[1..] {
+                    op.apply(&mut acc, v);
+                }
+                (0..n)
+                    .map(|i| if i == root { acc.clone() } else { Vec::new() })
+                    .collect()
+            },
+        )?;
+        Ok(if comm.rank() == root {
+            Some(reduced)
+        } else {
+            None
+        })
     }
 
     /// Element-wise all-reduce: every member receives the combined vector.
-    pub fn allreduce_f64(&mut self, comm: &Comm, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, MpiError> {
+    pub fn allreduce_f64(
+        &mut self,
+        comm: &Comm,
+        op: ReduceOp,
+        data: &[f64],
+    ) -> Result<Vec<f64>, MpiError> {
         let n = comm.size();
         let bytes = data.len() * 8;
-        self.collective_typed(comm, CollectiveKind::Allreduce, bytes, data.to_vec(), move |vals| {
-            let mut acc = vals[0].clone();
-            for v in &vals[1..] {
-                op.apply(&mut acc, v);
-            }
-            (0..n).map(|_| acc.clone()).collect()
-        })
+        self.collective_typed(
+            comm,
+            CollectiveKind::Allreduce,
+            bytes,
+            data.to_vec(),
+            move |vals| {
+                let mut acc = vals[0].clone();
+                for v in &vals[1..] {
+                    op.apply(&mut acc, v);
+                }
+                (0..n).map(|_| acc.clone()).collect()
+            },
+        )
     }
 
     /// Scalar all-reduce sum.
@@ -551,7 +619,10 @@ impl RankCtx {
         data: Vec<u8>,
     ) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
         if root >= comm.size() {
-            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root as i32,
+                comm_size: comm.size(),
+            });
         }
         let n = comm.size();
         let bytes = data.len();
@@ -561,18 +632,29 @@ impl RankCtx {
             bytes,
             vec![data],
             move |vals| {
-                let all: Vec<Vec<u8>> = vals.into_iter().map(|mut v| v.pop().unwrap_or_default()).collect();
+                let all: Vec<Vec<u8>> = vals
+                    .into_iter()
+                    .map(|mut v| v.pop().unwrap_or_default())
+                    .collect();
                 (0..n)
                     .map(|i| if i == root { all.clone() } else { Vec::new() })
                     .collect()
             },
         )?;
-        Ok(if comm.rank() == root { Some(gathered) } else { None })
+        Ok(if comm.rank() == root {
+            Some(gathered)
+        } else {
+            None
+        })
     }
 
     /// All-gathers each member's bytes; every member receives all contributions ordered
     /// by communicator rank.
-    pub fn allgather_bytes(&mut self, comm: &Comm, data: Vec<u8>) -> Result<Vec<Vec<u8>>, MpiError> {
+    pub fn allgather_bytes(
+        &mut self,
+        comm: &Comm,
+        data: Vec<u8>,
+    ) -> Result<Vec<Vec<u8>>, MpiError> {
         let n = comm.size();
         let bytes = data.len();
         self.collective_typed(
@@ -581,7 +663,10 @@ impl RankCtx {
             bytes,
             vec![data],
             move |vals| {
-                let all: Vec<Vec<u8>> = vals.into_iter().map(|mut v| v.pop().unwrap_or_default()).collect();
+                let all: Vec<Vec<u8>> = vals
+                    .into_iter()
+                    .map(|mut v| v.pop().unwrap_or_default())
+                    .collect();
                 (0..n).map(|_| all.clone()).collect()
             },
         )
@@ -608,7 +693,10 @@ impl RankCtx {
         data: Vec<Vec<u8>>,
     ) -> Result<Vec<u8>, MpiError> {
         if root >= comm.size() {
-            return Err(MpiError::InvalidRank { rank: root as i32, comm_size: comm.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root as i32,
+                comm_size: comm.size(),
+            });
         }
         let n = comm.size();
         if comm.rank() == root && data.len() != n {
@@ -629,7 +717,11 @@ impl RankCtx {
 
     /// Personalized all-to-all exchange: member `i` sends `data[j]` to member `j` and
     /// receives a vector whose `j`-th entry came from member `j`.
-    pub fn alltoall_bytes(&mut self, comm: &Comm, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, MpiError> {
+    pub fn alltoall_bytes(
+        &mut self,
+        comm: &Comm,
+        data: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>, MpiError> {
         let n = comm.size();
         if data.len() != n {
             return Err(MpiError::InvalidArgument(format!(
@@ -640,7 +732,11 @@ impl RankCtx {
         let bytes = data.iter().map(Vec::len).max().unwrap_or(0);
         self.collective_typed(comm, CollectiveKind::Alltoall, bytes, data, move |vals| {
             (0..n)
-                .map(|dest| (0..n).map(|src| vals[src][dest].clone()).collect::<Vec<Vec<u8>>>())
+                .map(|dest| {
+                    (0..n)
+                        .map(|src| vals[src][dest].clone())
+                        .collect::<Vec<Vec<u8>>>()
+                })
                 .collect()
         })
     }
@@ -689,7 +785,11 @@ impl RankCtx {
     /// Collectively creates a new communicator over `members` (global ranks). Every
     /// member of `parent` must call this; members passing identical membership lists
     /// share one new communicator object (distributed through the parent's rendezvous).
-    pub(crate) fn comm_create(&mut self, parent: &Comm, members: Vec<usize>) -> Result<Comm, MpiError> {
+    pub(crate) fn comm_create(
+        &mut self,
+        parent: &Comm,
+        members: Vec<usize>,
+    ) -> Result<Comm, MpiError> {
         let n = parent.size();
         let state = Arc::clone(&self.state);
         // Contribution: the desired membership. Output: the shared communicator object.
@@ -719,10 +819,11 @@ impl RankCtx {
                 out
             },
         )?;
-        let shared = shared.ok_or_else(|| MpiError::Internal("communicator creation lost".into()))?;
-        let my_index = shared
-            .rank_of(self.rank)
-            .ok_or_else(|| MpiError::InvalidArgument("calling rank not in new communicator".into()))?;
+        let shared =
+            shared.ok_or_else(|| MpiError::Internal("communicator creation lost".into()))?;
+        let my_index = shared.rank_of(self.rank).ok_or_else(|| {
+            MpiError::InvalidArgument("calling rank not in new communicator".into())
+        })?;
         Ok(Comm::new(shared, my_index))
     }
 
@@ -899,7 +1000,10 @@ mod tests {
         let mut ctx = single_rank_ctx();
         let world = ctx.world();
         let _ = ctx.abort(3);
-        assert_eq!(ctx.barrier(&world).unwrap_err(), MpiError::Aborted { code: 3 });
+        assert_eq!(
+            ctx.barrier(&world).unwrap_err(),
+            MpiError::Aborted { code: 3 }
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub fn pack_f64(values: &[f64]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 8.
 pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "payload length {} is not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -48,7 +52,11 @@ pub fn pack_u64(values: &[u64]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 8.
 pub fn unpack_u64(bytes: &[u8]) -> Vec<u64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "payload length {} is not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -70,7 +78,11 @@ pub fn pack_i64(values: &[i64]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 8.
 pub fn unpack_i64(bytes: &[u8]) -> Vec<i64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} is not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "payload length {} is not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))

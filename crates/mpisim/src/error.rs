@@ -82,7 +82,10 @@ impl fmt::Display for MpiError {
             MpiError::SelfFailed => write!(f, "calling process was killed by fault injection"),
             MpiError::Aborted { code } => write!(f, "job aborted with code {code}"),
             MpiError::InvalidRank { rank, comm_size } => {
-                write!(f, "invalid rank {rank} for communicator of size {comm_size}")
+                write!(
+                    f,
+                    "invalid rank {rank} for communicator of size {comm_size}"
+                )
             }
             MpiError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             MpiError::Finalized => write!(f, "operation attempted after finalize"),
@@ -120,7 +123,10 @@ mod tests {
             MpiError::Revoked,
             MpiError::SelfFailed,
             MpiError::Aborted { code: 2 },
-            MpiError::InvalidRank { rank: 9, comm_size: 4 },
+            MpiError::InvalidRank {
+                rank: 9,
+                comm_size: 4,
+            },
             MpiError::InvalidArgument("bad".into()),
             MpiError::Finalized,
             MpiError::Internal("oops".into()),

@@ -34,12 +34,18 @@ pub struct FailureSpec {
 impl FailureSpec {
     /// A process-kill failure of `rank` at `iteration`.
     pub fn kill_process(rank: usize, iteration: u64) -> Self {
-        FailureSpec { kind: FailureKind::ProcessKill { rank }, at_iteration: iteration }
+        FailureSpec {
+            kind: FailureKind::ProcessKill { rank },
+            at_iteration: iteration,
+        }
     }
 
     /// A node-crash failure of `node` at `iteration`.
     pub fn crash_node(node: usize, iteration: u64) -> Self {
-        FailureSpec { kind: FailureKind::NodeCrash { node }, at_iteration: iteration }
+        FailureSpec {
+            kind: FailureKind::NodeCrash { node },
+            at_iteration: iteration,
+        }
     }
 
     /// Whether this spec fires for `rank` (placed on `node`) at `iteration`.

@@ -212,9 +212,7 @@ impl MachineModel {
             CollectiveKind::Gather => logp * alpha + (nprocs as f64 - 1.0) * b * beta,
             CollectiveKind::Allgather => logp * alpha + (nprocs as f64 - 1.0) * b * beta,
             CollectiveKind::Scatter => logp * alpha + (nprocs as f64 - 1.0) * b * beta,
-            CollectiveKind::Alltoall => {
-                (nprocs as f64 - 1.0) * (alpha + b * beta)
-            }
+            CollectiveKind::Alltoall => (nprocs as f64 - 1.0) * (alpha + b * beta),
             CollectiveKind::Scan => logp * (alpha + b * beta),
         };
         SimTime::from_secs(secs)
@@ -265,7 +263,9 @@ impl MachineModel {
     /// Cost of a full job restart: tear down the job, re-queue it, relaunch `nprocs`
     /// processes and wire up MPI again.
     pub fn restart_recovery_cost(&self, nprocs: usize) -> SimTime {
-        SimTime::from_secs(self.restart_base_cost + self.restart_per_log2p * Self::log2_ceil(nprocs))
+        SimTime::from_secs(
+            self.restart_base_cost + self.restart_per_log2p * Self::log2_ceil(nprocs),
+        )
     }
 
     /// Cost of a Reinit runtime-level global-restart repair. Essentially independent of
@@ -276,7 +276,9 @@ impl MachineModel {
 
     /// Cost of ULFM `MPIX_Comm_revoke` over `nprocs` processes.
     pub fn ulfm_revoke_cost(&self, nprocs: usize) -> SimTime {
-        SimTime::from_secs(self.ulfm_revoke_base + 2.0 * self.inter_node_latency * Self::log2_ceil(nprocs))
+        SimTime::from_secs(
+            self.ulfm_revoke_base + 2.0 * self.inter_node_latency * Self::log2_ceil(nprocs),
+        )
     }
 
     /// Cost of ULFM `MPIX_Comm_shrink` over `nprocs` processes.
@@ -358,14 +360,21 @@ mod tests {
             let c512 = m.collective_cost(kind, 512, 1024);
             assert!(c512 > c64, "{kind:?} should grow with process count");
         }
-        assert_eq!(m.collective_cost(CollectiveKind::Allreduce, 1, 1024), SimTime::ZERO);
+        assert_eq!(
+            m.collective_cost(CollectiveKind::Allreduce, 1, 1024),
+            SimTime::ZERO
+        );
     }
 
     #[test]
     fn allreduce_costs_about_twice_reduce() {
         let m = MachineModel::default();
-        let r = m.collective_cost(CollectiveKind::Reduce, 128, 4096).as_secs();
-        let ar = m.collective_cost(CollectiveKind::Allreduce, 128, 4096).as_secs();
+        let r = m
+            .collective_cost(CollectiveKind::Reduce, 128, 4096)
+            .as_secs();
+        let ar = m
+            .collective_cost(CollectiveKind::Allreduce, 128, 4096)
+            .as_secs();
         assert!((ar / r - 2.0).abs() < 1e-9);
     }
 

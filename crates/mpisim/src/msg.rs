@@ -33,8 +33,8 @@ impl Message {
     /// `src` and `tag` of `None` act as `MPI_ANY_SOURCE` / `MPI_ANY_TAG`.
     pub fn matches(&self, comm_id: u64, src: Option<usize>, tag: Option<i32>) -> bool {
         self.comm_id == comm_id
-            && src.map_or(true, |s| s == self.src)
-            && tag.map_or(true, |t| t == self.tag)
+            && src.is_none_or(|s| s == self.src)
+            && tag.is_none_or(|t| t == self.tag)
     }
 }
 

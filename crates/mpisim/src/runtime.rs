@@ -90,7 +90,10 @@ impl<R> RunOutcome<R> {
 
     /// The errors reported by ranks, if any.
     pub fn errors(&self) -> Vec<&MpiError> {
-        self.ranks.iter().filter_map(|r| r.result.as_ref().err()).collect()
+        self.ranks
+            .iter()
+            .filter_map(|r| r.result.as_ref().err())
+            .collect()
     }
 
     /// True if every rank returned `Ok`.
@@ -109,9 +112,9 @@ impl<R> RunOutcome<R> {
     /// Element-wise maximum of the per-rank time breakdowns (the convention the MATCH
     /// figures use for their stacked bars: the slowest rank in each category).
     pub fn max_breakdown(&self) -> TimeBreakdown {
-        self.ranks
-            .iter()
-            .fold(TimeBreakdown::new(), |acc, r| acc.max_elementwise(&r.breakdown))
+        self.ranks.iter().fold(TimeBreakdown::new(), |acc, r| {
+            acc.max_elementwise(&r.breakdown)
+        })
     }
 
     /// Sum of the per-rank operation counters.
@@ -217,7 +220,10 @@ impl Cluster {
         });
 
         RunOutcome {
-            ranks: outcomes.into_iter().map(|o| o.expect("missing rank outcome")).collect(),
+            ranks: outcomes
+                .into_iter()
+                .map(|o| o.expect("missing rank outcome"))
+                .collect(),
         }
     }
 }
@@ -357,7 +363,9 @@ mod tests {
             // notified instead of hanging.
             match ctx.barrier(&world) {
                 Err(e) if e.is_process_failure() => Ok(()),
-                Ok(()) => Err(MpiError::Internal("barrier completed without rank 3".into())),
+                Ok(()) => Err(MpiError::Internal(
+                    "barrier completed without rank 3".into(),
+                )),
                 Err(e) => Err(e),
             }
         });

@@ -80,7 +80,8 @@ impl ClusterState {
         assert!(nprocs > 0, "a job needs at least one process");
         assert_eq!(topology.nranks(), nprocs, "topology size must match nprocs");
         let world = CommShared::new(0, (0..nprocs).collect());
-        let state = Arc::new(ClusterState {
+
+        Arc::new(ClusterState {
             machine,
             topology,
             nprocs,
@@ -96,8 +97,7 @@ impl ClusterState {
             recovery_slot: CollSlot::new(nprocs),
             poll_interval: Duration::from_micros(200),
             blackboard: Mutex::new(std::collections::HashMap::new()),
-        });
-        state
+        })
     }
 
     /// Allocates a fresh communicator identifier.
@@ -265,7 +265,11 @@ mod tests {
         s.revive_all();
         assert_eq!(s.failed_count(), 0);
         assert!(s.health_error(&s.world).is_none());
-        assert_eq!(s.failure_events(), 1, "revive does not erase the event count");
+        assert_eq!(
+            s.failure_events(),
+            1,
+            "revive does not erase the event count"
+        );
     }
 
     #[test]
@@ -283,7 +287,10 @@ mod tests {
         s.mark_failed(0);
         s.set_abort(13);
         s.set_abort(99); // first abort code wins
-        assert_eq!(s.health_error(&s.world), Some(MpiError::Aborted { code: 13 }));
+        assert_eq!(
+            s.health_error(&s.world),
+            Some(MpiError::Aborted { code: 13 })
+        );
         assert_eq!(s.abort_code(), Some(13));
     }
 

@@ -168,8 +168,18 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut a = RankStats { sends: 1, bytes_sent: 100, ..RankStats::new() };
-        let b = RankStats { sends: 2, recvs: 3, bytes_sent: 50, times_failed: 1, ..RankStats::new() };
+        let mut a = RankStats {
+            sends: 1,
+            bytes_sent: 100,
+            ..RankStats::new()
+        };
+        let b = RankStats {
+            sends: 2,
+            recvs: 3,
+            bytes_sent: 50,
+            times_failed: 1,
+            ..RankStats::new()
+        };
         a.accumulate(&b);
         assert_eq!(a.sends, 3);
         assert_eq!(a.recvs, 3);

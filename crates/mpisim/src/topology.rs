@@ -26,7 +26,7 @@ impl Topology {
         assert!(nranks > 0, "topology needs at least one rank");
         assert!(nnodes > 0, "topology needs at least one node");
         assert!(
-            nranks % nnodes == 0,
+            nranks.is_multiple_of(nnodes),
             "nranks ({nranks}) must be a multiple of nnodes ({nnodes})"
         );
         Topology {
@@ -44,7 +44,7 @@ impl Topology {
     /// The 32-node layout used throughout the paper's evaluation, with as many ranks
     /// per node as `nranks / 32`. Falls back to one node per rank when `nranks < 32`.
     pub fn paper_layout(nranks: usize) -> Self {
-        if nranks >= 32 && nranks % 32 == 0 {
+        if nranks >= 32 && nranks.is_multiple_of(32) {
             Self::new(nranks, 32)
         } else {
             Self::new(nranks, nranks)
@@ -72,7 +72,11 @@ impl Topology {
     ///
     /// Panics if `rank` is out of range.
     pub fn node_of(&self, rank: usize) -> usize {
-        assert!(rank < self.nranks, "rank {rank} out of range ({})", self.nranks);
+        assert!(
+            rank < self.nranks,
+            "rank {rank} out of range ({})",
+            self.nranks
+        );
         rank / self.ranks_per_node
     }
 
@@ -83,7 +87,11 @@ impl Topology {
 
     /// The ranks hosted on `node`.
     pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
-        assert!(node < self.nnodes, "node {node} out of range ({})", self.nnodes);
+        assert!(
+            node < self.nnodes,
+            "node {node} out of range ({})",
+            self.nnodes
+        );
         let start = node * self.ranks_per_node;
         (start..start + self.ranks_per_node).collect()
     }
@@ -136,7 +144,11 @@ mod tests {
         let t = Topology::new(64, 32);
         for r in 0..64 {
             let p = t.partner_rank(r);
-            assert_ne!(t.node_of(r), t.node_of(p), "partner of {r} is on the same node");
+            assert_ne!(
+                t.node_of(r),
+                t.node_of(p),
+                "partner of {r} is on the same node"
+            );
             assert_eq!(r % 2, p % 2, "partner keeps the local index");
         }
         // Wrap-around: last node partners with node 0.

@@ -127,7 +127,9 @@ fn survivor_rendezvous(
     let me = ctx.rank();
     let cluster = Arc::clone(ctx.cluster());
     if !cluster.is_alive(me) {
-        return Err(MpiError::Internal("failed process cannot join a survivor rendezvous".into()));
+        return Err(MpiError::Internal(
+            "failed process cannot join a survivor rendezvous".into(),
+        ));
     }
     let shared = Arc::clone(comm.shared());
     let entry_time = ctx.now();

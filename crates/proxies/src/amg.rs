@@ -41,9 +41,18 @@ impl AmgParams {
     ///
     /// Panics if any dimension is zero or no cycles are requested.
     pub fn new(nx: usize, ny: usize, nz: usize, cycles: u64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         assert!(cycles > 0, "need at least one V-cycle");
-        AmgParams { nx, ny, nz, cycles, smoothing_sweeps: 2 }
+        AmgParams {
+            nx,
+            ny,
+            nz,
+            cycles,
+            smoothing_sweeps: 2,
+        }
     }
 
     /// Fine-grid points per process.
@@ -155,7 +164,7 @@ impl Amg {
         ctx: &mut RankCtx,
         comm: &Comm,
         level: Level,
-        x: &mut Vec<f64>,
+        x: &mut [f64],
         b: &[f64],
         sweeps: usize,
     ) -> Result<(), MpiError> {
@@ -213,7 +222,7 @@ impl Amg {
         comm: &Comm,
         levels: &[Level],
         level_idx: usize,
-        x: &mut Vec<f64>,
+        x: &mut [f64],
         b: &[f64],
     ) -> Result<(), MpiError> {
         let level = levels[level_idx];
@@ -352,7 +361,12 @@ mod tests {
     fn multigrid_reduces_the_residual_fast() {
         let cluster = Cluster::new(ClusterConfig::with_ranks(2));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         assert!(outcome.all_ok(), "{:?}", outcome.errors());
         let out = outcome.value_of(0);
@@ -360,7 +374,11 @@ mod tests {
         assert_eq!(out.iterations, 8);
         // Eight V-cycles on a diagonally dominant Laplace problem reduce the residual
         // norm far below the initial right-hand-side norm (which is O(sqrt(n)) ≈ 45).
-        assert!(out.figure_of_merit < 5.0, "residual {}", out.figure_of_merit);
+        assert!(
+            out.figure_of_merit < 5.0,
+            "residual {}",
+            out.figure_of_merit
+        );
     }
 
     #[test]
@@ -368,7 +386,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             let reference = outcome.value_of(0).checksum;
@@ -383,8 +406,16 @@ mod tests {
     #[test]
     fn restriction_and_prolongation_shapes() {
         let app = small();
-        let fine = Level { nx: 8, ny: 8, nz: 2 };
-        let coarse = Level { nx: 4, ny: 4, nz: 2 };
+        let fine = Level {
+            nx: 8,
+            ny: 8,
+            nz: 2,
+        };
+        let coarse = Level {
+            nx: 4,
+            ny: 4,
+            nz: 2,
+        };
         let r: Vec<f64> = (0..fine.n()).map(|i| i as f64).collect();
         let rc = app.restrict(fine, coarse, &r);
         assert_eq!(rc.len(), coarse.n());

@@ -46,7 +46,10 @@ impl ComdParams {
     ///
     /// Panics if any dimension is zero or no steps are requested.
     pub fn new(nx: usize, ny: usize, nz: usize, steps: u64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "lattice dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "lattice dimensions must be positive"
+        );
         assert!(steps > 0, "need at least one step");
         ComdParams { nx, ny, nz, steps }
     }
@@ -316,7 +319,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok(), "{:?}", outcome.errors());
             let out = outcome.value_of(0).clone();

@@ -183,7 +183,12 @@ pub fn halo_exchange(
 /// # Panics
 ///
 /// Panics if the local slices have different lengths.
-pub fn distributed_dot(ctx: &mut RankCtx, comm: &Comm, a: &[f64], b: &[f64]) -> Result<f64, MpiError> {
+pub fn distributed_dot(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    a: &[f64],
+    b: &[f64],
+) -> Result<f64, MpiError> {
     assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
     let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     ctx.compute(2.0 * a.len() as f64);
@@ -221,7 +226,13 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from a seed (zero is mapped to a fixed non-zero seed).
     pub fn new(seed: u64) -> Self {
-        DetRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        DetRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// The next raw 64-bit value.
@@ -287,7 +298,7 @@ mod tests {
             let p = BlockPartition::new(total, parts);
             let mut covered = 0;
             for part in 0..parts {
-                assert_eq!(p.start(part) , covered);
+                assert_eq!(p.start(part), covered);
                 covered += p.count(part);
             }
             assert_eq!(covered, total);

@@ -39,9 +39,17 @@ impl HpccgParams {
     ///
     /// Panics if any dimension is zero.
     pub fn new(nx: usize, ny: usize, nz: usize, max_iterations: u64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         assert!(max_iterations > 0, "need at least one iteration");
-        HpccgParams { nx, ny, nz, max_iterations }
+        HpccgParams {
+            nx,
+            ny,
+            nz,
+            max_iterations,
+        }
     }
 
     /// Points per process.
@@ -271,7 +279,11 @@ mod tests {
         let out = outcome.value_of(0);
         assert_eq!(out.app, "HPCCG");
         assert_eq!(out.iterations, 12);
-        assert!(out.figure_of_merit < 1.0, "residual {}", out.figure_of_merit);
+        assert!(
+            out.figure_of_merit < 1.0,
+            "residual {}",
+            out.figure_of_merit
+        );
         assert!(out.checksum.is_finite());
     }
 
@@ -280,7 +292,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             outcome.value_of(0).checksum
@@ -292,7 +309,12 @@ mod tests {
     fn all_ranks_agree_on_the_global_checksum() {
         let cluster = Cluster::new(ClusterConfig::with_ranks(4));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         assert!(outcome.all_ok());
         let reference = outcome.value_of(0).checksum;

@@ -245,7 +245,12 @@ mod tests {
     fn sedov_blast_evolves_and_stays_finite() {
         let cluster = Cluster::new(ClusterConfig::with_ranks(2));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         assert!(outcome.all_ok(), "{:?}", outcome.errors());
         let out = outcome.value_of(0);
@@ -261,7 +266,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             let reference = outcome.value_of(0).checksum;
@@ -280,7 +290,12 @@ mod tests {
         // really carries information across ranks.
         let cluster = Cluster::new(ClusterConfig::with_ranks(2));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         let with_blast = outcome.value_of(0).checksum;
         assert!(with_blast.is_finite());

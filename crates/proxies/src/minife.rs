@@ -41,9 +41,17 @@ impl MiniFeParams {
     ///
     /// Panics if any dimension is zero or no iterations are requested.
     pub fn new(nx: usize, ny: usize, nz: usize, max_iterations: u64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         assert!(max_iterations > 0, "need at least one iteration");
-        MiniFeParams { nx, ny, nz, max_iterations }
+        MiniFeParams {
+            nx,
+            ny,
+            nz,
+            max_iterations,
+        }
     }
 
     /// Nodes per process.
@@ -155,7 +163,11 @@ impl MiniFe {
             }
         }
         ctx.compute(flops);
-        Csr { row_ptr, cols, values }
+        Csr {
+            row_ptr,
+            cols,
+            values,
+        }
     }
 
     /// SpMV with the assembled CSR matrix, resolving halo columns from the received
@@ -171,10 +183,18 @@ impl MiniFe {
                     v[col as usize]
                 } else if (col - HALO_BELOW) % 2 == 0 {
                     let plane_idx = ((HALO_BELOW - col) / 2) as usize;
-                    if below.is_empty() { 0.0 } else { below[plane_idx] }
+                    if below.is_empty() {
+                        0.0
+                    } else {
+                        below[plane_idx]
+                    }
                 } else {
                     let plane_idx = ((HALO_ABOVE - col) / 2) as usize;
-                    if above.is_empty() { 0.0 } else { above[plane_idx] }
+                    if above.is_empty() {
+                        0.0
+                    } else {
+                        above[plane_idx]
+                    }
                 };
                 acc += value * x;
                 flops += 2.0;
@@ -328,7 +348,10 @@ mod tests {
                 let end = m.row_ptr[row + 1];
                 let diag = m.values[start];
                 let off: f64 = m.values[start + 1..end].iter().map(|v| v.abs()).sum();
-                assert!(diag >= off + 1.0 - 1e-9, "row {row}: diag {diag} vs off {off}");
+                assert!(
+                    diag >= off + 1.0 - 1e-9,
+                    "row {row}: diag {diag} vs off {off}"
+                );
             }
             Ok(n)
         });
@@ -339,12 +362,21 @@ mod tests {
     fn cg_reduces_the_residual() {
         let cluster = Cluster::new(ClusterConfig::with_ranks(2));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         assert!(outcome.all_ok(), "{:?}", outcome.errors());
         let out = outcome.value_of(0);
         assert_eq!(out.app, "miniFE");
-        assert!(out.figure_of_merit < 1.0, "residual {}", out.figure_of_merit);
+        assert!(
+            out.figure_of_merit < 1.0,
+            "residual {}",
+            out.figure_of_merit
+        );
     }
 
     #[test]
@@ -352,7 +384,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             let reference = outcome.value_of(0).checksum;
@@ -371,7 +408,12 @@ mod tests {
         // the same computation.
         let cluster = Cluster::new(ClusterConfig::with_ranks(2));
         let fe = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         let cg = cluster.run(|ctx| {
             let app = crate::hpccg::Hpccg::new(crate::hpccg::HpccgParams::new(5, 5, 5, 10));

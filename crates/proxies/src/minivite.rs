@@ -41,7 +41,11 @@ impl MiniViteParams {
         assert!(vertices > 0, "need at least one vertex");
         assert!(avg_degree > 0, "need a positive average degree");
         assert!(max_iterations > 0, "need at least one iteration");
-        MiniViteParams { vertices, avg_degree, max_iterations }
+        MiniViteParams {
+            vertices,
+            avg_degree,
+            max_iterations,
+        }
     }
 }
 
@@ -267,13 +271,21 @@ mod tests {
     fn louvain_finds_communities_and_improves_modularity() {
         let cluster = Cluster::new(ClusterConfig::with_ranks(4));
         let outcome = cluster.run(|ctx| {
-            run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+            run_standalone(
+                &small(),
+                ctx,
+                CheckpointStore::shared(),
+                FtiConfig::default(),
+            )
         });
         assert!(outcome.all_ok(), "{:?}", outcome.errors());
         let out = outcome.value_of(0);
         assert_eq!(out.app, "miniVite");
         assert!(out.iterations >= 1);
-        assert!(out.figure_of_merit > 0.0, "modularity gain must be positive");
+        assert!(
+            out.figure_of_merit > 0.0,
+            "modularity gain must be positive"
+        );
     }
 
     #[test]
@@ -281,7 +293,12 @@ mod tests {
         let run = || {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             let reference = outcome.value_of(0).checksum;
@@ -301,7 +318,12 @@ mod tests {
         let run = |nranks| {
             let cluster = Cluster::new(ClusterConfig::with_ranks(nranks));
             let outcome = cluster.run(|ctx| {
-                run_standalone(&small(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    &small(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok());
             outcome.value_of(0).checksum

@@ -35,17 +35,29 @@ impl ExecutionScale {
     /// The paper's original extents (use with care: the large inputs are sized for a
     /// production cluster).
     pub fn paper() -> Self {
-        ExecutionScale { linear_fraction: 1.0, iteration_cap: 50, min_extent: 4 }
+        ExecutionScale {
+            linear_fraction: 1.0,
+            iteration_cap: 50,
+            min_extent: 4,
+        }
     }
 
     /// The default scale used by the figure benches: quarter-size linear extents.
     pub fn bench() -> Self {
-        ExecutionScale { linear_fraction: 0.25, iteration_cap: 20, min_extent: 4 }
+        ExecutionScale {
+            linear_fraction: 0.25,
+            iteration_cap: 20,
+            min_extent: 4,
+        }
     }
 
     /// A tiny scale for smoke tests.
     pub fn smoke() -> Self {
-        ExecutionScale { linear_fraction: 0.1, iteration_cap: 8, min_extent: 3 }
+        ExecutionScale {
+            linear_fraction: 0.1,
+            iteration_cap: 8,
+            min_extent: 3,
+        }
     }
 
     /// Applies the scale to a linear extent.
@@ -183,15 +195,30 @@ impl ProxyKind {
                 let n = scale.extent(self.nominal_extent(size));
                 // Keep the z extent small: the per-rank grid is decomposed along z and
                 // the original AMG problem is strongly anisotropic.
-                Box::new(Amg::new(AmgParams::new(n.max(8), n.max(8), (n / 4).max(2), iters)))
+                Box::new(Amg::new(AmgParams::new(
+                    n.max(8),
+                    n.max(8),
+                    (n / 4).max(2),
+                    iters,
+                )))
             }
             ProxyKind::Comd => {
                 let n = scale.extent(self.nominal_extent(size));
-                Box::new(Comd::new(ComdParams::new(n, (n / 4).max(2), (n / 4).max(2), iters)))
+                Box::new(Comd::new(ComdParams::new(
+                    n,
+                    (n / 4).max(2),
+                    (n / 4).max(2),
+                    iters,
+                )))
             }
             ProxyKind::Hpccg => {
                 let n = scale.extent(self.nominal_extent(size));
-                Box::new(Hpccg::new(HpccgParams::new(n / 2 + 1, n / 2 + 1, (n / 4).max(2), iters)))
+                Box::new(Hpccg::new(HpccgParams::new(
+                    n / 2 + 1,
+                    n / 2 + 1,
+                    (n / 4).max(2),
+                    iters,
+                )))
             }
             ProxyKind::Lulesh => {
                 let s = scale.extent(self.nominal_extent(size));
@@ -202,7 +229,8 @@ impl ProxyKind {
                 Box::new(MiniFe::new(MiniFeParams::new(n, n, (n / 2).max(2), iters)))
             }
             ProxyKind::MiniVite => {
-                let v = ((self.nominal_extent(size) as f64 * scale.linear_fraction * 0.05) as usize)
+                let v = ((self.nominal_extent(size) as f64 * scale.linear_fraction * 0.05)
+                    as usize)
                     .max(128);
                 Box::new(MiniVite::new(MiniViteParams::new(v, 6, iters)))
             }
@@ -255,12 +283,27 @@ mod tests {
 
     #[test]
     fn table1_matches_the_paper() {
-        assert_eq!(ProxyKind::Amg.table1_args(InputSize::Small), "-problem 2 -n 20 20 20");
-        assert_eq!(ProxyKind::Comd.table1_args(InputSize::Large), "-nx 512 -ny 512 -nz 512");
-        assert_eq!(ProxyKind::Hpccg.table1_args(InputSize::Medium), "128 128 128");
+        assert_eq!(
+            ProxyKind::Amg.table1_args(InputSize::Small),
+            "-problem 2 -n 20 20 20"
+        );
+        assert_eq!(
+            ProxyKind::Comd.table1_args(InputSize::Large),
+            "-nx 512 -ny 512 -nz 512"
+        );
+        assert_eq!(
+            ProxyKind::Hpccg.table1_args(InputSize::Medium),
+            "128 128 128"
+        );
         assert_eq!(ProxyKind::Lulesh.table1_args(InputSize::Small), "-s 30 -p");
-        assert_eq!(ProxyKind::MiniFe.table1_args(InputSize::Large), "-nx 60 -ny 60 -nz 60");
-        assert_eq!(ProxyKind::MiniVite.table1_args(InputSize::Small), "-p 3 -l -n 128000");
+        assert_eq!(
+            ProxyKind::MiniFe.table1_args(InputSize::Large),
+            "-nx 60 -ny 60 -nz 60"
+        );
+        assert_eq!(
+            ProxyKind::MiniVite.table1_args(InputSize::Small),
+            "-p 3 -l -n 128000"
+        );
         assert_eq!(ProxyKind::Lulesh.process_counts(), &[64, 512]);
         assert_eq!(ProxyKind::Amg.process_counts(), &[64, 128, 256, 512]);
         assert_eq!(ProxyKind::ALL.len(), 6);
@@ -294,7 +337,12 @@ mod tests {
             let cluster = Cluster::new(ClusterConfig::with_ranks(4));
             let outcome = cluster.run(move |ctx| {
                 let app = spec.build();
-                run_standalone(app.as_ref(), ctx, CheckpointStore::shared(), FtiConfig::default())
+                run_standalone(
+                    app.as_ref(),
+                    ctx,
+                    CheckpointStore::shared(),
+                    FtiConfig::default(),
+                )
             });
             assert!(outcome.all_ok(), "{kind}: {:?}", outcome.errors());
             let reference = outcome.value_of(0).checksum;

@@ -1,0 +1,140 @@
+//! # rand (workspace shim)
+//!
+//! A minimal, API-compatible stand-in for the subset of the `rand` crate the MATCH-RS
+//! suite uses for seeded fault-plan sampling: [`rngs::StdRng`], [`SeedableRng`] and
+//! [`RngExt::random_range`]. The build environment is fully offline, so external
+//! crates are replaced by workspace-local shims.
+//!
+//! The generator is splitmix64 — tiny, fast, and with well-distributed output for a
+//! 64-bit state. The suite only requires *deterministic, seed-reproducible* sampling
+//! (the paper's "random rank, random iteration" fault plans), not cryptographic or
+//! statistical-suite quality, so splitmix64 is a sound choice.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Seedable random-number generators.
+pub mod rngs {
+    /// The standard deterministic generator (here: splitmix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Sampling operations on top of a raw 64-bit stream.
+pub trait RngExt {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in `range` (e.g. `0..n` or `1..=m`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl RngExt for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges that can be sampled uniformly from a generator.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<G: RngExt>(self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+
+    fn sample<G: RngExt>(self, rng: &mut G) -> usize {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<u64> {
+    type Output = u64;
+
+    fn sample<G: RngExt>(self, rng: &mut G) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        let span = end - start + 1; // end == u64::MAX is not used by the suite
+        start + rng.next_u64() % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2020);
+        for _ in 0..1000 {
+            let r = rng.random_range(0..13usize);
+            assert!(r < 13);
+            let i = rng.random_range(1..=5u64);
+            assert!((1..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(3..3usize);
+    }
+}

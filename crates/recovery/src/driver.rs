@@ -38,7 +38,11 @@ pub struct FtConfig {
 impl FtConfig {
     /// Creates a configuration with no fault injection.
     pub fn new(strategy: RecoveryStrategy, fti: FtiConfig) -> Self {
-        FtConfig { strategy, fti, fault: FaultPlan::None }
+        FtConfig {
+            strategy,
+            fti,
+            fault: FaultPlan::None,
+        }
     }
 
     /// Sets the fault plan.
@@ -129,7 +133,11 @@ impl FtDriver {
                     // for recovery before leaving.
                     match ctx.completion_barrier() {
                         Ok(()) => {
-                            return Ok(DriverOutcome { value, attempts, recoveries });
+                            return Ok(DriverOutcome {
+                                value,
+                                attempts,
+                                recoveries,
+                            });
                         }
                         Err(e) if e.is_process_failure() => {
                             self.recover(ctx)?;
@@ -202,7 +210,11 @@ mod tests {
         Ok(acc)
     }
 
-    fn run_design(strategy: RecoveryStrategy, fault: FaultPlan, nprocs: usize) -> (Vec<f64>, mpisim::TimeBreakdown) {
+    fn run_design(
+        strategy: RecoveryStrategy,
+        fault: FaultPlan,
+        nprocs: usize,
+    ) -> (Vec<f64>, mpisim::TimeBreakdown) {
         let store = CheckpointStore::shared();
         let config = FtConfig::new(strategy, FtiConfig::default().interval(5)).with_fault(fault);
         let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
@@ -231,7 +243,11 @@ mod tests {
             for v in &values {
                 assert_eq!(*v, expected_value(8, 20), "{strategy}");
             }
-            assert_eq!(breakdown.recovery, SimTime::ZERO, "{strategy} must not pay recovery");
+            assert_eq!(
+                breakdown.recovery,
+                SimTime::ZERO,
+                "{strategy} must not pay recovery"
+            );
             assert!(breakdown.checkpoint_write.as_secs() > 0.0);
         }
     }
@@ -243,7 +259,10 @@ mod tests {
             for v in &values {
                 assert_eq!(*v, expected_value(8, 20), "{strategy} after recovery");
             }
-            assert!(breakdown.recovery.as_secs() > 0.0, "{strategy} must pay recovery");
+            assert!(
+                breakdown.recovery.as_secs() > 0.0,
+                "{strategy} must pay recovery"
+            );
         }
     }
 
@@ -267,7 +286,10 @@ mod tests {
         // Reinit's application time matches the Restart baseline (no background work).
         let rel = (reinit.application.as_secs() - restart.application.as_secs()).abs()
             / restart.application.as_secs();
-        assert!(rel < 1e-9, "reinit and restart application times should match: {rel}");
+        assert!(
+            rel < 1e-9,
+            "reinit and restart application times should match: {rel}"
+        );
     }
 
     #[test]
@@ -320,7 +342,8 @@ mod tests {
         // application resumes from iteration 11 (checkpoint at 10): the work of
         // iterations 11 and 12 is redone. We verify the application time with a failure
         // exceeds the failure-free application time for the same design.
-        let (_, with_fault) = run_design(RecoveryStrategy::Reinit, FaultPlan::kill_rank_at(2, 12), 4);
+        let (_, with_fault) =
+            run_design(RecoveryStrategy::Reinit, FaultPlan::kill_rank_at(2, 12), 4);
         let (_, no_fault) = run_design(RecoveryStrategy::Reinit, FaultPlan::None, 4);
         assert!(with_fault.application > no_fault.application);
     }

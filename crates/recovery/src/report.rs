@@ -58,7 +58,9 @@ impl RunReport {
         assert!(!reports.is_empty(), "cannot average zero reports");
         let first = &reports[0];
         assert!(
-            reports.iter().all(|r| r.strategy == first.strategy && r.nprocs == first.nprocs),
+            reports
+                .iter()
+                .all(|r| r.strategy == first.strategy && r.nprocs == first.nprocs),
             "cannot average reports from different configurations"
         );
         let n = reports.len() as f64;

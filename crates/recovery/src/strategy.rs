@@ -102,8 +102,14 @@ mod tests {
         for p in [64, 512] {
             let (app, io) = RecoveryStrategy::Ulfm.background_interference(&m, p);
             assert!(app > 0.0 && io > 0.0);
-            assert_eq!(RecoveryStrategy::Reinit.background_interference(&m, p), (0.0, 0.0));
-            assert_eq!(RecoveryStrategy::Restart.background_interference(&m, p), (0.0, 0.0));
+            assert_eq!(
+                RecoveryStrategy::Reinit.background_interference(&m, p),
+                (0.0, 0.0)
+            );
+            assert_eq!(
+                RecoveryStrategy::Restart.background_interference(&m, p),
+                (0.0, 0.0)
+            );
         }
         // ULFM interference grows with scale.
         let (a64, _) = RecoveryStrategy::Ulfm.background_interference(&m, 64);
@@ -133,7 +139,10 @@ mod tests {
 
     #[test]
     fn programming_effort_reflects_the_paper() {
-        assert!(RecoveryStrategy::Ulfm.programming_effort_loc() >= 40 * RecoveryStrategy::Reinit.programming_effort_loc());
+        assert!(
+            RecoveryStrategy::Ulfm.programming_effort_loc()
+                >= 40 * RecoveryStrategy::Reinit.programming_effort_loc()
+        );
         assert_eq!(RecoveryStrategy::Restart.programming_effort_loc(), 0);
     }
 }

@@ -1,0 +1,13 @@
+//! # match-suite — the MATCH-RS workspace umbrella
+//!
+//! This crate exists to anchor the workspace-level integration tests (`tests/`) and
+//! examples (`examples/`): it depends on every public-facing crate of the suite and
+//! re-exports them under one roof. Library users should depend on
+//! [`match_core`] directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use deptrace;
+pub use match_core;
+pub use match_core::{fti, mpisim, proxies, recovery};

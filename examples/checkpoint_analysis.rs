@@ -5,10 +5,10 @@
 //! cargo run --example checkpoint_analysis
 //! ```
 
-use match_core::proxies::common::DetRng;
 use deptrace::analysis::find_checkpoint_objects;
 use deptrace::report::format_report;
 use deptrace::Tracer;
+use match_core::proxies::common::DetRng;
 
 fn main() {
     let mut tracer = Tracer::new();
@@ -37,6 +37,7 @@ fn main() {
         tracer.record_write_f64("residual", residual_addr, residual, 121);
         tracer.record_read("matrix", matrix_addr, 7, 122); // read-only operator
         tracer.record_read("tolerance", tolerance_addr, 42, 123); // constant
+
         // A loop-local temporary (defined inside the loop).
         tracer.record_write_f64("update", 0x9000, update, 124);
     }

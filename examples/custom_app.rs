@@ -31,7 +31,12 @@ impl ProxyApp for HeatDiffusion {
         self.steps
     }
 
-    fn run(&self, ctx: &mut RankCtx, fti: &mut Fti, injector: &FaultInjector) -> Result<AppOutput, MpiError> {
+    fn run(
+        &self,
+        ctx: &mut RankCtx,
+        fti: &mut Fti,
+        injector: &FaultInjector,
+    ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
         let n = self.cells_per_rank;
         let mut temperature = vec![if ctx.rank() == 0 { 100.0 } else { 0.0 }; n];
@@ -39,7 +44,13 @@ impl ProxyApp for HeatDiffusion {
         fti.protect(0, "temperature", &temperature);
         fti.protect(1, "step", &step);
         if fti.status().is_restart() {
-            fti.recover(ctx, &mut [(0, &mut temperature as &mut dyn Protectable), (1, &mut step as &mut dyn Protectable)])?;
+            fti.recover(
+                ctx,
+                &mut [
+                    (0, &mut temperature as &mut dyn Protectable),
+                    (1, &mut step as &mut dyn Protectable),
+                ],
+            )?;
         }
         while step < self.steps {
             let current = step + 1;
@@ -56,31 +67,56 @@ impl ProxyApp for HeatDiffusion {
             let mut next = temperature.clone();
             for i in 0..n {
                 let l = if i == 0 { left } else { temperature[i - 1] };
-                let r = if i + 1 == n { right } else { temperature[i + 1] };
+                let r = if i + 1 == n {
+                    right
+                } else {
+                    temperature[i + 1]
+                };
                 next[i] = temperature[i] + 0.25 * (l - 2.0 * temperature[i] + r);
             }
             ctx.compute(5.0 * n as f64);
             temperature = next;
             step = current;
             if fti.should_checkpoint(step) {
-                fti.checkpoint(ctx, step, &[(0, &temperature as &dyn Protectable), (1, &step as &dyn Protectable)])?;
+                fti.checkpoint(
+                    ctx,
+                    step,
+                    &[
+                        (0, &temperature as &dyn Protectable),
+                        (1, &step as &dyn Protectable),
+                    ],
+                )?;
             }
         }
         fti.finalize(ctx)?;
         let total = ctx.allreduce_sum_f64(&world, temperature.iter().sum())?;
-        Ok(AppOutput { app: self.name(), iterations: step, checksum: total, figure_of_merit: total })
+        Ok(AppOutput {
+            app: self.name(),
+            iterations: step,
+            checksum: total,
+            figure_of_merit: total,
+        })
     }
 }
 
 fn main() {
-    let app = HeatDiffusion { cells_per_rank: 64, steps: 20 };
-    println!("Running a custom application ({}) under all three MATCH designs\n", app.name());
+    let app = HeatDiffusion {
+        cells_per_rank: 64,
+        steps: 20,
+    };
+    println!(
+        "Running a custom application ({}) under all three MATCH designs\n",
+        app.name()
+    );
     for strategy in RecoveryStrategy::ALL {
         let config = FtConfig::new(strategy, FtiConfig::default().interval(5))
             .with_fault(FaultPlan::kill_rank_at(2, 13));
         let store = CheckpointStore::shared();
         let cluster = Cluster::new(ClusterConfig::with_ranks(8));
-        let app = HeatDiffusion { cells_per_rank: 64, steps: 20 };
+        let app = HeatDiffusion {
+            cells_per_rank: 64,
+            steps: 20,
+        };
         let outcome = cluster.run(|ctx| {
             let driver = FtDriver::new(config.clone(), Arc::clone(&store));
             driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))

@@ -5,19 +5,21 @@
 //! cargo run --example input_size_study
 //! ```
 
-use match_core::figures::{fig10_recovery_input, fig8_input_no_failure};
+use match_core::figures::{fig10_with_engine, fig8_with_engine};
 use match_core::matrix::MatrixOptions;
 use match_core::proxies::ProxyKind;
+use match_core::SuiteEngine;
 
 fn main() {
     let options = MatrixOptions::laptop()
         .with_apps(vec![ProxyKind::MiniFe])
         .with_process_counts(vec![8]);
+    let engine = SuiteEngine::new();
 
-    let fig8 = fig8_input_no_failure(&options);
+    let fig8 = fig8_with_engine(&engine, &options).expect("figure 8 matrix");
     println!("{}", fig8.render());
 
-    let fig10 = fig10_recovery_input(&options);
+    let fig10 = fig10_with_engine(&engine, &options).expect("figure 10 matrix");
     println!("{}", fig10.render());
 
     println!("Note how the recovery time barely changes across input sizes while the");

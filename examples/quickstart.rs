@@ -5,26 +5,52 @@
 //! cargo run --example quickstart
 //! ```
 
-use match_core::runner::run_experiment;
-use match_core::{Experiment, SuiteOptions};
 use match_core::proxies::{InputSize, ProxyKind};
 use match_core::recovery::RecoveryStrategy;
+use match_core::{Experiment, SuiteEngine, SuiteOptions};
 
 fn main() {
     let options = SuiteOptions::smoke();
+    let engine = SuiteEngine::new();
     println!("MATCH-RS quickstart: HPCCG, 8 processes, REINIT-FTI, one injected process failure\n");
 
-    for (label, inject) in [("without a failure", false), ("with one process failure", true)] {
-        let experiment = Experiment::new(ProxyKind::Hpccg, InputSize::Small, 8, RecoveryStrategy::Reinit)
-            .with_options(&options)
-            .with_failure(inject);
-        let report = run_experiment(&experiment);
+    for (label, inject) in [
+        ("without a failure", false),
+        ("with one process failure", true),
+    ] {
+        let experiment = Experiment::new(
+            ProxyKind::Hpccg,
+            InputSize::Small,
+            8,
+            RecoveryStrategy::Reinit,
+        )
+        .with_options(&options)
+        .with_failure(inject);
+        let report = match engine.run(&experiment) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("{label}: {error}");
+                std::process::exit(1);
+            }
+        };
         println!("{label}:");
-        println!("  application time    : {:.3} s", report.application_time().as_secs());
-        println!("  checkpoint writes   : {:.3} s", report.checkpoint_time().as_secs());
-        println!("  MPI recovery        : {:.3} s", report.recovery_time().as_secs());
+        println!(
+            "  application time    : {:.3} s",
+            report.application_time().as_secs()
+        );
+        println!(
+            "  checkpoint writes   : {:.3} s",
+            report.checkpoint_time().as_secs()
+        );
+        println!(
+            "  MPI recovery        : {:.3} s",
+            report.recovery_time().as_secs()
+        );
         println!("  global restarts     : {}", report.restarts);
-        println!("  checkpoints written : {}\n", report.stats.checkpoints_written);
+        println!(
+            "  checkpoints written : {}\n",
+            report.stats.checkpoints_written
+        );
     }
 
     println!("The failure-injected run pays the Reinit recovery cost plus the re-executed");

@@ -1,0 +1,190 @@
+//! End-to-end tests of the [`SuiteEngine`]: cached results must be bit-identical to
+//! fresh recomputation, parallel scheduling must not change any figure row, and the
+//! engine must report rank failures as errors instead of panicking.
+//!
+//! On strictness: failure-free runs of the simulator are bit-deterministic, so they
+//! are compared with `==`. With-failure runs carry a tiny host-scheduling jitter
+//! inherited from the seed simulator (a rank can squeeze in one extra send before the
+//! failure is detected, shifting times by ~1e-6 s) — the engine cannot and does not
+//! hide that, so with-failure rows are compared to a 0.1% tolerance instead. The
+//! cache itself is always exact: recalling a cell returns the stored report verbatim.
+
+use match_core::figures::{fig5_with_engine, fig6_with_engine, fig7_with_engine, FigureData};
+use match_core::matrix::{full_suite_matrix, MatrixOptions};
+use match_core::proxies::InputSize;
+use match_core::proxies::ProxyKind;
+use match_core::recovery::RecoveryStrategy;
+use match_core::runner;
+use match_core::{Experiment, SuiteEngine, SuiteOptions};
+
+fn tiny_options() -> MatrixOptions {
+    MatrixOptions::laptop()
+        .with_apps(vec![ProxyKind::Hpccg, ProxyKind::MiniVite])
+        .with_process_counts(vec![2, 4])
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 + 1e-3 * a.abs().max(b.abs())
+}
+
+fn assert_rows_close(a: &FigureData, b: &FigureData) {
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (x, y) in a.rows.iter().zip(&b.rows) {
+        assert_eq!((x.app, &x.group, &x.design), (y.app, &y.group, &y.design));
+        // The simulator's failure-detection jitter is a few microseconds of virtual
+        // time on a run lasting seconds, so the budget scales with the row total.
+        let tolerance = 1e-5 + 1e-3 * x.total().max(y.total());
+        for (name, u, v) in [
+            ("application", x.application, y.application),
+            ("checkpoint_write", x.checkpoint_write, y.checkpoint_write),
+            ("recovery", x.recovery, y.recovery),
+        ] {
+            assert!(
+                (u - v).abs() <= tolerance,
+                "row {}/{}/{} {name} diverged beyond tolerance: {u} vs {v}",
+                x.app,
+                x.group,
+                x.design,
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_report_is_bit_identical_to_fresh_recompute() {
+    // Failure-free: the simulator is bit-deterministic, so the cached report, a
+    // second (cached) lookup, and a from-scratch recompute must agree exactly.
+    let experiment = Experiment::new(
+        ProxyKind::Hpccg,
+        InputSize::Small,
+        4,
+        RecoveryStrategy::Ulfm,
+    )
+    .with_options(&SuiteOptions::smoke());
+    let engine = SuiteEngine::serial();
+    let computed = engine.run(&experiment).expect("first run");
+    let cached = engine.run(&experiment).expect("cached run");
+    let fresh = runner::run_experiment_uncached(&experiment).expect("fresh recompute");
+    assert_eq!(cached, computed);
+    assert_eq!(cached, fresh);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+#[test]
+fn cached_with_failure_report_is_recalled_verbatim() {
+    let experiment = Experiment::new(
+        ProxyKind::Hpccg,
+        InputSize::Small,
+        4,
+        RecoveryStrategy::Reinit,
+    )
+    .with_options(&SuiteOptions::smoke())
+    .with_failure(true);
+    let engine = SuiteEngine::serial();
+    let computed = engine.run(&experiment).expect("first run");
+    // Every subsequent lookup must return the stored report exactly — no re-run, no
+    // drift, even though a fresh with-failure simulation could jitter.
+    for _ in 0..3 {
+        assert_eq!(engine.run(&experiment).expect("cached run"), computed);
+    }
+    assert_eq!(engine.cache_stats().misses, 1);
+    // And the deterministic aggregates of a fresh recompute still agree.
+    let fresh = runner::run_experiment_uncached(&experiment).expect("fresh recompute");
+    assert_eq!(fresh.strategy, computed.strategy);
+    assert_eq!(fresh.restarts, computed.restarts);
+    assert_eq!(
+        fresh.stats.checkpoints_written,
+        computed.stats.checkpoints_written
+    );
+    assert!(close(
+        fresh.total_time.as_secs(),
+        computed.total_time.as_secs()
+    ));
+}
+
+#[test]
+fn parallel_equals_serial_for_figure_rows() {
+    let options = tiny_options();
+    // MATCH_JOBS=1 equivalent...
+    let serial_engine = SuiteEngine::with_jobs(1);
+    // ...versus MATCH_JOBS=8 equivalent.
+    let parallel_engine = SuiteEngine::with_jobs(8);
+
+    // Failure-free figure: strictly identical rows.
+    let serial5 = fig5_with_engine(&serial_engine, &options).expect("serial figure 5");
+    let parallel5 = fig5_with_engine(&parallel_engine, &options).expect("parallel figure 5");
+    assert_eq!(
+        serial5, parallel5,
+        "failure-free rows must be bit-identical"
+    );
+
+    // With-failure figure: identical shape, times within the simulator's jitter.
+    let serial6 = fig6_with_engine(&serial_engine, &options).expect("serial figure 6");
+    let parallel6 = fig6_with_engine(&parallel_engine, &options).expect("parallel figure 6");
+    assert_rows_close(&serial6, &parallel6);
+}
+
+#[test]
+fn overlapping_figures_share_every_cell() {
+    let options = tiny_options();
+    let engine = SuiteEngine::with_jobs(4);
+    let fig6 = fig6_with_engine(&engine, &options).expect("figure 6");
+    let misses_after_fig6 = engine.cache_stats().misses;
+    let fig7 = fig7_with_engine(&engine, &options).expect("figure 7");
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.misses, misses_after_fig6,
+        "figure 7 must not recompute"
+    );
+    assert_eq!(stats.hits as usize, fig7.rows.len());
+    assert_eq!(fig6.rows.len(), fig7.rows.len());
+    // Because fig7 is served from fig6's cells, the shared component is *exactly*
+    // equal — cache recall is verbatim even where fresh runs could jitter.
+    for (a, b) in fig6.rows.iter().zip(&fig7.rows) {
+        assert_eq!(a.recovery, b.recovery);
+    }
+}
+
+#[test]
+fn full_suite_matrix_runs_once_then_serves_all_figures() {
+    let options = MatrixOptions::laptop()
+        .with_apps(vec![ProxyKind::Hpccg])
+        .with_process_counts(vec![2]);
+    let engine = SuiteEngine::with_jobs(2);
+    let matrix = full_suite_matrix(&options);
+    engine.run_matrix(&matrix).expect("full matrix");
+    let misses = engine.cache_stats().misses;
+    let _ = fig6_with_engine(&engine, &options).expect("figure 6 from cache");
+    let _ = fig7_with_engine(&engine, &options).expect("figure 7 from cache");
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses,
+        "figures render from cache"
+    );
+}
+
+#[test]
+fn nonsensical_topology_surfaces_as_an_error_not_a_panic() {
+    // 3 ranks do not divide into the paper's 32-node layout evenly; the cluster
+    // constructor rejects it by panicking, which the engine converts into a
+    // `SuiteError` instead of tearing the caller down.
+    let experiment = Experiment::new(
+        ProxyKind::Hpccg,
+        InputSize::Small,
+        3,
+        RecoveryStrategy::Reinit,
+    )
+    .with_options(&SuiteOptions::smoke());
+    let engine = SuiteEngine::serial();
+    match engine.run(&experiment) {
+        Ok(report) => {
+            // If the topology happens to accept 3 ranks the run must simply succeed.
+            assert!(report.total_time.as_secs() > 0.0);
+        }
+        Err(error) => {
+            let text = error.to_string();
+            assert!(!text.is_empty());
+        }
+    }
+}

@@ -22,7 +22,11 @@ fn run_app(kind: ProxyKind, input: InputSize, nprocs: usize) -> (f64, f64, u64) 
     });
     assert!(outcome.all_ok(), "{kind:?}: {:?}", outcome.errors());
     let out = &outcome.value_of(0).value;
-    (out.checksum, out.figure_of_merit, outcome.total_stats().checkpoints_written)
+    (
+        out.checksum,
+        out.figure_of_merit,
+        outcome.total_stats().checkpoints_written,
+    )
 }
 
 #[test]
@@ -59,8 +63,11 @@ fn results_are_independent_of_the_checkpoint_level() {
     let spec = ProxySpec::new(ProxyKind::Hpccg, InputSize::Small, ExecutionScale::smoke());
     let mut checksums = Vec::new();
     for level in CheckpointLevel::ALL {
-        let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::level(level).interval(4))
-            .with_fault(match_core::recovery::FaultPlan::kill_rank_at(1, 5));
+        let config = FtConfig::new(
+            RecoveryStrategy::Reinit,
+            FtiConfig::level(level).interval(4),
+        )
+        .with_fault(match_core::recovery::FaultPlan::kill_rank_at(1, 5));
         let cluster = Cluster::new(ClusterConfig::with_ranks(4));
         let store = CheckpointStore::shared();
         let outcome = cluster.run(|ctx| {

@@ -14,8 +14,11 @@ use match_core::recovery::{FaultPlan, FtConfig, FtDriver, RecoveryStrategy};
 fn run_checksum(kind: ProxyKind, strategy: RecoveryStrategy, fault: FaultPlan) -> (f64, f64) {
     let spec = ProxySpec::new(kind, InputSize::Small, ExecutionScale::smoke());
     let iterations = spec.build().iterations();
-    let config = FtConfig::new(strategy, FtiConfig::default().interval((iterations / 2).max(1)))
-        .with_fault(fault);
+    let config = FtConfig::new(
+        strategy,
+        FtiConfig::default().interval((iterations / 2).max(1)),
+    )
+    .with_fault(fault);
     let cluster = Cluster::new(ClusterConfig::with_ranks(4));
     let store = CheckpointStore::shared();
     let outcome = cluster.run(|ctx| {
@@ -23,7 +26,11 @@ fn run_checksum(kind: ProxyKind, strategy: RecoveryStrategy, fault: FaultPlan) -
         let app = spec.build();
         driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
     });
-    assert!(outcome.all_ok(), "{kind:?}/{strategy:?}: {:?}", outcome.errors());
+    assert!(
+        outcome.all_ok(),
+        "{kind:?}/{strategy:?}: {:?}",
+        outcome.errors()
+    );
     let checksum = outcome.value_of(0).value.checksum;
     let recovery = outcome.max_breakdown().recovery.as_secs();
     (checksum, recovery)
@@ -57,7 +64,8 @@ fn recovered_runs_reproduce_failure_free_answers_for_every_app_and_design() {
 fn early_failure_before_any_checkpoint_restarts_from_scratch_and_still_matches() {
     for strategy in RecoveryStrategy::ALL {
         let (clean, _) = run_checksum(ProxyKind::Hpccg, strategy, FaultPlan::None);
-        let (recovered, recovery) = run_checksum(ProxyKind::Hpccg, strategy, FaultPlan::kill_rank_at(1, 1));
+        let (recovered, recovery) =
+            run_checksum(ProxyKind::Hpccg, strategy, FaultPlan::kill_rank_at(1, 1));
         assert!(recovery > 0.0);
         assert_eq!(recovered, clean, "{strategy:?}");
     }
@@ -68,8 +76,11 @@ fn node_crash_is_recovered_by_reinit() {
     // Reinit supports node failures (the paper notes ULFM's implementation does not);
     // the simulated node crash kills both ranks of one node.
     let (clean, _) = run_checksum(ProxyKind::MiniFe, RecoveryStrategy::Reinit, FaultPlan::None);
-    let (recovered, recovery) =
-        run_checksum(ProxyKind::MiniFe, RecoveryStrategy::Reinit, FaultPlan::crash_node_at(1, 3));
+    let (recovered, recovery) = run_checksum(
+        ProxyKind::MiniFe,
+        RecoveryStrategy::Reinit,
+        FaultPlan::crash_node_at(1, 3),
+    );
     assert!(recovery > 0.0);
     assert_eq!(recovered, clean);
 }

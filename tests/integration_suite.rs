@@ -8,7 +8,9 @@ use match_core::proxies::ProxyKind;
 use match_core::table1::table1;
 
 fn tiny_options(apps: Vec<ProxyKind>, procs: Vec<usize>) -> MatrixOptions {
-    MatrixOptions::laptop().with_apps(apps).with_process_counts(procs)
+    MatrixOptions::laptop()
+        .with_apps(apps)
+        .with_process_counts(procs)
 }
 
 #[test]
@@ -35,7 +37,7 @@ fn table1_reproduces_the_paper_configuration() {
 #[test]
 fn scaling_figure_shapes_match_the_paper() {
     let options = tiny_options(vec![ProxyKind::Hpccg], vec![4, 16]);
-    let fig7 = fig7_recovery_scaling(&options);
+    let fig7 = fig7_recovery_scaling(&options).expect("figure 7 matrix");
 
     // Ordering at every scale: Reinit < ULFM < Restart recovery.
     for group in ["4", "16"] {
@@ -61,8 +63,14 @@ fn scaling_figure_shapes_match_the_paper() {
     };
     let ulfm_growth = get("ULFM-FTI", "16") / get("ULFM-FTI", "4");
     let reinit_growth = get("REINIT-FTI", "16") / get("REINIT-FTI", "4");
-    assert!(ulfm_growth > 1.02, "ULFM recovery must grow with scale ({ulfm_growth})");
-    assert!(reinit_growth < 1.05, "Reinit recovery must be scale-independent ({reinit_growth})");
+    assert!(
+        ulfm_growth > 1.02,
+        "ULFM recovery must grow with scale ({ulfm_growth})"
+    );
+    assert!(
+        reinit_growth < 1.05,
+        "Reinit recovery must be scale-independent ({reinit_growth})"
+    );
 
     // The derived findings keep the design ordering.
     let findings = Findings::from_figure(&fig7);
@@ -74,7 +82,7 @@ fn scaling_figure_shapes_match_the_paper() {
 #[test]
 fn ulfm_delays_application_execution_without_failures() {
     let options = tiny_options(vec![ProxyKind::MiniVite], vec![8]);
-    let fig5 = fig5_scaling_no_failure(&options);
+    let fig5 = fig5_scaling_no_failure(&options).expect("figure 5 matrix");
     let app_time = |design: &str| {
         fig5.rows
             .iter()
@@ -85,8 +93,14 @@ fn ulfm_delays_application_execution_without_failures() {
     let restart = app_time("RESTART-FTI");
     let reinit = app_time("REINIT-FTI");
     let ulfm = app_time("ULFM-FTI");
-    assert!(ulfm > restart, "ULFM must inflate application time ({ulfm} vs {restart})");
-    assert!((reinit - restart).abs() / restart < 1e-9, "Reinit matches the baseline");
+    assert!(
+        ulfm > restart,
+        "ULFM must inflate application time ({ulfm} vs {restart})"
+    );
+    assert!(
+        (reinit - restart).abs() / restart < 1e-9,
+        "Reinit matches the baseline"
+    );
     // No recovery time appears anywhere in a failure-free figure.
     assert!(fig5.rows.iter().all(|r| r.recovery == 0.0));
 }
@@ -94,7 +108,7 @@ fn ulfm_delays_application_execution_without_failures() {
 #[test]
 fn input_size_sweep_grows_application_time_with_input() {
     let options = tiny_options(vec![ProxyKind::Hpccg], vec![4]);
-    let fig8 = fig8_input_no_failure(&options);
+    let fig8 = fig8_input_no_failure(&options).expect("figure 8 matrix");
     let app_time = |group: &str| {
         fig8.rows
             .iter()
