@@ -1,54 +1,21 @@
-//! Micro-benchmarks of the substrate primitives: collective cost evaluation,
-//! Reed-Solomon encode/decode, differential-checkpoint delta computation, and a small
-//! end-to-end cluster allreduce.
+//! Micro-benchmarks of the substrate primitives: collective cost evaluation, the
+//! data-plane kernels (Reed–Solomon encode/decode, differential-checkpoint delta,
+//! shared-payload fan-out — each measured against its kept scalar/owned baseline via
+//! [`match_bench::micro`]), and a small end-to-end cluster allreduce.
 //!
 //! The build environment is fully offline, so instead of the criterion crate this
 //! harness uses a small built-in timer: each benchmark is warmed up, then run in
-//! batches until a time budget is spent, and the per-iteration minimum, median and
-//! mean are reported (the minimum is the most noise-resistant of the three on a
-//! shared machine).
+//! batches until a time budget is spent, and the per-iteration minimum is reported
+//! (the most noise-resistant statistic on a shared machine).
 
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 
-use match_core::fti::{diff, rs_code};
+use match_bench::micro;
 use match_core::mpisim::machine::{CollectiveKind, MachineModel};
 use match_core::mpisim::{Cluster, ClusterConfig};
 
-const WARMUP: Duration = Duration::from_millis(50);
-const BUDGET: Duration = Duration::from_millis(300);
-
-fn bench<F: FnMut()>(name: &str, mut f: F) {
-    // Warm up and estimate a batch size targeting ~1ms per sample.
-    let warm_start = Instant::now();
-    let mut warm_iters: u32 = 0;
-    while warm_start.elapsed() < WARMUP {
-        f();
-        warm_iters += 1;
-    }
-    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-    let batch = ((1e-3 / per_iter.max(1e-9)) as u32).clamp(1, 1_000_000);
-
-    let mut samples: Vec<f64> = Vec::new();
-    let run_start = Instant::now();
-    while run_start.elapsed() < BUDGET {
-        let t = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        samples.push(t.elapsed().as_secs_f64() / batch as f64);
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let min = samples.first().copied().unwrap_or(0.0);
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    println!(
-        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples x {batch} iters)",
-        fmt_time(min),
-        fmt_time(median),
-        fmt_time(mean),
-        samples.len(),
-    );
+fn report(name: &str, ns: f64) {
+    println!("{name:<44} min {}", fmt_time(ns / 1e9));
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -63,61 +30,51 @@ fn fmt_time(seconds: f64) -> String {
 
 fn bench_machine_model() {
     let machine = MachineModel::default();
-    bench("machine/allreduce_cost_512", || {
-        black_box(machine.collective_cost(CollectiveKind::Allreduce, black_box(512), 4096));
-    });
-    bench("machine/ulfm_recovery_cost_512", || {
-        black_box(machine.ulfm_recovery_cost(black_box(512), 1));
-    });
+    report(
+        "machine/allreduce_cost_512",
+        micro::time_ns(|| {
+            black_box(machine.collective_cost(CollectiveKind::Allreduce, black_box(512), 4096));
+        }),
+    );
+    report(
+        "machine/ulfm_recovery_cost_512",
+        micro::time_ns(|| {
+            black_box(machine.ulfm_recovery_cost(black_box(512), 1));
+        }),
+    );
 }
 
-fn bench_rs_codec() {
-    let data: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
-    for &(k, m) in &[(4usize, 2usize), (8, 3)] {
-        bench(&format!("rs_codec/encode/k{k}m{m}"), || {
-            black_box(rs_code::encode(black_box(&data), k, m).unwrap());
-        });
-        let encoded = rs_code::encode(&data, k, m).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = encoded.shards.iter().cloned().map(Some).collect();
-        shards[0] = None;
-        shards[1] = None;
-        bench(&format!("rs_codec/decode_2_erasures/k{k}m{m}"), || {
-            black_box(rs_code::decode(black_box(&shards), k, m, encoded.original_len).unwrap());
-        });
+fn bench_data_plane_kernels() {
+    for k in micro::run_kernels() {
+        report(&format!("{}/fast", k.name), k.ns_per_op);
+        report(&format!("{}/baseline", k.name), k.baseline_ns_per_op);
+        println!("{:<44} speedup {:.2}x", k.name, k.speedup());
     }
-}
-
-fn bench_diff() {
-    let base = vec![7u8; 1 << 20];
-    let mut new = base.clone();
-    new[12345] = 1;
-    new[999_999] = 2;
-    bench("diff/delta_1MiB_sparse_change", || {
-        black_box(diff::compute_delta(black_box(&base), &new, 4096));
-    });
 }
 
 fn bench_cluster_allreduce() {
     for &nprocs in &[4usize, 16] {
-        bench(&format!("cluster/allreduce_round/{nprocs}"), || {
-            let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
-            let outcome = cluster.run(|ctx| {
-                let world = ctx.world();
-                let mut acc = 0.0;
-                for _ in 0..5 {
-                    acc = ctx.allreduce_sum_f64(&world, 1.0)?;
-                }
-                Ok(acc)
-            });
-            assert!(outcome.all_ok());
-        });
+        report(
+            &format!("cluster/allreduce_round/{nprocs}"),
+            micro::time_ns(|| {
+                let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
+                let outcome = cluster.run(|ctx| {
+                    let world = ctx.world();
+                    let mut acc = 0.0;
+                    for _ in 0..5 {
+                        acc = ctx.allreduce_sum_f64(&world, 1.0)?;
+                    }
+                    Ok(acc)
+                });
+                assert!(outcome.all_ok());
+            }),
+        );
     }
 }
 
 fn main() {
     println!("MATCH-RS micro-benchmarks (built-in timer; lower is better)\n");
     bench_machine_model();
-    bench_rs_codec();
-    bench_diff();
+    bench_data_plane_kernels();
     bench_cluster_allreduce();
 }

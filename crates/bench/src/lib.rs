@@ -13,6 +13,8 @@
 //!   [`SuiteEngine`] (default: the host's available parallelism; the `match-bench`
 //!   CLI also accepts `--jobs N`).
 
+pub mod micro;
+
 use match_core::matrix::MatrixOptions;
 use match_core::proxies::registry::ExecutionScale;
 use match_core::proxies::ProxyKind;

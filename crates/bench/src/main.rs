@@ -1,7 +1,7 @@
 //! A small CLI that regenerates any table or figure of the MATCH paper on demand.
 //!
 //! ```text
-//! match-bench [--jobs N] [table1|fig5|fig6|fig7|fig8|fig9|fig10|findings|all ...]
+//! match-bench [--jobs N] [--json] [table1|fig5|...|fig10|findings|micro|all ...]
 //! ```
 //!
 //! The matrix is controlled by the `MATCH_PROCS`, `MATCH_SCALE`, `MATCH_APPS`,
@@ -10,10 +10,18 @@
 //! [`SuiteEngine`], so overlapping targets (`fig6 fig7 findings`, or `all`) are
 //! answered from the result cache instead of re-running their experiments — the
 //! engine/cache line printed after each target shows the reuse.
+//!
+//! The `micro` target runs the data-plane micro benchmark suite (Reed–Solomon
+//! encode/decode, differential delta, payload fan-out — each against its kept scalar
+//! baseline — plus a fresh-engine fig6 wall-clock). With `--json` the results are also
+//! written to `BENCH_PR2.json`. `micro` deliberately uses its own engine so a warm
+//! result cache from earlier targets cannot flatter the end-to-end timing.
 
 use std::time::Instant;
 
-use match_bench::{options_from_env, print_engine_line, print_figure, print_recovery_series};
+use match_bench::{
+    micro, options_from_env, print_engine_line, print_figure, print_recovery_series,
+};
 use match_core::figures;
 use match_core::findings::Findings;
 use match_core::matrix::full_suite_matrix;
@@ -77,12 +85,29 @@ fn run_target(name: &str, engine: &SuiteEngine, options: &match_core::matrix::Ma
     }
 }
 
+/// Runs the micro benchmark suite; with `json`, also writes `BENCH_PR2.json`.
+fn run_micro(json: bool, jobs: Option<usize>) {
+    let report = micro::run(true, jobs);
+    print!("{}", report.render());
+    if json {
+        let path = "BENCH_PR2.json";
+        if let Err(error) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+        println!("[wrote {path}]");
+    }
+    println!();
+}
+
 fn main() {
     let mut jobs: Option<usize> = None;
+    let mut json = false;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--jobs" | "-j" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse::<usize>() {
@@ -124,8 +149,10 @@ fn main() {
     // Reject typos before any simulation runs — a bad name at the end of the list
     // must not surface only after minutes of matrix work.
     for name in &expanded {
-        if !TARGETS.contains(name) {
-            eprintln!("unknown target '{name}' (expected table1, fig5..fig10, findings, all)");
+        if !TARGETS.contains(name) && *name != "micro" {
+            eprintln!(
+                "unknown target '{name}' (expected table1, fig5..fig10, findings, micro, all)"
+            );
             std::process::exit(2);
         }
     }
@@ -148,7 +175,15 @@ fn main() {
         );
     }
 
+    if json && !expanded.contains(&"micro") {
+        eprintln!("--json only applies to the 'micro' target and was ignored");
+    }
+
     for name in expanded {
-        run_target(name, &engine, &options);
+        if name == "micro" {
+            run_micro(json, jobs);
+        } else {
+            run_target(name, &engine, &options);
+        }
     }
 }

@@ -1,0 +1,343 @@
+//! The data-plane micro benchmark suite (`match-bench micro [--json]`).
+//!
+//! Times the hot kernels of the checkpoint data plane — Reed–Solomon encode/decode,
+//! differential-delta computation and shared-payload fan-out — each against the scalar
+//! / owned-copy baseline implementation that is kept in-tree as the reference oracle,
+//! plus the wall-clock of regenerating the Fig. 6 matrix end to end. With `--json` the
+//! results are written to `BENCH_PR2.json` so the repository carries a measured
+//! performance trajectory.
+//!
+//! Knobs (environment):
+//!
+//! * `MATCH_MICRO_BUDGET_MS` — per-timer measurement budget in milliseconds
+//!   (default 300; CI smoke uses a small value),
+//! * `MATCH_FIG6_BASELINE` — a previously measured fig6 wall-clock in seconds,
+//!   recorded alongside the fresh measurement as the before/after pair,
+//! * the usual `MATCH_PROCS` / `MATCH_SCALE` / `MATCH_APPS` / `MATCH_REPS` /
+//!   `MATCH_JOBS` variables controlling the fig6 matrix (see [`crate`]).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use match_core::fti::{diff, rs_code};
+use match_core::mpisim::Payload;
+use match_core::{figures, SuiteEngine};
+
+use crate::options_from_env;
+
+/// One timed kernel: the fast data-plane implementation next to its kept baseline.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel identifier (stable across PRs, used as the JSON key).
+    pub name: String,
+    /// Nanoseconds per operation of the fast path (minimum over samples).
+    pub ns_per_op: f64,
+    /// Nanoseconds per operation of the scalar / owned-copy baseline.
+    pub baseline_ns_per_op: f64,
+}
+
+impl KernelTiming {
+    /// Baseline time divided by fast time.
+    pub fn speedup(&self) -> f64 {
+        if self.ns_per_op > 0.0 {
+            self.baseline_ns_per_op / self.ns_per_op
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall-clock of regenerating the Fig. 6 matrix with a fresh engine (no cache reuse).
+#[derive(Debug, Clone)]
+pub struct Fig6Timing {
+    /// Seconds of wall-clock for the full matrix.
+    pub wall_clock_s: f64,
+    /// Number of figure rows regenerated.
+    pub rows: usize,
+    /// A previously measured wall-clock (seconds) passed in via `MATCH_FIG6_BASELINE`,
+    /// recorded as the "before" of the before/after pair.
+    pub baseline_wall_clock_s: Option<f64>,
+}
+
+/// The full micro-suite result.
+#[derive(Debug, Clone)]
+pub struct MicroReport {
+    /// Per-kernel timings, fast path vs baseline.
+    pub kernels: Vec<KernelTiming>,
+    /// End-to-end fig6 regeneration timing (absent if the matrix failed to run).
+    pub fig6: Option<Fig6Timing>,
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("MATCH_MICRO_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Times `f` and returns the minimum nanoseconds per call (the most noise-resistant
+/// statistic on a shared machine): warm up for a sixth of the budget, pick a batch
+/// size targeting ~1 ms per sample, then sample until the budget is spent.
+pub fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let budget = budget();
+    let warmup = budget / 6;
+    let warm_start = Instant::now();
+    let mut warm_iters: u32 = 0;
+    while warm_start.elapsed() < warmup || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let batch = ((1e-3 / per_iter.max(1e-9)) as u32).clamp(1, 1_000_000);
+
+    let mut min = f64::INFINITY;
+    let run_start = Instant::now();
+    while run_start.elapsed() < budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        min = min.min(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    min * 1e9
+}
+
+/// A deterministic pseudo-random payload (every byte value occurs, no field structure).
+fn test_data(len: usize) -> Vec<u8> {
+    (0..len as u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8)
+        .collect()
+}
+
+/// Runs the four data-plane kernel timers (1 MiB payloads, the acceptance size).
+pub fn run_kernels() -> Vec<KernelTiming> {
+    let mut out = Vec::new();
+    let data = test_data(1 << 20);
+    let (k, m) = (4usize, 2usize);
+
+    // Reed–Solomon encode as the L3 write path runs it: a zero-copy shared payload
+    // through the vectorized mul-table kernel, vs the per-byte gf_mul implementation
+    // the data plane used before (which also owned and copied its shards).
+    let payload: Payload = data.clone().into();
+    out.push(KernelTiming {
+        name: format!("rs_encode_1MiB_k{k}m{m}"),
+        ns_per_op: time_ns(|| {
+            black_box(rs_code::encode_payload(black_box(&payload), k, m).unwrap());
+        }),
+        baseline_ns_per_op: time_ns(|| {
+            black_box(rs_code::encode_scalar(black_box(&data), k, m).unwrap());
+        }),
+    });
+
+    // Reed–Solomon decode with two erased *data* shards (forces the general
+    // matrix-inversion path on both implementations).
+    let encoded = rs_code::encode(&data, k, m).unwrap();
+    let mut shards: Vec<Option<Payload>> = encoded.shards.iter().cloned().map(Some).collect();
+    shards[0] = None;
+    shards[1] = None;
+    out.push(KernelTiming {
+        name: format!("rs_decode_1MiB_k{k}m{m}_2erasures"),
+        ns_per_op: time_ns(|| {
+            black_box(rs_code::decode(black_box(&shards), k, m, encoded.original_len).unwrap());
+        }),
+        baseline_ns_per_op: time_ns(|| {
+            black_box(
+                rs_code::decode_scalar(black_box(&shards), k, m, encoded.original_len).unwrap(),
+            );
+        }),
+    });
+
+    // Differential delta of a sparsely changed 1 MiB payload: word-wide hashing with
+    // cached base hashes vs byte-hashing both payloads and copying changed blocks.
+    let base = test_data(1 << 20);
+    let mut changed = base.clone();
+    changed[12_345] ^= 0xFF;
+    changed[999_999] ^= 0xFF;
+    let block = 4096;
+    let base_hashes = diff::block_hashes(&base, block);
+    let new_payload: Payload = changed.clone().into();
+    out.push(KernelTiming {
+        name: "diff_delta_1MiB_sparse".into(),
+        ns_per_op: time_ns(|| {
+            black_box(diff::compute_delta_cached(
+                black_box(&base),
+                &base_hashes,
+                &new_payload,
+                block,
+            ));
+        }),
+        baseline_ns_per_op: time_ns(|| {
+            black_box(diff::compute_delta_owned(black_box(&base), &changed, block));
+        }),
+    });
+
+    // Payload fan-out: assemble a checkpoint payload from four objects and hand three
+    // redundancy blobs a reference each (the L2/L4 write pattern) — shared-buffer
+    // views vs owned `Vec` clones.
+    let objects: Vec<Vec<u8>> = (0..4).map(|_| test_data(1 << 18)).collect();
+    out.push(KernelTiming {
+        name: "payload_roundtrip_1MiB_4objs_3blobs".into(),
+        ns_per_op: time_ns(|| {
+            let payload = Payload::concat(black_box(&objects));
+            let blobs = [payload.clone(), payload.clone(), payload.clone()];
+            black_box(payload.slice(0..1 << 19));
+            black_box(blobs);
+        }),
+        baseline_ns_per_op: time_ns(|| {
+            let payload: Vec<u8> = black_box(&objects).concat();
+            let blobs = [payload.clone(), payload.clone(), payload.clone()];
+            black_box(payload[..1 << 19].to_vec());
+            black_box(blobs);
+        }),
+    });
+
+    out
+}
+
+/// Regenerates the Fig. 6 matrix on a fresh engine (no warm cache) and times it.
+/// `jobs` overrides the engine's concurrency (the CLI's `--jobs` flag); `None` falls
+/// back to `MATCH_JOBS` / available parallelism.
+pub fn run_fig6(jobs: Option<usize>) -> Option<Fig6Timing> {
+    let engine = jobs.map(SuiteEngine::with_jobs).unwrap_or_default();
+    let options = options_from_env();
+    let t = Instant::now();
+    match figures::fig6_with_engine(&engine, &options) {
+        Ok(data) => Some(Fig6Timing {
+            wall_clock_s: t.elapsed().as_secs_f64(),
+            rows: data.rows.len(),
+            baseline_wall_clock_s: std::env::var("MATCH_FIG6_BASELINE")
+                .ok()
+                .and_then(|s| s.parse().ok()),
+        }),
+        Err(error) => {
+            eprintln!("fig6 smoke matrix failed: {error}");
+            None
+        }
+    }
+}
+
+/// Runs the whole micro suite. `include_fig6` controls whether the (comparatively
+/// expensive) end-to-end matrix timing runs too; `jobs` is forwarded to its engine.
+pub fn run(include_fig6: bool, jobs: Option<usize>) -> MicroReport {
+    MicroReport {
+        kernels: run_kernels(),
+        fig6: if include_fig6 { run_fig6(jobs) } else { None },
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+impl MicroReport {
+    /// Renders the report as a human-readable text block.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "data-plane micro kernels (min ns/op; baseline = scalar/owned reference)\n",
+        );
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<38} fast {:>12.0} ns  baseline {:>12.0} ns  speedup {:>6.2}x\n",
+                k.name,
+                k.ns_per_op,
+                k.baseline_ns_per_op,
+                k.speedup()
+            ));
+        }
+        if let Some(f) = &self.fig6 {
+            out.push_str(&format!(
+                "fig6 matrix: {} rows in {:.1}s wall-clock{}\n",
+                f.rows,
+                f.wall_clock_s,
+                match f.baseline_wall_clock_s {
+                    Some(b) => format!(" (baseline {b:.1}s)"),
+                    None => String::new(),
+                }
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report to the `BENCH_PR2.json` schema (hand-rolled: the build is
+    /// offline, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"match-bench-micro-v1\",\n  \"pr\": 2,\n");
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"baseline_ns_per_op\": {}, \"speedup\": {:.2}}}{}\n",
+                k.name,
+                json_f64(k.ns_per_op),
+                json_f64(k.baseline_ns_per_op),
+                k.speedup(),
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        match &self.fig6 {
+            Some(f) => out.push_str(&format!(
+                "  \"fig6_smoke\": {{\"rows\": {}, \"wall_clock_s\": {:.2}, \"baseline_wall_clock_s\": {}}}\n",
+                f.rows,
+                f.wall_clock_s,
+                f.baseline_wall_clock_s
+                    .map(|b| format!("{b:.2}"))
+                    .unwrap_or_else(|| "null".into()),
+            )),
+            None => out.push_str("  \"fig6_smoke\": null\n"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let report = MicroReport {
+            kernels: vec![KernelTiming {
+                name: "k".into(),
+                ns_per_op: 10.0,
+                baseline_ns_per_op: 50.0,
+            }],
+            fig6: Some(Fig6Timing {
+                wall_clock_s: 1.5,
+                rows: 6,
+                baseline_wall_clock_s: None,
+            }),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"match-bench-micro-v1\""));
+        assert!(json.contains("\"speedup\": 5.00"));
+        assert!(json.contains("\"baseline_wall_clock_s\": null"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(report.kernels[0].speedup(), 5.0);
+    }
+
+    #[test]
+    fn render_mentions_every_kernel() {
+        let report = MicroReport {
+            kernels: vec![KernelTiming {
+                name: "rs_encode_x".into(),
+                ns_per_op: 1.0,
+                baseline_ns_per_op: 2.0,
+            }],
+            fig6: None,
+        };
+        assert!(report.render().contains("rs_encode_x"));
+    }
+}

@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
-use mpisim::{Comm, MpiError, RankCtx, TimeCategory};
+use mpisim::{Comm, MpiError, Payload, RankCtx, TimeCategory};
 
 use crate::config::FtiConfig;
-use crate::level::{read_checkpoint, write_checkpoint, ReadOutcome, WriteOutcome};
+use crate::level::{read_checkpoint, write_checkpoint_payload, ReadOutcome, WriteOutcome};
 use crate::meta::{CheckpointMeta, FtiStats};
 use crate::protect::{Protectable, ProtectedObject};
 use crate::store::CheckpointStore;
@@ -175,25 +175,28 @@ impl Fti {
                 )));
             }
         }
-        let serialized: Vec<Vec<u8>> = objects.iter().map(|(_, o)| o.to_bytes()).collect();
+        // Serialize every object directly into one flat buffer: the shared payload is
+        // built with a single copy instead of per-object vectors plus a concatenation.
+        let mut object_lens = Vec::with_capacity(objects.len());
+        let mut flat = Vec::with_capacity(objects.iter().map(|(_, o)| o.byte_len()).sum());
+        for (_, o) in objects {
+            let start = flat.len();
+            flat.append(&mut o.to_bytes());
+            object_lens.push(flat.len() - start);
+        }
+        let payload = Payload::from(flat);
         let meta = CheckpointMeta {
             ckpt_id: self.next_ckpt_id,
             iteration,
             level: self.config.level,
-            bytes: serialized.iter().map(Vec::len).sum(),
+            bytes: payload.len(),
             object_ids: objects.iter().map(|(id, _)| *id).collect(),
-            object_lens: serialized.iter().map(Vec::len).collect(),
+            object_lens,
         };
 
         let prev = ctx.set_category(TimeCategory::CheckpointWrite);
-        let result = write_checkpoint(
-            ctx,
-            &self.comm,
-            &self.config,
-            &self.store,
-            meta,
-            &serialized,
-        );
+        let result =
+            write_checkpoint_payload(ctx, &self.comm, &self.config, &self.store, meta, payload);
         ctx.set_category(prev);
 
         let outcome = result?;

@@ -18,12 +18,12 @@
 use std::collections::HashMap;
 
 use mpisim::machine::StorageTier;
-use mpisim::{Comm, MpiError, RankCtx};
+use mpisim::{Comm, MpiError, Payload, RankCtx};
 
 use crate::config::{CheckpointLevel, FtiConfig};
 use crate::meta::CheckpointMeta;
 use crate::rs_code;
-use crate::store::{BlobKind, CheckpointSet, CheckpointStore, Placement, StoredBlob};
+use crate::store::{BlobKind, CheckpointSet, CheckpointStore, DiffHashes, Placement, StoredBlob};
 
 /// Outcome of a checkpoint write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +74,25 @@ pub fn write_checkpoint(
             objects.len()
         )));
     }
-    let payload: Vec<u8> = objects.concat();
+    write_checkpoint_payload(ctx, comm, cfg, store, meta, Payload::concat(objects))
+}
+
+/// Writes one checkpoint whose flat payload has already been assembled into a shared
+/// buffer. This is the zero-copy core of [`write_checkpoint`]: every blob derived from
+/// the payload (primary copy, partner copy, differential base) is a reference-counted
+/// view of `payload`, never an owned copy.
+///
+/// # Errors
+///
+/// Same error conditions as [`write_checkpoint`].
+pub fn write_checkpoint_payload(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    cfg: &FtiConfig,
+    store: &CheckpointStore,
+    meta: CheckpointMeta,
+    payload: Payload,
+) -> Result<WriteOutcome, MpiError> {
     let payload_bytes = payload.len();
     let rank = ctx.rank();
     let node = ctx.topology().node_of(rank);
@@ -84,16 +102,21 @@ pub fn write_checkpoint(
 
     let mut blobs: HashMap<BlobKind, StoredBlob> = HashMap::new();
     let mut stored_bytes = 0usize;
+    let mut diff_hashes = None;
 
     match cfg.level {
         CheckpointLevel::L1 => {
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
+            // The primary blob used to be an owned `payload.clone()` — a full copy
+            // whose source was dropped right after (the payload has no further use at
+            // L1). It is now a view of the shared buffer; see the
+            // `l1_l2_blobs_share_the_payload_buffer` test.
             blobs.insert(
                 BlobKind::Primary,
                 StoredBlob {
                     owner_rank: rank,
                     placement: Placement::Node(node),
-                    data: payload.clone(),
+                    data: payload,
                 },
             );
             stored_bytes += payload_bytes;
@@ -116,7 +139,7 @@ pub fn write_checkpoint(
                 StoredBlob {
                     owner_rank: rank,
                     placement: Placement::Node(partner_node),
-                    data: payload.clone(),
+                    data: payload,
                 },
             );
             stored_bytes += 2 * payload_bytes;
@@ -126,7 +149,7 @@ pub fn write_checkpoint(
             // Encode and scatter the shards across the encoding group.
             let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
             let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
-            let encoded = rs_code::encode(&payload, k, m).map_err(|e| {
+            let encoded = rs_code::encode_payload(&payload, k, m).map_err(|e| {
                 MpiError::InvalidArgument(format!("reed-solomon encoding failed: {e}"))
             })?;
             ctx.elapse(
@@ -141,7 +164,7 @@ pub fn write_checkpoint(
                 StoredBlob {
                     owner_rank: rank,
                     placement: Placement::Node(node),
-                    data: payload.clone(),
+                    data: payload,
                 },
             );
             stored_bytes += payload_bytes;
@@ -166,12 +189,32 @@ pub fn write_checkpoint(
             }
         }
         CheckpointLevel::L4 => {
-            let previous_base = store
-                .get(rank)
-                .and_then(|s| s.blobs.get(&BlobKind::DiffBase).map(|b| b.data.clone()));
             let written = if cfg.differential {
-                let base = previous_base.unwrap_or_default();
-                let delta = crate::diff::compute_delta(&base, &payload, cfg.diff_block_size);
+                let previous = store.get(rank);
+                let base = previous
+                    .as_ref()
+                    .and_then(|s| s.blobs.get(&BlobKind::DiffBase))
+                    .map(|b| b.data.clone())
+                    .unwrap_or_default();
+                // Diff against the cached base hashes when the store still has them
+                // (and for the same block size); otherwise hash the base once here.
+                let cached = previous
+                    .as_ref()
+                    .and_then(|s| s.diff_hashes.as_ref())
+                    .filter(|c| c.block_size == cfg.diff_block_size)
+                    .map(|c| c.hashes.to_vec());
+                let base_hashes =
+                    cached.unwrap_or_else(|| crate::diff::block_hashes(&base, cfg.diff_block_size));
+                let (delta, new_hashes) = crate::diff::compute_delta_cached(
+                    &base,
+                    &base_hashes,
+                    &payload,
+                    cfg.diff_block_size,
+                );
+                diff_hashes = Some(DiffHashes {
+                    block_size: cfg.diff_block_size,
+                    hashes: new_hashes.into(),
+                });
                 delta.bytes_to_write()
             } else {
                 payload_bytes
@@ -190,7 +233,7 @@ pub fn write_checkpoint(
                 StoredBlob {
                     owner_rank: rank,
                     placement: Placement::ParallelFs,
-                    data: payload.clone(),
+                    data: payload,
                 },
             );
             // L4 also keeps the fast node-local copy for cheap restarts.
@@ -199,7 +242,14 @@ pub fn write_checkpoint(
         }
     }
 
-    store.put(rank, CheckpointSet { meta, blobs });
+    store.put(
+        rank,
+        CheckpointSet {
+            meta,
+            blobs,
+            diff_hashes,
+        },
+    );
     Ok(WriteOutcome {
         payload_bytes,
         stored_bytes,
@@ -262,7 +312,7 @@ pub fn read_checkpoint(
         CheckpointLevel::L3 => {
             let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
             let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
-            let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+            let mut shards: Vec<Option<Payload>> = vec![None; k + m];
             let mut read_bytes = 0usize;
             for (kind, blob) in &set.blobs {
                 if let BlobKind::RsShard(i) = kind {
@@ -450,6 +500,111 @@ mod tests {
             second < (first as f64 * 0.6) as usize,
             "differential write {second} should be much smaller than {first}"
         );
+    }
+
+    #[test]
+    fn l1_l2_blobs_share_the_payload_buffer() {
+        // The primary (and partner) blobs must be views of one shared payload buffer,
+        // not owned copies — this is the explicit fix for the old `payload.clone()`
+        // into `BlobKind::Primary`.
+        for level in [
+            CheckpointLevel::L1,
+            CheckpointLevel::L2,
+            CheckpointLevel::L4,
+        ] {
+            let store = CheckpointStore::shared();
+            let cfg = FtiConfig::level(level);
+            let store2 = Arc::clone(&store);
+            let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+            let outcome = cluster.run(move |ctx| {
+                let world = ctx.world();
+                let objects = vec![vec![5u8; 1000]];
+                let meta = meta_for(&objects, level, 1);
+                write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+                Ok(())
+            });
+            assert!(outcome.all_ok());
+            let set = store.get(0).unwrap();
+            let primary = &set.blobs[&BlobKind::Primary];
+            let partner_kind = match level {
+                CheckpointLevel::L2 => Some(BlobKind::PartnerCopy),
+                CheckpointLevel::L4 => Some(BlobKind::DiffBase),
+                _ => None,
+            };
+            if let Some(kind) = partner_kind {
+                let other = &set.blobs[&kind];
+                assert!(
+                    primary.data.same_buffer(&other.data),
+                    "{level}: redundant blob must alias the primary payload buffer"
+                );
+            }
+            assert_eq!(primary.data, vec![5u8; 1000]);
+        }
+    }
+
+    #[test]
+    fn mutating_source_objects_does_not_corrupt_the_stored_checkpoint() {
+        // Payload conversion snapshots the bytes: once a checkpoint is written, the
+        // application may reuse (and overwrite) its buffers freely.
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L2);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let mut objects = vec![vec![1u8; 500]];
+            let meta = meta_for(&objects, CheckpointLevel::L2, 1);
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+            // Clobber the application buffer after the write.
+            objects[0].iter_mut().for_each(|b| *b = 0xFF);
+            ctx.barrier(&world)?;
+            let read = read_checkpoint(ctx, &cfg, &store2)?.expect("checkpoint exists");
+            assert_eq!(read.objects[0], vec![1u8; 500]);
+            Ok(())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+    }
+
+    #[test]
+    fn differential_l4_caches_and_reuses_block_hashes() {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L4);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(1));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let mut data = vec![0u8; 1 << 18];
+            let meta = meta_for(&[data.clone()], CheckpointLevel::L4, 1);
+            let cfg2 = cfg.clone();
+            write_checkpoint(ctx, &world, &cfg2, &store2, meta, &[data.clone()])?;
+            let first = store2.get(0).unwrap();
+            let hashes1 = first.diff_hashes.clone().expect("hashes cached");
+            assert_eq!(hashes1.block_size, cfg2.diff_block_size);
+            assert_eq!(
+                hashes1.hashes.len(),
+                data.len().div_ceil(cfg2.diff_block_size)
+            );
+
+            // Second write: the cache is consumed and replaced with the new payload's
+            // hashes; the delta it produces must match an uncached computation.
+            data[777] = 9;
+            let mut meta2 = meta_for(&[data.clone()], CheckpointLevel::L4, 2);
+            meta2.ckpt_id = 2;
+            let second = write_checkpoint(ctx, &world, &cfg2, &store2, meta2, &[data.clone()])?;
+            let set = store2.get(0).unwrap();
+            let hashes2 = set.diff_hashes.clone().expect("hashes re-cached");
+            assert_eq!(
+                hashes2.hashes.to_vec(),
+                crate::diff::block_hashes(&data, cfg2.diff_block_size)
+            );
+            // One changed block -> stored bytes are payload (local copy) + one block.
+            assert_eq!(
+                second.stored_bytes,
+                data.len() + cfg2.diff_block_size.min(data.len())
+            );
+            Ok(())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
     }
 
     #[test]

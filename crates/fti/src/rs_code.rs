@@ -15,8 +15,29 @@
 //! The codec works on equally sized shards; [`encode`] pads the input to a multiple of
 //! `k` and records the original length so [`decode`] can return exactly the original
 //! bytes.
+//!
+//! ## The fast data path
+//!
+//! The hot loop of both encode and decode is "XOR `coeff · src` into `dst`" over whole
+//! shards. Instead of calling [`gf_mul`] per byte (two table lookups, an add and a
+//! zero-check each), the fast kernel builds one 64 Ki-entry *double-byte* product table
+//! per distinct matrix coefficient (two bytes are multiplied per lookup; tables are
+//! cached process-wide, and an `(k, m)` code only ever uses a handful of distinct
+//! coefficients) and streams the shards eight bytes at a time through `u64` words —
+//! table lookups for the multiply half, word-wide XOR for the accumulate half, and a
+//! pure `u64` XOR loop when the coefficient is 1. Data shards are zero-copy
+//! [`Payload`] views into one shared padded buffer.
+//!
+//! The original per-byte path is kept as [`encode_scalar`] / [`decode_scalar`]: it is
+//! the reference oracle the property tests compare the fast path against bit-for-bit,
+//! and the baseline the micro benchmark suite measures speedups against.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use mpisim::Payload;
+use parking_lot::Mutex;
 
 /// Errors reported by the Reed–Solomon codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +81,6 @@ struct Gf256Tables {
 }
 
 fn tables() -> &'static Gf256Tables {
-    use std::sync::OnceLock;
     static TABLES: OnceLock<Gf256Tables> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut log = [0u8; 256];
@@ -119,6 +139,176 @@ pub fn gf_exp(e: usize) -> u8 {
 /// Panics if `a` is zero.
 pub fn gf_inv(a: u8) -> u8 {
     gf_div(1, a)
+}
+
+// --- vectorized slice kernels ------------------------------------------------------
+
+/// Number of entries of a double-byte product table (`u16` input → `u16` product).
+const WIDE_TABLE_LEN: usize = 1 << 16;
+
+/// Returns the cached double-byte multiplication table of `coeff`: entry `lo | hi<<8`
+/// holds `coeff·lo | (coeff·hi)<<8`. Tables are built once per distinct coefficient and
+/// shared process-wide (an erasure code uses only a handful of distinct coefficients,
+/// and at most 255 exist).
+fn wide_mul_table(coeff: u8) -> Arc<[u16]> {
+    static CACHE: OnceLock<Mutex<HashMap<u8, Arc<[u16]>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(t) = cache.lock().get(&coeff) {
+        return Arc::clone(t);
+    }
+    // Build outside the lock: first the 256-entry byte-product row of this
+    // coefficient, then the 64 Ki double-byte composition of it.
+    let mut row = [0u8; 256];
+    for (b, r) in row.iter_mut().enumerate() {
+        *r = gf_mul(coeff, b as u8);
+    }
+    let mut wide = vec![0u16; WIDE_TABLE_LEN];
+    for hi in 0..256usize {
+        let hv = (row[hi] as u16) << 8;
+        let base = hi << 8;
+        for lo in 0..256usize {
+            wide[base | lo] = hv | row[lo] as u16;
+        }
+    }
+    let arc: Arc<[u16]> = wide.into();
+    Arc::clone(cache.lock().entry(coeff).or_insert(arc))
+}
+
+/// XOR-accumulates a plain `src` into `dst` eight bytes per iteration.
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    let n = dst.len().min(src.len()) / 8 * 8;
+    for (d, s) in dst[..n].chunks_exact_mut(8).zip(src[..n].chunks_exact(8)) {
+        let x = u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        let cur = u64::from_le_bytes((&*d).try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&(cur ^ x).to_le_bytes());
+    }
+    for (d, s) in dst[n..].iter_mut().zip(&src[n..]) {
+        *d ^= s;
+    }
+}
+
+/// Whether the CPU supports the AVX2 + GFNI instructions the SIMD kernel needs
+/// (detected once per process).
+#[cfg(target_arch = "x86_64")]
+fn gfni_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2"))
+}
+
+/// GFNI multiply–accumulate: `_mm256_gf2p8mul_epi8` multiplies 32 byte lanes at once
+/// in GF(2⁸) with the AES reduction polynomial 0x11B — the exact field this module's
+/// tables implement, so the products are bit-identical to [`gf_mul`].
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2 and GFNI (see [`gfni_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "gfni", enable = "avx2")]
+unsafe fn gf_mul_slice_xor_gfni(dst: &mut [u8], src: &[u8], coeff: u8) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_gf2p8mul_epi8, _mm256_loadu_si256, _mm256_set1_epi8, _mm256_storeu_si256,
+        _mm256_xor_si256,
+    };
+    let n = dst.len().min(src.len());
+    let vec_end = n / 32 * 32;
+    // SAFETY: the caller guarantees AVX2+GFNI; every unaligned load/store below stays
+    // within `src[..vec_end]` / `dst[..vec_end]`.
+    unsafe {
+        let c = _mm256_set1_epi8(coeff as i8);
+        let mut i = 0;
+        while i < vec_end {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+            let p = _mm256_gf2p8mul_epi8(s, c);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_xor_si256(d, p),
+            );
+            i += 32;
+        }
+    }
+    for (d, s) in dst[vec_end..n].iter_mut().zip(&src[vec_end..n]) {
+        *d ^= gf_mul(coeff, *s);
+    }
+}
+
+/// The fast multiply–accumulate kernel: `dst[i] ^= coeff · src[i]` for every `i`, in
+/// GF(2⁸). Dispatches to the 32-lane GFNI SIMD kernel when the CPU has it, and to the
+/// portable double-byte-table `u64` kernel ([`gf_mul_slice_xor_tables`]) otherwise.
+pub fn gf_mul_slice_xor(dst: &mut [u8], src: &[u8], coeff: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    match coeff {
+        0 => {}
+        1 => xor_slice(dst, src),
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            if gfni_available() {
+                // SAFETY: feature availability checked at runtime just above.
+                unsafe { gf_mul_slice_xor_gfni(dst, src, coeff) };
+                return;
+            }
+            gf_mul_slice_xor_tables(dst, src, coeff);
+        }
+    }
+}
+
+/// The portable fast kernel: streams eight bytes per iteration — double-byte table
+/// lookups for the multiply half, `u64` XOR for the accumulate half. Used when the
+/// CPU lacks GFNI (and verified against the scalar oracle regardless of CPU).
+pub fn gf_mul_slice_xor_tables(dst: &mut [u8], src: &[u8], coeff: u8) {
+    match coeff {
+        0 => {}
+        1 => xor_slice(dst, src),
+        _ => {
+            let table = wide_mul_table(coeff);
+            let t: &[u16; WIDE_TABLE_LEN] =
+                table[..].try_into().expect("wide table has 65536 entries");
+            let n = dst.len().min(src.len()) / 8 * 8;
+            for (d, s) in dst[..n].chunks_exact_mut(8).zip(src[..n].chunks_exact(8)) {
+                let x = u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+                let y = t[(x & 0xFFFF) as usize] as u64
+                    | (t[((x >> 16) & 0xFFFF) as usize] as u64) << 16
+                    | (t[((x >> 32) & 0xFFFF) as usize] as u64) << 32
+                    | (t[(x >> 48) as usize] as u64) << 48;
+                let cur = u64::from_le_bytes((&*d).try_into().expect("8-byte chunk"));
+                d.copy_from_slice(&(cur ^ y).to_le_bytes());
+            }
+            for (d, s) in dst[n..].iter_mut().zip(&src[n..]) {
+                // A bare byte indexes the low lane; the high lane multiplies zero.
+                *d ^= t[*s as usize] as u8;
+            }
+        }
+    }
+}
+
+/// The reference kernel the fast path is verified against: one [`gf_mul`] per byte.
+pub fn gf_mul_slice_xor_scalar(dst: &mut [u8], src: &[u8], coeff: u8) {
+    if coeff == 0 {
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= gf_mul(coeff, *s);
+    }
+}
+
+/// Cache tile for multi-source accumulation: the destination chunk stays resident in
+/// L1 while every source row passes over it.
+const ACC_TILE: usize = 16 * 1024;
+
+/// Accumulates `dst[i] ^= Σ coeff_j · src_j[i]` over all `(src, coeff)` pairs, tiled
+/// so `dst` is read and written once per tile instead of once per source. Byte-wise
+/// results are identical to running the kernel per source over the full slices (GF
+/// addition is XOR: each byte's contributions commute).
+fn accumulate(dst: &mut [u8], sources: &[(&[u8], u8)], kernel: fn(&mut [u8], &[u8], u8)) {
+    let len = dst.len();
+    let mut off = 0;
+    while off < len {
+        let end = (off + ACC_TILE).min(len);
+        for &(src, coeff) in sources {
+            kernel(&mut dst[off..end], &src[off..end], coeff);
+        }
+        off = end;
+    }
 }
 
 // --- matrices ---------------------------------------------------------------------
@@ -211,7 +401,7 @@ impl Matrix {
 /// derived parity rows below (row `i` of the parity block is `[g^(i·0), g^(i·1), ...]`
 /// with distinct evaluation points, which keeps every `k × k` submatrix invertible for
 /// the parameter ranges FTI uses).
-fn encoding_matrix(k: usize, m: usize) -> Matrix {
+fn build_encoding_matrix(k: usize, m: usize) -> Matrix {
     // Build a (k+m) x k Vandermonde matrix with distinct points, then normalize its
     // top k x k block to the identity by multiplying with that block's inverse.
     let mut vand = Matrix::zero(k + m, k);
@@ -248,6 +438,20 @@ fn encoding_matrix(k: usize, m: usize) -> Matrix {
     enc
 }
 
+/// The encoding matrix of an `(k, m)` code, cached process-wide: every checkpoint of a
+/// run re-uses the same code parameters, so building (and inverting) the Vandermonde
+/// system per encode call would be pure overhead.
+fn encoding_matrix(k: usize, m: usize) -> Arc<Matrix> {
+    type MatrixCache = Mutex<HashMap<(usize, usize), Arc<Matrix>>>;
+    static CACHE: OnceLock<MatrixCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(mat) = cache.lock().get(&(k, m)) {
+        return Arc::clone(mat);
+    }
+    let built = Arc::new(build_encoding_matrix(k, m));
+    Arc::clone(cache.lock().entry((k, m)).or_insert(built))
+}
+
 // --- public codec ------------------------------------------------------------------
 
 /// An encoded set of shards produced by [`encode`].
@@ -259,29 +463,25 @@ pub struct EncodedShards {
     pub parity_shards: usize,
     /// Length of the original input in bytes (the shards carry padding).
     pub original_len: usize,
-    /// The `k + m` shards, each of equal length.
-    pub shards: Vec<Vec<u8>>,
+    /// The `k + m` shards, each of equal length. The `k` data shards are zero-copy
+    /// views into one shared padded buffer; cloning any shard is a reference-count
+    /// bump.
+    pub shards: Vec<Payload>,
 }
 
 impl EncodedShards {
     /// Length of each shard in bytes.
     pub fn shard_len(&self) -> usize {
-        self.shards.first().map(Vec::len).unwrap_or(0)
+        self.shards.first().map(Payload::len).unwrap_or(0)
     }
 
     /// Total storage consumed by all shards.
     pub fn total_bytes(&self) -> usize {
-        self.shards.iter().map(Vec::len).sum()
+        self.shards.iter().map(Payload::len).sum()
     }
 }
 
-/// Encodes `data` into `k` data shards plus `m` parity shards.
-///
-/// # Errors
-///
-/// Returns [`RsError::InvalidParameters`] if `k` is zero, `m` is zero, or `k + m`
-/// exceeds 255 (the field size limits the number of distinct evaluation points).
-pub fn encode(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError> {
+fn check_params(k: usize, m: usize) -> Result<(), RsError> {
     if k == 0 || m == 0 {
         return Err(RsError::InvalidParameters(
             "need at least one data and one parity shard".into(),
@@ -293,55 +493,146 @@ pub fn encode(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError>
             k + m
         )));
     }
-    let shard_len = data.len().div_ceil(k).max(1);
-    let mut padded = data.to_vec();
-    padded.resize(shard_len * k, 0);
+    Ok(())
+}
 
-    let enc = encoding_matrix(k, m);
-    let mut shards: Vec<Vec<u8>> = Vec::with_capacity(k + m);
-    // Data shards are the chunks themselves (systematic code).
-    for i in 0..k {
-        shards.push(padded[i * shard_len..(i + 1) * shard_len].to_vec());
+/// Pads `data` to `k` equal shards inside one shared buffer and returns the buffer
+/// plus its per-shard views.
+fn data_shards(data: &[u8], k: usize, shard_len: usize) -> Vec<Payload> {
+    let mut padded = Vec::with_capacity(shard_len * k);
+    padded.extend_from_slice(data);
+    padded.resize(shard_len * k, 0);
+    let padded = Payload::from(padded);
+    (0..k)
+        .map(|i| padded.slice(i * shard_len..(i + 1) * shard_len))
+        .collect()
+}
+
+/// Encodes `data` into `k` data shards plus `m` parity shards (fast path).
+///
+/// # Errors
+///
+/// Returns [`RsError::InvalidParameters`] if `k` is zero, `m` is zero, or `k + m`
+/// exceeds 255 (the field size limits the number of distinct evaluation points).
+pub fn encode(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError> {
+    encode_with_kernel(data, k, m, gf_mul_slice_xor)
+}
+
+/// Encodes an already-shared [`Payload`]. When the payload length is a multiple of
+/// `k` (the common case for checkpoint payloads), the data shards are zero-copy views
+/// of the caller's buffer — only the `m` parity shards are materialized. Produces
+/// bit-identical shards to [`encode`].
+///
+/// # Errors
+///
+/// Same error conditions as [`encode`].
+pub fn encode_payload(payload: &Payload, k: usize, m: usize) -> Result<EncodedShards, RsError> {
+    check_params(k, m)?;
+    let shard_len = payload.len().div_ceil(k).max(1);
+    if payload.len() == shard_len * k {
+        let shards: Vec<Payload> = (0..k)
+            .map(|i| payload.slice(i * shard_len..(i + 1) * shard_len))
+            .collect();
+        finish_encode(shards, payload.len(), k, m, gf_mul_slice_xor)
+    } else {
+        encode_with_kernel(payload, k, m, gf_mul_slice_xor)
     }
+}
+
+/// Encodes with the original per-byte GF multiply loop. Kept as the reference oracle
+/// for the fast path (the property tests require bit-identical shards) and as the
+/// baseline the micro benchmarks measure against.
+///
+/// # Errors
+///
+/// Same error conditions as [`encode`].
+pub fn encode_scalar(data: &[u8], k: usize, m: usize) -> Result<EncodedShards, RsError> {
+    encode_with_kernel(data, k, m, gf_mul_slice_xor_scalar)
+}
+
+fn encode_with_kernel(
+    data: &[u8],
+    k: usize,
+    m: usize,
+    kernel: fn(&mut [u8], &[u8], u8),
+) -> Result<EncodedShards, RsError> {
+    check_params(k, m)?;
+    let shard_len = data.len().div_ceil(k).max(1);
+    let shards = data_shards(data, k, shard_len);
+    finish_encode(shards, data.len(), k, m, kernel)
+}
+
+/// Computes the `m` parity shards over prepared data shards and assembles the result.
+fn finish_encode(
+    mut shards: Vec<Payload>,
+    original_len: usize,
+    k: usize,
+    m: usize,
+    kernel: fn(&mut [u8], &[u8], u8),
+) -> Result<EncodedShards, RsError> {
+    let shard_len = shards.first().map(Payload::len).unwrap_or(0);
+    let enc = encoding_matrix(k, m);
     // Parity shards are linear combinations of the data shards.
     for r in k..k + m {
-        let row = enc.row(r).to_vec();
         let mut parity = vec![0u8; shard_len];
-        for (c, coeff) in row.iter().enumerate() {
-            if *coeff == 0 {
-                continue;
-            }
-            let src = &shards[c];
-            for (p, s) in parity.iter_mut().zip(src) {
-                *p ^= gf_mul(*coeff, *s);
-            }
-        }
-        shards.push(parity);
+        let sources: Vec<(&[u8], u8)> = enc
+            .row(r)
+            .iter()
+            .enumerate()
+            .map(|(c, &coeff)| (&shards[c][..], coeff))
+            .collect();
+        accumulate(&mut parity, &sources, kernel);
+        shards.push(parity.into());
     }
     Ok(EncodedShards {
         data_shards: k,
         parity_shards: m,
-        original_len: data.len(),
+        original_len,
         shards,
     })
 }
 
-/// Reconstructs the original data from surviving shards.
+/// Reconstructs the original data from surviving shards (fast path).
 ///
 /// `shards[i]` must be `Some` for surviving shard `i` (in the same order produced by
 /// [`encode`]: data shards first, then parity) and `None` for lost shards. At least `k`
-/// shards must survive.
+/// shards must survive. Any byte-slice shard representation is accepted (`Vec<u8>`,
+/// [`Payload`], ...).
 ///
 /// # Errors
 ///
 /// Returns [`RsError::NotEnoughShards`] if fewer than `k` shards survive,
 /// [`RsError::ShardSizeMismatch`] if the surviving shards disagree on length, and
 /// [`RsError::InvalidParameters`] for parameter errors.
-pub fn decode(
-    shards: &[Option<Vec<u8>>],
+pub fn decode<S: AsRef<[u8]>>(
+    shards: &[Option<S>],
     k: usize,
     m: usize,
     original_len: usize,
+) -> Result<Vec<u8>, RsError> {
+    decode_with_kernel(shards, k, m, original_len, gf_mul_slice_xor)
+}
+
+/// Decodes with the original per-byte GF multiply loop (see [`encode_scalar`]).
+///
+/// # Errors
+///
+/// Same error conditions as [`decode`].
+pub fn decode_scalar<S: AsRef<[u8]>>(
+    shards: &[Option<S>],
+    k: usize,
+    m: usize,
+    original_len: usize,
+) -> Result<Vec<u8>, RsError> {
+    decode_with_kernel(shards, k, m, original_len, gf_mul_slice_xor_scalar)
+}
+
+fn decode_with_kernel<S: AsRef<[u8]>>(
+    shards: &[Option<S>],
+    k: usize,
+    m: usize,
+    original_len: usize,
+    kernel: fn(&mut [u8], &[u8], u8),
 ) -> Result<Vec<u8>, RsError> {
     if k == 0 || m == 0 || k + m > 255 {
         return Err(RsError::InvalidParameters("bad k/m".into()));
@@ -353,6 +644,7 @@ pub fn decode(
             shards.len()
         )));
     }
+    let shard = |i: usize| shards[i].as_ref().map(S::as_ref);
     let available: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
     if available.len() < k {
         return Err(RsError::NotEnoughShards {
@@ -360,9 +652,9 @@ pub fn decode(
             needed: k,
         });
     }
-    let shard_len = shards[available[0]].as_ref().unwrap().len();
+    let shard_len = shard(available[0]).expect("available shard").len();
     for &i in &available {
-        if shards[i].as_ref().unwrap().len() != shard_len {
+        if shard(i).expect("available shard").len() != shard_len {
             return Err(RsError::ShardSizeMismatch);
         }
     }
@@ -370,8 +662,8 @@ pub fn decode(
     // Fast path: all data shards survive.
     if (0..k).all(|i| shards[i].is_some()) {
         let mut out = Vec::with_capacity(k * shard_len);
-        for shard in shards.iter().take(k) {
-            out.extend_from_slice(shard.as_ref().unwrap());
+        for i in 0..k {
+            out.extend_from_slice(shard(i).expect("data shard present"));
         }
         out.truncate(original_len);
         return Ok(out);
@@ -389,22 +681,19 @@ pub fn decode(
     }
     let inv = sub.inverted().ok_or(RsError::ShardSizeMismatch)?;
 
-    let mut data_shards: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; k];
-    for (data_idx, out) in data_shards.iter_mut().enumerate() {
-        for (r, &shard_idx) in chosen.iter().enumerate() {
-            let coeff = inv.get(data_idx, r);
-            if coeff == 0 {
-                continue;
-            }
-            let src = shards[shard_idx].as_ref().unwrap();
-            for (o, s) in out.iter_mut().zip(src) {
-                *o ^= gf_mul(coeff, *s);
-            }
-        }
-    }
-    let mut out = Vec::with_capacity(k * shard_len);
-    for s in data_shards {
-        out.extend_from_slice(&s);
+    let mut out = vec![0u8; k * shard_len];
+    for (data_idx, chunk) in out.chunks_exact_mut(shard_len).enumerate() {
+        let sources: Vec<(&[u8], u8)> = chosen
+            .iter()
+            .enumerate()
+            .map(|(r, &shard_idx)| {
+                (
+                    shard(shard_idx).expect("chosen shard"),
+                    inv.get(data_idx, r),
+                )
+            })
+            .collect();
+        accumulate(chunk, &sources, kernel);
     }
     out.truncate(original_len);
     Ok(out)
@@ -449,11 +738,65 @@ mod tests {
     }
 
     #[test]
+    fn fast_kernel_matches_scalar_kernel() {
+        let src: Vec<u8> = (0..1037u32).map(|i| (i * 31 % 256) as u8).collect();
+        for coeff in [0u8, 1, 2, 29, 128, 255] {
+            let mut fast = vec![0xA5u8; src.len()];
+            let mut scalar = fast.clone();
+            gf_mul_slice_xor(&mut fast, &src, coeff);
+            gf_mul_slice_xor_scalar(&mut scalar, &src, coeff);
+            assert_eq!(fast, scalar, "kernel mismatch for coeff {coeff}");
+        }
+    }
+
+    #[test]
+    fn fast_encode_is_bit_identical_to_scalar() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 13 % 256) as u8).collect();
+        for &(k, m) in &[(4usize, 2usize), (8, 3), (2, 1)] {
+            let fast = encode(&data, k, m).unwrap();
+            let scalar = encode_scalar(&data, k, m).unwrap();
+            assert_eq!(fast, scalar, "encode mismatch for k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn data_shards_share_one_buffer() {
+        let data = vec![3u8; 4096];
+        let enc = encode(&data, 4, 2).unwrap();
+        for i in 1..4 {
+            assert!(
+                enc.shards[0].same_buffer(&enc.shards[i]),
+                "data shard {i} should be a view into the shared padded buffer"
+            );
+        }
+        assert!(!enc.shards[0].same_buffer(&enc.shards[4]));
+    }
+
+    #[test]
+    fn aligned_payload_encode_is_zero_copy() {
+        // A payload whose length divides evenly by k must not be copied at all: the
+        // data shards are views of the caller's buffer.
+        let payload: Payload = vec![9u8; 4096].into();
+        let enc = encode_payload(&payload, 4, 2).unwrap();
+        for i in 0..4 {
+            assert!(
+                enc.shards[i].same_buffer(&payload),
+                "data shard {i} should alias the input payload"
+            );
+        }
+        // Unaligned payloads fall back to the padded-copy path but stay correct.
+        let odd: Payload = vec![7u8; 4097].into();
+        let enc = encode_payload(&odd, 4, 2).unwrap();
+        assert_eq!(enc, encode(&odd, 4, 2).unwrap());
+        assert!(!enc.shards[0].same_buffer(&odd));
+    }
+
+    #[test]
     fn encode_decode_no_loss() {
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
         let enc = encode(&data, 4, 2).unwrap();
         assert_eq!(enc.shards.len(), 6);
-        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let shards: Vec<Option<Payload>> = enc.shards.iter().cloned().map(Some).collect();
         let dec = decode(&shards, 4, 2, enc.original_len).unwrap();
         assert_eq!(dec, data);
     }
@@ -467,7 +810,7 @@ mod tests {
         // Erase any two shards (including data shards) and reconstruct.
         for lost_a in 0..k + m {
             for lost_b in (lost_a + 1)..k + m {
-                let mut shards: Vec<Option<Vec<u8>>> =
+                let mut shards: Vec<Option<Payload>> =
                     enc.shards.iter().cloned().map(Some).collect();
                 shards[lost_a] = None;
                 shards[lost_b] = None;
@@ -482,7 +825,7 @@ mod tests {
     fn too_many_erasures_is_detected() {
         let data = vec![9u8; 100];
         let enc = encode(&data, 3, 2).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let mut shards: Vec<Option<Payload>> = enc.shards.iter().cloned().map(Some).collect();
         shards[0] = None;
         shards[1] = None;
         shards[2] = None;
@@ -510,17 +853,17 @@ mod tests {
             encode(&[1], 200, 100),
             Err(RsError::InvalidParameters(_))
         ));
-        assert!(decode(&[], 2, 1, 0).is_err());
+        assert!(decode::<Payload>(&[], 2, 1, 0).is_err());
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
         let enc = encode(&[], 4, 2).unwrap();
-        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let shards: Vec<Option<Payload>> = enc.shards.iter().cloned().map(Some).collect();
         assert_eq!(decode(&shards, 4, 2, 0).unwrap(), Vec::<u8>::new());
 
         let enc = encode(&[42], 4, 2).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let mut shards: Vec<Option<Payload>> = enc.shards.iter().cloned().map(Some).collect();
         shards[0] = None; // the shard holding the only byte
         assert_eq!(decode(&shards, 4, 2, 1).unwrap(), vec![42]);
     }
@@ -544,6 +887,20 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Erases up to `m` pseudo-randomly chosen shards.
+    fn erase(shards: &mut [Option<Payload>], m: usize, seed: u64) {
+        let mut state = seed | 1;
+        let mut erased = 0;
+        while erased < m {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (state >> 33) as usize % shards.len();
+            if shards[idx].is_some() {
+                shards[idx] = None;
+                erased += 1;
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -557,20 +914,56 @@ mod proptests {
             erase_seed in any::<u64>(),
         ) {
             let encoded = encode(&data, k, m).unwrap();
-            let mut shards: Vec<Option<Vec<u8>>> = encoded.shards.iter().cloned().map(Some).collect();
-            // Erase up to m shards, chosen pseudo-randomly from the seed.
-            let mut state = erase_seed | 1;
-            let mut erased = 0;
-            while erased < m {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let idx = (state >> 33) as usize % (k + m);
-                if shards[idx].is_some() {
-                    shards[idx] = None;
-                    erased += 1;
-                }
-            }
+            let mut shards: Vec<Option<Payload>> = encoded.shards.iter().cloned().map(Some).collect();
+            erase(&mut shards, m, erase_seed);
             let decoded = decode(&shards, k, m, encoded.original_len).unwrap();
             prop_assert_eq!(decoded, data);
+        }
+
+        /// The fast encode path produces bit-identical shards to the scalar oracle
+        /// (and so does the zero-copy payload path), and under random erasures of up
+        /// to `m` shards the fast and scalar decoders also agree bit-for-bit (both
+        /// with the original data).
+        #[test]
+        fn fast_path_matches_scalar_oracle(
+            data in proptest::collection::vec(any::<u8>(), 0..3000),
+            k in 2usize..8,
+            m in 1usize..4,
+            erase_seed in any::<u64>(),
+        ) {
+            let fast = encode(&data, k, m).unwrap();
+            let scalar = encode_scalar(&data, k, m).unwrap();
+            prop_assert_eq!(&fast, &scalar, "fast and scalar encode must be bit-identical");
+            let from_payload = encode_payload(&Payload::from(data.clone()), k, m).unwrap();
+            prop_assert_eq!(&from_payload, &scalar, "payload and scalar encode must agree");
+
+            let mut shards: Vec<Option<Payload>> = fast.shards.iter().cloned().map(Some).collect();
+            erase(&mut shards, m, erase_seed);
+            let fast_dec = decode(&shards, k, m, fast.original_len).unwrap();
+            let scalar_dec = decode_scalar(&shards, k, m, fast.original_len).unwrap();
+            prop_assert_eq!(&fast_dec, &scalar_dec, "fast and scalar decode must agree");
+            prop_assert_eq!(fast_dec, data);
+        }
+
+        /// The fast multiply–accumulate kernel (whatever the dispatcher picks on this
+        /// CPU) and the portable table kernel both agree with the per-byte oracle for
+        /// every coefficient and any slice length (including ragged tails).
+        #[test]
+        fn kernel_matches_oracle(
+            src in proptest::collection::vec(any::<u8>(), 0..200),
+            init in any::<u8>(),
+            coeff in any::<u8>(),
+        ) {
+            let mut scalar = vec![init; src.len()];
+            gf_mul_slice_xor_scalar(&mut scalar, &src, coeff);
+
+            let mut fast = vec![init; src.len()];
+            gf_mul_slice_xor(&mut fast, &src, coeff);
+            prop_assert_eq!(&fast, &scalar, "dispatched kernel diverges from oracle");
+
+            let mut tables = vec![init; src.len()];
+            gf_mul_slice_xor_tables(&mut tables, &src, coeff);
+            prop_assert_eq!(&tables, &scalar, "table kernel diverges from oracle");
         }
 
         /// GF(256) multiplication is commutative and distributes over XOR (addition).

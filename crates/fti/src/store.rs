@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mpisim::Payload;
 use parking_lot::Mutex;
 
 use crate::meta::CheckpointMeta;
@@ -36,8 +37,10 @@ pub struct StoredBlob {
     pub owner_rank: usize,
     /// Physical placement.
     pub placement: Placement,
-    /// The bytes.
-    pub data: Vec<u8>,
+    /// The bytes, as a shared-buffer view: blobs derived from the same checkpoint
+    /// payload (primary copy, partner copy, differential base) alias one allocation,
+    /// and cloning a blob — or a whole [`CheckpointSet`] — copies nothing.
+    pub data: Payload,
 }
 
 /// Key identifying a blob within a checkpoint set.
@@ -66,6 +69,20 @@ pub struct CheckpointSet {
     pub meta: CheckpointMeta,
     /// Blobs by kind.
     pub blobs: HashMap<BlobKind, StoredBlob>,
+    /// Cached per-block hashes of the [`BlobKind::DiffBase`] blob (L4 differential
+    /// checkpoints). Lets the next differential write diff against this base without
+    /// re-hashing it; `None` for non-differential checkpoints.
+    pub diff_hashes: Option<DiffHashes>,
+}
+
+/// Cached block hashes of a differential base, tagged with the block size they were
+/// computed at (a configuration change invalidates the cache).
+#[derive(Debug, Clone)]
+pub struct DiffHashes {
+    /// The block size the hashes were computed with.
+    pub block_size: usize,
+    /// One hash per `block_size` block of the differential base payload.
+    pub hashes: Arc<[u64]>,
 }
 
 #[derive(Debug, Default)]
@@ -172,7 +189,7 @@ mod tests {
             StoredBlob {
                 owner_rank: rank,
                 placement: Placement::Node(node),
-                data: vec![1; bytes],
+                data: vec![1; bytes].into(),
             },
         );
         CheckpointSet {
@@ -185,6 +202,7 @@ mod tests {
                 object_lens: vec![bytes],
             },
             blobs,
+            diff_hashes: None,
         }
     }
 
@@ -223,7 +241,7 @@ mod tests {
             StoredBlob {
                 owner_rank: 1,
                 placement: Placement::Node(5),
-                data: vec![9; 8],
+                data: vec![9; 8].into(),
             },
         );
         let got = store.get(1).unwrap();
@@ -235,7 +253,7 @@ mod tests {
             StoredBlob {
                 owner_rank: 7,
                 placement: Placement::Node(5),
-                data: vec![],
+                data: vec![].into(),
             },
         );
         assert!(!store.has_checkpoint(7));
@@ -251,7 +269,7 @@ mod tests {
             StoredBlob {
                 owner_rank: 0,
                 placement: Placement::Node(1),
-                data: vec![2; 8],
+                data: vec![2; 8].into(),
             },
         );
         store.attach_blob(
@@ -260,7 +278,7 @@ mod tests {
             StoredBlob {
                 owner_rank: 0,
                 placement: Placement::ParallelFs,
-                data: vec![3; 8],
+                data: vec![3; 8].into(),
             },
         );
         assert!(store.has_primary(0));

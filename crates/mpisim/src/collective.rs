@@ -90,8 +90,11 @@ impl std::fmt::Debug for CollSlot {
     }
 }
 
-/// How often a waiting member re-checks the abort condition.
-const POLL_INTERVAL: Duration = Duration::from_micros(200);
+/// Fallback timeout between abort-condition re-checks while waiting. Failure, revoke
+/// and abort transitions wake waiters explicitly (see [`CollSlot::wake_all`]), so this
+/// only bounds the delay of a lost race between checking and sleeping; it is long
+/// enough that idle members no longer burn the host CPU with wake-ups.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
 
 impl CollSlot {
     /// Creates a slot for a group of `nmembers` members.
@@ -229,6 +232,14 @@ impl CollSlot {
             self.cv.notify_all();
         }
         Ok((finish_time, out))
+    }
+
+    /// Wakes every member blocked inside [`CollSlot::run`] without changing any
+    /// state. Called when a cluster-wide condition (failure, revoke, abort) changes,
+    /// so waiting members run their `abort_check` promptly instead of discovering the
+    /// condition on their next poll timeout.
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
     }
 
     /// Forcibly resets the slot to an empty collecting state.

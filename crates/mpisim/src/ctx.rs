@@ -12,7 +12,7 @@ use crate::comm::{Comm, CommShared};
 use crate::datatype;
 use crate::error::MpiError;
 use crate::machine::{CollectiveKind, MachineModel, StorageTier};
-use crate::msg::Message;
+use crate::msg::{Message, Payload};
 use crate::state::ClusterState;
 use crate::stats::{RankStats, TimeBreakdown};
 use crate::time::SimTime;
@@ -321,6 +321,23 @@ impl RankCtx {
         tag: i32,
         payload: &[u8],
     ) -> Result<(), MpiError> {
+        self.send_payload(comm, dest, tag, Payload::from(payload))
+    }
+
+    /// Sends a shared-buffer [`Payload`] to communicator rank `dest` with the given
+    /// `tag` — the zero-copy variant of [`RankCtx::send_bytes`]: the message holds a
+    /// reference-counted view of the caller's buffer instead of a fresh copy.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`RankCtx::send_bytes`].
+    pub fn send_payload(
+        &mut self,
+        comm: &Comm,
+        dest: usize,
+        tag: i32,
+        payload: Payload,
+    ) -> Result<(), MpiError> {
         self.check_health(comm)?;
         if dest >= comm.size() {
             return Err(MpiError::InvalidRank {
@@ -341,15 +358,15 @@ impl RankCtx {
             self.state.machine.inter_node_latency
         };
         self.charge(SimTime::from_secs(alpha * 0.5) * (1.0 + self.compute_interference));
+        self.stats.bytes_sent += payload.len() as u64;
         self.state.mailboxes[dest_global].push(Message {
             src: self.rank,
             tag,
             comm_id: comm.id(),
-            payload: payload.to_vec(),
+            payload,
             sent_at: self.now,
         });
         self.stats.sends += 1;
-        self.stats.bytes_sent += payload.len() as u64;
         Ok(())
     }
 
@@ -367,6 +384,23 @@ impl RankCtx {
         src: i32,
         tag: i32,
     ) -> Result<(usize, i32, Vec<u8>), MpiError> {
+        let (s, t, payload) = self.recv_payload(comm, src, tag)?;
+        Ok((s, t, payload.to_vec()))
+    }
+
+    /// Receives a message as a shared-buffer [`Payload`] — the zero-copy variant of
+    /// [`RankCtx::recv_bytes`]: the returned payload is the sender's buffer view, not a
+    /// copy.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`RankCtx::recv_bytes`].
+    pub fn recv_payload(
+        &mut self,
+        comm: &Comm,
+        src: i32,
+        tag: i32,
+    ) -> Result<(usize, i32, Payload), MpiError> {
         let src_global = if src == ANY_SOURCE {
             None
         } else {
@@ -380,9 +414,12 @@ impl RankCtx {
         };
         let tag_sel = if tag == ANY_TAG { None } else { Some(tag) };
         let mailbox = &self.state.mailboxes[self.rank];
+        let mut matched: Option<Message> = None;
         loop {
-            self.check_health(comm)?;
-            if let Some(msg) = mailbox.try_match(comm.id(), src_global, tag_sel) {
+            // A message already taken out of the mailbox is always delivered: checking
+            // health only while empty-handed means a failure observed between matching
+            // and delivering can never silently swallow a dequeued message.
+            if let Some(msg) = matched.take() {
                 let same_node = self.state.topology.same_node(self.rank, msg.src);
                 let transfer = self.state.machine.p2p_cost(msg.len(), same_node);
                 let arrival = (msg.sent_at + transfer).max(self.now);
@@ -395,11 +432,14 @@ impl RankCtx {
                     .ok_or_else(|| MpiError::Internal("message from non-member".into()))?;
                 return Ok((src_comm_rank, msg.tag, msg.payload));
             }
-            mailbox.wait(self.state.poll_interval);
+            self.check_health(comm)?;
+            matched =
+                mailbox.match_or_wait(comm.id(), src_global, tag_sel, self.state.poll_interval);
         }
     }
 
-    /// Sends a slice of `f64` values (see [`RankCtx::send_bytes`]).
+    /// Sends a slice of `f64` values (see [`RankCtx::send_bytes`]). The packed buffer
+    /// is moved into the message's shared payload without a second copy.
     pub fn send_f64(
         &mut self,
         comm: &Comm,
@@ -407,7 +447,7 @@ impl RankCtx {
         tag: i32,
         data: &[f64],
     ) -> Result<(), MpiError> {
-        self.send_bytes(comm, dest, tag, &datatype::pack_f64(data))
+        self.send_payload(comm, dest, tag, datatype::pack_f64(data).into())
     }
 
     /// Receives a slice of `f64` values (see [`RankCtx::recv_bytes`]).
@@ -417,8 +457,8 @@ impl RankCtx {
         src: i32,
         tag: i32,
     ) -> Result<(usize, Vec<f64>), MpiError> {
-        let (s, _t, bytes) = self.recv_bytes(comm, src, tag)?;
-        Ok((s, datatype::unpack_f64(&bytes)))
+        let (s, _t, payload) = self.recv_payload(comm, src, tag)?;
+        Ok((s, datatype::unpack_f64(&payload)))
     }
 
     /// Combined send + receive, the halo-exchange workhorse. Sends `send_data` to
@@ -497,6 +537,23 @@ impl RankCtx {
         root: usize,
         data: Vec<u8>,
     ) -> Result<Vec<u8>, MpiError> {
+        self.bcast_payload(comm, root, data.into())
+            .map(|p| p.to_vec())
+    }
+
+    /// Broadcasts a shared-buffer [`Payload`] from `root`: every member receives a
+    /// reference-counted view of the root's buffer instead of an owned copy (the
+    /// zero-copy variant of [`RankCtx::bcast_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`RankCtx::bcast_bytes`].
+    pub fn bcast_payload(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Payload,
+    ) -> Result<Payload, MpiError> {
         if root >= comm.size() {
             return Err(MpiError::InvalidRank {
                 rank: root as i32,
@@ -655,6 +712,22 @@ impl RankCtx {
         comm: &Comm,
         data: Vec<u8>,
     ) -> Result<Vec<Vec<u8>>, MpiError> {
+        let gathered = self.allgather_payload(comm, data.into())?;
+        Ok(gathered.iter().map(Payload::to_vec).collect())
+    }
+
+    /// All-gathers shared-buffer [`Payload`]s: every member receives reference-counted
+    /// views of all contributions instead of `n²` owned copies (the zero-copy variant
+    /// of [`RankCtx::allgather_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`RankCtx::allgather_bytes`].
+    pub fn allgather_payload(
+        &mut self,
+        comm: &Comm,
+        data: Payload,
+    ) -> Result<Vec<Payload>, MpiError> {
         let n = comm.size();
         let bytes = data.len();
         self.collective_typed(
@@ -663,7 +736,7 @@ impl RankCtx {
             bytes,
             vec![data],
             move |vals| {
-                let all: Vec<Vec<u8>> = vals
+                let all: Vec<Payload> = vals
                     .into_iter()
                     .map(|mut v| v.pop().unwrap_or_default())
                     .collect();

@@ -6,6 +6,14 @@
 //! caller as a poll loop (`try_match` + `wait`), so that failure conditions can be
 //! checked between polls — this is how the simulator delivers ULFM-style failure
 //! notifications to ranks blocked in communication.
+//!
+//! Matching from the middle of the queue used to shift every later message down
+//! (`VecDeque::remove` is O(n)); the queue now uses *tombstones* instead: a matched
+//! message is taken out of its slot in place, leading empty slots are popped eagerly,
+//! and the queue is compacted only when more than half of it is tombstones. This keeps
+//! removal O(1) amortized while preserving the relative order of the remaining
+//! messages — MPI's non-overtaking rule for a given `(source, tag, communicator)`
+//! triple.
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -14,25 +22,35 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::msg::Message;
 
+/// Compact only queues at least this long (short queues shift cheaply anyway).
+const COMPACT_MIN_LEN: usize = 32;
+
+#[derive(Debug, Default)]
+struct Slots {
+    /// Message slots in arrival order; `None` marks a tombstone of a matched message.
+    queue: VecDeque<Option<Message>>,
+    /// Number of live (non-tombstone) messages.
+    live: usize,
+}
+
 /// A thread-safe queue of messages addressed to one rank.
 #[derive(Debug, Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
+    slots: Mutex<Slots>,
     cv: Condvar,
 }
 
 impl Mailbox {
     /// Creates an empty mailbox.
     pub fn new() -> Self {
-        Mailbox {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-        }
+        Mailbox::default()
     }
 
     /// Delivers a message into the mailbox and wakes any waiting receiver.
     pub fn push(&self, msg: Message) {
-        self.queue.lock().push_back(msg);
+        let mut s = self.slots.lock();
+        s.queue.push_back(Some(msg));
+        s.live += 1;
         self.cv.notify_all();
     }
 
@@ -40,34 +58,87 @@ impl Mailbox {
     /// order of the remaining messages (MPI's non-overtaking rule for a given
     /// `(source, tag, communicator)` triple).
     pub fn try_match(&self, comm_id: u64, src: Option<usize>, tag: Option<i32>) -> Option<Message> {
-        let mut q = self.queue.lock();
-        let pos = q.iter().position(|m| m.matches(comm_id, src, tag))?;
-        q.remove(pos)
+        Self::take_match(&mut self.slots.lock(), comm_id, src, tag)
+    }
+
+    /// Like [`Mailbox::try_match`], but when no queued message matches, atomically
+    /// blocks (for at most `timeout`) until a new message is pushed or the mailbox is
+    /// woken, then scans once more. The search and the wait happen under one lock, so
+    /// a message pushed between them can never be missed — and, unlike a naive
+    /// "wait while empty", a receiver is *not* woken over and over by queued messages
+    /// that do not match its selector (that busy-spin used to dominate the host CPU
+    /// whenever ranks held out-of-selector traffic, e.g. in halo exchanges).
+    pub fn match_or_wait(
+        &self,
+        comm_id: u64,
+        src: Option<usize>,
+        tag: Option<i32>,
+        timeout: Duration,
+    ) -> Option<Message> {
+        let mut s = self.slots.lock();
+        if let Some(msg) = Self::take_match(&mut s, comm_id, src, tag) {
+            return Some(msg);
+        }
+        self.cv.wait_for(&mut s, timeout);
+        Self::take_match(&mut s, comm_id, src, tag)
+    }
+
+    fn take_match(
+        s: &mut parking_lot::MutexGuard<'_, Slots>,
+        comm_id: u64,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Option<Message> {
+        let pos = s
+            .queue
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|m| m.matches(comm_id, src, tag)))?;
+        let msg = s.queue[pos].take();
+        s.live -= 1;
+        // Drain leading tombstones so the common FIFO case never accumulates slots.
+        while matches!(s.queue.front(), Some(None)) {
+            s.queue.pop_front();
+        }
+        // Compact when tombstones dominate; `retain` keeps the relative order.
+        if s.queue.len() >= COMPACT_MIN_LEN && s.live * 2 < s.queue.len() {
+            s.queue.retain(Option::is_some);
+        }
+        msg
     }
 
     /// Blocks for at most `timeout` waiting for a new message to arrive. Returns
     /// immediately if the mailbox is non-empty; spurious wake-ups are allowed.
     pub fn wait(&self, timeout: Duration) {
-        let mut q = self.queue.lock();
-        if q.is_empty() {
-            self.cv.wait_for(&mut q, timeout);
+        let mut s = self.slots.lock();
+        if s.live == 0 {
+            self.cv.wait_for(&mut s, timeout);
         }
     }
 
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.slots.lock().live
     }
 
     /// Whether the mailbox is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.len() == 0
+    }
+
+    /// Wakes every thread blocked in [`Mailbox::wait`] without delivering anything.
+    /// Called when a cluster-wide condition (failure, revoke, abort) changes, so
+    /// blocked receivers re-check their health promptly instead of discovering the
+    /// condition on their next poll timeout.
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
     }
 
     /// Discards every queued message (used when a communicator is repaired after a
     /// failure: pending communication is dropped, matching ULFM revoke semantics).
     pub fn clear(&self) {
-        self.queue.lock().clear();
+        let mut s = self.slots.lock();
+        s.queue.clear();
+        s.live = 0;
         self.cv.notify_all();
     }
 }
@@ -82,7 +153,7 @@ mod tests {
             src,
             tag,
             comm_id: comm,
-            payload: vec![0; 4],
+            payload: vec![0; 4].into(),
             sent_at: SimTime::ZERO,
         }
     }
@@ -113,13 +184,77 @@ mod tests {
     fn fifo_order_for_same_selector() {
         let mb = Mailbox::new();
         let mut first = msg(1, 10, 0);
-        first.payload = vec![1];
+        first.payload = vec![1].into();
         let mut second = msg(1, 10, 0);
-        second.payload = vec![2];
+        second.payload = vec![2].into();
         mb.push(first);
         mb.push(second);
-        assert_eq!(mb.try_match(0, Some(1), Some(10)).unwrap().payload, vec![1]);
-        assert_eq!(mb.try_match(0, Some(1), Some(10)).unwrap().payload, vec![2]);
+        assert_eq!(
+            mb.try_match(0, Some(1), Some(10)).unwrap().payload,
+            vec![1u8]
+        );
+        assert_eq!(
+            mb.try_match(0, Some(1), Some(10)).unwrap().payload,
+            vec![2u8]
+        );
+    }
+
+    #[test]
+    fn removal_from_the_middle_preserves_order() {
+        // Interleave two selector streams, drain one from the middle, and check that
+        // the other still comes out in arrival order (non-overtaking).
+        let mb = Mailbox::new();
+        for i in 0..4u8 {
+            let mut a = msg(1, 10, 0);
+            a.payload = vec![i].into();
+            mb.push(a);
+            let mut b = msg(2, 20, 0);
+            b.payload = vec![100 + i].into();
+            mb.push(b);
+        }
+        // Take one tag-20 message out of the middle: creates an interior tombstone.
+        assert_eq!(mb.try_match(0, None, Some(20)).unwrap().payload, vec![100]);
+        // ANY matches must still deliver the tag-10 stream in order.
+        for i in 0..4u8 {
+            assert_eq!(
+                mb.try_match(0, Some(1), None).unwrap().payload,
+                vec![i],
+                "tag-10 stream reordered"
+            );
+        }
+        // The remaining tag-20 messages are also still in order.
+        for i in 1..4u8 {
+            assert_eq!(
+                mb.try_match(0, None, Some(20)).unwrap().payload,
+                vec![100 + i]
+            );
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn heavy_interior_churn_compacts_and_keeps_order() {
+        let mb = Mailbox::new();
+        // 128 alternating messages; drain all of tag 2 (interior removals), forcing
+        // the tombstone compaction path, then verify tag 1 is intact and ordered.
+        for i in 0..64u32 {
+            let mut a = msg(1, 1, 0);
+            a.payload = i.to_le_bytes().to_vec().into();
+            mb.push(a);
+            let mut b = msg(2, 2, 0);
+            b.payload = i.to_le_bytes().to_vec().into();
+            mb.push(b);
+        }
+        for _ in 0..64 {
+            assert_eq!(mb.try_match(0, None, Some(2)).unwrap().src, 2);
+        }
+        assert_eq!(mb.len(), 64);
+        for i in 0..64u32 {
+            let m = mb.try_match(0, None, None).unwrap();
+            assert_eq!(m.tag, 1);
+            assert_eq!(m.payload, i.to_le_bytes().to_vec());
+        }
+        assert!(mb.is_empty());
     }
 
     #[test]

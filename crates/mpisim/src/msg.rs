@@ -1,6 +1,159 @@
-//! Message representation for simulated point-to-point communication.
+//! Message representation for simulated point-to-point communication, and the
+//! shared-buffer [`Payload`] type used across the simulated I/O stack.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
 
 use crate::time::SimTime;
+
+/// An immutable, cheaply cloneable byte buffer backed by a reference-counted shared
+/// allocation.
+///
+/// `Payload` is the zero-copy currency of the simulator's data plane: messages,
+/// checkpoint blobs, Reed–Solomon shards and differential-checkpoint views all hold
+/// `Payload`s. Cloning a `Payload` bumps a reference count; [`Payload::slice`] produces
+/// a view into the same allocation without copying; converting an owned `Vec<u8>` into
+/// a `Payload` *moves* the vector behind the `Arc` without copying its bytes. Only
+/// conversion from a borrowed `&[u8]` copies — which also guarantees that later
+/// mutation of a borrowed source buffer can never alias stored data.
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload {
+            buf: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Builds a payload by concatenating `parts` into one shared buffer (a single
+    /// allocation and one copy of the bytes, regardless of how often the result or its
+    /// sub-slices are subsequently cloned).
+    pub fn concat<S: AsRef<[u8]>>(parts: &[S]) -> Self {
+        let total: usize = parts.iter().map(|p| p.as_ref().len()).sum();
+        let mut flat = Vec::with_capacity(total);
+        for p in parts {
+            flat.extend_from_slice(p.as_ref());
+        }
+        Payload::from(flat)
+    }
+
+    /// The bytes of this payload.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A cheap sub-slice view into the same shared buffer (no bytes are copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or decreasing.
+    pub fn slice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "payload slice {range:?} out of bounds (len {})",
+            self.len()
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the payload's bytes into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Whether `self` and `other` are views into the same shared allocation (used by
+    /// tests to prove that the data plane did not copy).
+    pub fn same_buffer(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Payload {
+            buf: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Payload")
+            .field("len", &self.len())
+            .field("shared", &(Arc::strong_count(&self.buf) > 1))
+            .finish()
+    }
+}
 
 /// A point-to-point message in flight between two ranks.
 #[derive(Debug, Clone)]
@@ -11,8 +164,8 @@ pub struct Message {
     pub tag: i32,
     /// Identifier of the communicator the message was sent on.
     pub comm_id: u64,
-    /// Raw payload bytes (see [`crate::datatype`] for typed packing helpers).
-    pub payload: Vec<u8>,
+    /// Shared payload bytes (see [`crate::datatype`] for typed packing helpers).
+    pub payload: Payload,
     /// Virtual time at which the sender posted the message.
     pub sent_at: SimTime,
 }
@@ -47,7 +200,7 @@ mod tests {
             src: 3,
             tag: 7,
             comm_id: 1,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
             sent_at: SimTime::from_secs(1.0),
         }
     }
@@ -69,5 +222,62 @@ mod tests {
         let m = msg();
         assert_eq!(m.len(), 3);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn payload_clone_shares_the_buffer() {
+        let p: Payload = vec![1u8, 2, 3, 4, 5, 6, 7, 8].into();
+        let q = p.clone();
+        assert!(p.same_buffer(&q));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn payload_slice_is_a_view() {
+        let p: Payload = (0u8..100).collect::<Vec<u8>>().into();
+        let s = p.slice(10..20);
+        assert!(s.same_buffer(&p));
+        assert_eq!(s.as_slice(), &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(s.len(), 10);
+        // Sub-slicing a sub-slice composes offsets.
+        let s2 = s.slice(5..10);
+        assert!(s2.same_buffer(&p));
+        assert_eq!(s2.as_slice(), &(15u8..20).collect::<Vec<u8>>()[..]);
+        // Empty slices are fine.
+        assert!(p.slice(0..0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn payload_slice_out_of_bounds_panics() {
+        let p: Payload = vec![1u8, 2, 3].into();
+        let _ = p.slice(2..4);
+    }
+
+    #[test]
+    fn payload_concat_single_buffer() {
+        let parts: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![3, 4, 5]];
+        let p = Payload::concat(&parts);
+        assert_eq!(p, vec![1, 2, 3, 4, 5]);
+        // Views of the concatenation share its buffer.
+        assert!(p.slice(0..2).same_buffer(&p));
+    }
+
+    #[test]
+    fn payload_is_isolated_from_its_source() {
+        // Mutating the source buffer after conversion must not affect the payload.
+        let mut src = [9u8; 16];
+        let p = Payload::from(&src[..]);
+        src.fill(0);
+        assert_eq!(src[0], 0);
+        assert_eq!(p, vec![9u8; 16]);
+    }
+
+    #[test]
+    fn payload_equality_ignores_offsets() {
+        let a: Payload = vec![5u8, 6, 7].into();
+        let b: Payload = vec![0u8, 5, 6, 7, 0].into();
+        assert_eq!(a, b.slice(1..4));
+        assert!(!a.same_buffer(&b));
     }
 }

@@ -95,7 +95,10 @@ impl ClusterState {
             next_comm_id: AtomicU64::new(1),
             comms: Mutex::new(vec![Arc::downgrade(&world)]),
             recovery_slot: CollSlot::new(nprocs),
-            poll_interval: Duration::from_micros(200),
+            // A fallback only: failure/revoke/abort transitions wake blocked
+            // operations explicitly (`wake_all_waiters`), so receivers no longer need
+            // a fast heartbeat to notice them.
+            poll_interval: Duration::from_millis(5),
             blackboard: Mutex::new(std::collections::HashMap::new()),
         })
     }
@@ -119,15 +122,39 @@ impl ClusterState {
 
     /// Marks `rank` failed. Returns true if the rank was alive before the call.
     pub fn mark_failed(&self, rank: usize) -> bool {
-        let mut st = self.liveness[rank].lock();
-        if *st == ProcState::Alive {
-            *st = ProcState::Failed;
-            self.nfailed.fetch_add(1, Ordering::SeqCst);
-            self.failure_events.fetch_add(1, Ordering::SeqCst);
-            true
-        } else {
-            false
+        let changed = {
+            let mut st = self.liveness[rank].lock();
+            if *st == ProcState::Alive {
+                *st = ProcState::Failed;
+                self.nfailed.fetch_add(1, Ordering::SeqCst);
+                self.failure_events.fetch_add(1, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        };
+        if changed {
+            self.wake_all_waiters();
         }
+        changed
+    }
+
+    /// Wakes every thread blocked in a receive or a collective so it re-checks the
+    /// cluster health immediately. Called on every cluster-wide condition change
+    /// (failure, global-disruption declaration, abort); this event-driven notification
+    /// is what allows the blocked-operation poll interval to be long (a pure fallback)
+    /// instead of a 200 µs busy heartbeat per blocked rank.
+    pub fn wake_all_waiters(&self) {
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+        let comms = self.comms.lock();
+        for weak in comms.iter() {
+            if let Some(comm) = weak.upgrade() {
+                comm.slot.wake_all();
+            }
+        }
+        self.recovery_slot.wake_all();
     }
 
     /// Marks every rank alive again (non-shrinking recovery replaces failed processes).
@@ -162,6 +189,7 @@ impl ClusterState {
     /// [`ClusterState::health_error`]).
     pub fn declare_global_disruption(&self) {
         self.global_disruption.store(true, Ordering::SeqCst);
+        self.wake_all_waiters();
     }
 
     /// Whether a global-restart recovery is in progress.
@@ -171,10 +199,13 @@ impl ClusterState {
 
     /// Records an `MPI_Abort`.
     pub fn set_abort(&self, code: i32) {
-        let mut a = self.abort.lock();
-        if a.is_none() {
-            *a = Some(code);
+        {
+            let mut a = self.abort.lock();
+            if a.is_none() {
+                *a = Some(code);
+            }
         }
+        self.wake_all_waiters();
     }
 
     /// The abort code, if the job was aborted.
@@ -303,7 +334,7 @@ mod tests {
             src: 0,
             tag: 0,
             comm_id: 0,
-            payload: vec![1],
+            payload: vec![1].into(),
             sent_at: SimTime::ZERO,
         });
         s.world.revoke();

@@ -34,6 +34,9 @@ const POLL: Duration = Duration::from_micros(200);
 /// the modelled revoke propagation cost.
 pub fn comm_revoke(ctx: &mut RankCtx, comm: &Comm) {
     comm.shared().revoke();
+    // Wake blocked members so they observe the revocation immediately rather than on
+    // their next poll-timeout.
+    ctx.cluster().wake_all_waiters();
     let cost = ctx.machine().ulfm_revoke_cost(comm.size());
     ctx.elapse(cost);
 }
