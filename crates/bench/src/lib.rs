@@ -16,9 +16,10 @@
 pub mod micro;
 
 use match_core::matrix::MatrixOptions;
+use match_core::mtbf::MtbfSweep;
 use match_core::proxies::registry::ExecutionScale;
 use match_core::proxies::ProxyKind;
-use match_core::{FigureData, SuiteEngine, SuiteOptions};
+use match_core::{FigureData, MtbfSweepOptions, SuiteEngine, SuiteOptions};
 
 /// Reads the benchmark matrix options from the environment (see the module docs).
 pub fn options_from_env() -> MatrixOptions {
@@ -69,6 +70,89 @@ pub fn options_from_env() -> MatrixOptions {
             seed: 2020,
         },
     }
+}
+
+/// Reads the MTBF-sweep options from the environment: the matrix options plus
+/// `MATCH_MTBF` (comma-separated node-MTBF ladder in iterations; the default scales
+/// with the execution scale's iteration cap) and `MATCH_MTBF_CRASH_PCT` /
+/// `MATCH_MTBF_RACK_PCT` (correlated node-crash and rack-cascade percentages,
+/// default 0).
+pub fn mtbf_options_from_env(options: &MatrixOptions) -> MtbfSweepOptions {
+    let mut sweep = MtbfSweepOptions::from_matrix(options);
+    if let Some(ladder) = std::env::var("MATCH_MTBF").ok().map(|s| {
+        s.split(',')
+            .filter_map(|p| p.trim().parse().ok())
+            .filter(|&p| p > 0)
+            .collect::<Vec<u32>>()
+    }) {
+        if !ladder.is_empty() {
+            sweep = sweep.with_ladder(ladder);
+        }
+    }
+    let pct = |var: &str| match std::env::var(var) {
+        Err(_) => 0u8,
+        // Parse wide and clamp so "150" means 100, and complain loudly about
+        // unparseable values instead of silently running an uncorrelated sweep.
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(v) => v.min(100) as u8,
+            Err(_) => {
+                eprintln!("warning: {var}='{s}' is not a percentage (0-100); using 0");
+                0
+            }
+        },
+    };
+    sweep.with_correlation(pct("MATCH_MTBF_CRASH_PCT"), pct("MATCH_MTBF_RACK_PCT"))
+}
+
+/// Serializes a figure into canonical JSON. Floats are rendered with Rust's
+/// shortest-round-trip formatting, so two outputs are byte-identical exactly when the
+/// underlying values are bit-identical — the property the determinism CI job diffs.
+pub fn figure_to_json(data: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"title\": {:?},\n", data.title));
+    out.push_str(&format!("  \"with_failure\": {},\n", data.with_failure));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in data.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": {:?}, \"group\": {:?}, \"design\": {:?}, \"application\": {}, \"checkpoint_write\": {}, \"recovery\": {}}}{}\n",
+            row.app.name(),
+            row.group,
+            row.design,
+            row.application,
+            row.checkpoint_write,
+            row.recovery,
+            if i + 1 < data.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serializes an MTBF sweep into canonical JSON (same float convention as
+/// [`figure_to_json`]).
+pub fn mtbf_to_json(sweep: &MtbfSweep) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"title\": {:?},\n", sweep.title));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in sweep.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": {:?}, \"node_mtbf_iterations\": {}, \"failures\": {}, \"restarts\": {}, \"application\": {}, \"checkpoint_write\": {}, \"recovery\": {}, \"total\": {}, \"efficiency\": {}}}{}\n",
+            row.design,
+            row.node_mtbf_iterations,
+            row.failures,
+            row.restarts,
+            row.application,
+            row.checkpoint_write,
+            row.recovery,
+            row.total,
+            row.efficiency,
+            if i + 1 < sweep.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Prints a figure with a standard banner, reporting the wall-clock time the

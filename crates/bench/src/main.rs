@@ -1,8 +1,14 @@
 //! A small CLI that regenerates any table or figure of the MATCH paper on demand.
 //!
 //! ```text
-//! match-bench [--jobs N] [--json] [table1|fig5|...|fig10|findings|micro|all ...]
+//! match-bench [--jobs N] [--json] [table1|fig5|...|fig10|mtbf|findings|micro|all ...]
 //! ```
+//!
+//! The `mtbf` target runs the MTBF sweep (efficiency vs. failure rate per design, an
+//! MTBF-driven multi-failure arrival process; knobs: `MATCH_MTBF`,
+//! `MATCH_MTBF_CRASH_PCT`, `MATCH_MTBF_RACK_PCT`). With `--json`, figure targets also
+//! write `<target>.json` in canonical form — byte-identical across runs exactly when
+//! the simulated times are bit-identical, which is what the CI determinism job diffs.
 //!
 //! The matrix is controlled by the `MATCH_PROCS`, `MATCH_SCALE`, `MATCH_APPS`,
 //! `MATCH_REPS` and `MATCH_JOBS` environment variables (see the crate documentation);
@@ -20,51 +26,110 @@
 use std::time::Instant;
 
 use match_bench::{
-    micro, options_from_env, print_engine_line, print_figure, print_recovery_series,
+    figure_to_json, micro, mtbf_options_from_env, mtbf_to_json, options_from_env,
+    print_engine_line, print_figure, print_recovery_series,
 };
 use match_core::figures;
 use match_core::findings::Findings;
 use match_core::matrix::full_suite_matrix;
+use match_core::mtbf::mtbf_sweep_with_engine;
 use match_core::table1::table1;
 use match_core::SuiteEngine;
 
 /// Every valid target, in the order `all` runs them.
-const TARGETS: [&str; 8] = [
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "findings",
+const TARGETS: [&str; 9] = [
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "mtbf", "findings",
 ];
 
-fn run_target(name: &str, engine: &SuiteEngine, options: &match_core::matrix::MatrixOptions) {
+/// Writes a target's canonical JSON next to the working directory (used by the CI
+/// determinism job, which byte-diffs the output of two runs).
+fn dump_json(name: &str, json: String) {
+    let path = format!("{name}.json");
+    if let Err(error) = std::fs::write(&path, json) {
+        eprintln!("failed to write {path}: {error}");
+        std::process::exit(1);
+    }
+    println!("[wrote {path}]");
+}
+
+fn run_target(
+    name: &str,
+    engine: &SuiteEngine,
+    options: &match_core::matrix::MatrixOptions,
+    json: bool,
+) {
+    let figure = |data: &figures::FigureData| {
+        if json {
+            dump_json(name, figure_to_json(data));
+        }
+    };
     let result = match name {
         "table1" => {
             println!(
                 "Table I: experimentation configuration\n{}",
                 table1().render()
             );
+            if json {
+                eprintln!("note: --json has no effect on the 'table1' target");
+            }
             return;
         }
         "fig5" => {
             let t = Instant::now();
-            figures::fig5_with_engine(engine, options).map(|data| print_figure(&data, t))
+            figures::fig5_with_engine(engine, options).map(|data| {
+                print_figure(&data, t);
+                figure(&data);
+            })
         }
         "fig6" => {
             let t = Instant::now();
-            figures::fig6_with_engine(engine, options).map(|data| print_figure(&data, t))
+            figures::fig6_with_engine(engine, options).map(|data| {
+                print_figure(&data, t);
+                figure(&data);
+            })
         }
         "fig7" => {
             let t = Instant::now();
-            figures::fig7_with_engine(engine, options).map(|data| print_recovery_series(&data, t))
+            figures::fig7_with_engine(engine, options).map(|data| {
+                print_recovery_series(&data, t);
+                figure(&data);
+            })
         }
         "fig8" => {
             let t = Instant::now();
-            figures::fig8_with_engine(engine, options).map(|data| print_figure(&data, t))
+            figures::fig8_with_engine(engine, options).map(|data| {
+                print_figure(&data, t);
+                figure(&data);
+            })
         }
         "fig9" => {
             let t = Instant::now();
-            figures::fig9_with_engine(engine, options).map(|data| print_figure(&data, t))
+            figures::fig9_with_engine(engine, options).map(|data| {
+                print_figure(&data, t);
+                figure(&data);
+            })
         }
         "fig10" => {
             let t = Instant::now();
-            figures::fig10_with_engine(engine, options).map(|data| print_recovery_series(&data, t))
+            figures::fig10_with_engine(engine, options).map(|data| {
+                print_recovery_series(&data, t);
+                figure(&data);
+            })
+        }
+        "mtbf" => {
+            let t = Instant::now();
+            let sweep_options = mtbf_options_from_env(options);
+            mtbf_sweep_with_engine(engine, &sweep_options).map(|sweep| {
+                println!("{}", sweep.render());
+                println!(
+                    "[swept {} cells in {:.1}s wall-clock]",
+                    sweep.rows.len(),
+                    t.elapsed().as_secs_f64()
+                );
+                if json {
+                    dump_json(name, mtbf_to_json(&sweep));
+                }
+            })
         }
         "findings" => {
             let t = Instant::now();
@@ -72,6 +137,9 @@ fn run_target(name: &str, engine: &SuiteEngine, options: &match_core::matrix::Ma
                 println!("Section V-C findings (derived from the Fig. 6 matrix)");
                 println!("{}", findings.to_table().render());
                 println!("[derived in {:.1}s wall-clock]", t.elapsed().as_secs_f64());
+                if json {
+                    eprintln!("note: --json has no effect on the 'findings' target");
+                }
             })
         }
         other => unreachable!("target '{other}' was validated against TARGETS in main"),
@@ -151,7 +219,7 @@ fn main() {
     for name in &expanded {
         if !TARGETS.contains(name) && *name != "micro" {
             eprintln!(
-                "unknown target '{name}' (expected table1, fig5..fig10, findings, micro, all)"
+                "unknown target '{name}' (expected table1, fig5..fig10, mtbf, findings, micro, all)"
             );
             std::process::exit(2);
         }
@@ -175,15 +243,11 @@ fn main() {
         );
     }
 
-    if json && !expanded.contains(&"micro") {
-        eprintln!("--json only applies to the 'micro' target and was ignored");
-    }
-
     for name in expanded {
         if name == "micro" {
             run_micro(json, jobs);
         } else {
-            run_target(name, &engine, &options);
+            run_target(name, &engine, &options, json);
         }
     }
 }

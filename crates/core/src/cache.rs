@@ -34,7 +34,9 @@ pub struct ExperimentId {
     input: u8,
     strategy: u8,
     nprocs: usize,
-    inject_failure: bool,
+    /// Canonical encoding of the failure scenario:
+    /// `(tag, node_mtbf_iterations, node_crash_pct, rack_neighbor_pct, recovery_window_pct)`.
+    scenario: (u8, u32, u8, u8, u8),
     scale_linear_fraction_bits: u64,
     scale_iteration_cap: u64,
     scale_min_extent: usize,
@@ -66,12 +68,28 @@ impl ExperimentId {
             RecoveryStrategy::Ulfm => 1,
             RecoveryStrategy::Reinit => 2,
         };
+        let scenario = match experiment.scenario {
+            crate::experiment::FailureScenario::None => (0, 0, 0, 0, 0),
+            crate::experiment::FailureScenario::SingleRandom => (1, 0, 0, 0, 0),
+            crate::experiment::FailureScenario::Mtbf {
+                node_mtbf_iterations,
+                node_crash_pct,
+                rack_neighbor_pct,
+                recovery_window_pct,
+            } => (
+                2,
+                node_mtbf_iterations,
+                node_crash_pct,
+                rack_neighbor_pct,
+                recovery_window_pct,
+            ),
+        };
         ExperimentId {
             app,
             input,
             strategy,
             nprocs: experiment.nprocs,
-            inject_failure: experiment.inject_failure,
+            scenario,
             scale_linear_fraction_bits: experiment.scale.linear_fraction.to_bits(),
             scale_iteration_cap: experiment.scale.iteration_cap,
             scale_min_extent: experiment.scale.min_extent,
@@ -256,6 +274,9 @@ mod tests {
             total_time: mpisim::SimTime::from_secs(1.0),
             stats: mpisim::RankStats::new(),
             restarts: 0,
+            attempts: 1,
+            failure_events: 0,
+            attempt_log: Vec::new(),
         }
     }
 
@@ -267,8 +288,22 @@ mod tests {
         other.seed ^= 1;
         assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
         let mut other = base;
-        other.inject_failure = true;
+        other = other.with_failure(true);
         assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));
+        let mtbf = base.with_scenario(crate::experiment::FailureScenario::Mtbf {
+            node_mtbf_iterations: 500,
+            node_crash_pct: 10,
+            rack_neighbor_pct: 0,
+            recovery_window_pct: 0,
+        });
+        assert_ne!(ExperimentId::of(&base), ExperimentId::of(&mtbf));
+        let mtbf2 = base.with_scenario(crate::experiment::FailureScenario::Mtbf {
+            node_mtbf_iterations: 250,
+            node_crash_pct: 10,
+            rack_neighbor_pct: 0,
+            recovery_window_pct: 0,
+        });
+        assert_ne!(ExperimentId::of(&mtbf), ExperimentId::of(&mtbf2));
         let mut other = base;
         other.scale.linear_fraction += 0.001;
         assert_ne!(ExperimentId::of(&base), ExperimentId::of(&other));

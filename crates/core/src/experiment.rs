@@ -51,8 +51,37 @@ impl Default for SuiteOptions {
     }
 }
 
-/// One experiment: a workload, a scale, a fault-tolerance design, and whether a
-/// process failure is injected.
+/// The failure scenario an experiment runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureScenario {
+    /// Failure-free execution.
+    None,
+    /// The paper's methodology: exactly one seeded random process failure.
+    SingleRandom,
+    /// An MTBF-driven multi-failure arrival process: seeded exponential inter-arrival
+    /// draws whose rate scales with the node count, with optional correlated node
+    /// crashes, rack-neighbour cascades and recovery-window follow-up kills.
+    Mtbf {
+        /// Mean iterations between failures of a single node.
+        node_mtbf_iterations: u32,
+        /// Percent chance an event is a node crash instead of a process kill.
+        node_crash_pct: u8,
+        /// Percent chance a node crash cascades to the rack-neighbouring node.
+        rack_neighbor_pct: u8,
+        /// Percent chance a kill is followed by a second kill in the recovery window.
+        recovery_window_pct: u8,
+    },
+}
+
+impl FailureScenario {
+    /// Whether this scenario injects any failures.
+    pub fn injects_failure(&self) -> bool {
+        !matches!(self, FailureScenario::None)
+    }
+}
+
+/// One experiment: a workload, a scale, a fault-tolerance design, and the failure
+/// scenario it runs under.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Experiment {
     /// The proxy application.
@@ -63,8 +92,8 @@ pub struct Experiment {
     pub nprocs: usize,
     /// The fault-tolerance design.
     pub strategy: RecoveryStrategy,
-    /// Whether to inject a process failure.
-    pub inject_failure: bool,
+    /// The failure scenario.
+    pub scenario: FailureScenario,
     /// Execution scale.
     pub scale: ExecutionScale,
     /// Number of repetitions to average.
@@ -87,17 +116,32 @@ impl Experiment {
             input,
             nprocs,
             strategy,
-            inject_failure: false,
+            scenario: FailureScenario::None,
             scale: options.scale,
             repetitions: options.repetitions,
             seed: options.seed,
         }
     }
 
-    /// Enables or disables failure injection.
+    /// Enables or disables the paper's single-random-failure injection.
     pub fn with_failure(mut self, inject: bool) -> Self {
-        self.inject_failure = inject;
+        self.scenario = if inject {
+            FailureScenario::SingleRandom
+        } else {
+            FailureScenario::None
+        };
         self
+    }
+
+    /// Sets the full failure scenario.
+    pub fn with_scenario(mut self, scenario: FailureScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Whether this experiment injects any failure.
+    pub fn inject_failure(&self) -> bool {
+        self.scenario.injects_failure()
     }
 
     /// Applies suite-wide options.
@@ -116,13 +160,21 @@ impl Experiment {
 
     /// A short human-readable label ("HPCCG/Small/64/REINIT-FTI").
     pub fn label(&self) -> String {
+        let suffix = match self.scenario {
+            FailureScenario::None => String::new(),
+            FailureScenario::SingleRandom => "/fault".to_string(),
+            FailureScenario::Mtbf {
+                node_mtbf_iterations,
+                ..
+            } => format!("/mtbf{node_mtbf_iterations}"),
+        };
         format!(
             "{}/{}/{}/{}{}",
             self.app.name(),
             self.input.name(),
             self.nprocs,
             self.strategy.design_name(),
-            if self.inject_failure { "/fault" } else { "" }
+            suffix
         )
     }
 }
@@ -151,7 +203,7 @@ mod tests {
         )
         .with_failure(true)
         .with_repetitions(3);
-        assert!(e.inject_failure);
+        assert!(e.inject_failure());
         assert_eq!(e.repetitions, 3);
         assert_eq!(e.label(), "AMG/Medium/64/ULFM-FTI/fault");
         let quiet = e.with_failure(false);

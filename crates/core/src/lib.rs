@@ -48,15 +48,17 @@ pub mod experiment;
 pub mod figures;
 pub mod findings;
 pub mod matrix;
+pub mod mtbf;
 pub mod runner;
 pub mod table;
 pub mod table1;
 
 pub use cache::{CacheStats, ExperimentId};
 pub use engine::{SuiteEngine, SuiteError};
-pub use experiment::{Experiment, SuiteOptions};
+pub use experiment::{Experiment, FailureScenario, SuiteOptions};
 pub use figures::{FigureData, FigureRow};
 pub use findings::Findings;
+pub use mtbf::{MtbfSweep, MtbfSweepOptions};
 
 // Re-export the building blocks so downstream users (examples, benches) need only one
 // dependency.

@@ -167,7 +167,7 @@ mod tests {
         let inputs = input_size_matrix(&options, true);
         // 6 apps x 3 sizes x 3 designs.
         assert_eq!(inputs.len(), 54);
-        assert!(inputs.iter().all(|e| e.nprocs == 64 && e.inject_failure));
+        assert!(inputs.iter().all(|e| e.nprocs == 64 && e.inject_failure()));
     }
 
     #[test]
@@ -206,6 +206,6 @@ mod tests {
         let all = full_suite_matrix(&options);
         // 66 scaling cells and 54 input cells, each with and without failure.
         assert_eq!(all.len(), 2 * 66 + 2 * 54);
-        assert_eq!(all.iter().filter(|e| e.inject_failure).count(), 66 + 54);
+        assert_eq!(all.iter().filter(|e| e.inject_failure()).count(), 66 + 54);
     }
 }

@@ -12,10 +12,10 @@ use fti::store::CheckpointStore;
 use fti::FtiConfig;
 use mpisim::{Cluster, ClusterConfig};
 use proxies::registry::ProxySpec;
-use recovery::{FaultPlan, FtConfig, FtDriver, RunReport};
+use recovery::{ArrivalModel, FailureTrace, FaultPlan, FtConfig, FtDriver, RunReport};
 
 use crate::engine::{SuiteEngine, SuiteError};
-use crate::experiment::Experiment;
+use crate::experiment::{Experiment, FailureScenario};
 
 /// Runs one experiment through the process-wide engine: the result is recalled from
 /// the cache when the same experiment (by content) has already run, and computed on
@@ -46,22 +46,48 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
     // ranks can run the same one, and its iteration count feeds the fault plan.
     let app = spec.build();
     let iterations = app.iterations();
-    let fault = if experiment.inject_failure {
-        // Like the paper: a random rank and a random iteration, reproducible through
-        // the seed (varied per repetition).
-        FaultPlan::random(
-            experiment.seed ^ (repetition as u64).wrapping_mul(0x9E37_79B9),
-            iterations.max(2),
-        )
-    } else {
-        FaultPlan::None
-    };
+    // The repetition seed reproduces the paper's "average over seeds" methodology.
+    let rep_seed = experiment.seed ^ (repetition as u64).wrapping_mul(0x9E37_79B9);
     // The paper checkpoints every ten iterations. Scaled-down runs execute fewer
     // iterations, so the interval is tightened to keep at least two checkpoints per
     // run (never more often than every other iteration).
     let interval = 10u64.min((iterations / 2).max(1));
-    let ft_config = FtConfig::new(experiment.strategy, FtiConfig::default().interval(interval))
-        .with_fault(fault);
+    let (fault, fti_config) = match experiment.scenario {
+        FailureScenario::None => (FailureTrace::none(), FtiConfig::default()),
+        FailureScenario::SingleRandom => {
+            // Like the paper: a random rank and a random iteration, reproducible
+            // through the seed (varied per repetition).
+            (
+                FaultPlan::random(rep_seed, iterations.max(2)).into(),
+                FtiConfig::default(),
+            )
+        }
+        FailureScenario::Mtbf {
+            node_mtbf_iterations,
+            node_crash_pct,
+            rack_neighbor_pct,
+            recovery_window_pct,
+        } => {
+            let model = ArrivalModel::exponential(
+                rep_seed,
+                node_mtbf_iterations.max(1) as f64,
+                iterations.max(2),
+            )
+            .correlated(node_crash_pct, rack_neighbor_pct)
+            .recovery_window(recovery_window_pct);
+            // Node crashes destroy node-local storage: checkpoint at L2 (partner
+            // copies leave the node) so the job falls back instead of recomputing
+            // from scratch after every crash.
+            let fti = if node_crash_pct > 0 {
+                FtiConfig::level(fti::CheckpointLevel::L2)
+            } else {
+                FtiConfig::default()
+            };
+            (model.into(), fti)
+        }
+    };
+    let ft_config =
+        FtConfig::new(experiment.strategy, fti_config.interval(interval)).with_fault(fault);
 
     let cluster = Cluster::new(ClusterConfig::with_ranks(experiment.nprocs));
     let store = CheckpointStore::shared();
@@ -80,15 +106,54 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
         .map(|r| r.result.as_ref().map(|o| o.recoveries).unwrap_or(0))
         .max()
         .unwrap_or(0);
+    let attempts = outcome
+        .ranks()
+        .iter()
+        .map(|r| r.result.as_ref().map(|o| o.attempts).unwrap_or(0))
+        .max()
+        .unwrap_or(1);
+    let failure_events = outcome
+        .ranks()
+        .iter()
+        .map(|r| r.result.as_ref().map(|o| o.failure_events).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    // Per-attempt accounting: element-wise maxima over ranks (the same slowest-rank
+    // convention as the breakdown). Every rank goes through every global restart, so
+    // the logs line up by attempt index.
+    let mut attempt_log = Vec::new();
+    for i in 0..attempts as usize {
+        let mut span = 0.0f64;
+        let mut recovery = 0.0f64;
+        let mut completed = false;
+        for rank in outcome.ranks() {
+            if let Ok(o) = &rank.result {
+                if let Some(rec) = o.attempt_log.get(i) {
+                    span = span.max(rec.ended_at.saturating_sub(rec.started_at).as_secs());
+                    recovery = recovery.max(rec.recovery.as_secs());
+                    completed |= rec.completed;
+                }
+            }
+        }
+        attempt_log.push(recovery::AttemptSummary {
+            attempt: i as u32 + 1,
+            span_secs: span,
+            recovery_secs: recovery,
+            completed,
+        });
+    }
 
     Ok(RunReport {
         strategy: experiment.strategy,
         nprocs: experiment.nprocs,
-        failure_injected: experiment.inject_failure,
+        failure_injected: experiment.inject_failure(),
         breakdown: outcome.max_breakdown(),
         total_time: outcome.max_time(),
         stats: outcome.total_stats(),
         restarts,
+        attempts,
+        failure_events,
+        attempt_log,
     })
 }
 

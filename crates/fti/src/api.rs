@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
+use mpisim::ctx::ReduceOp;
 use mpisim::{Comm, MpiError, Payload, RankCtx, TimeCategory};
 
 use crate::config::FtiConfig;
-use crate::level::{read_checkpoint, write_checkpoint_payload, ReadOutcome, WriteOutcome};
+use crate::level::{read_checkpoint_at, write_checkpoint_payload, ReadOutcome, WriteOutcome};
 use crate::meta::{CheckpointMeta, FtiStats};
 use crate::protect::{Protectable, ProtectedObject};
 use crate::store::CheckpointStore;
@@ -53,6 +54,10 @@ pub struct Fti {
     registry: Vec<ProtectedObject>,
     next_ckpt_id: u64,
     status: FtiStatus,
+    /// The cluster-agreed restart iteration (see [`Fti::init_with_comm`]); recovery
+    /// reads the set taken at exactly this iteration so every rank resumes from one
+    /// consistent checkpoint wave.
+    restart_iteration: Option<u64>,
     stats: FtiStats,
     finalized: bool,
 }
@@ -77,9 +82,17 @@ impl Fti {
     /// the repaired world communicator must be used, which is why the paper stresses
     /// that the world communicator handle has to be refreshed after recovery.
     ///
+    /// Initialization runs the **restart agreement**: every member contributes the
+    /// newest iteration it can still reconstruct a checkpoint for, and the members
+    /// iterate an all-reduce *minimum* until they converge on an iteration every rank
+    /// holds (0 = nobody can restart: a fresh start). This is what keeps a job
+    /// consistent when accumulated erasures — node crashes destroying L1 sets — leave
+    /// different ranks with different surviving checkpoint generations: all ranks
+    /// fall back together to the newest wave everyone still has, or to scratch.
+    ///
     /// # Errors
     ///
-    /// Propagates communication errors from the initialization barrier.
+    /// Propagates communication errors from the initialization collectives.
     pub fn init_with_comm(
         config: FtiConfig,
         store: Arc<CheckpointStore>,
@@ -87,11 +100,21 @@ impl Fti {
         comm: Comm,
     ) -> Result<Self, MpiError> {
         ctx.barrier(&comm)?;
-        let status = match store.meta(ctx.rank()) {
-            Some(meta) => FtiStatus::Restart {
-                iteration: meta.iteration,
-            },
-            None => FtiStatus::Fresh,
+        let min_shards = config.rs_data_shards();
+        let mine = store.best_recoverable_iteration(ctx.rank(), u64::MAX, min_shards);
+        let mut agreed = Self::allreduce_min_iteration(ctx, &comm, mine)?;
+        while agreed > 0 {
+            let candidate = store.best_recoverable_iteration(ctx.rank(), agreed, min_shards);
+            let next = Self::allreduce_min_iteration(ctx, &comm, candidate)?;
+            if next == agreed {
+                break;
+            }
+            agreed = next;
+        }
+        let status = if agreed > 0 {
+            FtiStatus::Restart { iteration: agreed }
+        } else {
+            FtiStatus::Fresh
         };
         let next_ckpt_id = store.meta(ctx.rank()).map(|m| m.ckpt_id + 1).unwrap_or(1);
         Ok(Fti {
@@ -101,9 +124,20 @@ impl Fti {
             registry: Vec::new(),
             next_ckpt_id,
             status,
+            restart_iteration: (agreed > 0).then_some(agreed),
             stats: FtiStats::default(),
             finalized: false,
         })
+    }
+
+    /// All-reduce minimum over checkpoint iterations (exact: iteration counts are far
+    /// below 2^53, so the f64 reduction is lossless).
+    fn allreduce_min_iteration(
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        value: u64,
+    ) -> Result<u64, MpiError> {
+        Ok(ctx.allreduce_f64(comm, ReduceOp::Min, &[value as f64])?[0] as u64)
     }
 
     /// The configuration this instance was created with.
@@ -188,7 +222,7 @@ impl Fti {
         let meta = CheckpointMeta {
             ckpt_id: self.next_ckpt_id,
             iteration,
-            level: self.config.level,
+            level: self.config.level_for_iteration(iteration),
             bytes: payload.len(),
             object_ids: objects.iter().map(|(id, _)| *id).collect(),
             object_lens,
@@ -224,8 +258,7 @@ impl Fti {
     ) -> Result<u64, MpiError> {
         let read = self.read(ctx)?;
         let meta = self
-            .store
-            .meta(ctx.rank())
+            .restart_meta(ctx.rank())
             .ok_or_else(|| MpiError::InvalidArgument("no checkpoint to recover from".into()))?;
         if meta.object_ids.len() != objects.len() {
             return Err(MpiError::InvalidArgument(format!(
@@ -263,8 +296,7 @@ impl Fti {
     ) -> Result<u64, MpiError> {
         let read = self.read(ctx)?;
         let meta = self
-            .store
-            .meta(ctx.rank())
+            .restart_meta(ctx.rank())
             .ok_or_else(|| MpiError::InvalidArgument("no checkpoint to recover from".into()))?;
         let idx = meta
             .object_ids
@@ -281,9 +313,18 @@ impl Fti {
 
     fn read(&mut self, ctx: &mut RankCtx) -> Result<ReadOutcome, MpiError> {
         let prev = ctx.set_category(TimeCategory::CheckpointRead);
-        let result = read_checkpoint(ctx, &self.config, &self.store);
+        let result = read_checkpoint_at(ctx, &self.config, &self.store, self.restart_iteration);
         ctx.set_category(prev);
         result?.ok_or_else(|| MpiError::InvalidArgument("no checkpoint to recover from".into()))
+    }
+
+    /// The metadata of the checkpoint set recovery reads from: the cluster-agreed
+    /// restart iteration's set when one was agreed, otherwise the newest set.
+    fn restart_meta(&self, rank: usize) -> Option<CheckpointMeta> {
+        match self.restart_iteration {
+            Some(it) => self.store.set_at(rank, it).map(|s| s.meta),
+            None => self.store.meta(rank),
+        }
     }
 
     /// Finalizes FTI (the analogue of `FTI_Finalize`): a final synchronization on the

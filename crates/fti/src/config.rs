@@ -60,6 +60,19 @@ pub struct FtiConfig {
     pub diff_block_size: usize,
     /// Whether L4 uses differential checkpointing.
     pub differential: bool,
+    /// When set, every `l2_interval`-th iteration's checkpoint is promoted to at
+    /// least L2 (a partner copy leaves the node), regardless of the base `level` —
+    /// FTI's classic multi-level schedule.
+    pub l2_interval: Option<u64>,
+    /// When set, every `l4_interval`-th iteration's checkpoint is promoted to L4 (a
+    /// parallel-file-system flush).
+    pub l4_interval: Option<u64>,
+    /// Whether recovery may fall back down the level hierarchy: when the configured
+    /// level's newest set can no longer be reconstructed from surviving blobs
+    /// (accumulated erasures exceeded its redundancy), older retained sets of other
+    /// levels are tried, and a rank whose sets are all gone restarts from scratch
+    /// instead of failing the run. Disable for the strict single-level semantics.
+    pub level_fallback: bool,
 }
 
 impl Default for FtiConfig {
@@ -71,6 +84,9 @@ impl Default for FtiConfig {
             parity_shards: 2,
             diff_block_size: 4096,
             differential: true,
+            l2_interval: None,
+            l4_interval: None,
+            level_fallback: true,
         }
     }
 }
@@ -109,6 +125,57 @@ impl FtiConfig {
     pub fn differential(mut self, on: bool) -> Self {
         self.differential = on;
         self
+    }
+
+    /// Promotes every `n`-th iteration's checkpoint to at least L2.
+    pub fn l2_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "L2 promotion interval must be positive");
+        self.l2_interval = Some(n);
+        self
+    }
+
+    /// Promotes every `n`-th iteration's checkpoint to L4.
+    pub fn l4_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "L4 promotion interval must be positive");
+        self.l4_interval = Some(n);
+        self
+    }
+
+    /// Enables or disables hierarchical recovery fallback (see
+    /// [`FtiConfig::level_fallback`]).
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.level_fallback = on;
+        self
+    }
+
+    /// The level at which iteration `iteration`'s checkpoint is written under this
+    /// configuration's multi-level schedule.
+    pub fn level_for_iteration(&self, iteration: u64) -> CheckpointLevel {
+        let mut level = self.level;
+        if let Some(n) = self.l2_interval {
+            if iteration.is_multiple_of(n) && level < CheckpointLevel::L2 {
+                level = CheckpointLevel::L2;
+            }
+        }
+        if let Some(n) = self.l4_interval {
+            if iteration.is_multiple_of(n) {
+                level = CheckpointLevel::L4;
+            }
+        }
+        level
+    }
+
+    /// The Reed–Solomon data-shard count `k` implied by this configuration (used by
+    /// the L3 encode/decode paths and the recoverability checks).
+    pub fn rs_data_shards(&self) -> usize {
+        let group = self.group_size.max(2);
+        group - self.parity_shards.min(group - 1)
+    }
+
+    /// The Reed–Solomon parity-shard count `m` implied by this configuration.
+    pub fn rs_parity_shards(&self) -> usize {
+        let group = self.group_size.max(2);
+        self.parity_shards.min(group - 1).max(1)
     }
 
     /// Whether iteration `iteration` is a checkpointing iteration under this

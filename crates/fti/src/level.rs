@@ -47,6 +47,9 @@ pub struct ReadOutcome {
     /// Whether the primary copy was lost and recovery had to fall back to partner
     /// copies, erasure decoding or the parallel file system.
     pub degraded: bool,
+    /// The level of the checkpoint set the data was recovered from (with hierarchical
+    /// fallback this may be an older, more resilient set than the configured level).
+    pub level: CheckpointLevel,
 }
 
 /// Writes one checkpoint at the configured level.
@@ -104,7 +107,9 @@ pub fn write_checkpoint_payload(
     let mut stored_bytes = 0usize;
     let mut diff_hashes = None;
 
-    match cfg.level {
+    // The level comes from the metadata, not the configuration: the multi-level
+    // schedule promotes individual checkpoints to higher levels.
+    match meta.level {
         CheckpointLevel::L1 => {
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
             // The primary blob used to be an owned `payload.clone()` — a full copy
@@ -147,8 +152,8 @@ pub fn write_checkpoint_payload(
         CheckpointLevel::L3 => {
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
             // Encode and scatter the shards across the encoding group.
-            let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
-            let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
+            let k = cfg.rs_data_shards();
+            let m = cfg.rs_parity_shards();
             let encoded = rs_code::encode_payload(&payload, k, m).map_err(|e| {
                 MpiError::InvalidArgument(format!("reed-solomon encoding failed: {e}"))
             })?;
@@ -259,98 +264,147 @@ pub fn write_checkpoint_payload(
 /// Reads the latest checkpoint of the calling rank back from the store, reconstructing
 /// it from redundancy if the primary (node-local) copy has been lost.
 ///
-/// Returns `Ok(None)` if the rank has no stored checkpoint.
+/// Returns `Ok(None)` if the rank has no stored checkpoint — or, with
+/// [`FtiConfig::level_fallback`] enabled, when no retained set can be reconstructed
+/// anymore (the rank then restarts from scratch instead of failing the run).
 ///
 /// # Errors
 ///
-/// Returns [`MpiError::InvalidArgument`] if the checkpoint exists but cannot be
-/// reconstructed from the surviving blobs (e.g. an L1 checkpoint after its node was
-/// erased, or an L3 checkpoint that lost more shards than the code can tolerate).
+/// With `level_fallback` disabled, returns [`MpiError::InvalidArgument`] if the newest
+/// checkpoint exists but cannot be reconstructed from the surviving blobs (e.g. an L1
+/// checkpoint after its node was erased, or an L3 checkpoint that lost more shards
+/// than the code can tolerate).
 pub fn read_checkpoint(
     ctx: &mut RankCtx,
     cfg: &FtiConfig,
     store: &CheckpointStore,
 ) -> Result<Option<ReadOutcome>, MpiError> {
-    let rank = ctx.rank();
-    let Some(set) = store.get(rank) else {
-        return Ok(None);
-    };
-    let meta = set.meta.clone();
+    read_checkpoint_at(ctx, cfg, store, None)
+}
 
-    // Fast path: the primary copy is still there.
+/// Like [`read_checkpoint`], but restricted to the set taken at `iteration` when one
+/// is given (used after the cluster-wide restart agreement, so every rank resumes
+/// from the same consistent iteration).
+///
+/// # Errors
+///
+/// Same error conditions as [`read_checkpoint`].
+pub fn read_checkpoint_at(
+    ctx: &mut RankCtx,
+    cfg: &FtiConfig,
+    store: &CheckpointStore,
+    iteration: Option<u64>,
+) -> Result<Option<ReadOutcome>, MpiError> {
+    let rank = ctx.rank();
+    let sets = match iteration {
+        Some(it) => store.set_at(rank, it).into_iter().collect::<Vec<_>>(),
+        None => store.sets_newest_first(rank),
+    };
+    if sets.is_empty() {
+        return Ok(None);
+    }
+    // Fall back down the retained hierarchy (newest set first): the newest set is
+    // usually the cheap L1 one; when accumulated erasures have destroyed it, an older
+    // L2/L4 set — more redundancy, more lost work — takes over.
+    for set in &sets {
+        if let Some(outcome) = try_reconstruct(ctx, cfg, set) {
+            return Ok(Some(outcome));
+        }
+        if !cfg.level_fallback {
+            return Err(unrecoverable_error(set.meta.level));
+        }
+    }
+    if cfg.level_fallback {
+        Ok(None)
+    } else {
+        Err(unrecoverable_error(sets[0].meta.level))
+    }
+}
+
+fn unrecoverable_error(level: CheckpointLevel) -> MpiError {
+    MpiError::InvalidArgument(
+        match level {
+            CheckpointLevel::L1 => "L1 checkpoint lost with its node and cannot be reconstructed",
+            CheckpointLevel::L2 => "L2 checkpoint lost both its copies",
+            CheckpointLevel::L3 => "L3 checkpoint lost more shards than the code tolerates",
+            CheckpointLevel::L4 => "L4 checkpoint missing from the parallel file system",
+        }
+        .into(),
+    )
+}
+
+/// Attempts to reconstruct one checkpoint set from its surviving blobs, charging the
+/// read costs of the path that succeeds: primary copy, partner copy, Reed–Solomon
+/// decode, then the parallel-file-system base. Returns `None` when the set has lost
+/// too much.
+fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> Option<ReadOutcome> {
+    let meta = &set.meta;
+
+    // Fast path: the primary (node-local) copy is still there.
     if let Some(primary) = set.blobs.get(&BlobKind::Primary) {
-        let tier = match meta.level {
-            CheckpointLevel::L4 => StorageTier::RamDisk, // local copy kept by L4 writes
-            _ => StorageTier::RamDisk,
-        };
-        ctx.charge_storage_read(tier, primary.data.len());
-        return Ok(Some(ReadOutcome {
+        ctx.charge_storage_read(StorageTier::RamDisk, primary.data.len());
+        return Some(ReadOutcome {
             objects: meta.split_payload(&primary.data),
             iteration: meta.iteration,
             read_bytes: primary.data.len(),
             degraded: false,
-        }));
+            level: meta.level,
+        });
     }
-
-    // Degraded paths, by level.
-    match meta.level {
-        CheckpointLevel::L1 => Err(MpiError::InvalidArgument(
-            "L1 checkpoint lost with its node and cannot be reconstructed".into(),
-        )),
-        CheckpointLevel::L2 => {
-            let partner = set.blobs.get(&BlobKind::PartnerCopy).ok_or_else(|| {
-                MpiError::InvalidArgument("L2 checkpoint lost both its copies".into())
-            })?;
-            ctx.charge_storage_read(StorageTier::PartnerNode, partner.data.len());
-            Ok(Some(ReadOutcome {
-                objects: meta.split_payload(&partner.data),
-                iteration: meta.iteration,
-                read_bytes: partner.data.len(),
-                degraded: true,
-            }))
-        }
-        CheckpointLevel::L3 => {
-            let k = cfg.group_size.max(2) - cfg.parity_shards.min(cfg.group_size.max(2) - 1);
-            let m = cfg.parity_shards.min(cfg.group_size.max(2) - 1).max(1);
-            let mut shards: Vec<Option<Payload>> = vec![None; k + m];
-            let mut read_bytes = 0usize;
-            for (kind, blob) in &set.blobs {
-                if let BlobKind::RsShard(i) = kind {
-                    if *i < shards.len() {
-                        shards[*i] = Some(blob.data.clone());
-                        read_bytes += blob.data.len();
-                    }
-                }
+    // Partner copy on the neighbouring node (L2).
+    if let Some(partner) = set.blobs.get(&BlobKind::PartnerCopy) {
+        ctx.charge_storage_read(StorageTier::PartnerNode, partner.data.len());
+        return Some(ReadOutcome {
+            objects: meta.split_payload(&partner.data),
+            iteration: meta.iteration,
+            read_bytes: partner.data.len(),
+            degraded: true,
+            level: meta.level,
+        });
+    }
+    // Reed–Solomon decode from the surviving group shards (L3).
+    let k = cfg.rs_data_shards();
+    let m = cfg.rs_parity_shards();
+    let mut shards: Vec<Option<Payload>> = vec![None; k + m];
+    let mut shard_bytes = 0usize;
+    let mut available = 0usize;
+    for (kind, blob) in &set.blobs {
+        if let BlobKind::RsShard(i) = kind {
+            if *i < shards.len() {
+                shards[*i] = Some(blob.data.clone());
+                shard_bytes += blob.data.len();
+                available += 1;
             }
-            ctx.charge_storage_read(StorageTier::PartnerNode, read_bytes);
-            let payload = rs_code::decode(&shards, k, m, meta.bytes)
-                .map_err(|e| MpiError::InvalidArgument(format!("L3 reconstruction failed: {e}")))?;
+        }
+    }
+    if available >= k {
+        if let Ok(payload) = rs_code::decode(&shards, k, m, meta.bytes) {
+            ctx.charge_storage_read(StorageTier::PartnerNode, shard_bytes);
             ctx.elapse(
                 ctx.machine()
                     .compute_cost(rs_code::encode_work(meta.bytes, k, m)),
             );
-            Ok(Some(ReadOutcome {
+            return Some(ReadOutcome {
                 objects: meta.split_payload(&payload),
                 iteration: meta.iteration,
-                read_bytes,
+                read_bytes: shard_bytes,
                 degraded: true,
-            }))
-        }
-        CheckpointLevel::L4 => {
-            let base = set.blobs.get(&BlobKind::DiffBase).ok_or_else(|| {
-                MpiError::InvalidArgument(
-                    "L4 checkpoint missing from the parallel file system".into(),
-                )
-            })?;
-            ctx.charge_storage_read(StorageTier::ParallelFs, base.data.len());
-            Ok(Some(ReadOutcome {
-                objects: meta.split_payload(&base.data),
-                iteration: meta.iteration,
-                read_bytes: base.data.len(),
-                degraded: true,
-            }))
+                level: meta.level,
+            });
         }
     }
+    // The parallel-file-system base copy (L4).
+    if let Some(base) = set.blobs.get(&BlobKind::DiffBase) {
+        ctx.charge_storage_read(StorageTier::ParallelFs, base.data.len());
+        return Some(ReadOutcome {
+            objects: meta.split_payload(&base.data),
+            iteration: meta.iteration,
+            read_bytes: base.data.len(),
+            degraded: true,
+            level: meta.level,
+        });
+    }
+    None
 }
 
 #[cfg(test)]
@@ -373,9 +427,10 @@ mod tests {
     fn run_level(
         level: CheckpointLevel,
         erase_home_node: bool,
-    ) -> Vec<Result<Vec<Vec<u8>>, MpiError>> {
+        fallback: bool,
+    ) -> Vec<Result<Option<Vec<Vec<u8>>>, MpiError>> {
         let store = CheckpointStore::shared();
-        let cfg = FtiConfig::level(level);
+        let cfg = FtiConfig::level(level).fallback(fallback);
         let cluster = Cluster::new(ClusterConfig::with_ranks(8).nodes(4));
         let store2 = Arc::clone(&store);
         let outcome = cluster.run(move |ctx| {
@@ -394,9 +449,13 @@ mod tests {
                 store2.erase_node(0);
             }
             ctx.barrier(&world)?;
-            let read = read_checkpoint(ctx, &cfg, &store2)?.expect("checkpoint must exist");
-            assert_eq!(read.iteration, 10);
-            Ok(read.objects)
+            match read_checkpoint(ctx, &cfg, &store2)? {
+                Some(read) => {
+                    assert_eq!(read.iteration, 10);
+                    Ok(Some(read.objects))
+                }
+                None => Ok(None),
+            }
         });
         outcome.ranks().iter().map(|r| r.result.clone()).collect()
     }
@@ -404,11 +463,13 @@ mod tests {
     #[test]
     fn every_level_round_trips_without_failures() {
         for level in CheckpointLevel::ALL {
-            let results = run_level(level, false);
+            let results = run_level(level, false, true);
             for (rank, res) in results.iter().enumerate() {
                 let objects = res
                     .as_ref()
-                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"))
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{level}: rank {rank}: no checkpoint"));
                 assert_eq!(
                     objects[0],
                     vec![rank as u8; 100],
@@ -421,25 +482,34 @@ mod tests {
 
     #[test]
     fn l1_does_not_survive_node_loss_but_l2_l3_l4_do() {
-        // Ranks 0 and 1 live on node 0, which is erased. Their recovery should fail for
-        // L1 and succeed (degraded) for the higher levels.
-        let l1 = run_level(CheckpointLevel::L1, true);
+        // Ranks 0 and 1 live on node 0, which is erased. With fallback enabled their
+        // L1 data is simply gone (a fresh start, not a failed run); with the strict
+        // semantics the loss is a hard error. Higher levels reconstruct.
+        let l1 = run_level(CheckpointLevel::L1, true, true);
+        assert_eq!(l1[0], Ok(None), "L1 must not survive node loss");
+        assert_eq!(l1[1], Ok(None));
         assert!(
-            l1[0].is_err() && l1[1].is_err(),
-            "L1 must not survive node loss"
+            l1[2].as_ref().unwrap().is_some(),
+            "ranks on surviving nodes are unaffected"
         );
-        assert!(l1[2].is_ok(), "ranks on surviving nodes are unaffected");
+        let strict = run_level(CheckpointLevel::L1, true, false);
+        assert!(
+            strict[0].is_err() && strict[1].is_err(),
+            "strict mode reports unreconstructible checkpoints loudly"
+        );
 
         for level in [
             CheckpointLevel::L2,
             CheckpointLevel::L3,
             CheckpointLevel::L4,
         ] {
-            let results = run_level(level, true);
+            let results = run_level(level, true, true);
             for (rank, res) in results.iter().enumerate() {
                 let objects = res
                     .as_ref()
-                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"));
+                    .unwrap_or_else(|e| panic!("{level}: rank {rank}: {e}"))
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{level}: rank {rank}: lost"));
                 assert_eq!(
                     objects[0],
                     vec![rank as u8; 100],
@@ -447,6 +517,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multilevel_retention_falls_back_to_an_older_stronger_set() {
+        // An L4 checkpoint at iteration 10, then a newer L1 checkpoint at iteration
+        // 20. Erasing the node destroys the L1 set (and the L4 set's local copies),
+        // but the parallel file system still holds iteration 10: the read falls back
+        // down the hierarchy to it instead of failing.
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L1);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let old = vec![vec![7u8; 64]];
+            let mut meta = meta_for(&old, CheckpointLevel::L4, 10);
+            meta.ckpt_id = 1;
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &old)?;
+            let new = vec![vec![9u8; 64]];
+            let mut meta = meta_for(&new, CheckpointLevel::L1, 20);
+            meta.ckpt_id = 2;
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &new)?;
+            ctx.barrier(&world)?;
+            if ctx.rank() == 0 {
+                store2.erase_node(0);
+                store2.erase_node(1);
+            }
+            ctx.barrier(&world)?;
+            let read = read_checkpoint(ctx, &cfg, &store2)?.expect("L4 set must survive");
+            assert_eq!(read.iteration, 10, "fallback resumes from the older set");
+            assert_eq!(read.level, CheckpointLevel::L4);
+            assert!(read.degraded);
+            assert_eq!(read.objects[0], vec![7u8; 64]);
+            Ok(())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
     }
 
     #[test]

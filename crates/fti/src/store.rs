@@ -7,17 +7,23 @@
 //! re-enters the application closure after a failure, and the fresh FTI instance finds
 //! this rank's checkpoints still present.
 //!
+//! The store retains the **latest checkpoint set per level** for every rank, matching
+//! FTI's multi-level retention: when accumulated erasures destroy the newest (cheap)
+//! set, recovery falls back down the hierarchy to an older, more resilient one
+//! (L1 → L2 → L4) instead of failing the run — at the price of more lost work.
+//!
 //! Node failures can be simulated with [`CheckpointStore::erase_node`], which destroys
 //! the node-local copies but not partner copies, erasure-coded group shards held by
 //! other nodes, or parallel-file-system checkpoints — allowing the resilience
 //! differences between the four FTI levels to be exercised in tests.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use mpisim::Payload;
 use parking_lot::Mutex;
 
+use crate::config::CheckpointLevel;
 use crate::meta::CheckpointMeta;
 
 /// Where a stored blob physically lives, which decides what destroys it.
@@ -87,10 +93,45 @@ pub struct DiffHashes {
 
 #[derive(Debug, Default)]
 struct StoreInner {
-    /// Latest checkpoint set per rank.
-    latest: HashMap<usize, CheckpointSet>,
+    /// Latest checkpoint set per rank *per level* (FTI's multi-level retention).
+    latest: HashMap<usize, BTreeMap<CheckpointLevel, CheckpointSet>>,
     /// Total bytes ever written, for reporting.
     bytes_written: u64,
+}
+
+impl StoreInner {
+    /// The newest retained set of `rank` (highest checkpoint id across levels).
+    fn newest(&self, rank: usize) -> Option<&CheckpointSet> {
+        self.latest
+            .get(&rank)?
+            .values()
+            .max_by_key(|s| s.meta.ckpt_id)
+    }
+
+    fn newest_mut(&mut self, rank: usize) -> Option<&mut CheckpointSet> {
+        self.latest
+            .get_mut(&rank)?
+            .values_mut()
+            .max_by_key(|s| s.meta.ckpt_id)
+    }
+}
+
+/// Whether `set` can still be reconstructed from its surviving blobs: the primary
+/// copy, a partner copy, at least `min_shards` Reed–Solomon shards, or the parallel
+/// file-system copy.
+pub fn set_is_recoverable(set: &CheckpointSet, min_shards: usize) -> bool {
+    if set.blobs.contains_key(&BlobKind::Primary)
+        || set.blobs.contains_key(&BlobKind::PartnerCopy)
+        || set.blobs.contains_key(&BlobKind::DiffBase)
+    {
+        return true;
+    }
+    let shards = set
+        .blobs
+        .keys()
+        .filter(|k| matches!(k, BlobKind::RsShard(_)))
+        .count();
+    shards >= min_shards.max(1)
 }
 
 /// A shared, thread-safe checkpoint store for one simulated job.
@@ -106,33 +147,87 @@ impl CheckpointStore {
         Arc::new(CheckpointStore::default())
     }
 
-    /// Stores `set` as the latest checkpoint of `rank`, replacing any previous one.
+    /// Stores `set` as the latest checkpoint of `rank` at the set's level, replacing
+    /// the previous set of that level (older sets at *other* levels are retained for
+    /// hierarchical fallback).
     pub fn put(&self, rank: usize, set: CheckpointSet) {
         let mut inner = self.inner.lock();
         inner.bytes_written += set.meta.bytes as u64;
-        inner.latest.insert(rank, set);
+        inner
+            .latest
+            .entry(rank)
+            .or_default()
+            .insert(set.meta.level, set);
     }
 
-    /// Returns a clone of the latest checkpoint set of `rank`, if any.
+    /// Returns a clone of the newest checkpoint set of `rank` (across levels), if any.
     pub fn get(&self, rank: usize) -> Option<CheckpointSet> {
-        self.inner.lock().latest.get(&rank).cloned()
+        self.inner.lock().newest(rank).cloned()
+    }
+
+    /// Every retained set of `rank`, newest first (by checkpoint id).
+    pub fn sets_newest_first(&self, rank: usize) -> Vec<CheckpointSet> {
+        let inner = self.inner.lock();
+        let mut sets: Vec<CheckpointSet> = inner
+            .latest
+            .get(&rank)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        sets.sort_by_key(|s| std::cmp::Reverse(s.meta.ckpt_id));
+        sets
+    }
+
+    /// The newest retained set of `rank` taken at exactly `iteration`, if any.
+    pub fn set_at(&self, rank: usize, iteration: u64) -> Option<CheckpointSet> {
+        let inner = self.inner.lock();
+        inner
+            .latest
+            .get(&rank)?
+            .values()
+            .filter(|s| s.meta.iteration == iteration)
+            .max_by_key(|s| s.meta.ckpt_id)
+            .cloned()
     }
 
     /// Whether `rank` has a stored checkpoint.
     pub fn has_checkpoint(&self, rank: usize) -> bool {
-        self.inner.lock().latest.contains_key(&rank)
+        self.inner
+            .lock()
+            .latest
+            .get(&rank)
+            .is_some_and(|m| !m.is_empty())
     }
 
-    /// The latest checkpoint metadata of `rank`, if any.
+    /// The newest checkpoint metadata of `rank`, if any.
     pub fn meta(&self, rank: usize) -> Option<CheckpointMeta> {
-        self.inner.lock().latest.get(&rank).map(|s| s.meta.clone())
+        self.inner.lock().newest(rank).map(|s| s.meta.clone())
     }
 
-    /// Adds (or replaces) a blob inside `rank`'s latest checkpoint set. Used for
+    /// The newest iteration of `rank` whose set is still reconstructible from
+    /// surviving blobs (`min_shards` is the Reed–Solomon data-shard count), at or
+    /// below `at_most`. Returns 0 when nothing is recoverable — the restart agreement
+    /// treats 0 as "start from scratch".
+    pub fn best_recoverable_iteration(&self, rank: usize, at_most: u64, min_shards: usize) -> u64 {
+        // Metadata-only scan under the lock: the restart agreement calls this once
+        // per convergence round per rank, so it must not clone the retained sets.
+        let inner = self.inner.lock();
+        inner
+            .latest
+            .get(&rank)
+            .into_iter()
+            .flat_map(|m| m.values())
+            .filter(|s| s.meta.iteration <= at_most)
+            .filter(|s| set_is_recoverable(s, min_shards))
+            .map(|s| s.meta.iteration)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds (or replaces) a blob inside `rank`'s newest checkpoint set. Used for
     /// partner copies and parity shards that other ranks contribute.
     pub fn attach_blob(&self, rank: usize, kind: BlobKind, blob: StoredBlob) {
         let mut inner = self.inner.lock();
-        if let Some(set) = inner.latest.get_mut(&rank) {
+        if let Some(set) = inner.newest_mut(rank) {
             set.blobs.insert(kind, blob);
         }
     }
@@ -144,7 +239,12 @@ impl CheckpointStore {
 
     /// Number of ranks that currently have a checkpoint.
     pub fn checkpointed_ranks(&self) -> usize {
-        self.inner.lock().latest.len()
+        self.inner
+            .lock()
+            .latest
+            .values()
+            .filter(|m| !m.is_empty())
+            .count()
     }
 
     /// Removes every checkpoint (used between experiment repetitions).
@@ -160,18 +260,20 @@ impl CheckpointStore {
     /// system, depending on the level they were written at).
     pub fn erase_node(&self, node: usize) {
         let mut inner = self.inner.lock();
-        for set in inner.latest.values_mut() {
-            set.blobs
-                .retain(|_, blob| blob.placement != Placement::Node(node));
+        for sets in inner.latest.values_mut() {
+            for set in sets.values_mut() {
+                set.blobs
+                    .retain(|_, blob| blob.placement != Placement::Node(node));
+            }
         }
     }
 
-    /// Whether the primary (node-local) copy of `rank`'s checkpoint is still present.
+    /// Whether the primary (node-local) copy of `rank`'s newest checkpoint is still
+    /// present.
     pub fn has_primary(&self, rank: usize) -> bool {
         self.inner
             .lock()
-            .latest
-            .get(&rank)
+            .newest(rank)
             .map(|s| s.blobs.contains_key(&BlobKind::Primary))
             .unwrap_or(false)
     }

@@ -261,9 +261,67 @@ impl RankCtx {
     /// wide and returns the [`MpiError::SelfFailed`] error the caller must propagate to
     /// its recovery driver.
     pub fn kill_self(&mut self) -> MpiError {
-        self.state.mark_failed(self.rank);
+        self.state.mark_failed_at(self.rank, self.now);
         self.stats.times_failed += 1;
         MpiError::SelfFailed
+    }
+
+    /// Kills a whole group of ranks at this rank's current virtual time as *one*
+    /// failure event burst (used for node crashes, where every co-located process dies
+    /// at the same instant). Returns the [`MpiError::SelfFailed`] error the caller
+    /// must propagate when it is among the victims, and [`MpiError::ProcFailed`]
+    /// otherwise.
+    pub fn kill_ranks(&mut self, ranks: &[usize]) -> MpiError {
+        let mut lowest: Option<usize> = None;
+        for &r in ranks {
+            if r < self.state.nprocs {
+                self.state.mark_failed_at(r, self.now);
+                lowest = Some(lowest.map_or(r, |l| l.min(r)));
+            }
+        }
+        if ranks.contains(&self.rank) {
+            self.stats.times_failed += 1;
+            MpiError::SelfFailed
+        } else {
+            MpiError::ProcFailed {
+                rank: lowest.unwrap_or(self.rank),
+            }
+        }
+    }
+
+    /// Whether this rank is itself still alive (false once it has been killed by a
+    /// failure event, e.g. a node crash fired by a co-located rank).
+    pub fn is_self_alive(&self) -> bool {
+        self.state.is_alive(self.rank)
+    }
+
+    /// Acknowledges that this rank has been killed by an externally fired failure
+    /// event (a node crash fired by a co-located victim): counts the death and returns
+    /// the [`MpiError::SelfFailed`] the caller must propagate to its recovery driver.
+    pub fn acknowledge_killed(&mut self) -> MpiError {
+        self.stats.times_failed += 1;
+        MpiError::SelfFailed
+    }
+
+    /// Records that `node` physically crashed (its node-local checkpoint storage is
+    /// destroyed). The erasure itself is deferred: recovery drivers drain the pending
+    /// node failures inside the repair rendezvous via
+    /// [`RankCtx::recovery_rendezvous_with`], while every rank is parked, so it can
+    /// never race an in-flight checkpoint write.
+    pub fn note_node_failure(&self, node: usize) {
+        self.state.note_node_failure(node);
+    }
+
+    /// Blocks (in host time, at no virtual cost) until at least `events` failure
+    /// events have been recorded cluster-wide, or any failure is outstanding. This is
+    /// the injector's *detection barrier*: a rank that has reached the iteration of a
+    /// scheduled failure event waits here until the event's victim has actually died,
+    /// which guarantees the failure's virtual timestamp is published before any
+    /// post-event operation evaluates the visibility rule.
+    pub fn wait_for_failure_events(&self, events: u64) {
+        while self.state.failure_events() < events && self.state.failed_count() == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
     }
 
     /// Marks another rank failed (external fault injection, e.g. modelling a node OS
@@ -296,9 +354,35 @@ impl RankCtx {
     }
 
     fn check_health(&self, comm: &Comm) -> Result<(), MpiError> {
-        match self.state.health_error(comm.shared()) {
+        match self.state.visible_health_error(comm.shared(), self.now) {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Advances the clock to the failure instant of the current epoch (no-op when no
+    /// failure is outstanding or the clock is already past it). Called on every abort
+    /// out of a *blocked* operation so that the exit time — and with it the detection
+    /// latency charged by the recovery driver — is a deterministic function of the
+    /// failure event instead of host scheduling.
+    fn advance_to_failure(&mut self) {
+        if let Some(t) = self.state.fail_time() {
+            self.advance_to(t);
+        }
+    }
+
+    /// Whether every rank the selector could match (other than the caller) is failed
+    /// or parked at the recovery rendezvous — i.e. no further matching message can
+    /// arrive. Because a rank's sends happen-before it parks (and a victim's sends
+    /// happen-before its failure is published), a final mailbox sweep after this
+    /// returns true observes every message the quiesced sources ever produced.
+    fn sources_quiesced(&self, comm: &Comm, src_global: Option<usize>) -> bool {
+        match src_global {
+            Some(s) => !self.state.can_still_act(s),
+            None => comm
+                .members()
+                .iter()
+                .all(|&m| m == self.rank || !self.state.can_still_act(m)),
         }
     }
 
@@ -346,8 +430,18 @@ impl RankCtx {
             });
         }
         let dest_global = comm.global_rank_of(dest);
+        // The destination's death is observed through the deterministic visibility
+        // rule: a send issued at a virtual time before the failure instant still
+        // succeeds (the message is dropped during repair), one issued after it reports
+        // the failure. Deciding by host-time liveness here used to let a rank squeeze
+        // in (or lose) one extra send depending on thread scheduling, which was the
+        // simulator's with-failure jitter.
         if !self.state.is_alive(dest_global) {
-            return Err(MpiError::ProcFailed { rank: dest_global });
+            if let Some(t) = self.state.fail_time() {
+                if self.now >= t {
+                    return Err(MpiError::ProcFailed { rank: dest_global });
+                }
+            }
         }
         // Charge the injection overhead (half the latency); the transfer itself is
         // charged on the receive side where the arrival time is computed.
@@ -416,9 +510,8 @@ impl RankCtx {
         let mailbox = &self.state.mailboxes[self.rank];
         let mut matched: Option<Message> = None;
         loop {
-            // A message already taken out of the mailbox is always delivered: checking
-            // health only while empty-handed means a failure observed between matching
-            // and delivering can never silently swallow a dequeued message.
+            // A matched message is always delivered: a receive never aborts while a
+            // matching message is queued, so delivery does not race failure marking.
             if let Some(msg) = matched.take() {
                 let same_node = self.state.topology.same_node(self.rank, msg.src);
                 let transfer = self.state.machine.p2p_cost(msg.len(), same_node);
@@ -432,7 +525,28 @@ impl RankCtx {
                     .ok_or_else(|| MpiError::Internal("message from non-member".into()))?;
                 return Ok((src_comm_rank, msg.tag, msg.payload));
             }
-            self.check_health(comm)?;
+            if let Some(err) = self.state.health_error(comm.shared()) {
+                match err {
+                    // Abort and revocation interrupt a blocked receive unconditionally.
+                    MpiError::Aborted { .. } | MpiError::Revoked => return Err(err),
+                    // A process failure aborts the receive only once the selected
+                    // source(s) can send nothing more — a source's sends happen-before
+                    // it parks or dies, so the final sweep below observes every
+                    // message it ever produced, and the deliver-vs-abort decision is
+                    // independent of host scheduling. The exit clock is advanced to
+                    // the failure instant, making the detection point deterministic.
+                    _ => {
+                        if self.sources_quiesced(comm, src_global) {
+                            if let Some(msg) = mailbox.try_match(comm.id(), src_global, tag_sel) {
+                                matched = Some(msg);
+                                continue;
+                            }
+                            self.advance_to_failure();
+                            return Err(err);
+                        }
+                    }
+                }
+            }
             matched =
                 mailbox.match_or_wait(comm.id(), src_global, tag_sel, self.state.poll_interval);
         }
@@ -496,8 +610,23 @@ impl RankCtx {
             * (1.0 + self.compute_interference);
         let state = Arc::clone(&self.state);
         let shared: Arc<CommShared> = Arc::clone(comm.shared());
-        let abort_check = move || state.health_error(&shared);
-        let (finish_time, out) = comm.shared().slot.run(
+        // While blocked in the rendezvous, a process failure aborts the round only
+        // once it can no longer complete — some member is dead or parked at the
+        // recovery rendezvous. A round whose members all deposit therefore always
+        // completes, independent of how the host interleaves the failure marking, and
+        // an aborted member's clock is advanced to the failure instant below.
+        let abort_check = move || {
+            let err = state.health_error(&shared)?;
+            match err {
+                MpiError::Aborted { .. } | MpiError::Revoked => Some(err),
+                _ => shared
+                    .members
+                    .iter()
+                    .any(|&m| !state.can_still_act(m))
+                    .then_some(err),
+            }
+        };
+        let round = comm.shared().slot.run(
             comm.rank(),
             self.now,
             cost,
@@ -513,7 +642,16 @@ impl RankCtx {
                     .collect()
             },
             abort_check,
-        )?;
+        );
+        let (finish_time, out) = match round {
+            Ok(v) => v,
+            Err(e) => {
+                if e.is_process_failure() {
+                    self.advance_to_failure();
+                }
+                return Err(e);
+            }
+        };
         self.advance_to(finish_time);
         self.stats.collectives += 1;
         out.downcast::<T>()
@@ -914,9 +1052,34 @@ impl RankCtx {
     ///
     /// # Errors
     ///
-    /// Only internal errors are possible; process failures cannot interrupt recovery
-    /// (the paper's evaluation injects a single failure per run).
+    /// Only internal errors are possible. Process failures cannot interrupt the
+    /// rendezvous itself: failure events fire at main-loop iteration boundaries (the
+    /// injector's detection barrier), never between a rank's abort and its arrival
+    /// here, so multi-failure traces produce *sequential* disruption epochs — each
+    /// fully repaired before the next event can fire on the replayed iterations.
     pub fn recovery_rendezvous(&mut self, extra_cost: SimTime) -> Result<(), MpiError> {
+        self.recovery_rendezvous_with(extra_cost, |_nodes| {})
+    }
+
+    /// Like [`RankCtx::recovery_rendezvous`], but additionally runs `repair_hook` —
+    /// exactly once per recovery, by the last rank to arrive, while every rank is
+    /// still inside the rendezvous — passing the nodes that physically crashed in
+    /// this epoch (see [`RankCtx::note_node_failure`]). Recovery drivers use the hook
+    /// to erase crashed nodes' checkpoint storage at a point where no checkpoint
+    /// write or read can race the erasure.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`RankCtx::recovery_rendezvous`].
+    pub fn recovery_rendezvous_with(
+        &mut self,
+        extra_cost: SimTime,
+        repair_hook: impl FnOnce(&[usize]) + Send,
+    ) -> Result<(), MpiError> {
+        // Park first: this publishes the promise that this rank sends nothing more
+        // until repair, which is what lets peers blocked in receives and collectives
+        // decide deterministically that their operation can no longer complete.
+        self.state.set_parked(self.rank);
         let state = Arc::clone(&self.state);
         let nprocs = self.state.nprocs;
         let (finish_time, _out) = self.state.recovery_slot.run(
@@ -925,7 +1088,9 @@ impl RankCtx {
             extra_cost,
             Box::new(()),
             move |_contribs| {
+                let crashed_nodes = state.take_pending_node_failures();
                 state.repair_all();
+                repair_hook(&crashed_nodes);
                 (0..nprocs).map(|_| Box::new(()) as AnyBox).collect()
             },
             || None,

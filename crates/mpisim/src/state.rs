@@ -16,6 +16,7 @@ use crate::comm::CommShared;
 use crate::error::MpiError;
 use crate::machine::MachineModel;
 use crate::mailbox::Mailbox;
+use crate::time::SimTime;
 use crate::topology::Topology;
 
 /// Liveness of a simulated process.
@@ -43,6 +44,19 @@ pub struct ClusterState {
     nfailed: AtomicUsize,
     /// Monotonically increasing count of failure events (used by tests and detectors).
     failure_events: AtomicU64,
+    /// Virtual-time stamp (IEEE-754 bits of seconds) of the *earliest* failure of the
+    /// current disruption epoch, or [`u64::MAX`] when no failure is outstanding. This
+    /// is what makes failure detection deterministic: a rank observes the failure only
+    /// once its own virtual clock has reached this instant, and a rank aborted out of a
+    /// blocked operation has its clock advanced to it — so detection latency is a pure
+    /// function of the machine model, the failure event and the blocked operation, not
+    /// of host thread scheduling.
+    fail_time_bits: AtomicU64,
+    /// Ranks that have aborted their current attempt and are waiting at the recovery
+    /// rendezvous. A parked rank sends nothing more until the job is repaired, which
+    /// lets blocked receivers decide deterministically that no matching message can
+    /// arrive anymore.
+    parked: Vec<AtomicBool>,
     /// Set when a global-restart recovery is in progress: every MPI operation on every
     /// communicator reports a process failure until the job is repaired. Recovery
     /// drivers set this so that ranks blocked in communicators that do not contain the
@@ -56,6 +70,10 @@ pub struct ClusterState {
     next_comm_id: AtomicU64,
     /// Registry of all live communicators (world and derived) so repair can reset them.
     comms: Mutex<Vec<Weak<CommShared>>>,
+    /// Nodes whose local storage was destroyed by a crash in the current epoch. The
+    /// recovery drivers drain this inside the repair rendezvous (while every rank is
+    /// parked), so storage erasure never races in-flight checkpoint writes.
+    pending_node_failures: Mutex<Vec<usize>>,
     /// Rendezvous over *all* ranks used by global-restart recovery and job completion.
     pub recovery_slot: CollSlot,
     /// How long blocked operations sleep between failure checks (host time).
@@ -89,11 +107,14 @@ impl ClusterState {
             liveness: (0..nprocs).map(|_| Mutex::new(ProcState::Alive)).collect(),
             nfailed: AtomicUsize::new(0),
             failure_events: AtomicU64::new(0),
+            fail_time_bits: AtomicU64::new(u64::MAX),
+            parked: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
             global_disruption: AtomicBool::new(false),
             abort: Mutex::new(None),
             world: Arc::clone(&world),
             next_comm_id: AtomicU64::new(1),
             comms: Mutex::new(vec![Arc::downgrade(&world)]),
+            pending_node_failures: Mutex::new(Vec::new()),
             recovery_slot: CollSlot::new(nprocs),
             // A fallback only: failure/revoke/abort transitions wake blocked
             // operations explicitly (`wake_all_waiters`), so receivers no longer need
@@ -120,12 +141,24 @@ impl ClusterState {
         *self.liveness[rank].lock() == ProcState::Alive
     }
 
-    /// Marks `rank` failed. Returns true if the rank was alive before the call.
+    /// Marks `rank` failed with an unspecified (immediately visible) failure time.
+    /// Returns true if the rank was alive before the call.
     pub fn mark_failed(&self, rank: usize) -> bool {
+        self.mark_failed_at(rank, SimTime::ZERO)
+    }
+
+    /// Marks `rank` failed at virtual time `at`. The earliest failure time of the
+    /// epoch is retained (see [`ClusterState::fail_time`]). Returns true if the rank
+    /// was alive before the call.
+    pub fn mark_failed_at(&self, rank: usize, at: SimTime) -> bool {
         let changed = {
             let mut st = self.liveness[rank].lock();
             if *st == ProcState::Alive {
                 *st = ProcState::Failed;
+                // Record the failure instant *before* publishing the liveness change,
+                // so any rank that observes the failure also sees its timestamp.
+                self.fail_time_bits
+                    .fetch_min(at.as_secs().to_bits(), Ordering::SeqCst);
                 self.nfailed.fetch_add(1, Ordering::SeqCst);
                 self.failure_events.fetch_add(1, Ordering::SeqCst);
                 true
@@ -137,6 +170,43 @@ impl ClusterState {
             self.wake_all_waiters();
         }
         changed
+    }
+
+    /// The virtual time of the earliest failure of the current disruption epoch, or
+    /// `None` while no failure is outstanding. Cleared by [`ClusterState::repair_all`].
+    pub fn fail_time(&self) -> Option<SimTime> {
+        let bits = self.fail_time_bits.load(Ordering::SeqCst);
+        (bits != u64::MAX).then(|| SimTime::from_secs(f64::from_bits(bits)))
+    }
+
+    /// Marks `rank` as parked: its current attempt has aborted and it is waiting at
+    /// the recovery rendezvous, so it will send nothing more until repair. Wakes all
+    /// blocked operations so receivers re-evaluate their quiescence condition.
+    pub fn set_parked(&self, rank: usize) {
+        self.parked[rank].store(true, Ordering::SeqCst);
+        self.wake_all_waiters();
+    }
+
+    /// Whether `rank` is parked at the recovery rendezvous.
+    pub fn is_parked(&self, rank: usize) -> bool {
+        self.parked[rank].load(Ordering::SeqCst)
+    }
+
+    /// Whether `rank` can still produce messages or collective contributions in the
+    /// current epoch (alive and not parked at the recovery rendezvous).
+    pub fn can_still_act(&self, rank: usize) -> bool {
+        self.is_alive(rank) && !self.is_parked(rank)
+    }
+
+    /// Records that `node` physically crashed in this epoch (its local checkpoint
+    /// storage is gone). Drained by [`ClusterState::take_pending_node_failures`].
+    pub fn note_node_failure(&self, node: usize) {
+        self.pending_node_failures.lock().push(node);
+    }
+
+    /// Drains the nodes that crashed in this epoch.
+    pub fn take_pending_node_failures(&self) -> Vec<usize> {
+        std::mem::take(&mut *self.pending_node_failures.lock())
     }
 
     /// Wakes every thread blocked in a receive or a collective so it re-checks the
@@ -243,6 +313,21 @@ impl ClusterState {
         None
     }
 
+    /// Like [`ClusterState::health_error`], but failure notification follows the
+    /// deterministic virtual-time visibility rule: a process failure (or an ongoing
+    /// global-restart disruption) is reported only once the observer's clock `now` has
+    /// reached the failure instant. Abort and revocation are always visible (both are
+    /// control-plane transitions, not modelled physical events).
+    pub fn visible_health_error(&self, comm: &CommShared, now: SimTime) -> Option<MpiError> {
+        match self.health_error(comm)? {
+            err @ (MpiError::Aborted { .. } | MpiError::Revoked) => Some(err),
+            err => match self.fail_time() {
+                Some(t) if now >= t => Some(err),
+                _ => None,
+            },
+        }
+    }
+
     /// Repairs the job after a failure: revives all processes, drops every in-flight
     /// message, clears revocation flags and resets the collective state of every
     /// registered communicator. Called exactly once per recovery by the last rank to
@@ -250,6 +335,10 @@ impl ClusterState {
     pub fn repair_all(&self) {
         self.revive_all();
         self.global_disruption.store(false, Ordering::SeqCst);
+        self.fail_time_bits.store(u64::MAX, Ordering::SeqCst);
+        for p in &self.parked {
+            p.store(false, Ordering::SeqCst);
+        }
         for mb in &self.mailboxes {
             mb.clear();
         }

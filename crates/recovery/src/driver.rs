@@ -13,26 +13,35 @@
 //!    cluster-wide recovery rendezvous, and re-invokes the closure, whose new FTI
 //!    instance will report [`fti::FtiStatus::Restart`] so the application reloads its
 //!    checkpoint and resumes.
+//!
+//! Unlike the paper's single-failure methodology, the driver loops through as many
+//! detect → recover → rollback cycles as the configured [`FailureTrace`] produces
+//! (bounded by [`FtConfig::max_restarts`]), keeping a per-attempt account
+//! ([`AttemptRecord`]) of where the virtual time went.
 
 use std::sync::Arc;
 
 use fti::store::CheckpointStore;
 use fti::{Fti, FtiConfig};
-use mpisim::{MpiError, RankCtx, TimeCategory};
+use mpisim::{MpiError, RankCtx, SimTime, TimeCategory};
 
-use crate::inject::{FaultInjector, FaultPlan};
+use crate::inject::{FailureTrace, FaultInjector};
 use crate::strategy::RecoveryStrategy;
 
 /// Configuration of one fault-tolerance design instance: the recovery strategy, the
-/// FTI configuration and the failure to inject.
+/// FTI configuration and the failure scenario to inject.
 #[derive(Debug, Clone)]
 pub struct FtConfig {
     /// The MPI recovery strategy.
     pub strategy: RecoveryStrategy,
     /// The FTI checkpointing configuration.
     pub fti: FtiConfig,
-    /// The failure to inject, if any.
-    pub fault: FaultPlan,
+    /// The failure scenario to inject (a trace of zero or more events).
+    pub fault: FailureTrace,
+    /// Maximum number of global restarts before the driver gives up. Multi-failure
+    /// traces legitimately restart once per disruption epoch; anything beyond this
+    /// bound indicates an application bug rather than injected failures.
+    pub max_restarts: u32,
 }
 
 impl FtConfig {
@@ -41,15 +50,41 @@ impl FtConfig {
         FtConfig {
             strategy,
             fti,
-            fault: FaultPlan::None,
+            fault: FailureTrace::none(),
+            max_restarts: 32,
         }
     }
 
-    /// Sets the fault plan.
-    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
-        self.fault = fault;
+    /// Sets the failure scenario (accepts a [`FailureTrace`], a legacy
+    /// [`crate::FaultPlan`], a bare [`mpisim::FailureSpec`] or an
+    /// [`crate::ArrivalModel`]).
+    pub fn with_fault(mut self, fault: impl Into<FailureTrace>) -> Self {
+        self.fault = fault.into();
         self
     }
+
+    /// Sets the restart bound.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts.max(1);
+        self
+    }
+}
+
+/// The account of one invocation of the application closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Virtual time when the closure was (re-)entered.
+    pub started_at: SimTime,
+    /// Virtual time when the attempt ended — at completion, or at the deterministic
+    /// failure-detection point for aborted attempts.
+    pub ended_at: SimTime,
+    /// Whether the attempt ran to completion (only the final attempt does).
+    pub completed: bool,
+    /// Virtual time spent in the recovery that followed this attempt
+    /// ([`SimTime::ZERO`] for the completed attempt).
+    pub recovery: SimTime,
 }
 
 /// What [`FtDriver::execute`] returns on success.
@@ -61,12 +96,11 @@ pub struct DriverOutcome<R> {
     pub attempts: u32,
     /// Number of recoveries this rank participated in.
     pub recoveries: u32,
+    /// Per-attempt accounting, in attempt order.
+    pub attempt_log: Vec<AttemptRecord>,
+    /// Cluster-wide failure events absorbed by the end of the run.
+    pub failure_events: u64,
 }
-
-/// Maximum number of global restarts before the driver gives up. The paper's
-/// methodology injects a single failure per run, so more than a handful of restarts
-/// indicates an application bug rather than an injected failure.
-const MAX_RESTARTS: u32 = 8;
 
 /// The per-rank fault-tolerance driver.
 #[derive(Debug, Clone)]
@@ -100,9 +134,10 @@ impl FtDriver {
     ///
     /// # Errors
     ///
-    /// Propagates non-failure errors from the application and gives up with
-    /// [`MpiError::Internal`] if the application keeps failing after [`MAX_RESTARTS`]
-    /// recoveries.
+    /// Returns [`MpiError::InvalidArgument`] for failure traces targeting ranks or
+    /// nodes outside the job, propagates non-failure errors from the application, and
+    /// gives up with [`MpiError::Internal`] if the application keeps failing after
+    /// [`FtConfig::max_restarts`] recoveries.
     pub fn execute<R>(
         &self,
         ctx: &mut RankCtx,
@@ -114,41 +149,61 @@ impl FtDriver {
             .background_interference(ctx.machine(), ctx.nprocs());
         ctx.set_interference(app_interference, io_interference);
 
-        let injector = FaultInjector::new(&self.config.fault, ctx.nprocs());
+        let injector = FaultInjector::new(&self.config.fault, ctx.topology())?;
         let mut attempts = 0u32;
         let mut recoveries = 0u32;
+        let mut attempt_log: Vec<AttemptRecord> = Vec::new();
 
         loop {
             attempts += 1;
-            if attempts > MAX_RESTARTS {
+            if attempts > self.config.max_restarts {
                 return Err(MpiError::Internal(format!(
-                    "application did not complete after {MAX_RESTARTS} global restarts"
+                    "application did not complete after {} global restarts",
+                    self.config.max_restarts
                 )));
             }
+            let started_at = ctx.now();
 
             let mut fti = Fti::init(self.config.fti.clone(), Arc::clone(&self.store), ctx)?;
-            match app(ctx, &mut fti, &injector) {
+            let attempt = match app(ctx, &mut fti, &injector) {
                 Ok(value) => {
                     // The analogue of MPI_Finalize: ensure nobody still needs this rank
                     // for recovery before leaving.
                     match ctx.completion_barrier() {
-                        Ok(()) => {
-                            return Ok(DriverOutcome {
-                                value,
-                                attempts,
-                                recoveries,
-                            });
-                        }
-                        Err(e) if e.is_process_failure() => {
-                            self.recover(ctx)?;
-                            recoveries += 1;
-                        }
-                        Err(e) => return Err(e),
+                        Ok(()) => Ok(value),
+                        Err(e) => Err(e),
                     }
                 }
+                Err(e) => Err(e),
+            };
+            match attempt {
+                Ok(value) => {
+                    attempt_log.push(AttemptRecord {
+                        attempt: attempts,
+                        started_at,
+                        ended_at: ctx.now(),
+                        completed: true,
+                        recovery: SimTime::ZERO,
+                    });
+                    return Ok(DriverOutcome {
+                        value,
+                        attempts,
+                        recoveries,
+                        attempt_log,
+                        failure_events: ctx.failure_events(),
+                    });
+                }
                 Err(e) if e.is_process_failure() => {
+                    let ended_at = ctx.now();
                     self.recover(ctx)?;
                     recoveries += 1;
+                    attempt_log.push(AttemptRecord {
+                        attempt: attempts,
+                        started_at,
+                        ended_at,
+                        completed: false,
+                        recovery: ctx.now().saturating_sub(ended_at),
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -157,8 +212,8 @@ impl FtDriver {
 
     /// Runs the strategy-specific recovery protocol: declares the global restart,
     /// charges failure detection plus the strategy's repair cost, and joins the
-    /// cluster-wide recovery rendezvous that repairs the communicators and revives the
-    /// failed processes.
+    /// cluster-wide recovery rendezvous that repairs the communicators, revives the
+    /// failed processes and erases the checkpoint storage of crashed nodes.
     fn recover(&self, ctx: &mut RankCtx) -> Result<(), MpiError> {
         ctx.declare_global_restart();
         let nfailed = ctx.failed_ranks().len().max(1);
@@ -168,7 +223,12 @@ impl FtDriver {
                 .strategy
                 .recovery_cost(ctx.machine(), ctx.nprocs(), nfailed);
         let prev = ctx.set_category(TimeCategory::Recovery);
-        let result = ctx.recovery_rendezvous(cost);
+        let store = Arc::clone(&self.store);
+        let result = ctx.recovery_rendezvous_with(cost, move |crashed_nodes| {
+            for &node in crashed_nodes {
+                store.erase_node(node);
+            }
+        });
         ctx.set_category(prev);
         result
     }
@@ -177,8 +237,9 @@ impl FtDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inject::FaultPlan;
     use fti::Protectable;
-    use mpisim::{Cluster, ClusterConfig, SimTime};
+    use mpisim::{Cluster, ClusterConfig};
 
     /// A small iterative "application": every iteration adds the all-reduced rank sum
     /// to an accumulator, checkpointing through FTI. The final value is deterministic,
@@ -212,7 +273,7 @@ mod tests {
 
     fn run_design(
         strategy: RecoveryStrategy,
-        fault: FaultPlan,
+        fault: impl Into<FailureTrace>,
         nprocs: usize,
     ) -> (Vec<f64>, mpisim::TimeBreakdown) {
         let store = CheckpointStore::shared();
@@ -267,6 +328,22 @@ mod tests {
     }
 
     #[test]
+    fn with_failure_runs_are_bit_deterministic() {
+        // The headline bugfix: detection latency is a pure function of the failure
+        // event and the blocked operation, so two executions of the same with-failure
+        // design agree on every breakdown component bit-for-bit.
+        for fault in [
+            FaultPlan::kill_rank_at(3, 12),
+            FaultPlan::crash_node_at(1, 7),
+        ] {
+            let (va, a) = run_design(RecoveryStrategy::Ulfm, fault, 8);
+            let (vb, b) = run_design(RecoveryStrategy::Ulfm, fault, 8);
+            assert_eq!(va, vb);
+            assert_eq!(a, b, "host scheduling leaked into virtual time: {fault:?}");
+        }
+    }
+
+    #[test]
     fn recovery_time_ordering_reinit_ulfm_restart() {
         let fault = FaultPlan::kill_rank_at(1, 7);
         let (_, reinit) = run_design(RecoveryStrategy::Reinit, fault, 8);
@@ -302,6 +379,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_event_traces_survive_repeated_recovery_cycles() {
+        // Three failures in one run: two kills and a node crash, each in its own
+        // detect -> recover -> rollback epoch. The final answer must still be exact.
+        let trace = FailureTrace::schedule(vec![
+            mpisim::FailureSpec::kill_process(2, 4),
+            mpisim::FailureSpec::crash_node(3, 9),
+            mpisim::FailureSpec::kill_process(0, 17),
+        ]);
+        for strategy in RecoveryStrategy::ALL {
+            let (values, breakdown) = run_design(strategy, trace.clone(), 8);
+            for v in &values {
+                assert_eq!(*v, expected_value(8, 20), "{strategy} after 3 failures");
+            }
+            assert!(breakdown.recovery.as_secs() > 0.0);
+        }
+    }
+
+    #[test]
     fn attempts_and_recoveries_are_reported() {
         let store = CheckpointStore::shared();
         let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default().interval(5))
@@ -316,6 +411,32 @@ mod tests {
             let out = rank.result.as_ref().unwrap();
             assert_eq!(out.attempts, 2);
             assert_eq!(out.recoveries, 1);
+            assert_eq!(out.failure_events, 1);
+            // Per-attempt accounting: a failed first attempt with its recovery cost,
+            // then a completed second attempt.
+            assert_eq!(out.attempt_log.len(), 2);
+            assert!(!out.attempt_log[0].completed);
+            assert!(out.attempt_log[0].recovery.as_secs() > 0.0);
+            assert!(out.attempt_log[1].completed);
+            assert_eq!(out.attempt_log[1].recovery, SimTime::ZERO);
+            assert!(out.attempt_log[1].started_at >= out.attempt_log[0].ended_at);
+        }
+    }
+
+    #[test]
+    fn misconfigured_victims_surface_as_errors() {
+        // Satellite bugfix: a victim rank >= nprocs used to silently never fire and
+        // the run reported success; it is now a loud configuration error.
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Reinit, FtiConfig::default())
+            .with_fault(FaultPlan::kill_rank_at(64, 3));
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, |ctx, fti, injector| toy_app(ctx, fti, injector, 5))
+        });
+        for r in outcome.results() {
+            assert!(matches!(r, Err(MpiError::InvalidArgument(_))), "{r:?}");
         }
     }
 

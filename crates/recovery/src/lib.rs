@@ -68,7 +68,7 @@ pub mod inject;
 pub mod report;
 pub mod strategy;
 
-pub use driver::{DriverOutcome, FtConfig, FtDriver};
-pub use inject::{FaultInjector, FaultPlan};
-pub use report::RunReport;
+pub use driver::{AttemptRecord, DriverOutcome, FtConfig, FtDriver};
+pub use inject::{ArrivalDistribution, ArrivalModel, FailureTrace, FaultInjector, FaultPlan};
+pub use report::{AttemptSummary, RunReport};
 pub use strategy::RecoveryStrategy;

@@ -8,6 +8,22 @@ use mpisim::{RankStats, SimTime, TimeBreakdown};
 
 use crate::strategy::RecoveryStrategy;
 
+/// Per-attempt account of one run: how long each invocation of the application
+/// closure ran and what its recovery cost, taken as the element-wise maximum over all
+/// ranks (the same slowest-rank convention as the breakdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptSummary {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Longest per-rank span of this attempt, seconds of virtual time.
+    pub span_secs: f64,
+    /// Longest per-rank recovery charge that followed this attempt (0 for the final,
+    /// completed attempt).
+    pub recovery_secs: f64,
+    /// Whether the attempt ran to completion.
+    pub completed: bool,
+}
+
 /// Summary of one run of one design.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -25,6 +41,14 @@ pub struct RunReport {
     pub stats: RankStats,
     /// Number of global restarts that occurred.
     pub restarts: u32,
+    /// Number of times the application closure ran (summed over repetitions, like
+    /// `restarts`; 1 per repetition = no failures).
+    pub attempts: u32,
+    /// Cluster-wide failure events absorbed (summed over repetitions).
+    pub failure_events: u64,
+    /// Per-attempt accounting of the run's detect → recover → rollback cycles (from
+    /// the repetition with the most attempts when averaging).
+    pub attempt_log: Vec<AttemptSummary>,
 }
 
 impl RunReport {
@@ -68,11 +92,19 @@ impl RunReport {
         let mut total = SimTime::ZERO;
         let mut stats = RankStats::new();
         let mut restarts = 0u32;
+        let mut attempts = 0u32;
+        let mut failure_events = 0u64;
+        let mut attempt_log: &[AttemptSummary] = &[];
         for r in reports {
             breakdown.accumulate(&r.breakdown);
             total += r.total_time;
             stats.accumulate(&r.stats);
             restarts += r.restarts;
+            attempts += r.attempts;
+            failure_events += r.failure_events;
+            if r.attempt_log.len() > attempt_log.len() {
+                attempt_log = &r.attempt_log;
+            }
         }
         RunReport {
             strategy: first.strategy,
@@ -82,6 +114,9 @@ impl RunReport {
             total_time: total / n,
             stats,
             restarts,
+            attempts,
+            failure_events,
+            attempt_log: attempt_log.to_vec(),
         }
     }
 }
@@ -104,6 +139,14 @@ mod tests {
             total_time: SimTime::from_secs(app + 1.0 + recovery),
             stats: RankStats::new(),
             restarts: 1,
+            attempts: 2,
+            failure_events: 1,
+            attempt_log: vec![AttemptSummary {
+                attempt: 1,
+                span_secs: app,
+                recovery_secs: recovery,
+                completed: false,
+            }],
         }
     }
 
@@ -123,6 +166,9 @@ mod tests {
         assert_eq!(avg.recovery_time().as_secs(), 2.0);
         assert_eq!(avg.total_time.as_secs(), 15.0);
         assert_eq!(avg.restarts, 2);
+        assert_eq!(avg.attempts, 4);
+        assert_eq!(avg.failure_events, 2);
+        assert_eq!(avg.attempt_log.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Integration tests of the multi-failure scenario engine: arbitrary seeded
+//! [`FailureTrace`]s — repeated kills, correlated node crashes that physically erase
+//! node-local checkpoint storage, events landing in checkpoint and recovery windows —
+//! must leave the application's answer bit-identical to a failure-free run for all
+//! three fault-tolerance designs, and the whole simulation must stay deterministic in
+//! virtual time.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::{CheckpointLevel, Fti, FtiConfig, Protectable};
+use match_core::mpisim::{Cluster, ClusterConfig, FailureSpec, MpiError, RankCtx};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{
+    ArrivalModel, FailureTrace, FaultInjector, FtConfig, FtDriver, RecoveryStrategy,
+};
+use match_core::{runner, Experiment, FailureScenario, SuiteOptions};
+
+const ITERATIONS: u64 = 12;
+const NPROCS: usize = 4;
+const NNODES: usize = 2;
+
+/// The driver-test toy application: deterministic final value, FTI-protected
+/// accumulator, fault-injection hook at the top of every iteration.
+fn toy_app(ctx: &mut RankCtx, fti: &mut Fti, injector: &FaultInjector) -> Result<f64, MpiError> {
+    let world = ctx.world();
+    let mut acc = 0.0f64;
+    let mut start = 1u64;
+    fti.protect(0, "acc", &acc);
+    if fti.status().is_restart() {
+        let at = fti.recover_object(ctx, 0, &mut acc)?;
+        start = at + 1;
+    }
+    for iteration in start..=ITERATIONS {
+        injector.maybe_fail(ctx, iteration)?;
+        ctx.compute(2e4);
+        let contribution = ctx.allreduce_sum_f64(&world, (ctx.rank() + 1) as f64)?;
+        acc += contribution;
+        if fti.should_checkpoint(iteration) {
+            fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+        }
+    }
+    fti.finalize(ctx)?;
+    Ok(acc)
+}
+
+fn expected_value() -> f64 {
+    let per_iter: f64 = (1..=NPROCS).map(|r| r as f64).sum();
+    per_iter * ITERATIONS as f64
+}
+
+fn run_trace(
+    strategy: RecoveryStrategy,
+    trace: FailureTrace,
+    fti: FtiConfig,
+) -> (Vec<f64>, match_core::mpisim::TimeBreakdown) {
+    let store = CheckpointStore::shared();
+    let config = FtConfig::new(strategy, fti).with_fault(trace);
+    let cluster = Cluster::new(ClusterConfig::with_ranks(NPROCS).nodes(NNODES));
+    let outcome = cluster.run(move |ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        driver.execute(ctx, toy_app)
+    });
+    assert!(outcome.all_ok(), "{strategy}: {:?}", outcome.errors());
+    let values = outcome
+        .ranks()
+        .iter()
+        .map(|r| r.result.as_ref().unwrap().value)
+        .collect();
+    (values, outcome.max_breakdown())
+}
+
+/// An L2 configuration with a periodic L4 flush: within aggregate L1/L2/L4 tolerance,
+/// a single node crash falls back to the partner copy and a rack cascade falls back
+/// to the parallel file system.
+fn resilient_config() -> FtiConfig {
+    FtiConfig::level(CheckpointLevel::L2)
+        .interval(4)
+        .l4_every(8)
+}
+
+#[test]
+fn checkpoint_window_failure_rolls_back_across_the_lost_checkpoint() {
+    // The event lands at the top of a checkpoint iteration, so the would-be
+    // checkpoint is never written and the job resumes from the previous wave.
+    let trace = FailureTrace::from(FailureSpec::kill_process(1, 8));
+    for strategy in RecoveryStrategy::ALL {
+        let (values, breakdown) = run_trace(strategy, trace.clone(), resilient_config());
+        for v in &values {
+            assert_eq!(*v, expected_value(), "{strategy}");
+        }
+        assert!(breakdown.recovery.as_secs() > 0.0);
+    }
+}
+
+#[test]
+fn recovery_window_double_failure_recovers_twice() {
+    // The second kill lands one iteration after the first: the job is still redoing
+    // the lost work (its recovery window) when it is hit again.
+    let trace = FailureTrace::schedule(vec![
+        FailureSpec::kill_process(2, 6),
+        FailureSpec::kill_process(0, 7),
+    ]);
+    for strategy in RecoveryStrategy::ALL {
+        let (values, breakdown) = run_trace(strategy, trace.clone(), resilient_config());
+        for v in &values {
+            assert_eq!(*v, expected_value(), "{strategy}");
+        }
+        assert!(breakdown.recovery.as_secs() > 0.0);
+    }
+}
+
+#[test]
+fn node_crash_erases_storage_and_falls_back_to_the_partner_copy() {
+    // Node 0 crashes after the iteration-4 checkpoint: its ranks' L1 copies are
+    // physically erased, so their recovery must go through the partner copies held on
+    // node 1 — and the answer must still be exact.
+    let trace = FailureTrace::from(FailureSpec::crash_node(0, 6));
+    for strategy in RecoveryStrategy::ALL {
+        let (values, _) = run_trace(strategy, trace.clone(), resilient_config());
+        for v in &values {
+            assert_eq!(*v, expected_value(), "{strategy} after node crash");
+        }
+    }
+}
+
+#[test]
+fn rack_cascade_falls_back_to_scratch_or_l4_and_still_reproduces() {
+    // Both nodes crash back-to-back: every node-local copy (L1 primaries and L2
+    // partner copies) is gone. With the periodic L4 flush the job falls back to the
+    // parallel file system where one exists, and to a from-scratch restart otherwise;
+    // either way the answer is exact.
+    let trace = FailureTrace::schedule(vec![
+        FailureSpec::crash_node(0, 6),
+        FailureSpec::crash_node(1, 7),
+    ]);
+    for fti in [resilient_config(), FtiConfig::default().interval(4)] {
+        for strategy in RecoveryStrategy::ALL {
+            let (values, _) = run_trace(strategy, trace.clone(), fti.clone());
+            for v in &values {
+                assert_eq!(*v, expected_value(), "{strategy} after rack cascade");
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_arrival_traces_are_deterministic_in_virtual_time() {
+    // The same seeded arrival model — including correlated node crashes — must yield
+    // bit-identical virtual-time breakdowns across executions.
+    let model = ArrivalModel::exponential(11, 24.0, ITERATIONS)
+        .correlated(50, 50)
+        .recovery_window(50);
+    let (va, a) = run_trace(
+        RecoveryStrategy::Reinit,
+        FailureTrace::sampled(model),
+        resilient_config(),
+    );
+    let (vb, b) = run_trace(
+        RecoveryStrategy::Reinit,
+        FailureTrace::sampled(model),
+        resilient_config(),
+    );
+    assert_eq!(va, vb);
+    assert_eq!(a, b, "sampled scenario leaked host scheduling");
+    for v in &va {
+        assert_eq!(*v, expected_value());
+    }
+}
+
+#[test]
+fn mtbf_scenario_runs_exactly_reproduce_through_the_runner() {
+    // Engine-level: an MTBF-scenario experiment recomputed from scratch matches the
+    // first computation bit-for-bit (the cache comparison in `engine_suite` relies on
+    // this, and it only holds because failure detection is deterministic).
+    let experiment = Experiment::new(
+        ProxyKind::Hpccg,
+        InputSize::Small,
+        4,
+        RecoveryStrategy::Reinit,
+    )
+    .with_options(&SuiteOptions::smoke())
+    .with_scenario(FailureScenario::Mtbf {
+        node_mtbf_iterations: 16,
+        node_crash_pct: 25,
+        rack_neighbor_pct: 25,
+        recovery_window_pct: 25,
+    });
+    let a = runner::run_experiment_uncached(&experiment).expect("first run");
+    let b = runner::run_experiment_uncached(&experiment).expect("second run");
+    assert_eq!(a, b, "MTBF scenario must be bit-deterministic");
+    assert!(a.failure_events > 0, "the scenario must actually fail");
+    assert!(a.recovery_time().as_secs() > 0.0);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Satellite property: any seeded trace of up to three events (kills or node
+        /// crashes) whose erasures stay within the aggregate L1/L2/L4 tolerance of
+        /// the resilient configuration reproduces the failure-free answer
+        /// bit-for-bit under all three designs.
+        #[test]
+        fn seeded_traces_reproduce_the_failure_free_answer(
+            seed in any::<u64>(),
+            nevents in 1usize..4,
+        ) {
+            let mut rng = match_core::proxies::common::DetRng::new(seed);
+            let mut events = Vec::new();
+            for _ in 0..nevents {
+                let iteration = 1 + rng.next_below(ITERATIONS as usize) as u64;
+                if rng.next_below(4) == 0 {
+                    events.push(FailureSpec::crash_node(rng.next_below(NNODES), iteration));
+                } else {
+                    events.push(FailureSpec::kill_process(rng.next_below(NPROCS), iteration));
+                }
+            }
+            let trace = FailureTrace::schedule(events);
+            for strategy in RecoveryStrategy::ALL {
+                let (values, _) = run_trace(strategy, trace.clone(), resilient_config());
+                for v in &values {
+                    prop_assert_eq!(*v, expected_value());
+                }
+            }
+        }
+    }
+}
