@@ -76,7 +76,9 @@ pub fn options_from_env() -> MatrixOptions {
 /// `MATCH_MTBF` (comma-separated node-MTBF ladder in iterations; the default scales
 /// with the execution scale's iteration cap) and `MATCH_MTBF_CRASH_PCT` /
 /// `MATCH_MTBF_RACK_PCT` (correlated node-crash and rack-cascade percentages,
-/// default 0).
+/// default 0). The rack percentage is real rack correlation over the topology's
+/// rack dimension: the cascade victim is another node of the crashed node's rack,
+/// and sweeps with cascades checkpoint at the erasure-coded L3 level.
 pub fn mtbf_options_from_env(options: &MatrixOptions) -> MtbfSweepOptions {
     let mut sweep = MtbfSweepOptions::from_matrix(options);
     if let Some(ladder) = std::env::var("MATCH_MTBF").ok().map(|s| {

@@ -34,6 +34,11 @@ pub struct ExperimentId {
     input: u8,
     strategy: u8,
     nprocs: usize,
+    /// The `(nnodes, nracks)` failure-domain layout the experiment runs on. Derived
+    /// deterministically from `nprocs` today (the paper layout), but part of the
+    /// identity: rack-correlated scenarios and the domain-split cost model make the
+    /// simulated result a function of the topology, not just the process count.
+    topology: (usize, usize),
     /// Canonical encoding of the failure scenario:
     /// `(tag, node_mtbf_iterations, node_crash_pct, rack_neighbor_pct, recovery_window_pct)`.
     scenario: (u8, u32, u8, u8, u8),
@@ -84,11 +89,20 @@ impl ExperimentId {
                 recovery_window_pct,
             ),
         };
+        // The layout comes from the same ClusterConfig `run_single` builds, so the
+        // key can never diverge from the simulated topology. Invalid experiments
+        // (nprocs = 0) must still key cleanly: the engine caches their error
+        // instead of panicking here.
+        let topology = (experiment.nprocs > 0)
+            .then(|| crate::runner::experiment_cluster(experiment.nprocs).topology())
+            .map(|t| (t.nnodes(), t.nracks()))
+            .unwrap_or((0, 0));
         ExperimentId {
             app,
             input,
             strategy,
             nprocs: experiment.nprocs,
+            topology,
             scenario,
             scale_linear_fraction_bits: experiment.scale.linear_fraction.to_bits(),
             scale_iteration_cap: experiment.scale.iteration_cap,

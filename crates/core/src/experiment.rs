@@ -66,7 +66,10 @@ pub enum FailureScenario {
         node_mtbf_iterations: u32,
         /// Percent chance an event is a node crash instead of a process kill.
         node_crash_pct: u8,
-        /// Percent chance a node crash cascades to the rack-neighbouring node.
+        /// Percent chance a node crash cascades to **another node of the victim's
+        /// rack** one iteration later (real rack correlation over the topology's
+        /// rack dimension; a scenario with cascades checkpoints at the erasure-coded
+        /// L3 level, see `runner::run_single`).
         rack_neighbor_pct: u8,
         /// Percent chance a kill is followed by a second kill in the recovery window.
         recovery_window_pct: u8,

@@ -13,10 +13,12 @@
 //! figure sharing its cells) is answered from the result cache.
 //!
 //! Note on correlated sweeps: scenarios with node crashes checkpoint at L2 (partner
-//! copies leave the node), while the failure-free baseline keeps the paper's L1
-//! configuration. The resulting efficiency curve therefore starts below 1.0 even at
-//! negligible failure rates — that constant offset *is* the price of provisioning
-//! for node loss, which is exactly what the figure is meant to expose.
+//! copies leave the rack), and scenarios with rack-correlated cascades at the
+//! erasure-coded L3 (groups span `group_size` distinct nodes with a periodic L4
+//! anchor), while the failure-free baseline keeps the paper's L1 configuration. The
+//! resulting efficiency curve therefore starts below 1.0 even at negligible failure
+//! rates — that constant offset *is* the price of provisioning for node or rack
+//! loss, which is exactly what the figure is meant to expose.
 
 use proxies::{InputSize, ProxyKind};
 use recovery::RecoveryStrategy;
@@ -40,7 +42,8 @@ pub struct MtbfSweepOptions {
     pub node_mtbf_ladder: Vec<u32>,
     /// Percent of events that are correlated node crashes.
     pub node_crash_pct: u8,
-    /// Percent of node crashes cascading to the rack neighbour.
+    /// Percent of node crashes cascading to another node of the victim's rack
+    /// (sweeps with cascades checkpoint at the erasure-coded L3 level).
     pub rack_neighbor_pct: u8,
     /// Percent of kills followed by a recovery-window kill.
     pub recovery_window_pct: u8,

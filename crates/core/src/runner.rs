@@ -17,6 +17,14 @@ use recovery::{ArrivalModel, FailureTrace, FaultPlan, FtConfig, FtDriver, RunRep
 use crate::engine::{SuiteEngine, SuiteError};
 use crate::experiment::{Experiment, FailureScenario};
 
+/// The cluster configuration an experiment of `nprocs` ranks runs on. The single
+/// source of the experiment → topology mapping: [`run_single`] builds its cluster
+/// from it and [`crate::cache::ExperimentId`] derives the failure-domain layout of
+/// its cache key from it, so the two can never silently diverge.
+pub fn experiment_cluster(nprocs: usize) -> ClusterConfig {
+    ClusterConfig::with_ranks(nprocs)
+}
+
 /// Runs one experiment through the process-wide engine: the result is recalled from
 /// the cache when the same experiment (by content) has already run, and computed on
 /// the spot otherwise.
@@ -75,10 +83,20 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
             )
             .correlated(node_crash_pct, rack_neighbor_pct)
             .recovery_window(recovery_window_pct);
-            // Node crashes destroy node-local storage: checkpoint at L2 (partner
-            // copies leave the node) so the job falls back instead of recomputing
-            // from scratch after every crash.
-            let fti = if node_crash_pct > 0 {
+            // Crashes destroy node-local storage, so the checkpoint level is
+            // provisioned for the failure domain the scenario actually exercises:
+            // rack-correlated cascades (back-to-back node crashes inside one rack)
+            // run the erasure-coded L3 — groups span `group_size` distinct nodes and
+            // tolerate `m` node losses, with a periodic L4 flush as the anchor when
+            // a cascade erases more than `m` shards of a group — while uncorrelated
+            // node crashes keep the cheaper L2 (the partner copy leaves the rack).
+            let fti = if node_crash_pct > 0 && rack_neighbor_pct > 0 {
+                // Clamp the anchor onto a checkpoint wave the run actually reaches:
+                // at smoke scale `interval * 4` exceeds the iteration count and the
+                // promised L4 fallback would otherwise never exist.
+                let anchor = interval * 4u64.min((iterations / interval).max(1));
+                FtiConfig::level(fti::CheckpointLevel::L3).l4_every(anchor)
+            } else if node_crash_pct > 0 {
                 FtiConfig::level(fti::CheckpointLevel::L2)
             } else {
                 FtiConfig::default()
@@ -89,7 +107,7 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
     let ft_config =
         FtConfig::new(experiment.strategy, fti_config.interval(interval)).with_fault(fault);
 
-    let cluster = Cluster::new(ClusterConfig::with_ranks(experiment.nprocs));
+    let cluster = Cluster::new(experiment_cluster(experiment.nprocs));
     let store = CheckpointStore::shared();
     let outcome = cluster.run(move |ctx| {
         let driver = FtDriver::new(ft_config.clone(), Arc::clone(&store));

@@ -50,8 +50,11 @@ pub struct FtiConfig {
     /// Checkpoint every `interval` iterations of the main loop (the paper checkpoints
     /// every ten iterations).
     pub interval: u64,
-    /// Size of the Reed–Solomon encoding group used by L3 (number of ranks whose
-    /// checkpoints are encoded together). Must be at least 2.
+    /// Size of the Reed–Solomon encoding group used by L3: the number of **nodes**
+    /// each group's shards are scattered over (see [`crate::placement`]). Groups map
+    /// onto disjoint node blocks; with at least `group_size` nodes every shard of a
+    /// checkpoint lands on a distinct node, so the group survives the loss of up to
+    /// [`FtiConfig::parity_shards`] nodes. Must be at least 2.
     pub group_size: usize,
     /// Number of parity shards per group for L3 (the group survives the loss of up to
     /// this many members).

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use mpisim::machine::StorageTier;
-use mpisim::{Comm, MpiError, Payload, RankCtx};
+use mpisim::{Comm, MpiError, Payload, RankCtx, Topology};
 
 use crate::config::{CheckpointLevel, FtiConfig};
 use crate::meta::CheckpointMeta;
@@ -128,9 +128,17 @@ pub fn write_checkpoint_payload(
         }
         CheckpointLevel::L2 => {
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
-            ctx.charge_storage_write(StorageTier::PartnerNode, payload_bytes);
             let partner = ctx.topology().partner_rank(rank);
             let partner_node = ctx.topology().node_of(partner);
+            // The partner copy is charged by the failure domain it actually crosses:
+            // the rack-local fabric, or the rack uplinks when the partner mapping
+            // leaves the rack. On a degenerate 1-node topology the "partner" IS this
+            // node (see `Topology::partner_rank`): the copy never leaves the RAM
+            // disk, and — loudly documented — a node crash erases both copies, so L2
+            // does NOT survive node loss there.
+            let partner_tier =
+                storage_tier_for(ctx.topology(), node, Placement::Node(partner_node));
+            ctx.charge_storage_write(partner_tier, payload_bytes);
             blobs.insert(
                 BlobKind::Primary,
                 StoredBlob {
@@ -161,9 +169,11 @@ pub fn write_checkpoint_payload(
                 ctx.machine()
                     .compute_cost(rs_code::encode_work(payload_bytes, k, m)),
             );
-            // Parity and data shards are distributed round-robin over the group's nodes
-            // (the group is the `group_size` ranks following this one, wrapping).
-            let nprocs = ctx.nprocs();
+            // Group-aware placement: the encoding group is a disjoint block of
+            // `group_size` nodes (see `crate::placement`), and the k+m shards are
+            // scattered round-robin over the block — one shard per node when the
+            // block is full-width, so the group survives the loss of any `m` nodes.
+            let group = crate::placement::l3_group(ctx.topology(), rank, cfg.group_size);
             blobs.insert(
                 BlobKind::Primary,
                 StoredBlob {
@@ -174,19 +184,21 @@ pub fn write_checkpoint_payload(
             );
             stored_bytes += payload_bytes;
             for (i, shard) in encoded.shards.iter().enumerate() {
-                let holder = (rank + 1 + (i % cfg.group_size)) % nprocs;
-                let holder_node = ctx.topology().node_of(holder);
-                // Shards destined for other nodes travel over the network.
-                if holder_node != node {
-                    ctx.charge_storage_write(StorageTier::PartnerNode, shard.len());
-                } else {
-                    ctx.charge_storage_write(StorageTier::RamDisk, shard.len());
-                }
+                let holder_node = group.shard_node(i);
+                let holder_rack = ctx.topology().rack_of_node(holder_node);
+                // Shards are charged by the domain they cross: node-local RAM disk,
+                // the rack-local fabric, or the rack uplinks.
+                let tier = storage_tier_for(ctx.topology(), node, Placement::Node(holder_node));
+                ctx.charge_storage_write(tier, shard.len());
                 blobs.insert(
                     BlobKind::RsShard(i),
                     StoredBlob {
                         owner_rank: rank,
-                        placement: Placement::Node(holder_node),
+                        placement: Placement::GroupShard {
+                            node: holder_node,
+                            rack: holder_rack,
+                            group: group.group,
+                        },
                         data: shard.clone(),
                     },
                 );
@@ -333,12 +345,28 @@ fn unrecoverable_error(level: CheckpointLevel) -> MpiError {
     )
 }
 
+/// The storage tier a transfer between a rank on `local_node` and a blob placed at
+/// `placement` goes through — node-local RAM disk, the rack-local fabric, the rack
+/// uplinks, or the parallel file system. The single tier-selection rule for both
+/// writes (partner copies, shard scatters) and reconstruct reads, so the two sides
+/// of the cost accounting can never drift apart.
+fn storage_tier_for(topology: &Topology, local_node: usize, placement: Placement) -> StorageTier {
+    match placement.node() {
+        Some(n) if n == local_node => StorageTier::RamDisk,
+        Some(n) if topology.nodes_share_rack(local_node, n) => StorageTier::PartnerNode,
+        Some(_) => StorageTier::RemoteRack,
+        None => StorageTier::ParallelFs,
+    }
+}
+
 /// Attempts to reconstruct one checkpoint set from its surviving blobs, charging the
-/// read costs of the path that succeeds: primary copy, partner copy, Reed–Solomon
-/// decode, then the parallel-file-system base. Returns `None` when the set has lost
-/// too much.
+/// read costs of the path that succeeds — by the failure domain each blob is actually
+/// fetched across: primary copy, partner copy, Reed–Solomon decode of the group's
+/// surviving shards, then the parallel-file-system base. Returns `None` when the set
+/// has lost too much (for L3: fewer than `k` of the group's shards survive).
 fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> Option<ReadOutcome> {
     let meta = &set.meta;
+    let reader_node = ctx.topology().node_of(ctx.rank());
 
     // Fast path: the primary (node-local) copy is still there.
     if let Some(primary) = set.blobs.get(&BlobKind::Primary) {
@@ -351,9 +379,10 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
             level: meta.level,
         });
     }
-    // Partner copy on the neighbouring node (L2).
+    // Partner copy (L2) — on a rack-local or off-rack node depending on the mapping.
     if let Some(partner) = set.blobs.get(&BlobKind::PartnerCopy) {
-        ctx.charge_storage_read(StorageTier::PartnerNode, partner.data.len());
+        let tier = storage_tier_for(ctx.topology(), reader_node, partner.placement);
+        ctx.charge_storage_read(tier, partner.data.len());
         return Some(ReadOutcome {
             objects: meta.split_payload(&partner.data),
             iteration: meta.iteration,
@@ -362,24 +391,37 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
             level: meta.level,
         });
     }
-    // Reed–Solomon decode from the surviving group shards (L3).
+    // Reed–Solomon decode (L3): count the group's *surviving* shards after storage
+    // erasure; decode when at least `k` remain, otherwise fall through to L4.
     let k = cfg.rs_data_shards();
     let m = cfg.rs_parity_shards();
     let mut shards: Vec<Option<Payload>> = vec![None; k + m];
     let mut shard_bytes = 0usize;
     let mut available = 0usize;
+    let mut shard_reads: Vec<(usize, StorageTier, usize)> = Vec::new();
     for (kind, blob) in &set.blobs {
         if let BlobKind::RsShard(i) = kind {
             if *i < shards.len() {
                 shards[*i] = Some(blob.data.clone());
                 shard_bytes += blob.data.len();
                 available += 1;
+                shard_reads.push((
+                    *i,
+                    storage_tier_for(ctx.topology(), reader_node, blob.placement),
+                    blob.data.len(),
+                ));
             }
         }
     }
     if available >= k {
         if let Ok(payload) = rs_code::decode(&shards, k, m, meta.bytes) {
-            ctx.charge_storage_read(StorageTier::PartnerNode, shard_bytes);
+            // Charge in shard order: `set.blobs` is a HashMap whose iteration order
+            // is not stable, and virtual-time charges must accumulate in a fixed
+            // order to stay bit-deterministic.
+            shard_reads.sort_unstable_by_key(|&(i, _, _)| i);
+            for (_, tier, bytes) in shard_reads {
+                ctx.charge_storage_read(tier, bytes);
+            }
             ctx.elapse(
                 ctx.machine()
                     .compute_cost(rs_code::encode_work(meta.bytes, k, m)),
@@ -553,6 +595,137 @@ mod tests {
             Ok(())
         });
         assert!(outcome.all_ok(), "{:?}", outcome.errors());
+    }
+
+    #[test]
+    fn l2_on_a_single_node_topology_does_not_survive_a_node_crash() {
+        // Satellite bugfix: on a 1-node topology `partner_rank` returns the rank
+        // itself, so the L2 "partner" copy shares the primary's node. The degrade is
+        // documented and deliberate — and a node crash must erase BOTH copies, so L2
+        // must NOT claim node-failure survival here.
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L2);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2).nodes(1));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let objects = vec![vec![3u8; 64]];
+            let meta = meta_for(&objects, CheckpointLevel::L2, 4);
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+            ctx.barrier(&world)?;
+            if ctx.rank() == 0 {
+                // Both blobs sit on node 0: the partner placement never left it.
+                let set = store2.get(0).unwrap();
+                assert_eq!(set.blobs[&BlobKind::Primary].placement, Placement::Node(0));
+                assert_eq!(
+                    set.blobs[&BlobKind::PartnerCopy].placement,
+                    Placement::Node(0),
+                    "1-node L2 degrades to a same-node partner copy"
+                );
+                store2.erase_node(0);
+            }
+            ctx.barrier(&world)?;
+            Ok(read_checkpoint(ctx, &cfg, &store2)?.is_none())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for rank in 0..2 {
+            assert!(
+                *outcome.value_of(rank),
+                "rank {rank}: L2 must NOT survive a node crash on a 1-node topology"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_partner_copy_leaves_the_rack_when_racks_exist() {
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L2);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(4).racks(2));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let objects = vec![vec![ctx.rank() as u8; 32]];
+            let meta = meta_for(&objects, CheckpointLevel::L2, 4);
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+            Ok(())
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for rank in 0..4 {
+            let set = store.get(rank).unwrap();
+            let Placement::Node(partner_node) = set.blobs[&BlobKind::PartnerCopy].placement else {
+                panic!("partner copy must live on a node");
+            };
+            // Racks of two nodes: the partner sits in the *other* rack.
+            assert_ne!(
+                partner_node / 2,
+                rank / 2,
+                "rank {rank}: partner shares the rack"
+            );
+        }
+    }
+
+    #[test]
+    fn l3_groups_survive_m_node_losses_then_cascade() {
+        // 4 ranks on 4 nodes in 2 racks, group (4, 2): each rank's four shards land
+        // on four distinct nodes. Losing one whole rack (= 2 nodes = m shards) still
+        // RS-decodes; losing a third node leaves 1 < k shards and the set is dead.
+        let store = CheckpointStore::shared();
+        let cfg = FtiConfig::level(CheckpointLevel::L3)
+            .group_size(4)
+            .parity_shards(2);
+        let store2 = Arc::clone(&store);
+        let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(4).racks(2));
+        let outcome = cluster.run(move |ctx| {
+            let world = ctx.world();
+            let objects = vec![(0..200u8)
+                .map(|i| i ^ ctx.rank() as u8)
+                .collect::<Vec<u8>>()];
+            let meta = meta_for(&objects, CheckpointLevel::L3, 8);
+            write_checkpoint(ctx, &world, &cfg, &store2, meta, &objects)?;
+            ctx.barrier(&world)?;
+            if ctx.rank() == 0 {
+                // Every shard carries its group/rack coordinates.
+                let set = store2.get(2).unwrap();
+                for i in 0..4 {
+                    let Placement::GroupShard { node, rack, .. } =
+                        set.blobs[&BlobKind::RsShard(i)].placement
+                    else {
+                        panic!("shard {i} must be group-placed");
+                    };
+                    assert_eq!(rack, node / 2);
+                }
+                // Rack 1 (nodes 2 and 3) dies: exactly m = 2 shards per group gone.
+                store2.erase_node(2);
+                store2.erase_node(3);
+            }
+            ctx.barrier(&world)?;
+            let first = read_checkpoint(ctx, &cfg, &store2)?;
+            ctx.barrier(&world)?;
+            if ctx.rank() == 0 {
+                store2.erase_node(1); // third node: > m erasures for ranks 2 and 3
+            }
+            ctx.barrier(&world)?;
+            let second = read_checkpoint(ctx, &cfg, &store2)?;
+            Ok((
+                first.map(|r| (r.objects, r.degraded)),
+                second.map(|r| r.degraded),
+            ))
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for rank in 0..4 {
+            let (first, second) = outcome.value_of(rank);
+            let (objects, degraded) = first.as_ref().expect("m erasures must RS-decode");
+            let expected: Vec<u8> = (0..200u8).map(|i| i ^ rank as u8).collect();
+            assert_eq!(objects[0], expected, "rank {rank} decode mismatch");
+            // Ranks on the dead rack lost their primary and had to decode.
+            assert_eq!(*degraded, rank >= 2, "rank {rank} degraded flag");
+            if rank >= 2 {
+                assert_eq!(
+                    *second, None,
+                    "rank {rank}: > m erasures must cascade past L3"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod config;
 pub mod diff;
 pub mod level;
 pub mod meta;
+pub mod placement;
 pub mod protect;
 pub mod rs_code;
 pub mod store;

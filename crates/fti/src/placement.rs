@@ -1,0 +1,153 @@
+//! Group-aware L3 shard placement.
+//!
+//! FTI's L3 encodes each rank's checkpoint into `k + m` Reed–Solomon shards and
+//! scatters them over its **encoding group**. The placement here makes the group a
+//! real failure-domain construct instead of a rank-arithmetic hack:
+//!
+//! * the cluster's nodes are partitioned into disjoint blocks of `group_size` nodes
+//!   (the last block is narrower when the node count does not divide evenly);
+//! * the encoding group of a rank is the set of ranks with its local index on the
+//!   nodes of its block, so **groups map onto disjoint node sets**;
+//! * a rank's `k + m` shards are placed round-robin over the block's nodes, starting
+//!   after its own node — when the block is full-width (`group_size` nodes), every
+//!   shard lands on a **distinct node** and the group tolerates the loss of any `m`
+//!   nodes (one shard erased per node).
+//!
+//! On clusters with fewer nodes than `group_size` the block degenerates: several
+//! shards share a node and a node crash erases all of them at once. Recovery then
+//! counts the *surviving* shards of the group and decodes when at least `k` remain,
+//! cascading to the L4 parallel-file-system copy (or a fresh start) otherwise.
+
+use mpisim::Topology;
+
+/// The L3 encoding group of one rank: its identifier and the node block its shards
+/// are scattered over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L3Group {
+    /// Group identifier, unique per (node block, local rank index) pair.
+    pub group: usize,
+    /// The nodes of this group's block, in node order (disjoint from every other
+    /// block's nodes).
+    pub nodes: Vec<usize>,
+    /// The index of the member's own node within `nodes`.
+    pub position: usize,
+}
+
+impl L3Group {
+    /// The node holding shard `shard` of this member's checkpoint: round-robin over
+    /// the block's nodes starting after the member's own node. With a full-width
+    /// block and `shard < nodes.len()` every shard index maps to a distinct node.
+    pub fn shard_node(&self, shard: usize) -> usize {
+        self.nodes[(self.position + 1 + shard) % self.nodes.len()]
+    }
+}
+
+/// Computes the L3 encoding group of `rank` for the given group size (see the module
+/// documentation for the block construction).
+pub fn l3_group(topology: &Topology, rank: usize, group_size: usize) -> L3Group {
+    let node = topology.node_of(rank);
+    let local = rank % topology.ranks_per_node();
+    let width = group_size.max(2).min(topology.nnodes());
+    let block = node / width;
+    let start = block * width;
+    let end = (start + width).min(topology.nnodes());
+    L3Group {
+        group: block * topology.ranks_per_node() + local,
+        nodes: (start..end).collect(),
+        position: node - start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_groups_place_every_shard_on_a_distinct_node() {
+        // 8 nodes, group size 4: two disjoint blocks [0..4) and [4..8).
+        let t = Topology::new(16, 8);
+        for rank in 0..16 {
+            let g = l3_group(&t, rank, 4);
+            assert_eq!(g.nodes.len(), 4);
+            let holders: std::collections::BTreeSet<usize> =
+                (0..4).map(|i| g.shard_node(i)).collect();
+            assert_eq!(
+                holders.len(),
+                4,
+                "rank {rank}: shard holders must be distinct"
+            );
+            assert!(g.nodes.contains(&t.node_of(rank)));
+        }
+        // The two blocks are disjoint.
+        assert_eq!(l3_group(&t, 0, 4).nodes, vec![0, 1, 2, 3]);
+        assert_eq!(l3_group(&t, 8, 4).nodes, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn group_ids_separate_blocks_and_local_indices() {
+        let t = Topology::new(16, 8); // two ranks per node
+        assert_eq!(l3_group(&t, 0, 4).group, l3_group(&t, 2, 4).group);
+        assert_ne!(l3_group(&t, 0, 4).group, l3_group(&t, 1, 4).group);
+        assert_ne!(l3_group(&t, 0, 4).group, l3_group(&t, 8, 4).group);
+    }
+
+    #[test]
+    fn narrow_clusters_degrade_to_shared_holders() {
+        // Two nodes, group size 4: the block spans both nodes and shards double up.
+        let t = Topology::new(4, 2);
+        let g = l3_group(&t, 0, 4);
+        assert_eq!(g.nodes, vec![0, 1]);
+        let holders: Vec<usize> = (0..4).map(|i| g.shard_node(i)).collect();
+        assert_eq!(holders, vec![1, 0, 1, 0]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite invariant: whenever the cluster has at least `group_size`
+            /// nodes (so full-width blocks exist), every encoding group spans
+            /// `k + m = group_size` distinct nodes, its node set is disjoint from
+            /// every other group's, and every shard of every member lands inside the
+            /// group's node set.
+            #[test]
+            fn groups_span_k_plus_m_distinct_nodes(
+                ranks_per_node in 1usize..3,
+                blocks in 1usize..4,
+                group_size in 2usize..5,
+                nracks_pick in 0usize..3,
+            ) {
+                let nnodes = blocks * group_size;
+                // Any rack split that divides the node count is valid for placement.
+                let nracks = [1, 2, nnodes].into_iter()
+                    .filter(|r| nnodes % r == 0)
+                    .nth(nracks_pick % 3)
+                    .unwrap_or(1);
+                let t = Topology::with_racks(ranks_per_node * nnodes, nnodes, nracks);
+                let mut claimed: Vec<Option<usize>> = vec![None; nnodes];
+                for rank in 0..t.nranks() {
+                    let g = l3_group(&t, rank, group_size);
+                    let holders: std::collections::BTreeSet<usize> =
+                        (0..group_size).map(|i| g.shard_node(i)).collect();
+                    prop_assert_eq!(
+                        holders.len(),
+                        group_size,
+                        "rank {} shards must span k+m distinct nodes",
+                        rank
+                    );
+                    for node in &g.nodes {
+                        // Disjointness: a node belongs to exactly one block.
+                        match claimed[*node] {
+                            None => claimed[*node] = Some(g.group / t.ranks_per_node()),
+                            Some(block) => prop_assert_eq!(block, g.group / t.ranks_per_node()),
+                        }
+                    }
+                    prop_assert!(holders.iter().all(|h| g.nodes.contains(h)));
+                }
+            }
+        }
+    }
+}

@@ -31,8 +31,30 @@ use crate::meta::CheckpointMeta;
 pub enum Placement {
     /// On a compute node's local storage (RAM disk / SSD).
     Node(usize),
+    /// On a compute node's local storage as part of an L3 encoding group: the blob
+    /// carries its full failure-domain coordinates (node, the node's rack, and the
+    /// encoding group it belongs to), so tests and recovery accounting can reason
+    /// about which domain loss erased which shards.
+    GroupShard {
+        /// The node holding the shard (what a node crash erases).
+        node: usize,
+        /// The rack containing that node (what a rack crash erases).
+        rack: usize,
+        /// The L3 encoding group the shard belongs to.
+        group: usize,
+    },
     /// On the shared parallel file system.
     ParallelFs,
+}
+
+impl Placement {
+    /// The compute node this blob lives on (`None` for the parallel file system).
+    pub fn node(&self) -> Option<usize> {
+        match self {
+            Placement::Node(node) | Placement::GroupShard { node, .. } => Some(*node),
+            Placement::ParallelFs => None,
+        }
+    }
 }
 
 /// One stored blob: a rank's serialized checkpoint payload or a derived artefact
@@ -263,7 +285,7 @@ impl CheckpointStore {
         for sets in inner.latest.values_mut() {
             for set in sets.values_mut() {
                 set.blobs
-                    .retain(|_, blob| blob.placement != Placement::Node(node));
+                    .retain(|_, blob| blob.placement.node() != Some(node));
             }
         }
     }
@@ -389,6 +411,44 @@ mod tests {
         let got = store.get(0).unwrap();
         assert!(got.blobs.contains_key(&BlobKind::PartnerCopy));
         assert!(got.blobs.contains_key(&BlobKind::DiffBase));
+    }
+
+    #[test]
+    fn erase_node_destroys_group_shards_on_that_node() {
+        let store = CheckpointStore::shared();
+        store.put(0, set(0, 0, 8));
+        for (i, node) in [(0usize, 1usize), (1, 2)] {
+            store.attach_blob(
+                0,
+                BlobKind::RsShard(i),
+                StoredBlob {
+                    owner_rank: 0,
+                    placement: Placement::GroupShard {
+                        node,
+                        rack: node / 2,
+                        group: 0,
+                    },
+                    data: vec![4; 8].into(),
+                },
+            );
+        }
+        assert_eq!(
+            Placement::GroupShard {
+                node: 2,
+                rack: 1,
+                group: 0
+            }
+            .node(),
+            Some(2)
+        );
+        assert_eq!(Placement::ParallelFs.node(), None);
+        store.erase_node(2);
+        let got = store.get(0).unwrap();
+        assert!(got.blobs.contains_key(&BlobKind::RsShard(0)));
+        assert!(
+            !got.blobs.contains_key(&BlobKind::RsShard(1)),
+            "the shard on the crashed node must be gone"
+        );
     }
 
     #[test]

@@ -443,14 +443,11 @@ impl RankCtx {
                 }
             }
         }
-        // Charge the injection overhead (half the latency); the transfer itself is
-        // charged on the receive side where the arrival time is computed.
-        let same_node = self.state.topology.same_node(self.rank, dest_global);
-        let alpha = if same_node {
-            self.state.machine.intra_node_latency
-        } else {
-            self.state.machine.inter_node_latency
-        };
+        // Charge the injection overhead (half the latency of the domain the message
+        // crosses — node, rack or spine); the transfer itself is charged on the
+        // receive side where the arrival time is computed.
+        let link = self.state.topology.link_between(self.rank, dest_global);
+        let alpha = self.state.machine.link_latency(link);
         self.charge(SimTime::from_secs(alpha * 0.5) * (1.0 + self.compute_interference));
         self.stats.bytes_sent += payload.len() as u64;
         self.state.mailboxes[dest_global].push(Message {
@@ -513,8 +510,8 @@ impl RankCtx {
             // A matched message is always delivered: a receive never aborts while a
             // matching message is queued, so delivery does not race failure marking.
             if let Some(msg) = matched.take() {
-                let same_node = self.state.topology.same_node(self.rank, msg.src);
-                let transfer = self.state.machine.p2p_cost(msg.len(), same_node);
+                let link = self.state.topology.link_between(self.rank, msg.src);
+                let transfer = self.state.machine.p2p_cost_link(msg.len(), link);
                 let arrival = (msg.sent_at + transfer).max(self.now);
                 self.advance_to(arrival);
                 self.stats.recvs += 1;

@@ -5,6 +5,15 @@
 //! from inside the victim process). [`FailureSpec`] is the simulator-side description
 //! of such an event; the recovery crate turns seeded random choices into concrete
 //! specs and the proxy applications consult the spec at the top of every iteration.
+//!
+//! Beyond the paper's single-process kill, the simulator models two correlated
+//! hardware failure domains: a **node crash** kills every co-located rank and destroys
+//! the node's local checkpoint storage, and a **rack crash** (PDU or top-of-rack
+//! switch loss) does the same for every node of a rack at once — which is exactly the
+//! event the off-rack L2 partner mapping and the group-aware L3 shard placement are
+//! provisioned against.
+
+use crate::topology::Topology;
 
 /// The kind of failure to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +28,12 @@ pub enum FailureKind {
     NodeCrash {
         /// Node whose processes are killed.
         node: usize,
+    },
+    /// Kill every process on every node of one rack (a PDU or top-of-rack switch
+    /// failure), destroying the local checkpoint storage of all its nodes.
+    RackCrash {
+        /// Rack whose nodes are crashed.
+        rack: usize,
     },
 }
 
@@ -48,23 +63,42 @@ impl FailureSpec {
         }
     }
 
-    /// Whether this spec fires for `rank` (placed on `node`) at `iteration`.
-    pub fn fires_for(&self, rank: usize, node: usize, iteration: u64) -> bool {
+    /// A rack-crash failure of `rack` at `iteration`.
+    pub fn crash_rack(rack: usize, iteration: u64) -> Self {
+        FailureSpec {
+            kind: FailureKind::RackCrash { rack },
+            at_iteration: iteration,
+        }
+    }
+
+    /// Whether this spec fires for `rank` (placed by `topology`) at `iteration`.
+    pub fn fires_for(&self, rank: usize, topology: &Topology, iteration: u64) -> bool {
         if iteration != self.at_iteration {
             return false;
         }
         match self.kind {
             FailureKind::ProcessKill { rank: victim } => rank == victim,
-            FailureKind::NodeCrash { node: crashed } => node == crashed,
+            FailureKind::NodeCrash { node: crashed } => topology.node_of(rank) == crashed,
+            FailureKind::RackCrash { rack: crashed } => topology.rack_of(rank) == crashed,
         }
     }
 
-    /// The number of processes this failure kills in a job of `nprocs` ranks laid out
-    /// over `topology`.
-    pub fn victim_count(&self, topology: &crate::topology::Topology) -> usize {
+    /// The number of processes this failure kills in a job laid out over `topology`.
+    pub fn victim_count(&self, topology: &Topology) -> usize {
         match self.kind {
             FailureKind::ProcessKill { .. } => 1,
             FailureKind::NodeCrash { .. } => topology.ranks_per_node(),
+            FailureKind::RackCrash { .. } => topology.nodes_per_rack() * topology.ranks_per_node(),
+        }
+    }
+
+    /// The nodes whose local checkpoint storage this failure physically destroys
+    /// (empty for a plain process kill).
+    pub fn crashed_nodes(&self, topology: &Topology) -> Vec<usize> {
+        match self.kind {
+            FailureKind::ProcessKill { .. } => Vec::new(),
+            FailureKind::NodeCrash { node } => vec![node],
+            FailureKind::RackCrash { rack } => topology.nodes_on_rack(rack),
         }
     }
 }
@@ -76,19 +110,38 @@ mod tests {
 
     #[test]
     fn process_kill_fires_only_for_victim_and_iteration() {
+        let t = Topology::new(8, 4);
         let spec = FailureSpec::kill_process(3, 10);
-        assert!(spec.fires_for(3, 1, 10));
-        assert!(!spec.fires_for(3, 1, 9));
-        assert!(!spec.fires_for(2, 1, 10));
-        assert_eq!(spec.victim_count(&Topology::new(8, 4)), 1);
+        assert!(spec.fires_for(3, &t, 10));
+        assert!(!spec.fires_for(3, &t, 9));
+        assert!(!spec.fires_for(2, &t, 10));
+        assert_eq!(spec.victim_count(&t), 1);
+        assert!(spec.crashed_nodes(&t).is_empty());
     }
 
     #[test]
     fn node_crash_fires_for_all_ranks_on_node() {
+        let t = Topology::new(8, 4);
         let spec = FailureSpec::crash_node(2, 5);
-        assert!(spec.fires_for(0, 2, 5));
-        assert!(spec.fires_for(7, 2, 5));
-        assert!(!spec.fires_for(0, 1, 5));
-        assert_eq!(spec.victim_count(&Topology::new(8, 4)), 2);
+        assert!(spec.fires_for(4, &t, 5));
+        assert!(spec.fires_for(5, &t, 5));
+        assert!(!spec.fires_for(0, &t, 5));
+        assert_eq!(spec.victim_count(&t), 2);
+        assert_eq!(spec.crashed_nodes(&t), vec![2]);
+    }
+
+    #[test]
+    fn rack_crash_fires_for_all_ranks_on_rack() {
+        let t = Topology::with_racks(8, 4, 2);
+        let spec = FailureSpec::crash_rack(1, 7);
+        // Rack 1 holds nodes 2 and 3, i.e. ranks 4..8.
+        for rank in 4..8 {
+            assert!(spec.fires_for(rank, &t, 7));
+        }
+        for rank in 0..4 {
+            assert!(!spec.fires_for(rank, &t, 7));
+        }
+        assert_eq!(spec.victim_count(&t), 4);
+        assert_eq!(spec.crashed_nodes(&t), vec![2, 3]);
     }
 }

@@ -72,7 +72,7 @@ pub use comm::Comm;
 pub use ctx::{RankCtx, TimeCategory};
 pub use error::MpiError;
 pub use failure::{FailureKind, FailureSpec};
-pub use machine::MachineModel;
+pub use machine::{LinkDomain, MachineModel};
 pub use msg::Payload;
 pub use runtime::{Cluster, ClusterConfig, RankOutcome, RunOutcome};
 pub use stats::{RankStats, TimeBreakdown};

@@ -23,17 +23,36 @@ use crate::time::SimTime;
 
 /// Storage tiers available for checkpoint I/O.
 ///
-/// These correspond to the media used by the four FTI checkpoint levels.
+/// These correspond to the media used by the four FTI checkpoint levels, split by the
+/// interconnect domain the transfer actually crosses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageTier {
     /// Node-local RAM disk (`/dev/shm`), used by FTI L1 in the paper's evaluation.
     RamDisk,
     /// Node-local SSD.
     LocalSsd,
-    /// A neighbouring node reached over the interconnect (FTI L2 partner copy).
+    /// A neighbouring node in the **same rack**, reached over the rack-local
+    /// interconnect (FTI L2 partner copies and L3 shards staying inside the rack).
     PartnerNode,
-    /// The shared parallel file system (FTI L4).
+    /// A node in a **different rack**, reached through the rack uplinks (off-rack L2
+    /// partner copies and L3 shards; slower than the rack-local fabric).
+    RemoteRack,
+    /// The shared parallel file system (FTI L4). PFS servers sit outside every
+    /// compute rack, so each access additionally pays the cross-rack latency.
     ParallelFs,
+}
+
+/// The interconnect domain a point-to-point transfer crosses, in increasing order of
+/// distance (and cost). Derived from the topology via
+/// [`Topology::link_between`](crate::topology::Topology::link_between).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkDomain {
+    /// Both endpoints share a node (shared-memory transport).
+    IntraNode,
+    /// Different nodes in the same rack (rack-local fabric).
+    IntraRack,
+    /// Different racks (traffic traverses the rack uplinks / spine).
+    CrossRack,
 }
 
 /// Kinds of collective operations, used to select the cost formula.
@@ -67,12 +86,18 @@ pub enum CollectiveKind {
 pub struct MachineModel {
     /// One-way latency between ranks on the same node, seconds.
     pub intra_node_latency: f64,
-    /// One-way latency between ranks on different nodes, seconds.
+    /// One-way latency between ranks on different nodes of the same rack, seconds.
     pub inter_node_latency: f64,
+    /// One-way latency between ranks in different racks, seconds (one extra hop
+    /// through the rack uplink and spine).
+    pub cross_rack_latency: f64,
     /// Bandwidth between ranks on the same node, bytes/second.
     pub intra_node_bandwidth: f64,
-    /// Bandwidth between ranks on different nodes, bytes/second.
+    /// Bandwidth between ranks on different nodes of the same rack, bytes/second.
     pub inter_node_bandwidth: f64,
+    /// Bandwidth between ranks in different racks, bytes/second (rack uplinks are
+    /// oversubscribed relative to the rack-local fabric).
+    pub cross_rack_bandwidth: f64,
     /// Seconds per floating point operation of application compute.
     pub flop_time: f64,
     /// Seconds per byte of strided/irregular memory traffic charged explicitly by
@@ -140,8 +165,10 @@ impl MachineModel {
         MachineModel {
             intra_node_latency: 0.5e-6,
             inter_node_latency: 1.5e-6,
+            cross_rack_latency: 2.5e-6,
             intra_node_bandwidth: 12.0e9,
             inter_node_bandwidth: 6.0e9,
+            cross_rack_bandwidth: 4.0e9,
             flop_time: 1.0e-9,
             mem_byte_time: 0.15e-9,
             ramdisk_bandwidth: 2.0e9,
@@ -179,14 +206,43 @@ impl MachineModel {
 
     /// Cost of a point-to-point message of `bytes` bytes between two ranks.
     ///
-    /// `same_node` selects the intra- or inter-node latency/bandwidth pair.
+    /// `same_node` selects the intra- or inter-node (rack-local) latency/bandwidth
+    /// pair. Callers that know the full topology should use
+    /// [`MachineModel::p2p_cost_link`] so cross-rack traffic is charged through the
+    /// rack uplinks.
     pub fn p2p_cost(&self, bytes: usize, same_node: bool) -> SimTime {
-        let (lat, bw) = if same_node {
-            (self.intra_node_latency, self.intra_node_bandwidth)
-        } else {
-            (self.inter_node_latency, self.inter_node_bandwidth)
-        };
-        SimTime::from_secs(lat + bytes as f64 / bw)
+        self.p2p_cost_link(
+            bytes,
+            if same_node {
+                LinkDomain::IntraNode
+            } else {
+                LinkDomain::IntraRack
+            },
+        )
+    }
+
+    /// The one-way α (latency) of the given interconnect domain, seconds.
+    pub fn link_latency(&self, domain: LinkDomain) -> f64 {
+        match domain {
+            LinkDomain::IntraNode => self.intra_node_latency,
+            LinkDomain::IntraRack => self.inter_node_latency,
+            LinkDomain::CrossRack => self.cross_rack_latency,
+        }
+    }
+
+    /// The β⁻¹ (bandwidth) of the given interconnect domain, bytes/second.
+    pub fn link_bandwidth(&self, domain: LinkDomain) -> f64 {
+        match domain {
+            LinkDomain::IntraNode => self.intra_node_bandwidth,
+            LinkDomain::IntraRack => self.inter_node_bandwidth,
+            LinkDomain::CrossRack => self.cross_rack_bandwidth,
+        }
+    }
+
+    /// Cost of a point-to-point message of `bytes` bytes across the given
+    /// interconnect domain.
+    pub fn p2p_cost_link(&self, bytes: usize, domain: LinkDomain) -> SimTime {
+        SimTime::from_secs(self.link_latency(domain) + bytes as f64 / self.link_bandwidth(domain))
     }
 
     /// Cost of a collective operation of kind `kind` over `nprocs` processes where each
@@ -229,15 +285,23 @@ impl MachineModel {
         SimTime::from_secs(bytes.max(0.0) * self.mem_byte_time)
     }
 
+    /// The bandwidth and fixed per-access latency of a storage tier. PFS accesses
+    /// cross the rack boundary to reach the file-system servers, so they pay the
+    /// cross-rack latency on top of the tier bandwidth.
+    fn storage_channel(&self, tier: StorageTier) -> (f64, f64) {
+        match tier {
+            StorageTier::RamDisk => (self.ramdisk_bandwidth, 0.0),
+            StorageTier::LocalSsd => (self.ssd_bandwidth, 0.0),
+            StorageTier::PartnerNode => (self.inter_node_bandwidth, self.inter_node_latency),
+            StorageTier::RemoteRack => (self.cross_rack_bandwidth, self.cross_rack_latency),
+            StorageTier::ParallelFs => (self.pfs_bandwidth, self.cross_rack_latency),
+        }
+    }
+
     /// Cost of writing `bytes` bytes of checkpoint data to the given storage tier.
     pub fn storage_write_cost(&self, tier: StorageTier, bytes: usize) -> SimTime {
-        let bw = match tier {
-            StorageTier::RamDisk => self.ramdisk_bandwidth,
-            StorageTier::LocalSsd => self.ssd_bandwidth,
-            StorageTier::PartnerNode => self.inter_node_bandwidth,
-            StorageTier::ParallelFs => self.pfs_bandwidth,
-        };
-        SimTime::from_secs(self.checkpoint_metadata_overhead + bytes as f64 / bw)
+        let (bw, lat) = self.storage_channel(tier);
+        SimTime::from_secs(self.checkpoint_metadata_overhead + lat + bytes as f64 / bw)
     }
 
     /// Cost of reading `bytes` bytes of checkpoint data back from the given storage
@@ -246,13 +310,8 @@ impl MachineModel {
     /// the paper reports restore time in the order of milliseconds and excludes it from
     /// its figures).
     pub fn storage_read_cost(&self, tier: StorageTier, bytes: usize) -> SimTime {
-        let bw = match tier {
-            StorageTier::RamDisk => self.ramdisk_bandwidth,
-            StorageTier::LocalSsd => self.ssd_bandwidth,
-            StorageTier::PartnerNode => self.inter_node_bandwidth,
-            StorageTier::ParallelFs => self.pfs_bandwidth,
-        };
-        SimTime::from_secs(bytes as f64 / bw)
+        let (bw, lat) = self.storage_channel(tier);
+        SimTime::from_secs(lat + bytes as f64 / bw)
     }
 
     /// Time from a process failure to its notification at the surviving ranks.
@@ -336,6 +395,40 @@ mod tests {
         let m = MachineModel::default();
         assert!(m.p2p_cost(1 << 20, true) < m.p2p_cost(1 << 20, false));
         assert!(m.p2p_cost(0, true).as_secs() > 0.0);
+    }
+
+    #[test]
+    fn link_domains_are_ordered_by_cost() {
+        let m = MachineModel::default();
+        let bytes = 1 << 22;
+        let node = m.p2p_cost_link(bytes, LinkDomain::IntraNode);
+        let rack = m.p2p_cost_link(bytes, LinkDomain::IntraRack);
+        let spine = m.p2p_cost_link(bytes, LinkDomain::CrossRack);
+        assert!(node < rack && rack < spine);
+        // The legacy boolean front maps onto the first two domains.
+        assert_eq!(m.p2p_cost(bytes, true), node);
+        assert_eq!(m.p2p_cost(bytes, false), rack);
+        assert!(m.link_latency(LinkDomain::CrossRack) > m.link_latency(LinkDomain::IntraRack));
+        assert!(m.link_bandwidth(LinkDomain::CrossRack) < m.link_bandwidth(LinkDomain::IntraRack));
+    }
+
+    #[test]
+    fn cross_rack_storage_costs_more_than_rack_local() {
+        let m = MachineModel::default();
+        let bytes = 64 << 20;
+        let partner = m.storage_write_cost(StorageTier::PartnerNode, bytes);
+        let remote = m.storage_write_cost(StorageTier::RemoteRack, bytes);
+        assert!(
+            partner < remote,
+            "off-rack partner copies cross the uplinks"
+        );
+        assert!(
+            m.storage_read_cost(StorageTier::PartnerNode, bytes)
+                < m.storage_read_cost(StorageTier::RemoteRack, bytes)
+        );
+        // PFS accesses pay the cross-rack latency on top of the tier bandwidth.
+        let pfs = m.storage_read_cost(StorageTier::ParallelFs, 0).as_secs();
+        assert!((pfs - m.cross_rack_latency).abs() < 1e-15);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct ClusterConfig {
     /// Number of compute nodes; defaults to the paper's 32-node layout (or one rank per
     /// node for small jobs) when `None`.
     pub nnodes: Option<usize>,
+    /// Number of racks the nodes are grouped into; defaults to the paper layout's
+    /// rack split (four racks at 32 nodes, two-node racks for small jobs) when both
+    /// this and `nnodes` are `None`, and to a single rack when only `nnodes` is set.
+    /// Setting only this keeps the paper layout's node count and regroups it.
+    pub nracks: Option<usize>,
     /// The machine model; defaults to [`MachineModel::haswell_cluster`].
     pub machine: MachineModel,
     /// Stack size for rank threads in bytes (the proxy applications keep their data on
@@ -31,6 +36,7 @@ impl ClusterConfig {
         ClusterConfig {
             nprocs,
             nnodes: None,
+            nracks: None,
             machine: MachineModel::default(),
             stack_size: 1 << 20,
         }
@@ -42,16 +48,41 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the number of racks the nodes are grouped into. The rack count must
+    /// divide the node count — when `nodes()` is not set, that is the *implied*
+    /// paper-layout node count, and building the cluster panics with a message
+    /// naming it if the division fails.
+    pub fn racks(mut self, nracks: usize) -> Self {
+        self.nracks = Some(nracks);
+        self
+    }
+
     /// Sets the machine model.
     pub fn machine_model(mut self, machine: MachineModel) -> Self {
         self.machine = machine;
         self
     }
 
-    fn topology(&self) -> Topology {
-        match self.nnodes {
-            Some(n) => Topology::new(self.nprocs, n),
-            None => Topology::paper_layout(self.nprocs),
+    /// The topology this configuration builds (also the cluster layout cache keys
+    /// and cost models should agree on).
+    pub fn topology(&self) -> Topology {
+        match (self.nnodes, self.nracks) {
+            (Some(n), Some(r)) => Topology::with_racks(self.nprocs, n, r),
+            (Some(n), None) => Topology::new(self.nprocs, n),
+            // Only the rack count overridden: keep the documented paper-layout node
+            // count and regroup those nodes, instead of silently degrading to one
+            // rank per node.
+            (None, Some(r)) => {
+                let nnodes = Topology::paper_layout(self.nprocs).nnodes();
+                assert!(
+                    nnodes.is_multiple_of(r),
+                    "racks({r}) does not divide the implied paper-layout node count \
+                     ({nnodes} nodes for {} ranks); set nodes() explicitly",
+                    self.nprocs
+                );
+                Topology::with_racks(self.nprocs, nnodes, r)
+            }
+            (None, None) => Topology::paper_layout(self.nprocs),
         }
     }
 }
@@ -232,6 +263,28 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::ctx::ReduceOp;
+
+    #[test]
+    fn racks_only_override_keeps_the_paper_node_count() {
+        let t = ClusterConfig::with_ranks(64).racks(2).topology();
+        assert_eq!(
+            t.nnodes(),
+            32,
+            "rack override must not change the node layout"
+        );
+        assert_eq!(t.nracks(), 2);
+        assert_eq!(
+            ClusterConfig::with_ranks(64).topology(),
+            Topology::paper_layout(64)
+        );
+        assert_eq!(ClusterConfig::with_ranks(8).nodes(4).topology().nracks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "implied paper-layout node count")]
+    fn indivisible_racks_override_panics_with_the_implied_layout() {
+        let _ = ClusterConfig::with_ranks(8).racks(3).topology();
+    }
 
     #[test]
     fn allreduce_across_many_ranks() {

@@ -64,6 +64,13 @@ impl FaultPlan {
         FaultPlan::Fixed(FailureSpec::crash_node(node, iteration))
     }
 
+    /// Crash every node of `rack` at `iteration` (a PDU / top-of-rack switch loss:
+    /// one event burst killing every rank of the rack and erasing the local
+    /// checkpoint storage of all its nodes).
+    pub fn crash_rack_at(rack: usize, iteration: u64) -> Self {
+        FaultPlan::Fixed(FailureSpec::crash_rack(rack, iteration))
+    }
+
     /// A seeded random process failure within the first `max_iteration` iterations.
     pub fn random(seed: u64, max_iteration: u64) -> Self {
         FaultPlan::Random {
@@ -129,8 +136,11 @@ pub struct ArrivalModel {
     /// Percent chance (0–100) that an event is a correlated *node crash* (killing
     /// every rank of the victim's node) instead of a single process kill.
     pub node_crash_pct: u8,
-    /// Percent chance (0–100) that a node crash is followed by a crash of the
-    /// rack-neighbouring node one iteration later (cascading hardware failures).
+    /// Percent chance (0–100) that a node crash is followed by a crash of **another
+    /// node in the victim's rack** one iteration later (cascading hardware failures
+    /// share the power and switching domain of a rack). The cascade victim is
+    /// sampled uniformly from the rack's other nodes — never the already-crashed
+    /// node — and the cascade is skipped entirely when the rack has no other node.
     pub rack_neighbor_pct: u8,
     /// Percent chance (0–100) that a process-kill event is followed by a second kill
     /// one iteration later — landing inside the *recovery window*, while the job is
@@ -209,6 +219,24 @@ impl ArrivalModel {
         }
     }
 
+    /// The cascade victim for a crash of `node`: another node sampled uniformly from
+    /// the crashed node's rack, or `None` when the rack has no other node. The old
+    /// `(node + 1) % nnodes` neighbour ignored racks entirely and, on a 1-node
+    /// topology, re-crashed the just-crashed node one iteration later — burning a
+    /// failure event on a dead node (see the regression tests).
+    fn rack_cascade_target(topology: &Topology, node: usize, rng: &mut StdRng) -> Option<usize> {
+        let rack = topology.rack_of_node(node);
+        let others: Vec<usize> = topology
+            .nodes_on_rack(rack)
+            .into_iter()
+            .filter(|&n| n != node)
+            .collect();
+        if others.is_empty() {
+            return None;
+        }
+        Some(others[rng.random_range(0..others.len())])
+    }
+
     /// Samples the event schedule for the given topology.
     fn sample(&self, topology: &Topology) -> Vec<FailureSpec> {
         /// Hard cap on sampled events: bounds the worst-case run length and keeps the
@@ -235,7 +263,9 @@ impl ArrivalModel {
                 let node = topology.node_of(victim);
                 events.push(FailureSpec::crash_node(node, iteration));
                 if Self::pct(&mut rng, self.rack_neighbor_pct) && iteration < self.max_iteration {
-                    events.push(FailureSpec::crash_node((node + 1) % nnodes, iteration + 1));
+                    if let Some(cascade) = Self::rack_cascade_target(topology, node, &mut rng) {
+                        events.push(FailureSpec::crash_node(cascade, iteration + 1));
+                    }
                 }
             } else {
                 events.push(FailureSpec::kill_process(victim, iteration));
@@ -343,6 +373,12 @@ impl FailureTrace {
                         topology.nnodes()
                     )));
                 }
+                FailureKind::RackCrash { rack } if rack >= topology.nracks() => {
+                    return Err(MpiError::InvalidArgument(format!(
+                        "failure trace targets rack {rack} but the job has only {} racks",
+                        topology.nracks()
+                    )));
+                }
                 _ => {}
             }
         }
@@ -396,6 +432,7 @@ fn victims_of(event: &FailureSpec, topology: &Topology) -> Vec<usize> {
     match event.kind {
         FailureKind::ProcessKill { rank } => vec![rank],
         FailureKind::NodeCrash { node } => topology.ranks_on_node(node),
+        FailureKind::RackCrash { rack } => topology.ranks_on_rack(rack),
     }
 }
 
@@ -508,12 +545,12 @@ impl FaultInjector {
     }
 
     /// Fires event `i`: kills every victim at this rank's current virtual time as one
-    /// event burst. A node crash additionally records the crashed node so the
-    /// recovery driver erases its checkpoint storage at the next repair rendezvous
-    /// (while every rank is parked, so erasure never races in-flight checkpoint
-    /// writes; without a driver the note is drained as a no-op).
+    /// event burst. A node or rack crash additionally records the crashed node(s) so
+    /// the recovery driver erases their checkpoint storage at the next repair
+    /// rendezvous (while every rank is parked, so erasure never races in-flight
+    /// checkpoint writes; without a driver the note is drained as a no-op).
     fn fire(&self, ctx: &mut RankCtx, i: usize) -> MpiError {
-        if let FailureKind::NodeCrash { node } = self.events[i].kind {
+        for node in self.events[i].crashed_nodes(ctx.topology()) {
             ctx.note_node_failure(node);
         }
         ctx.kill_ranks(&self.victims[i])
@@ -621,6 +658,7 @@ mod tests {
             match e.kind {
                 FailureKind::ProcessKill { rank } => assert!(rank < 16),
                 FailureKind::NodeCrash { node } => assert!(node < 4),
+                FailureKind::RackCrash { rack } => assert!(rack < 1),
             }
         }
         let c = FailureTrace::sampled(ArrivalModel::exponential(100, 400.0, 50))
@@ -644,6 +682,106 @@ mod tests {
             many.len(),
             few.len()
         );
+    }
+
+    #[test]
+    fn rack_cascade_never_targets_the_victim_and_stays_in_rack() {
+        // Satellite bugfix regression: the cascade used to target `(node + 1) %
+        // nnodes`, which on a 1-node topology re-crashed the just-crashed node one
+        // iteration later (burning a failure event on a dead node) and on multi-rack
+        // topologies happily jumped the rack boundary.
+        let mut rng = StdRng::seed_from_u64(7);
+        // 1-node topology: no distinct neighbour exists, the cascade is skipped.
+        let single = Topology::new(4, 1);
+        for _ in 0..32 {
+            assert_eq!(
+                ArrivalModel::rack_cascade_target(&single, 0, &mut rng),
+                None
+            );
+        }
+        // Single-node racks: the rack offers no neighbour either.
+        let lonely_racks = Topology::with_racks(8, 4, 4);
+        for node in 0..4 {
+            assert_eq!(
+                ArrivalModel::rack_cascade_target(&lonely_racks, node, &mut rng),
+                None
+            );
+        }
+        // Multi-node racks: the cascade stays in the victim's rack and never
+        // re-crashes the victim itself.
+        let racked = Topology::with_racks(16, 8, 2);
+        for node in 0..8 {
+            for _ in 0..32 {
+                let cascade = ArrivalModel::rack_cascade_target(&racked, node, &mut rng)
+                    .expect("a four-node rack always has a neighbour");
+                assert_ne!(cascade, node, "cascade re-crashed the victim");
+                assert!(
+                    racked.nodes_share_rack(cascade, node),
+                    "cascade {cascade} left node {node}'s rack"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_cascades_stay_in_the_victims_rack() {
+        // End-to-end over the sampler: with 100% node crashes and 100% cascades on a
+        // two-rack topology, every event one iteration after a node crash is its
+        // cascade and must name a different node of the same rack. Arrivals are
+        // spaced ~1000 iterations apart so distance-1 pairs can only be cascades.
+        let t = Topology::with_racks(16, 8, 2);
+        let model = ArrivalModel::exponential(21, 8000.0, 60_000).correlated(100, 100);
+        let events = FailureTrace::sampled(model).resolve(&t).unwrap();
+        let mut cascades = 0;
+        for pair in events.windows(2) {
+            let (FailureKind::NodeCrash { node: first }, FailureKind::NodeCrash { node: second }) =
+                (pair[0].kind, pair[1].kind)
+            else {
+                continue;
+            };
+            if pair[1].at_iteration == pair[0].at_iteration + 1 {
+                cascades += 1;
+                assert_ne!(second, first, "cascade re-crashed the victim");
+                assert!(t.nodes_share_rack(first, second), "cascade left the rack");
+            }
+        }
+        assert!(cascades >= 2, "the seed must actually produce cascades");
+    }
+
+    #[test]
+    fn rack_crash_events_resolve_and_validate() {
+        let t = Topology::with_racks(8, 4, 2);
+        let trace: FailureTrace = FaultPlan::crash_rack_at(1, 3).into();
+        let events = trace.resolve(&t).unwrap();
+        assert_eq!(events, vec![FailureSpec::crash_rack(1, 3)]);
+        // Out-of-range racks fail loudly, like ranks and nodes.
+        let bad: FailureTrace = FaultPlan::crash_rack_at(2, 3).into();
+        assert!(matches!(bad.resolve(&t), Err(MpiError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn rack_crash_kills_every_rank_of_the_rack_as_one_event() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(8).nodes(4).racks(2));
+        let outcome = cluster.run(|ctx| {
+            let injector =
+                FaultInjector::new(&FaultPlan::crash_rack_at(0, 1).into(), ctx.topology())?;
+            let res = injector.maybe_fail(ctx, 1);
+            if ctx.topology().rack_of(ctx.rank()) == 0 {
+                assert!(res.is_err());
+            } else {
+                assert!(res.is_ok());
+            }
+            Ok((ctx.failed_ranks(), ctx.failure_events()))
+        });
+        for rank in 0..8 {
+            let (failed, events) = outcome.value_of(rank);
+            assert_eq!(
+                failed,
+                &vec![0, 1, 2, 3],
+                "rank {rank} must see all victims"
+            );
+            assert_eq!(*events, 4, "one rack crash = one four-victim event burst");
+        }
     }
 
     #[test]

@@ -79,6 +79,72 @@ fn resilient_config() -> FtiConfig {
         .l4_every(8)
 }
 
+/// Like `toy_app`, but parameterized over the iteration count and additionally
+/// returning the checkpoint iterations the rank restarted from (one entry per
+/// restart attempt) — the observable that tells apart an RS-decode of the newest L3
+/// wave from a cascade to an older L4 wave.
+fn traced_app(
+    ctx: &mut RankCtx,
+    fti: &mut Fti,
+    injector: &FaultInjector,
+    iterations: u64,
+    restarts: &mut Vec<u64>,
+) -> Result<f64, MpiError> {
+    let world = ctx.world();
+    let mut acc = 0.0f64;
+    let mut start = 1u64;
+    fti.protect(0, "acc", &acc);
+    if fti.status().is_restart() {
+        let at = fti.recover_object(ctx, 0, &mut acc)?;
+        restarts.push(at);
+        start = at + 1;
+    }
+    for iteration in start..=iterations {
+        injector.maybe_fail(ctx, iteration)?;
+        ctx.compute(2e4);
+        let contribution = ctx.allreduce_sum_f64(&world, (ctx.rank() + 1) as f64)?;
+        acc += contribution;
+        if fti.should_checkpoint(iteration) {
+            fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+        }
+    }
+    fti.finalize(ctx)?;
+    Ok(acc)
+}
+
+/// Runs `traced_app` on a racked topology, returning per-rank `(final value,
+/// restart iterations)` pairs.
+fn run_traced(
+    strategy: RecoveryStrategy,
+    trace: FailureTrace,
+    fti: FtiConfig,
+    nnodes: usize,
+    nracks: usize,
+    iterations: u64,
+) -> Vec<(f64, Vec<u64>)> {
+    let store = CheckpointStore::shared();
+    let config = FtConfig::new(strategy, fti).with_fault(trace);
+    let cluster = Cluster::new(
+        ClusterConfig::with_ranks(NPROCS)
+            .nodes(nnodes)
+            .racks(nracks),
+    );
+    let outcome = cluster.run(move |ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        let mut restarts = Vec::new();
+        let out = driver.execute(ctx, |ctx, fti, injector| {
+            traced_app(ctx, fti, injector, iterations, &mut restarts)
+        })?;
+        Ok((out.value, restarts))
+    });
+    assert!(outcome.all_ok(), "{strategy}: {:?}", outcome.errors());
+    outcome
+        .ranks()
+        .iter()
+        .map(|r| r.result.as_ref().unwrap().clone())
+        .collect()
+}
+
 #[test]
 fn checkpoint_window_failure_rolls_back_across_the_lost_checkpoint() {
     // The event lands at the top of a checkpoint iteration, so the would-be
@@ -145,6 +211,92 @@ fn rack_cascade_falls_back_to_scratch_or_l4_and_still_reproduces() {
 }
 
 #[test]
+fn rack_crash_erasing_m_shards_recovers_through_rs_decode() {
+    // Acceptance scenario: 4 ranks on 4 nodes in 2 racks, L3 groups of (k=2, m=2)
+    // spanning all four nodes, L4 anchor only at iteration 8. Rack 1 (nodes 2 and 3)
+    // crashes at iteration 6: the ranks on it lose their primary copies AND exactly
+    // m = 2 shards of every encoding group. The only recoverable redundancy for the
+    // iteration-4 wave is an RS decode of the k surviving shards — so every rank
+    // restarting from iteration 4 proves the decode path ran, and the final answer
+    // must still be bit-identical to the failure-free run.
+    let fti = FtiConfig::level(CheckpointLevel::L3)
+        .group_size(4)
+        .parity_shards(2)
+        .interval(4)
+        .l4_every(8);
+    let trace = FailureTrace::from(FailureSpec::crash_rack(1, 6));
+    for strategy in RecoveryStrategy::ALL {
+        let results = run_traced(strategy, trace.clone(), fti.clone(), 4, 2, 12);
+        let per_iter: f64 = (1..=NPROCS).map(|r| r as f64).sum();
+        for (rank, (value, restarts)) in results.iter().enumerate() {
+            assert_eq!(*value, per_iter * 12.0, "{strategy} rank {rank}");
+            assert_eq!(
+                restarts,
+                &vec![4],
+                "{strategy} rank {rank}: must resume from the RS-decoded L3 wave"
+            );
+        }
+    }
+}
+
+#[test]
+fn rack_crash_erasing_more_than_m_shards_falls_back_to_l4() {
+    // Beyond the code's tolerance: checkpoints at 4 (L3), 8 (promoted L4) and 12
+    // (L3). A rack crash at 14 erases nodes 2 and 3, a follow-up node crash at 15
+    // erases node 1: the iteration-12 L3 wave keeps only one shard (< k) per group,
+    // so recovery must cascade past it to the iteration-8 L4 wave on the parallel
+    // file system — and still reproduce the failure-free answer bit-for-bit.
+    let fti = FtiConfig::level(CheckpointLevel::L3)
+        .group_size(4)
+        .parity_shards(2)
+        .interval(4)
+        .l4_every(8);
+    let trace = FailureTrace::schedule(vec![
+        FailureSpec::crash_rack(1, 14),
+        FailureSpec::crash_node(1, 15),
+    ]);
+    for strategy in RecoveryStrategy::ALL {
+        let results = run_traced(strategy, trace.clone(), fti.clone(), 4, 2, 16);
+        let per_iter: f64 = (1..=NPROCS).map(|r| r as f64).sum();
+        for (rank, (value, restarts)) in results.iter().enumerate() {
+            assert_eq!(*value, per_iter * 16.0, "{strategy} rank {rank}");
+            assert_eq!(
+                restarts.first(),
+                Some(&12),
+                "{strategy} rank {rank}: the first recovery decodes the L3 wave"
+            );
+            assert_eq!(
+                restarts.get(1),
+                Some(&8),
+                "{strategy} rank {rank}: > m erasures must cascade to the L4 wave"
+            );
+        }
+    }
+}
+
+#[test]
+fn rack_crash_runs_are_deterministic_in_virtual_time() {
+    let fti = FtiConfig::level(CheckpointLevel::L3)
+        .group_size(4)
+        .parity_shards(2)
+        .interval(4)
+        .l4_every(8);
+    let trace = FailureTrace::from(FailureSpec::crash_rack(0, 7));
+    let run = || {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Reinit, fti.clone()).with_fault(trace.clone());
+        let cluster = Cluster::new(ClusterConfig::with_ranks(NPROCS).nodes(4).racks(2));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, toy_app)
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        outcome.max_breakdown()
+    };
+    assert_eq!(run(), run(), "rack-crash recovery leaked host scheduling");
+}
+
+#[test]
 fn sampled_arrival_traces_are_deterministic_in_virtual_time() {
     // The same seeded arrival model — including correlated node crashes — must yield
     // bit-identical virtual-time breakdowns across executions.
@@ -189,6 +341,35 @@ fn mtbf_scenario_runs_exactly_reproduce_through_the_runner() {
     let a = runner::run_experiment_uncached(&experiment).expect("first run");
     let b = runner::run_experiment_uncached(&experiment).expect("second run");
     assert_eq!(a, b, "MTBF scenario must be bit-deterministic");
+    assert!(a.failure_events > 0, "the scenario must actually fail");
+    assert!(a.recovery_time().as_secs() > 0.0);
+}
+
+#[test]
+fn rack_correlated_mtbf_scenario_runs_l3_and_stays_deterministic() {
+    // The default rack-correlated scenario (rack_neighbor_pct > 0) provisions the
+    // erasure-coded L3 level in the runner; the whole pipeline — arrival sampling
+    // with in-rack cascades, group-aware shard placement, RS-decode recovery — must
+    // stay bit-deterministic and actually produce failures at this MTBF.
+    let experiment = Experiment::new(
+        ProxyKind::Hpccg,
+        InputSize::Small,
+        4,
+        RecoveryStrategy::Reinit,
+    )
+    .with_options(&SuiteOptions::smoke())
+    .with_scenario(FailureScenario::Mtbf {
+        node_mtbf_iterations: 12,
+        node_crash_pct: 60,
+        rack_neighbor_pct: 80,
+        recovery_window_pct: 0,
+    });
+    let a = runner::run_experiment_uncached(&experiment).expect("first run");
+    let b = runner::run_experiment_uncached(&experiment).expect("second run");
+    assert_eq!(
+        a, b,
+        "rack-correlated MTBF scenario must be bit-deterministic"
+    );
     assert!(a.failure_events > 0, "the scenario must actually fail");
     assert!(a.recovery_time().as_secs() > 0.0);
 }
