@@ -11,9 +11,16 @@
 //! * `MATCH_REPS` — repetitions per configuration (default 1; the paper uses 5),
 //! * `MATCH_JOBS` — number of experiments run concurrently by the
 //!   [`SuiteEngine`] (default: the host's available parallelism; the `match-bench`
-//!   CLI also accepts `--jobs N`).
+//!   CLI also accepts `--jobs N`),
+//! * `MATCH_BACKEND` — the scheduler backend simulated jobs run on (`threads` or
+//!   `coop`; results are bit-identical, only host scaling differs; the CLI also
+//!   accepts `--backend NAME`),
+//! * `MATCH_RACKS` — rack-count override for the experiment topology (the `nracks`
+//!   sweep knob; must divide the paper-layout node count; the CLI also accepts
+//!   `--racks N`).
 
 pub mod micro;
+pub mod scale;
 
 use match_core::matrix::MatrixOptions;
 use match_core::mtbf::MtbfSweep;

@@ -1,8 +1,18 @@
 //! A small CLI that regenerates any table or figure of the MATCH paper on demand.
 //!
 //! ```text
-//! match-bench [--jobs N] [--json] [table1|fig5|...|fig10|mtbf|findings|micro|all ...]
+//! match-bench [--jobs N] [--json] [--backend threads|coop] [--racks N] \
+//!             [table1|fig5|...|fig10|mtbf|findings|micro|scale|all ...]
 //! ```
+//!
+//! `--backend` selects the scheduler backend simulated jobs run on (equivalent to
+//! `MATCH_BACKEND`): `threads` is one OS thread per rank, `coop` multiplexes all
+//! ranks of a job as fibers over one OS thread. Figure output is bit-identical
+//! either way; `coop` is the one that scales to thousands of ranks. `--racks N`
+//! regroups the experiment topology's nodes into `N` racks (equivalent to
+//! `MATCH_RACKS`; must divide the paper-layout node count). The `scale` target
+//! sweeps rank counts per backend and records wall-clock and RSS (see
+//! [`match_bench::scale`]); like `micro` it is not part of `all`.
 //!
 //! The `mtbf` target runs the MTBF sweep (efficiency vs. failure rate per design, an
 //! MTBF-driven multi-failure arrival process; knobs: `MATCH_MTBF`,
@@ -27,7 +37,7 @@ use std::time::Instant;
 
 use match_bench::{
     figure_to_json, micro, mtbf_options_from_env, mtbf_to_json, options_from_env,
-    print_engine_line, print_figure, print_recovery_series,
+    print_engine_line, print_figure, print_recovery_series, scale,
 };
 use match_core::figures;
 use match_core::findings::Findings;
@@ -153,6 +163,17 @@ fn run_target(
     }
 }
 
+/// Runs the scheduler-backend scale sweep; with `json`, also writes `scale.json`.
+fn run_scale(json: bool) {
+    let report = scale::run();
+    println!("Scheduler-backend scale sweep (synthetic ring + allreduce kernel)");
+    print!("{}", report.render());
+    if json {
+        dump_json("scale", report.to_json());
+    }
+    println!();
+}
+
 /// Runs the micro benchmark suite; with `json`, also writes `BENCH_PR2.json`.
 fn run_micro(json: bool, jobs: Option<usize>) {
     let report = micro::run(true, jobs);
@@ -193,6 +214,31 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--backend" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<match_core::mpisim::SchedBackend>() {
+                    // Simulated jobs read the backend from the environment at
+                    // cluster-configuration time; setting it here (before any job
+                    // starts, single-threaded) routes every target through it.
+                    Ok(b) => std::env::set_var(match_core::mpisim::BACKEND_ENV_VAR, b.name()),
+                    Err(error) => {
+                        eprintln!("--backend: {error} (expected threads|coop)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--racks" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        std::env::set_var(match_core::runner::RACKS_ENV_VAR, n.to_string())
+                    }
+                    _ => {
+                        eprintln!("--racks needs a positive integer, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             target => targets.push(target.to_string()),
         }
     }
@@ -217,9 +263,10 @@ fn main() {
     // Reject typos before any simulation runs — a bad name at the end of the list
     // must not surface only after minutes of matrix work.
     for name in &expanded {
-        if !TARGETS.contains(name) && *name != "micro" {
+        if !TARGETS.contains(name) && *name != "micro" && *name != "scale" {
             eprintln!(
-                "unknown target '{name}' (expected table1, fig5..fig10, mtbf, findings, micro, all)"
+                "unknown target '{name}' (expected table1, fig5..fig10, mtbf, findings, micro, \
+                 scale, all)"
             );
             std::process::exit(2);
         }
@@ -246,6 +293,8 @@ fn main() {
     for name in expanded {
         if name == "micro" {
             run_micro(json, jobs);
+        } else if name == "scale" {
+            run_scale(json);
         } else {
             run_target(name, &engine, &options, json);
         }

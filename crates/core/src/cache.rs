@@ -4,7 +4,7 @@
 //! the Section V-C findings re-derive from the Fig. 6 matrix, and repeated bench
 //! invocations re-run identical cells. The cache keys every run by an
 //! [`ExperimentId`] — a canonical encoding of *every* field of an
-//! [`Experiment`](crate::Experiment), including the execution scale and seed — so two
+//! [`Experiment`], including the execution scale and seed — so two
 //! experiments collide exactly when they describe the same simulation. Failure-free
 //! cells are bit-deterministic, so a recall equals a recompute exactly; with-failure
 //! cells carry the simulator's microsecond-level failure-detection jitter between

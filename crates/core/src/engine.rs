@@ -5,8 +5,8 @@
 //! harnesses and the examples) goes through:
 //!
 //! * **caching** — every run is keyed by its canonical
-//!   [`ExperimentId`](crate::cache::ExperimentId) in a thread-safe
-//!   [`ResultCache`](crate::cache::ResultCache), so overlapping matrices (Fig. 6 and
+//!   [`ExperimentId`] in a thread-safe
+//!   [`ResultCache`], so overlapping matrices (Fig. 6 and
 //!   Fig. 7 share every cell; the findings re-derive from the Fig. 6 matrix) never
 //!   simulate the same cell twice in one process;
 //! * **parallelism** — independent experiments of a matrix run concurrently on a

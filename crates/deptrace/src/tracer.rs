@@ -5,7 +5,7 @@
 //! running on a simulated runtime, so the equivalent is a small runtime tracer the
 //! application (or a test harness) drives explicitly: it records object definitions
 //! before the main loop and reads/writes inside the loop, producing the same
-//! [`Trace`](crate::trace::Trace) the analysis consumes.
+//! [`Trace`] the analysis consumes.
 
 use crate::record::{Location, OpKind, TraceRecord};
 use crate::trace::Trace;

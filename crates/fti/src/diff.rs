@@ -11,7 +11,7 @@
 //! Three things keep the delta computation off the profile:
 //!
 //! * blocks are hashed *word-at-a-time* — eight bytes per FNV-style mixing step
-//!   instead of one (see [`block_hash`]);
+//!   instead of one (see `block_hash`);
 //! * [`compute_delta_cached`] accepts the base's block hashes (which the
 //!   [`crate::store::CheckpointStore`] caches alongside the differential base) and
 //!   returns the new payload's hashes for the next round, so each checkpoint hashes

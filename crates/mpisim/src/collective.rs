@@ -24,6 +24,35 @@ use crate::time::SimTime;
 /// Type-erased contribution/output values exchanged through a rendezvous.
 pub type AnyBox = Box<dyn Any + Send>;
 
+/// How a member blocked inside [`CollSlot::run_with_wait`] waits for round progress —
+/// the point where the scheduler backend plugs into the rendezvous engine.
+#[derive(Clone, Copy)]
+pub enum SlotWait<'a> {
+    /// Thread backend: block on the slot's internal condition variable, with a long
+    /// timeout as a pure fallback (failure transitions wake waiters explicitly).
+    Condvar,
+    /// Cooperative backend: `park` releases the slot lock and suspends the calling
+    /// task until woken; `wake` is invoked by whichever member publishes progress
+    /// (outputs ready, round drained) so parked members resume. No timeouts exist on
+    /// this path.
+    Park {
+        /// Suspends the calling task (called with the slot lock released).
+        park: &'a dyn Fn(),
+        /// Wakes every task parked on this slot.
+        wake: &'a dyn Fn(),
+    },
+}
+
+impl SlotWait<'_> {
+    /// Signals cooperative waiters that the slot's state advanced (no-op for the
+    /// condvar strategy, whose notification happens inside the slot).
+    fn notify(&self) {
+        if let SlotWait::Park { wake, .. } = self {
+            wake();
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Members are depositing contributions for the current round.
@@ -144,7 +173,36 @@ impl CollSlot {
         cost: SimTime,
         contribution: AnyBox,
         finish: impl FnOnce(Vec<(SimTime, AnyBox)>) -> Vec<AnyBox>,
+        abort_check: impl FnMut() -> Option<MpiError>,
+    ) -> Result<(SimTime, AnyBox), MpiError> {
+        self.run_with_wait(
+            member,
+            now,
+            cost,
+            contribution,
+            finish,
+            abort_check,
+            SlotWait::Condvar,
+        )
+    }
+
+    /// Like [`CollSlot::run`], but with an explicit waiting strategy — the scheduler
+    /// backends differ only in how a member blocks (condvar versus cooperative park),
+    /// never in the rendezvous logic itself.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`CollSlot::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_wait(
+        &self,
+        member: usize,
+        now: SimTime,
+        cost: SimTime,
+        contribution: AnyBox,
+        finish: impl FnOnce(Vec<(SimTime, AnyBox)>) -> Vec<AnyBox>,
         mut abort_check: impl FnMut() -> Option<MpiError>,
+        wait: SlotWait<'_>,
     ) -> Result<(SimTime, AnyBox), MpiError> {
         let declared_cost = cost;
         if member >= self.nmembers {
@@ -161,7 +219,17 @@ impl CollSlot {
             if let Some(err) = abort_check() {
                 return Err(err);
             }
-            self.cv.wait_for(&mut st, POLL_INTERVAL);
+            st = match wait {
+                SlotWait::Condvar => {
+                    self.cv.wait_for(&mut st, POLL_INTERVAL);
+                    st
+                }
+                SlotWait::Park { park, .. } => {
+                    drop(st);
+                    park();
+                    self.state.lock()
+                }
+            };
         }
 
         if st.contributions[member].is_some() {
@@ -206,6 +274,7 @@ impl CollSlot {
             st.finish_time = max_entry + max_cost;
             st.phase = Phase::Delivering;
             self.cv.notify_all();
+            wait.notify();
         } else {
             // Wait for the round to complete.
             while !(st.phase == Phase::Delivering && st.round == my_round) {
@@ -217,7 +286,17 @@ impl CollSlot {
                     }
                     return Err(err);
                 }
-                self.cv.wait_for(&mut st, POLL_INTERVAL);
+                st = match wait {
+                    SlotWait::Condvar => {
+                        self.cv.wait_for(&mut st, POLL_INTERVAL);
+                        st
+                    }
+                    SlotWait::Park { park, .. } => {
+                        drop(st);
+                        park();
+                        self.state.lock()
+                    }
+                };
             }
         }
 
@@ -230,6 +309,7 @@ impl CollSlot {
         if st.collected == self.nmembers {
             st.reset_for_next_round();
             self.cv.notify_all();
+            wait.notify();
         }
         Ok((finish_time, out))
     }

@@ -7,12 +7,14 @@
 
 use std::sync::Arc;
 
-use crate::collective::AnyBox;
+use crate::collective::{AnyBox, SlotWait};
 use crate::comm::{Comm, CommShared};
 use crate::datatype;
 use crate::error::MpiError;
 use crate::machine::{CollectiveKind, MachineModel, StorageTier};
 use crate::msg::{Message, Payload};
+use crate::sched::coop::CoopYielder;
+use crate::sched::WaitKey;
 use crate::state::ClusterState;
 use crate::stats::{RankStats, TimeBreakdown};
 use crate::time::SimTime;
@@ -73,6 +75,10 @@ pub struct RankCtx {
     compute_interference: f64,
     io_interference: f64,
     world: Comm,
+    /// Set when this rank runs on the cooperative backend: blocked operations park
+    /// the rank's fiber instead of waiting on condition variables, and state changes
+    /// other ranks may be parked on are signalled through it.
+    coop: Option<CoopYielder>,
 }
 
 impl std::fmt::Debug for RankCtx {
@@ -86,8 +92,19 @@ impl std::fmt::Debug for RankCtx {
 }
 
 impl RankCtx {
-    /// Creates the context for `rank` over the given shared cluster state.
+    /// Creates the context for `rank` over the given shared cluster state (thread
+    /// backend: blocked operations wait on condition variables).
     pub(crate) fn new(rank: usize, state: Arc<ClusterState>) -> Self {
+        Self::with_backend(rank, state, None)
+    }
+
+    /// Creates the context for `rank` on the cooperative backend: blocked operations
+    /// park the rank's fiber through `yielder` instead of blocking the host thread.
+    pub(crate) fn new_coop(rank: usize, state: Arc<ClusterState>, yielder: CoopYielder) -> Self {
+        Self::with_backend(rank, state, Some(yielder))
+    }
+
+    fn with_backend(rank: usize, state: Arc<ClusterState>, coop: Option<CoopYielder>) -> Self {
         let world = Comm::new(Arc::clone(&state.world), rank);
         RankCtx {
             rank,
@@ -99,6 +116,29 @@ impl RankCtx {
             compute_interference: 0.0,
             io_interference: 0.0,
             world,
+            coop,
+        }
+    }
+
+    // ----- backend plumbing ----------------------------------------------------------
+
+    /// Suspends this rank until the wait channel `key` is signalled (cooperative
+    /// backend) or sleeps for `fallback` host time (thread backend, where the
+    /// corresponding state change broadcasts a wakeup anyway). The caller re-checks
+    /// its condition in a loop around this — on the cooperative backend the
+    /// check-then-park sequence is atomic (one OS thread), so no wakeup can be lost.
+    pub(crate) fn park_or_sleep(&self, key: WaitKey, fallback: std::time::Duration) {
+        match &self.coop {
+            Some(y) => y.park(key, self.now),
+            None => std::thread::sleep(fallback),
+        }
+    }
+
+    /// Signals the wait channel `key` (no-op on the thread backend, whose waiters use
+    /// condvars or polling instead of channels).
+    pub(crate) fn wake_channel(&self, key: WaitKey) {
+        if let Some(y) = &self.coop {
+            y.wake(key);
         }
     }
 
@@ -312,15 +352,21 @@ impl RankCtx {
         self.state.note_node_failure(node);
     }
 
-    /// Blocks (in host time, at no virtual cost) until at least `events` failure
-    /// events have been recorded cluster-wide, or any failure is outstanding. This is
-    /// the injector's *detection barrier*: a rank that has reached the iteration of a
-    /// scheduled failure event waits here until the event's victim has actually died,
-    /// which guarantees the failure's virtual timestamp is published before any
-    /// post-event operation evaluates the visibility rule.
+    /// Blocks (at no virtual cost) until at least `events` failure events have been
+    /// recorded cluster-wide, or any failure is outstanding. This is the injector's
+    /// *detection barrier*: a rank that has reached the iteration of a scheduled
+    /// failure event waits here until the event's victim has actually died, which
+    /// guarantees the failure's virtual timestamp is published before any post-event
+    /// operation evaluates the visibility rule. On the thread backend the wait is a
+    /// host-time poll; on the cooperative backend it is a scheduler yield point —
+    /// the rank parks on the failure-event channel and every failure publication
+    /// wakes it.
     pub fn wait_for_failure_events(&self, events: u64) {
         while self.state.failure_events() < events && self.state.failed_count() == 0 {
-            std::thread::sleep(std::time::Duration::from_micros(100));
+            self.park_or_sleep(
+                WaitKey::FAILURE_EVENTS,
+                std::time::Duration::from_micros(100),
+            );
         }
     }
 
@@ -457,6 +503,8 @@ impl RankCtx {
             payload,
             sent_at: self.now,
         });
+        // Cooperative backend: the destination may be parked on its mailbox channel.
+        self.wake_channel(WaitKey::mailbox(dest_global));
         self.stats.sends += 1;
         Ok(())
     }
@@ -544,8 +592,24 @@ impl RankCtx {
                     }
                 }
             }
-            matched =
-                mailbox.match_or_wait(comm.id(), src_global, tag_sel, self.state.poll_interval);
+            matched = match &self.coop {
+                // Thread backend: the search and the wait happen under one mailbox
+                // lock so a concurrent push can never be missed.
+                None => {
+                    mailbox.match_or_wait(comm.id(), src_global, tag_sel, self.state.poll_interval)
+                }
+                // Cooperative backend: a failed match parks this rank's fiber on its
+                // mailbox channel; the next matching (or any) send to this rank — or
+                // any cluster-wide failure transition — wakes it. Check-then-park is
+                // atomic here (one OS thread), so no separate lock is needed.
+                Some(y) => match mailbox.try_match(comm.id(), src_global, tag_sel) {
+                    Some(msg) => Some(msg),
+                    None => {
+                        y.park(WaitKey::mailbox(self.rank), self.now);
+                        None
+                    }
+                },
+            };
         }
     }
 
@@ -623,7 +687,28 @@ impl RankCtx {
                     .then_some(err),
             }
         };
-        let round = comm.shared().slot.run(
+        let coop = self.coop.clone();
+        let slot_key = WaitKey::object(&comm.shared().slot);
+        let entry_time = self.now;
+        let park = || {
+            if let Some(y) = &coop {
+                y.park(slot_key, entry_time);
+            }
+        };
+        let wake = || {
+            if let Some(y) = &coop {
+                y.wake(slot_key);
+            }
+        };
+        let wait = if coop.is_some() {
+            SlotWait::Park {
+                park: &park,
+                wake: &wake,
+            }
+        } else {
+            SlotWait::Condvar
+        };
+        let round = comm.shared().slot.run_with_wait(
             comm.rank(),
             self.now,
             cost,
@@ -639,6 +724,7 @@ impl RankCtx {
                     .collect()
             },
             abort_check,
+            wait,
         );
         let (finish_time, out) = match round {
             Ok(v) => v,
@@ -1079,7 +1165,28 @@ impl RankCtx {
         self.state.set_parked(self.rank);
         let state = Arc::clone(&self.state);
         let nprocs = self.state.nprocs;
-        let (finish_time, _out) = self.state.recovery_slot.run(
+        let coop = self.coop.clone();
+        let slot_key = WaitKey::object(&self.state.recovery_slot);
+        let entry_time = self.now;
+        let park = || {
+            if let Some(y) = &coop {
+                y.park(slot_key, entry_time);
+            }
+        };
+        let wake = || {
+            if let Some(y) = &coop {
+                y.wake(slot_key);
+            }
+        };
+        let wait = if coop.is_some() {
+            SlotWait::Park {
+                park: &park,
+                wake: &wake,
+            }
+        } else {
+            SlotWait::Condvar
+        };
+        let (finish_time, _out) = self.state.recovery_slot.run_with_wait(
             self.rank,
             self.now,
             extra_cost,
@@ -1091,6 +1198,7 @@ impl RankCtx {
                 (0..nprocs).map(|_| Box::new(()) as AnyBox).collect()
             },
             || None,
+            wait,
         )?;
         self.advance_to(finish_time);
         self.stats.recoveries += 1;

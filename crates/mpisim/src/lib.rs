@@ -17,7 +17,7 @@
 //! ## Features
 //!
 //! * Point-to-point messaging with tags and `ANY_SOURCE`/`ANY_TAG` matching
-//!   ([`RankCtx::send`], [`RankCtx::recv`]).
+//!   ([`RankCtx::send_bytes`], [`RankCtx::recv_bytes`]).
 //! * The collective operations used by the MATCH proxy applications: barrier,
 //!   broadcast, reduce, allreduce, gather, allgather, scatter and scan.
 //! * Communicator management: world, `dup`, `split`, and the ULFM `shrink`.
@@ -62,6 +62,7 @@ pub mod mailbox;
 pub mod msg;
 pub mod reinit;
 pub mod runtime;
+pub mod sched;
 pub mod state;
 pub mod stats;
 pub mod time;
@@ -75,6 +76,7 @@ pub use failure::{FailureKind, FailureSpec};
 pub use machine::{LinkDomain, MachineModel};
 pub use msg::Payload;
 pub use runtime::{Cluster, ClusterConfig, RankOutcome, RunOutcome};
+pub use sched::{RankScheduler, SchedBackend, BACKEND_ENV_VAR, COOP_SUPPORTED};
 pub use stats::{RankStats, TimeBreakdown};
 pub use time::SimTime;
 pub use topology::Topology;

@@ -16,6 +16,23 @@ use crate::time::SimTime;
 /// a `Payload` *moves* the vector behind the `Arc` without copying its bytes. Only
 /// conversion from a borrowed `&[u8]` copies — which also guarantees that later
 /// mutation of a borrowed source buffer can never alias stored data.
+///
+/// ```
+/// use mpisim::Payload;
+///
+/// // An owned vector moves behind the shared allocation without copying.
+/// let payload: Payload = vec![1u8, 2, 3, 4, 5, 6, 7, 8].into();
+///
+/// // Clones and sub-slices are views of the same buffer, not copies.
+/// let clone = payload.clone();
+/// let half = payload.slice(4..8);
+/// assert!(clone.same_buffer(&payload));
+/// assert!(half.same_buffer(&payload));
+/// assert_eq!(half.as_slice(), &[5, 6, 7, 8]);
+///
+/// // Payloads compare by content, wherever their views start.
+/// assert_eq!(payload.slice(0..2), Payload::from(&[1u8, 2][..]));
+/// ```
 #[derive(Clone)]
 pub struct Payload {
     buf: Arc<Vec<u8>>,

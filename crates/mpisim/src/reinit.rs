@@ -52,7 +52,7 @@ const MAX_RESTARTS: u32 = 16;
 /// # Errors
 ///
 /// Propagates non-failure errors from `resilient_main`, and gives up with
-/// [`MpiError::Internal`] after [`MAX_RESTARTS`] restarts.
+/// [`MpiError::Internal`] after `MAX_RESTARTS` restarts.
 pub fn run_reinit<R>(
     ctx: &mut RankCtx,
     mut resilient_main: impl FnMut(&mut RankCtx, ReinitState) -> Result<R, MpiError>,

@@ -1,0 +1,393 @@
+//! Minimal stackful fibers: the execution primitive of the cooperative backend.
+//!
+//! A [`Fiber`] is a suspended computation with its own call stack. Switching between
+//! fibers is a plain userspace context switch — save the callee-saved registers and the
+//! stack pointer, restore another fiber's — which costs tens of nanoseconds and never
+//! enters the kernel. This is what lets the [`coop`](super::coop) backend multiplex
+//! thousands of simulated ranks over **one** OS thread: a rank blocked in a simulated
+//! receive or collective is just a saved stack pointer until the scheduler resumes it.
+//!
+//! The implementation is deliberately small:
+//!
+//! * the context switch (`match_rs_fiber_switch`) is ~20 instructions of `global_asm!`
+//!   per architecture (x86-64 SysV and AArch64 AAPCS64), saving exactly the registers
+//!   the respective C ABI declares callee-saved (plus `mxcsr`/x87 control words on
+//!   x86-64, mirroring what Boost.Context does);
+//! * stacks are `mmap`ed with a leading [`GUARD_SIZE`] `PROT_NONE` guard region on
+//!   Linux, so a fiber overflowing its stack faults instead of silently corrupting a
+//!   neighbouring allocation (elsewhere a plain aligned heap allocation is used);
+//! * there is no scheduler in here — just "create with an entry function" and "switch"
+//!   — policy lives in the [`coop`](super::coop) module.
+//!
+//! # Safety model
+//!
+//! All fibers of one job run on one OS thread, are created before the job starts and
+//! are only unmapped after they have finished (or after the whole job is abandoned on a
+//! panic). The raw context-switch function is `unsafe`: callers must guarantee that the
+//! `resume` context is a valid suspended context produced by this module and that the
+//! `save` slot stays alive until the suspended execution is resumed.
+
+use std::ffi::c_void;
+
+/// Size of the `PROT_NONE` guard region placed below each fiber stack. Generously
+/// sized (64 KiB) so the region still spans at least one page on large-page kernels.
+pub const GUARD_SIZE: usize = 64 * 1024;
+
+/// Smallest stack the allocator will hand out; fibers run real application code plus
+/// the panic machinery, which needs more than a trivial trampoline would.
+pub const MIN_STACK_SIZE: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------------
+// Context switch (architecture specific)
+// ---------------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+std::arch::global_asm!(
+    // fn match_rs_fiber_switch(save: *mut usize /* rdi */, resume: usize /* rsi */)
+    //
+    // Saves the current execution as a context frame on the current stack, stores the
+    // resulting stack pointer to `*save`, then installs `resume` as the stack pointer
+    // and unwinds its frame. System V x86-64: rbx, rbp, r12-r15 are callee-saved; all
+    // xmm registers are caller-saved, but mxcsr and the x87 control word are preserved
+    // across calls, so they travel with the frame too.
+    ".text",
+    ".balign 16",
+    ".globl match_rs_fiber_switch",
+    ".hidden match_rs_fiber_switch",
+    "match_rs_fiber_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "sub rsp, 8",
+    "stmxcsr [rsp]",
+    "fnstcw [rsp + 4]",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "ldmxcsr [rsp]",
+    "fldcw [rsp + 4]",
+    "add rsp, 8",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    // First activation of a fresh fiber: `ret` above lands here with r12 = entry
+    // argument and r13 = entry function (planted by `Fiber::new`). The stack pointer
+    // is 16-byte aligned at this point, which is exactly what the ABI requires at a
+    // `call` site.
+    ".balign 16",
+    ".globl match_rs_fiber_tramp",
+    ".hidden match_rs_fiber_tramp",
+    "match_rs_fiber_tramp:",
+    "mov rdi, r12",
+    "call r13",
+    "ud2",
+);
+
+#[cfg(target_arch = "aarch64")]
+std::arch::global_asm!(
+    // fn match_rs_fiber_switch(save: *mut usize /* x0 */, resume: usize /* x1 */)
+    //
+    // AAPCS64: x19-x28, fp (x29), lr (x30) and d8-d15 are callee-saved.
+    ".text",
+    ".balign 16",
+    ".globl match_rs_fiber_switch",
+    ".hidden match_rs_fiber_switch",
+    "match_rs_fiber_switch:",
+    "sub sp, sp, #160",
+    "stp x19, x20, [sp, #0]",
+    "stp x21, x22, [sp, #16]",
+    "stp x23, x24, [sp, #32]",
+    "stp x25, x26, [sp, #48]",
+    "stp x27, x28, [sp, #64]",
+    "stp x29, x30, [sp, #80]",
+    "stp d8, d9, [sp, #96]",
+    "stp d10, d11, [sp, #112]",
+    "stp d12, d13, [sp, #128]",
+    "stp d14, d15, [sp, #144]",
+    "mov x2, sp",
+    "str x2, [x0]",
+    "mov sp, x1",
+    "ldp x19, x20, [sp, #0]",
+    "ldp x21, x22, [sp, #16]",
+    "ldp x23, x24, [sp, #32]",
+    "ldp x25, x26, [sp, #48]",
+    "ldp x27, x28, [sp, #64]",
+    "ldp x29, x30, [sp, #80]",
+    "ldp d8, d9, [sp, #96]",
+    "ldp d10, d11, [sp, #112]",
+    "ldp d12, d13, [sp, #128]",
+    "ldp d14, d15, [sp, #144]",
+    "add sp, sp, #160",
+    "ret",
+    // First activation: `ret` jumps through the planted x30 with x19 = entry argument
+    // and x20 = entry function.
+    ".balign 16",
+    ".globl match_rs_fiber_tramp",
+    ".hidden match_rs_fiber_tramp",
+    "match_rs_fiber_tramp:",
+    "mov x0, x19",
+    "blr x20",
+    "brk #0",
+);
+
+extern "C" {
+    fn match_rs_fiber_switch(save: *mut usize, resume: usize);
+    fn match_rs_fiber_tramp();
+}
+
+/// Suspends the current execution into `*save` and resumes the context `resume`.
+///
+/// # Safety
+///
+/// `resume` must be a context produced by [`Fiber::new`] or a previous switch, whose
+/// stack is still mapped and not currently executing; `save` must point to writable
+/// memory that outlives the suspension. Both executions must run on the same OS thread.
+pub unsafe fn switch_context(save: *mut usize, resume: usize) {
+    match_rs_fiber_switch(save, resume);
+}
+
+/// The entry signature of a fiber: receives the opaque argument given to
+/// [`Fiber::new`] and must never return (it must switch away forever once done —
+/// returning would fall off the trampoline into an undefined-instruction trap).
+pub type FiberEntry = extern "C" fn(*mut ()) -> !;
+
+// ---------------------------------------------------------------------------------
+// Stack allocation
+// ---------------------------------------------------------------------------------
+
+mod stack {
+    use super::{c_void, GUARD_SIZE};
+
+    const PROT_NONE: i32 = 0;
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_PRIVATE: i32 = 0x02;
+    const MAP_ANONYMOUS: i32 = 0x20;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+    }
+
+    /// An anonymous mapping with a `PROT_NONE` guard region at its low end. The usable
+    /// stack grows down from `base + len` towards the guard.
+    pub struct Stack {
+        base: *mut u8,
+        len: usize,
+    }
+
+    impl Stack {
+        pub fn new(usable: usize) -> Stack {
+            let len = usable + GUARD_SIZE;
+            // SAFETY: plain anonymous private mapping; checked for MAP_FAILED below.
+            let base = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    -1,
+                    0,
+                )
+            };
+            assert!(
+                base != usize::MAX as *mut c_void && !base.is_null(),
+                "fiber stack mmap of {len} bytes failed"
+            );
+            // SAFETY: `base` is a page-aligned mapping of at least GUARD_SIZE bytes.
+            let rc = unsafe { mprotect(base, GUARD_SIZE, PROT_NONE) };
+            assert_eq!(rc, 0, "fiber stack guard mprotect failed");
+            Stack {
+                base: base.cast(),
+                len,
+            }
+        }
+
+        /// One-past-the-end of the usable region (the initial top of stack).
+        pub fn top(&self) -> *mut u8 {
+            // SAFETY: in-bounds arithmetic on the mapping.
+            unsafe { self.base.add(self.len) }
+        }
+    }
+
+    impl Drop for Stack {
+        fn drop(&mut self) {
+            // SAFETY: unmaps exactly the region mapped in `new`.
+            unsafe {
+                munmap(self.base.cast(), self.len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------------------
+
+/// A suspended computation with its own stack (see the module docs).
+pub struct Fiber {
+    // Kept alive for the lifetime of the fiber; the saved context points into it.
+    _stack: stack::Stack,
+    /// The saved stack pointer of the suspended execution. Meaningless while the fiber
+    /// is running (the running execution owns the live value).
+    context: usize,
+}
+
+impl std::fmt::Debug for Fiber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fiber").finish_non_exhaustive()
+    }
+}
+
+/// Number of `usize` slots of the initial context frame (control words + callee-saved
+/// registers + the trampoline return address; see the `global_asm!` blocks).
+#[cfg(target_arch = "x86_64")]
+const INIT_FRAME_WORDS: usize = 8;
+#[cfg(target_arch = "aarch64")]
+const INIT_FRAME_WORDS: usize = 20;
+
+impl Fiber {
+    /// Creates a fiber with `stack_size` bytes of usable stack that will run
+    /// `entry(arg)` when first resumed. The entry function must never return.
+    pub fn new(stack_size: usize, entry: FiberEntry, arg: *mut ()) -> Fiber {
+        let stack = stack::Stack::new(stack_size.max(MIN_STACK_SIZE));
+        // Keep the initial stack pointer 16-byte aligned (both ABIs require it).
+        let top = (stack.top() as usize) & !15usize;
+        let sp = top - INIT_FRAME_WORDS * std::mem::size_of::<usize>();
+        let frame = sp as *mut usize;
+        // SAFETY: `frame..top` lies within the freshly mapped stack; the layout below
+        // mirrors exactly what `match_rs_fiber_switch` restores.
+        unsafe {
+            std::ptr::write_bytes(frame, 0, INIT_FRAME_WORDS);
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Slot 0 holds mxcsr (low u32) and the x87 control word (next u32):
+                // the architectural defaults (all exceptions masked, round-to-nearest,
+                // 64-bit x87 precision) — the state every Rust thread starts with.
+                frame.write(0x1F80_usize | (0x037F_usize << 32));
+                frame.add(3).write(entry as usize); // r13
+                frame.add(4).write(arg as usize); // r12
+                frame
+                    .add(7)
+                    .write(match_rs_fiber_tramp as *const () as usize); // return address
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                frame.write(arg as usize); // x19
+                frame.add(1).write(entry as usize); // x20
+                frame.add(11).write(match_rs_fiber_tramp as usize); // x30 (lr)
+            }
+        }
+        Fiber {
+            _stack: stack,
+            context: sp,
+        }
+    }
+
+    /// The fiber's saved context slot: reads give the suspended context to resume
+    /// (meaningful right after creation and after every suspension saved into it).
+    pub fn context_slot(&mut self) -> *mut usize {
+        &mut self.context
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// A two-way channel of raw contexts for ping-pong tests: the fiber suspends into
+    /// `fiber_ctx` and resumes `main_ctx`, and vice versa.
+    struct PingPong {
+        main_ctx: usize,
+        fiber_ctx: usize,
+        counter: Cell<u64>,
+    }
+
+    extern "C" fn pingpong_entry(arg: *mut ()) -> ! {
+        // SAFETY: the test keeps the PingPong alive across all switches.
+        let pp = unsafe { &mut *(arg as *mut PingPong) };
+        for _ in 0..3 {
+            pp.counter.set(pp.counter.get() + 1);
+            let main = pp.main_ctx;
+            unsafe { switch_context(&mut pp.fiber_ctx, main) };
+        }
+        pp.counter.set(pp.counter.get() + 1000);
+        loop {
+            let main = pp.main_ctx;
+            unsafe { switch_context(&mut pp.fiber_ctx, main) };
+        }
+    }
+
+    #[test]
+    fn fiber_ping_pong_counts() {
+        let mut pp = PingPong {
+            main_ctx: 0,
+            fiber_ctx: 0,
+            counter: Cell::new(0),
+        };
+        let mut fiber = Fiber::new(MIN_STACK_SIZE, pingpong_entry, &mut pp as *mut _ as *mut ());
+        pp.fiber_ctx = unsafe { *fiber.context_slot() };
+        for expect in 1..=3u64 {
+            unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
+            assert_eq!(pp.counter.get(), expect);
+        }
+        unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
+        assert_eq!(pp.counter.get(), 1003);
+    }
+
+    extern "C" fn deep_frames_entry(arg: *mut ()) -> ! {
+        fn recurse(depth: usize, acc: u64) -> u64 {
+            // Enough locals to touch the stack meaningfully without nearing the guard.
+            let locals = [acc; 16];
+            if depth == 0 {
+                locals.iter().sum()
+            } else {
+                recurse(depth - 1, acc + 1) + locals[0]
+            }
+        }
+        let pp = unsafe { &mut *(arg as *mut PingPong) };
+        pp.counter.set(recurse(64, 1));
+        loop {
+            let main = pp.main_ctx;
+            unsafe { switch_context(&mut pp.fiber_ctx, main) };
+        }
+    }
+
+    #[test]
+    fn fiber_runs_real_frames_on_its_own_stack() {
+        let mut pp = PingPong {
+            main_ctx: 0,
+            fiber_ctx: 0,
+            counter: Cell::new(0),
+        };
+        let mut fiber = Fiber::new(256 * 1024, deep_frames_entry, &mut pp as *mut _ as *mut ());
+        pp.fiber_ctx = unsafe { *fiber.context_slot() };
+        unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
+        assert!(pp.counter.get() > 0);
+    }
+
+    #[test]
+    fn many_small_fibers_allocate_and_release() {
+        // Exercises the stack allocator: 256 fibers created and dropped untouched
+        // (a fiber that was never resumed holds no live frames).
+        let fibers: Vec<Fiber> = (0..256)
+            .map(|_| Fiber::new(MIN_STACK_SIZE, pingpong_entry, std::ptr::null_mut()))
+            .collect();
+        assert_eq!(fibers.len(), 256);
+    }
+}

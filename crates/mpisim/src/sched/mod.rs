@@ -1,0 +1,279 @@
+//! Scheduler backends: how simulated ranks are mapped onto host execution.
+//!
+//! A simulated job is `nprocs` rank programs that block on each other through
+//! simulated MPI operations. *How* those programs are interleaved on the host is a
+//! backend decision with no observable effect on results: since every run is a pure
+//! function of virtual time (failure detection, message deliver-vs-abort decisions and
+//! collective completion are all resolved by virtual-time rules, never by host
+//! timing), any schedule that respects the blocking semantics produces bit-identical
+//! [`RunOutcome`](crate::RunOutcome)s. That property is the contract of the
+//! [`RankScheduler`] trait, and the backend-equivalence test suite enforces it.
+//!
+//! Two backends implement the trait:
+//!
+//! * [`ThreadScheduler`] (**`threads`**) — one OS thread per rank, true host
+//!   parallelism, blocking implemented with condition variables plus explicit
+//!   failure-transition wakeups. Best for small-to-medium jobs (≤ ~1k ranks) on
+//!   multi-core hosts, where ranks genuinely compute concurrently.
+//! * [`CoopScheduler`] (**`coop`**) — all ranks of a job multiplexed as stackful
+//!   fibers over **one** OS thread, driven by a virtual-time run queue: the scheduler
+//!   always resumes the runnable rank with the lowest virtual clock, and a blocked
+//!   receive/collective/rendezvous parks its fiber on a wait channel until the event
+//!   it needs (message arrival, round completion, failure publication) wakes it. No
+//!   mailbox polling, no condition variables and no fallback heartbeats exist on this
+//!   path, which removes the per-rank host-thread cost entirely and lifts the
+//!   practical rank ceiling from hundreds to tens of thousands.
+//!
+//! The backend is selected per job through
+//! [`ClusterConfig::backend`](crate::ClusterConfig) (defaulting to the
+//! `MATCH_BACKEND` environment variable, then to `threads`).
+
+use std::sync::Arc;
+
+use crate::ctx::RankCtx;
+use crate::error::MpiError;
+use crate::runtime::{ClusterConfig, RankOutcome};
+use crate::state::ClusterState;
+
+pub(crate) mod coop;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod fiber;
+
+pub use coop::CoopScheduler;
+
+/// Whether the cooperative backend's fiber runtime is available on this target
+/// (Linux on x86-64 or AArch64). Elsewhere [`CoopScheduler`] degrades to the thread
+/// backend — results are bit-identical either way, only the scaling differs.
+pub const COOP_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+/// Environment variable selecting the default scheduler backend (`threads` or `coop`).
+pub const BACKEND_ENV_VAR: &str = "MATCH_BACKEND";
+
+/// Which scheduler backend a job runs on (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedBackend {
+    /// One OS thread per simulated rank (the default).
+    #[default]
+    Threads,
+    /// All ranks as cooperative fibers over a virtual-time run queue in one OS thread.
+    Coop,
+}
+
+impl SchedBackend {
+    /// Every backend, in the order benches sweep them.
+    pub const ALL: [SchedBackend; 2] = [SchedBackend::Threads, SchedBackend::Coop];
+
+    /// Reads the backend from the `MATCH_BACKEND` environment variable, defaulting to
+    /// [`SchedBackend::Threads`]. Unrecognized values fall back to the default (with a
+    /// warning on stderr) rather than aborting a long bench run.
+    pub fn from_env() -> SchedBackend {
+        match std::env::var(BACKEND_ENV_VAR) {
+            Err(_) => SchedBackend::Threads,
+            Ok(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "warning: {BACKEND_ENV_VAR}='{s}' is not a backend (threads|coop); \
+                     using threads"
+                );
+                SchedBackend::Threads
+            }),
+        }
+    }
+
+    /// The backend's canonical name (`"threads"` / `"coop"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedBackend::Threads => "threads",
+            SchedBackend::Coop => "coop",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threads" | "thread" => Ok(SchedBackend::Threads),
+            "coop" | "fiber" | "fibers" => Ok(SchedBackend::Coop),
+            other => Err(format!("unknown scheduler backend '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scheduler backend: executes one simulated job over a shared
+/// [`ClusterState`] and returns every rank's outcome, ordered by rank.
+///
+/// # Contract
+///
+/// Implementations must deliver **bit-identical** outcomes for the same
+/// `(state, body)` pair, with and without injected failures. This is achievable
+/// because the simulator resolves every scheduling-sensitive decision in virtual
+/// time; a backend's job is purely to find *an* execution order consistent with the
+/// blocking semantics:
+///
+/// * a rank blocked in a receive may only proceed when a matching message is queued
+///   or the deterministic abort rule fires;
+/// * a rank blocked in a collective may only proceed when the round has completed or
+///   the abort rule fires;
+/// * a rank parked at the recovery rendezvous proceeds when all ranks have arrived.
+///
+/// Backends must also propagate rank panics to the caller (after all other ranks have
+/// finished or been abandoned), mirroring `std::thread::JoinHandle::join`.
+pub trait RankScheduler {
+    /// Runs one job: executes `body` once per rank over `state` and collects the
+    /// per-rank outcomes ordered by rank.
+    fn run_job<R, F>(
+        &self,
+        config: &ClusterConfig,
+        state: Arc<ClusterState>,
+        body: &F,
+    ) -> Vec<RankOutcome<R>>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> Result<R, MpiError> + Sync;
+}
+
+/// The thread-per-rank backend: every rank is an OS thread; blocked operations wait
+/// on condition variables and are woken explicitly on failure transitions (with a
+/// long timeout as a pure fallback). See the module docs for when to prefer it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadScheduler;
+
+impl RankScheduler for ThreadScheduler {
+    fn run_job<R, F>(
+        &self,
+        config: &ClusterConfig,
+        state: Arc<ClusterState>,
+        body: &F,
+    ) -> Vec<RankOutcome<R>>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> Result<R, MpiError> + Sync,
+    {
+        let nprocs = state.nprocs;
+        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..nprocs).map(|_| None).collect();
+        let mut spawn_error: Option<std::io::Error> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for rank in 0..nprocs {
+                let rank_state = Arc::clone(&state);
+                let builder = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(config.stack_size);
+                let spawned = builder.spawn_scoped(scope, move || {
+                    let mut ctx = RankCtx::new(rank, rank_state);
+                    let result = body(&mut ctx);
+                    RankOutcome {
+                        rank,
+                        result,
+                        finish_time: ctx.now(),
+                        breakdown: *ctx.breakdown(),
+                        stats: *ctx.stats(),
+                    }
+                });
+                match spawned {
+                    Ok(handle) => handles.push(handle),
+                    Err(error) => {
+                        // The host ran out of threads mid-job. Abort the cluster so
+                        // the already-spawned ranks drain out of their blocked
+                        // operations (the abort wakes every waiter) instead of
+                        // waiting forever for peers that will never exist; the
+                        // spawn failure is reported after they have been joined.
+                        state.set_abort(-1);
+                        spawn_error = Some(error);
+                        break;
+                    }
+                }
+            }
+            for handle in handles {
+                let outcome = handle.join().expect("rank thread panicked");
+                let rank = outcome.rank;
+                outcomes[rank] = Some(outcome);
+            }
+        });
+        if let Some(error) = spawn_error {
+            panic!("failed to spawn rank thread for a {nprocs}-rank job: {error}");
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("missing rank outcome"))
+            .collect()
+    }
+}
+
+/// Identifies what a cooperatively scheduled rank is parked on: a wait channel.
+///
+/// Keys are plain integers carved out of disjoint ranges so they can never collide:
+/// per-rank mailbox keys are odd, the failure-event channel is the constant `2`, and
+/// object channels (collective slots, survivor-rendezvous state) use the object's
+/// address, which is 8-aligned and far above small constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct WaitKey(pub(crate) usize);
+
+impl WaitKey {
+    /// The cluster-wide failure-event channel ([`RankCtx::wait_for_failure_events`]
+    /// parks here; every failure publication wakes it).
+    pub(crate) const FAILURE_EVENTS: WaitKey = WaitKey(2);
+
+    /// The channel of `rank`'s mailbox (receives park here; sends to `rank` wake it).
+    pub(crate) fn mailbox(rank: usize) -> WaitKey {
+        WaitKey((rank << 2) | 1)
+    }
+
+    /// A channel identified by a shared object's address (the object must stay alive
+    /// while any task is parked on it, which the simulator's `Arc`s guarantee).
+    pub(crate) fn object<T>(obj: &T) -> WaitKey {
+        WaitKey(obj as *const T as usize)
+    }
+}
+
+/// Hook through which [`ClusterState`](crate::state::ClusterState) reaches the
+/// cooperative scheduler of the job it belongs to: cluster-wide condition changes
+/// (failure publication, recovery parking, revocation, abort) must wake every parked
+/// task so it re-evaluates its abort/quiescence predicates — the cooperative analogue
+/// of the thread backend's condvar broadcast.
+pub(crate) trait JobWaker: Send + Sync {
+    /// Makes every parked task runnable again.
+    fn wake_all_parked(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_and_prints() {
+        assert_eq!("threads".parse::<SchedBackend>(), Ok(SchedBackend::Threads));
+        assert_eq!("Coop".parse::<SchedBackend>(), Ok(SchedBackend::Coop));
+        assert_eq!("fibers".parse::<SchedBackend>(), Ok(SchedBackend::Coop));
+        assert!("green-threads".parse::<SchedBackend>().is_err());
+        assert_eq!(SchedBackend::Coop.to_string(), "coop");
+        assert_eq!(SchedBackend::default(), SchedBackend::Threads);
+        assert_eq!(SchedBackend::ALL.len(), 2);
+    }
+
+    #[test]
+    fn wait_keys_never_collide() {
+        let slot = 0u64;
+        let addr = WaitKey::object(&slot);
+        for rank in 0..64 {
+            let mb = WaitKey::mailbox(rank);
+            assert_eq!(mb.0 & 1, 1, "mailbox keys are odd");
+            assert_ne!(mb, WaitKey::FAILURE_EVENTS);
+            assert_ne!(mb, addr);
+        }
+        assert_ne!(addr, WaitKey::FAILURE_EVENTS);
+    }
+}

@@ -76,6 +76,11 @@ pub struct ClusterState {
     pending_node_failures: Mutex<Vec<usize>>,
     /// Rendezvous over *all* ranks used by global-restart recovery and job completion.
     pub recovery_slot: CollSlot,
+    /// Wake-up hook into the cooperative scheduler of the job this state belongs to
+    /// (`None` on the thread backend). Cluster-wide condition changes must wake every
+    /// cooperatively parked task, exactly like the condvar broadcasts wake blocked
+    /// threads.
+    job_waker: Mutex<Option<Arc<dyn crate::sched::JobWaker>>>,
     /// How long blocked operations sleep between failure checks (host time).
     pub poll_interval: Duration,
     /// A small shared blackboard for tests and out-of-band coordination.
@@ -116,6 +121,7 @@ impl ClusterState {
             comms: Mutex::new(vec![Arc::downgrade(&world)]),
             pending_node_failures: Mutex::new(Vec::new()),
             recovery_slot: CollSlot::new(nprocs),
+            job_waker: Mutex::new(None),
             // A fallback only: failure/revoke/abort transitions wake blocked
             // operations explicitly (`wake_all_waiters`), so receivers no longer need
             // a fast heartbeat to notice them.
@@ -213,7 +219,8 @@ impl ClusterState {
     /// cluster health immediately. Called on every cluster-wide condition change
     /// (failure, global-disruption declaration, abort); this event-driven notification
     /// is what allows the blocked-operation poll interval to be long (a pure fallback)
-    /// instead of a 200 µs busy heartbeat per blocked rank.
+    /// instead of a 200 µs busy heartbeat per blocked rank. On the cooperative
+    /// backend the same call wakes every parked fiber instead.
     pub fn wake_all_waiters(&self) {
         for mb in &self.mailboxes {
             mb.wake_all();
@@ -224,7 +231,23 @@ impl ClusterState {
                 comm.slot.wake_all();
             }
         }
+        drop(comms);
         self.recovery_slot.wake_all();
+        let waker = self.job_waker.lock().clone();
+        if let Some(waker) = waker {
+            waker.wake_all_parked();
+        }
+    }
+
+    /// Installs the cooperative scheduler's wake-up hook for the duration of a job
+    /// (see [`ClusterState::wake_all_waiters`]).
+    pub(crate) fn set_job_waker(&self, waker: Arc<dyn crate::sched::JobWaker>) {
+        *self.job_waker.lock() = Some(waker);
+    }
+
+    /// Removes the cooperative wake-up hook at the end of a job.
+    pub(crate) fn clear_job_waker(&self) {
+        *self.job_waker.lock() = None;
     }
 
     /// Marks every rank alive again (non-shrinking recovery replaces failed processes).

@@ -19,6 +19,27 @@
 use crate::machine::LinkDomain;
 
 /// A block mapping of ranks onto homogeneous compute nodes grouped into racks.
+///
+/// ```
+/// use mpisim::Topology;
+///
+/// // 16 ranks block-placed on 8 nodes grouped into 2 racks: ranks 0-1 share node 0,
+/// // nodes 0-3 form rack 0.
+/// let topo = Topology::with_racks(16, 8, 2);
+/// assert_eq!(topo.ranks_per_node(), 2);
+/// assert_eq!(topo.node_of(3), 1);
+/// assert_eq!(topo.rack_of(3), 0);
+/// assert!(topo.same_node(2, 3) && !topo.same_node(1, 2));
+///
+/// // The L2 checkpoint partner leaves the failure domain it protects against:
+/// // with more than one rack it is always an off-rack node.
+/// let partner = topo.partner_rank(0);
+/// assert!(!topo.same_rack(0, partner));
+///
+/// // The paper layout: 32 nodes in 4 racks for the 64-512 rank matrices.
+/// let paper = Topology::paper_layout(512);
+/// assert_eq!((paper.nnodes(), paper.nracks()), (32, 4));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     nranks: usize,

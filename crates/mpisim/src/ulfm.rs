@@ -21,9 +21,11 @@ use std::time::Duration;
 use crate::comm::{Comm, CommShared, SurvivorResult};
 use crate::ctx::RankCtx;
 use crate::error::MpiError;
+use crate::sched::WaitKey;
 use crate::time::SimTime;
 
-/// How often survivor-only rendezvous re-check for completion.
+/// How often survivor-only rendezvous re-check for completion (thread backend only;
+/// the cooperative backend parks on the rendezvous channel instead of polling).
 const POLL: Duration = Duration::from_micros(200);
 
 /// Revokes a communicator (`MPIX_Comm_revoke`).
@@ -136,6 +138,9 @@ fn survivor_rendezvous(
     }
     let shared = Arc::clone(comm.shared());
     let entry_time = ctx.now();
+    // The rendezvous wait channel (cooperative backend): progress transitions below
+    // signal it, and failures signal every channel through the cluster state.
+    let key = WaitKey::object(&shared.survivor_rounds);
 
     // Deposit phase: wait until the previous round has fully drained, then join the
     // current round.
@@ -148,7 +153,7 @@ fn survivor_rendezvous(
                 break seq;
             }
         }
-        std::thread::sleep(POLL);
+        ctx.park_or_sleep(key, POLL);
     };
 
     loop {
@@ -157,7 +162,8 @@ fn survivor_rendezvous(
             if let Some(res) = rounds.finished.clone() {
                 if res.seq == my_seq {
                     rounds.collected += 1;
-                    if rounds.collected >= res.participants {
+                    let drained = rounds.collected >= res.participants;
+                    if drained {
                         // Round fully drained: advance to the next one.
                         rounds.seq += 1;
                         rounds.arrivals.clear();
@@ -165,6 +171,10 @@ fn survivor_rendezvous(
                         rounds.collected = 0;
                     }
                     drop(rounds);
+                    if drained {
+                        // Members parked waiting to deposit into the next round.
+                        ctx.wake_channel(key);
+                    }
                     ctx.elapse(res.finish_time.saturating_sub(entry_time));
                     ctx.stats_mut().collectives += 1;
                     return Ok(res);
@@ -201,11 +211,14 @@ fn survivor_rendezvous(
                         participants: arrived_alive.len(),
                         new_comm,
                     });
+                    drop(rounds);
+                    // Members parked waiting for the round's result.
+                    ctx.wake_channel(key);
                     continue;
                 }
             }
         }
-        std::thread::sleep(POLL);
+        ctx.park_or_sleep(key, POLL);
     }
 }
 
@@ -221,6 +234,14 @@ fn alive_members_of(cluster: &crate::state::ClusterState, comm: &CommShared) -> 
 mod tests {
     use super::*;
     use crate::runtime::{Cluster, ClusterConfig};
+    use crate::sched::SchedBackend;
+
+    /// Some tests below busy-wait in host time inside rank closures, which is only
+    /// legal on the thread backend (a cooperative rank must block through simulated
+    /// operations). Pin them so an exported `MATCH_BACKEND=coop` cannot hang them.
+    fn thread_cluster(nprocs: usize) -> Cluster {
+        Cluster::new(ClusterConfig::with_ranks(nprocs).backend(SchedBackend::Threads))
+    }
 
     #[test]
     fn revoke_poisons_collectives() {
@@ -246,7 +267,7 @@ mod tests {
 
     #[test]
     fn failure_ack_lists_failed_members() {
-        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let cluster = thread_cluster(4);
         let outcome = cluster.run(|ctx| {
             if ctx.rank() == 2 {
                 ctx.fail_rank(2);
@@ -265,7 +286,7 @@ mod tests {
 
     #[test]
     fn shrink_and_agree_among_survivors() {
-        let cluster = Cluster::new(ClusterConfig::with_ranks(4));
+        let cluster = thread_cluster(4);
         let outcome = cluster.run(|ctx| {
             let world = ctx.world();
             if ctx.rank() == 1 {

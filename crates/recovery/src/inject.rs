@@ -560,10 +560,17 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpisim::{Cluster, ClusterConfig};
+    use mpisim::{Cluster, ClusterConfig, SchedBackend};
 
     fn topo(nranks: usize, nnodes: usize) -> Topology {
         Topology::new(nranks, nnodes)
+    }
+
+    /// Some tests below busy-wait in host time inside rank closures, which is only
+    /// legal on the thread backend (a cooperative rank must block through simulated
+    /// operations). Pin them so an exported `MATCH_BACKEND=coop` cannot hang them.
+    fn thread_cluster(config: ClusterConfig) -> Cluster {
+        Cluster::new(config.backend(SchedBackend::Threads))
     }
 
     #[test]
@@ -932,7 +939,7 @@ mod tests {
         // iteration on the same (crashed, now repaired) node; the spent event must
         // not fire again — and the crash counts as ONE spent event even though it
         // killed two ranks.
-        let cluster = Cluster::new(ClusterConfig::with_ranks(4).nodes(2));
+        let cluster = thread_cluster(ClusterConfig::with_ranks(4).nodes(2));
         let outcome = cluster.run(|ctx| {
             let injector =
                 FaultInjector::new(&FaultPlan::crash_node_at(0, 2).into(), ctx.topology())?;
@@ -974,7 +981,7 @@ mod tests {
 
     #[test]
     fn multi_event_schedules_fire_in_order_across_epochs() {
-        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let cluster = thread_cluster(ClusterConfig::with_ranks(2));
         let trace = FailureTrace::schedule(vec![
             FailureSpec::kill_process(0, 2),
             FailureSpec::kill_process(1, 4),

@@ -1,0 +1,272 @@
+//! Backend-equivalence suite: the `threads` and `coop` scheduler backends must be
+//! observationally indistinguishable — every run is a pure function of virtual time,
+//! so a job's results, time breakdowns, statistics and per-attempt accounting must be
+//! **bit-identical** across backends, with and without injected failures. This is the
+//! contract of `mpisim::RankScheduler`, and it is what lets the experiment cache key
+//! omit the backend entirely.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::{CheckpointLevel, Fti, FtiConfig, Protectable};
+use match_core::mpisim::{
+    Cluster, ClusterConfig, FailureSpec, MpiError, RankCtx, SchedBackend, TimeBreakdown,
+};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{
+    DriverOutcome, FailureTrace, FaultInjector, FtConfig, FtDriver, RecoveryStrategy,
+};
+use match_core::{runner, Experiment, SuiteOptions};
+
+const ITERATIONS: u64 = 12;
+const NPROCS: usize = 4;
+const NNODES: usize = 2;
+
+/// The driver-test toy application (same as the multi-failure suite): deterministic
+/// final value, FTI-protected accumulator, injection hook each iteration.
+fn toy_app(ctx: &mut RankCtx, fti: &mut Fti, injector: &FaultInjector) -> Result<f64, MpiError> {
+    let world = ctx.world();
+    let mut acc = 0.0f64;
+    let mut start = 1u64;
+    fti.protect(0, "acc", &acc);
+    if fti.status().is_restart() {
+        let at = fti.recover_object(ctx, 0, &mut acc)?;
+        start = at + 1;
+    }
+    for iteration in start..=ITERATIONS {
+        injector.maybe_fail(ctx, iteration)?;
+        ctx.compute(2e4);
+        let contribution = ctx.allreduce_sum_f64(&world, (ctx.rank() + 1) as f64)?;
+        acc += contribution;
+        if fti.should_checkpoint(iteration) {
+            fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+        }
+    }
+    fti.finalize(ctx)?;
+    Ok(acc)
+}
+
+/// Everything observable about one rank's execution, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct RankObservation {
+    value: f64,
+    attempts: u32,
+    recoveries: u32,
+    failure_events: u64,
+    finish_secs_bits: u64,
+}
+
+fn run_trace_on(
+    backend: SchedBackend,
+    strategy: RecoveryStrategy,
+    trace: FailureTrace,
+    fti: FtiConfig,
+) -> (Vec<RankObservation>, TimeBreakdown) {
+    let store = CheckpointStore::shared();
+    let config = FtConfig::new(strategy, fti).with_fault(trace);
+    let cluster = Cluster::new(
+        ClusterConfig::with_ranks(NPROCS)
+            .nodes(NNODES)
+            .backend(backend),
+    );
+    let outcome = cluster.run(move |ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        driver.execute(ctx, toy_app)
+    });
+    assert!(
+        outcome.all_ok(),
+        "{strategy} on {backend}: {:?}",
+        outcome.errors()
+    );
+    let observations = outcome
+        .ranks()
+        .iter()
+        .map(|r| {
+            let out: &DriverOutcome<f64> = r.result.as_ref().unwrap();
+            RankObservation {
+                value: out.value,
+                attempts: out.attempts,
+                recoveries: out.recoveries,
+                failure_events: out.failure_events,
+                finish_secs_bits: r.finish_time.as_secs().to_bits(),
+            }
+        })
+        .collect();
+    (observations, outcome.max_breakdown())
+}
+
+/// An L2 configuration with a periodic L4 flush (tolerates the node crashes the
+/// seeded traces below can produce).
+fn resilient_config() -> FtiConfig {
+    FtiConfig::level(CheckpointLevel::L2)
+        .interval(4)
+        .l4_every(8)
+}
+
+#[test]
+fn failure_free_runs_are_bit_identical_across_backends() {
+    for strategy in RecoveryStrategy::ALL {
+        let (a, ba) = run_trace_on(
+            SchedBackend::Threads,
+            strategy,
+            FailureTrace::none(),
+            resilient_config(),
+        );
+        let (b, bb) = run_trace_on(
+            SchedBackend::Coop,
+            strategy,
+            FailureTrace::none(),
+            resilient_config(),
+        );
+        assert_eq!(a, b, "{strategy}: per-rank observations diverged");
+        assert_eq!(ba, bb, "{strategy}: time breakdowns diverged");
+    }
+}
+
+#[test]
+fn node_crash_recovery_is_bit_identical_across_backends() {
+    let trace = FailureTrace::schedule(vec![FailureSpec::crash_node(1, 6)]);
+    for strategy in RecoveryStrategy::ALL {
+        let (a, ba) = run_trace_on(
+            SchedBackend::Threads,
+            strategy,
+            trace.clone(),
+            resilient_config(),
+        );
+        let (b, bb) = run_trace_on(
+            SchedBackend::Coop,
+            strategy,
+            trace.clone(),
+            resilient_config(),
+        );
+        assert!(
+            a.iter().all(|o| o.recoveries >= 1),
+            "{strategy}: no recovery"
+        );
+        assert_eq!(a, b, "{strategy}: node-crash observations diverged");
+        assert_eq!(ba, bb, "{strategy}: node-crash breakdowns diverged");
+    }
+}
+
+/// The `RunReport` level of the same property: a full experiment (real proxy
+/// application, SingleRandom injection) produces equal reports whichever backend the
+/// `MATCH_BACKEND` selection routes it to. Other tests in this binary are
+/// backend-agnostic by the very property under test, so flipping the variable here
+/// cannot perturb them.
+#[test]
+fn experiment_run_reports_are_equal_across_backends() {
+    let experiment = Experiment::new(ProxyKind::Hpccg, InputSize::Small, NPROCS, {
+        RecoveryStrategy::Reinit
+    })
+    .with_options(&SuiteOptions::smoke())
+    .with_failure(true);
+    let saved = std::env::var("MATCH_BACKEND").ok();
+    std::env::set_var("MATCH_BACKEND", "threads");
+    let threads = runner::run_experiment_uncached(&experiment).unwrap();
+    std::env::set_var("MATCH_BACKEND", "coop");
+    let coop = runner::run_experiment_uncached(&experiment).unwrap();
+    match saved {
+        Some(v) => std::env::set_var("MATCH_BACKEND", v),
+        None => std::env::remove_var("MATCH_BACKEND"),
+    }
+    assert_eq!(
+        threads, coop,
+        "RunReports must be bit-identical across backends (the cache key omits the \
+         backend on the strength of this)"
+    );
+    assert!(threads.failure_injected && threads.restarts >= 1);
+}
+
+/// CI slow-lane smoke (run with `--ignored`): a 4096-rank cooperative job — with a
+/// failure, a global-restart recovery and FTI checkpoint/restore — completes in a
+/// single process on one OS thread. Thread-per-rank at this scale needs 4096 host
+/// threads and is two orders of magnitude slower on the *trivial* scale kernel
+/// alone (measured 18.3 s vs 0.17 s on the 1-core container, sys-time dominated);
+/// with the driver's full blocking traffic it is infeasible, which is the ceiling
+/// the cooperative backend removes.
+#[test]
+#[ignore = "slow lane: 4096-rank cooperative job"]
+fn coop_runs_4096_ranks_with_failure_recovery_in_one_process() {
+    const BIG: usize = 4096;
+    let store = CheckpointStore::shared();
+    let config = FtConfig::new(
+        RecoveryStrategy::Reinit,
+        FtiConfig::level(CheckpointLevel::L2).interval(3),
+    )
+    .with_fault(FailureTrace::schedule(vec![FailureSpec::kill_process(
+        BIG / 2,
+        5,
+    )]));
+    let cluster = Cluster::new(
+        ClusterConfig::with_ranks(BIG)
+            .backend(SchedBackend::Coop)
+            .stack_size(256 * 1024),
+    );
+    let outcome = cluster.run(move |ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        driver.execute(ctx, |ctx, fti, injector| {
+            let world = ctx.world();
+            let mut acc = 0.0f64;
+            let mut start = 1u64;
+            fti.protect(0, "acc", &acc);
+            if fti.status().is_restart() {
+                let at = fti.recover_object(ctx, 0, &mut acc)?;
+                start = at + 1;
+            }
+            for iteration in start..=8 {
+                injector.maybe_fail(ctx, iteration)?;
+                acc += ctx.allreduce_sum_f64(&world, 1.0)?;
+                if fti.should_checkpoint(iteration) {
+                    fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+                }
+            }
+            fti.finalize(ctx)?;
+            Ok(acc)
+        })
+    });
+    assert!(outcome.all_ok(), "{:?}", outcome.errors().first());
+    for rank in 0..BIG {
+        let out = outcome.value_of(rank);
+        assert_eq!(out.value, 8.0 * BIG as f64);
+        assert_eq!(out.recoveries, 1, "rank {rank} must recover exactly once");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use match_core::proxies::common::DetRng;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// The tentpole property: any seeded trace of up to three events (kills or
+        /// node crashes) yields bit-identical per-rank observations and time
+        /// breakdowns under `threads` and `coop`, for all three designs.
+        #[test]
+        fn seeded_traces_are_bit_identical_across_backends(
+            seed in any::<u64>(),
+            nevents in 1usize..4,
+        ) {
+            let mut rng = DetRng::new(seed);
+            let mut events = Vec::new();
+            for _ in 0..nevents {
+                let iteration = 1 + rng.next_below(ITERATIONS as usize) as u64;
+                if rng.next_below(4) == 0 {
+                    events.push(FailureSpec::crash_node(rng.next_below(NNODES), iteration));
+                } else {
+                    events.push(FailureSpec::kill_process(rng.next_below(NPROCS), iteration));
+                }
+            }
+            let trace = FailureTrace::schedule(events);
+            for strategy in RecoveryStrategy::ALL {
+                let (a, ba) = run_trace_on(
+                    SchedBackend::Threads, strategy, trace.clone(), resilient_config());
+                let (b, bb) = run_trace_on(
+                    SchedBackend::Coop, strategy, trace.clone(), resilient_config());
+                prop_assert_eq!(&a, &b, "{} diverged on {:?}", strategy, &trace);
+                prop_assert_eq!(&ba, &bb, "{} breakdowns diverged on {:?}", strategy, &trace);
+            }
+        }
+    }
+}
