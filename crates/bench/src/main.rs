@@ -1,18 +1,21 @@
 //! A small CLI that regenerates any table or figure of the MATCH paper on demand.
 //!
 //! ```text
-//! match-bench [--jobs N] [--json] [--backend threads|coop] [--racks N] \
-//!             [table1|fig5|...|fig10|mtbf|findings|micro|scale|all ...]
+//! match-bench [--jobs N] [--json] [--backend threads|coop|par] [--workers N] \
+//!             [--racks N] [table1|fig5|...|fig10|mtbf|findings|micro|scale|all ...]
 //! ```
 //!
 //! `--backend` selects the scheduler backend simulated jobs run on (equivalent to
 //! `MATCH_BACKEND`): `threads` is one OS thread per rank, `coop` multiplexes all
-//! ranks of a job as fibers over one OS thread. Figure output is bit-identical
-//! either way; `coop` is the one that scales to thousands of ranks. `--racks N`
+//! ranks of a job as fibers over one OS thread, `par` shards those fibers across a
+//! small pool of worker threads (`--workers N`, equivalent to `MATCH_WORKERS`).
+//! Figure output is bit-identical across all three and any worker count; `coop`
+//! and `par` are the ones that scale to thousands of ranks. `--racks N`
 //! regroups the experiment topology's nodes into `N` racks (equivalent to
 //! `MATCH_RACKS`; must divide the paper-layout node count). The `scale` target
-//! sweeps rank counts per backend and records wall-clock and RSS (see
-//! [`match_bench::scale`]); like `micro` it is not part of `all`.
+//! sweeps rank counts per backend (and worker counts for `par`) and records
+//! wall-clock and RSS (see [`match_bench::scale`]); like `micro` it is not part
+//! of `all`.
 //!
 //! The `mtbf` target runs the MTBF sweep (efficiency vs. failure rate per design, an
 //! MTBF-driven multi-failure arrival process; knobs: `MATCH_MTBF`,
@@ -222,7 +225,21 @@ fn main() {
                     // starts, single-threaded) routes every target through it.
                     Ok(b) => std::env::set_var(match_core::mpisim::BACKEND_ENV_VAR, b.name()),
                     Err(error) => {
-                        eprintln!("--backend: {error} (expected threads|coop)");
+                        eprintln!("--backend: {error} (expected threads|coop|par)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--workers" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<usize>() {
+                    // Like --backend: resolved from the environment at
+                    // cluster-configuration time, set here before any job starts.
+                    Ok(n) if n > 0 => {
+                        std::env::set_var(match_core::mpisim::WORKERS_ENV_VAR, n.to_string())
+                    }
+                    _ => {
+                        eprintln!("--workers needs a positive integer, got '{value}'");
                         std::process::exit(2);
                     }
                 }

@@ -15,12 +15,15 @@
 //! Environment knobs:
 //!
 //! * `MATCH_SCALE_RANKS` — comma-separated rank ladder (default `512,1024,2048,4096`),
-//! * `MATCH_SCALE_BACKENDS` — subset of `threads,coop` (default both),
+//! * `MATCH_SCALE_BACKENDS` — subset of `threads,coop,par` (default all three),
+//! * `MATCH_SCALE_WORKERS` — comma-separated worker counts swept for the `par`
+//!   backend (default `1,2,4,8`; `threads` and `coop` have no worker dimension and
+//!   run one cell per rank count),
 //! * `MATCH_SCALE_ITERS` — iterations of the kernel per run (default 5),
 //! * `MATCH_SCALE_THREADS_MAX` — largest rank count attempted on the thread backend
 //!   (default 2048; thread-per-rank jobs beyond this tend to exhaust host threads or
 //!   take unreasonably long, which is the point the target demonstrates),
-//! * `MATCH_SCALE_STACK_KB` — per-rank stack in KiB (default 256; both backends).
+//! * `MATCH_SCALE_STACK_KB` — per-rank stack in KiB (default 256; all backends).
 
 use std::time::Instant;
 
@@ -32,6 +35,9 @@ use match_core::table::TextTable;
 pub struct ScaleRow {
     /// The scheduler backend.
     pub backend: SchedBackend,
+    /// Worker threads used by the `par` backend for this cell; `1` for the backends
+    /// without a worker dimension (`threads`, `coop`).
+    pub workers: usize,
     /// Number of simulated ranks.
     pub nranks: usize,
     /// Host wall-clock seconds for the whole job, or `None` when the cell was
@@ -108,6 +114,7 @@ fn proc_status_mib(field: &str) -> Option<f64> {
 /// could not run the job at all (e.g. thread exhaustion).
 fn run_kernel(
     backend: SchedBackend,
+    workers: usize,
     nranks: usize,
     iters: u64,
     stack: usize,
@@ -116,6 +123,7 @@ fn run_kernel(
         let cluster = Cluster::new(
             ClusterConfig::with_ranks(nranks)
                 .backend(backend)
+                .workers(workers)
                 .stack_size(stack),
         );
         let outcome = cluster.run(move |ctx| {
@@ -151,21 +159,39 @@ fn run_kernel(
 pub fn run() -> ScaleReport {
     let ranks = env_list("MATCH_SCALE_RANKS", &[512, 1024, 2048, 4096]);
     let backends = backends_from_env();
+    let worker_ladder = env_list("MATCH_SCALE_WORKERS", &[1, 2, 4, 8]);
     let iters = env_usize("MATCH_SCALE_ITERS", 5) as u64;
     let threads_max = env_usize("MATCH_SCALE_THREADS_MAX", 2048);
     let stack = env_usize("MATCH_SCALE_STACK_KB", 256) * 1024;
 
+    // `par` is swept over the worker ladder; the other backends have no worker
+    // dimension and get one cell per rank count.
+    let mut cells: Vec<(SchedBackend, usize)> = Vec::new();
+    for &backend in &backends {
+        if backend == SchedBackend::Par {
+            cells.extend(worker_ladder.iter().map(|&w| (backend, w)));
+        } else {
+            cells.push((backend, 1));
+        }
+    }
+
     let mut report = ScaleReport::default();
     let mut virt_by_ranks: std::collections::HashMap<usize, f64> = Default::default();
-    for &backend in &backends {
+    for &(backend, workers) in &cells {
+        let label = if backend == SchedBackend::Par {
+            format!("{backend}[w={workers}]")
+        } else {
+            backend.to_string()
+        };
         for &nranks in &ranks {
             if backend == SchedBackend::Threads && nranks > threads_max {
                 println!(
-                    "[scale] {backend}/{nranks}: skipped (over MATCH_SCALE_THREADS_MAX={threads_max}; \
+                    "[scale] {label}/{nranks}: skipped (over MATCH_SCALE_THREADS_MAX={threads_max}; \
                      thread-per-rank is the ceiling this target demonstrates)"
                 );
                 report.rows.push(ScaleRow {
                     backend,
+                    workers,
                     nranks,
                     wall_secs: None,
                     virt_secs: None,
@@ -175,7 +201,7 @@ pub fn run() -> ScaleReport {
                 continue;
             }
             let started = Instant::now();
-            match run_kernel(backend, nranks, iters, stack) {
+            match run_kernel(backend, workers, nranks, iters, stack) {
                 Ok(virt) => {
                     let wall = started.elapsed().as_secs_f64();
                     let rss = proc_status_mib("VmRSS:");
@@ -185,18 +211,19 @@ pub fn run() -> ScaleReport {
                         }
                         Some(&other) if other.to_bits() != virt.to_bits() => {
                             eprintln!(
-                                "[scale] VIRTUAL-TIME MISMATCH at {nranks} ranks: {backend} says \
+                                "[scale] VIRTUAL-TIME MISMATCH at {nranks} ranks: {label} says \
                                  {virt}, another backend said {other} — scheduler contract broken"
                             );
                         }
                         Some(_) => {}
                     }
                     println!(
-                        "[scale] {backend}/{nranks}: {wall:.2}s wall, {virt:.3}s simulated{}",
+                        "[scale] {label}/{nranks}: {wall:.2}s wall, {virt:.3}s simulated{}",
                         rss.map(|r| format!(", {r:.0} MiB RSS")).unwrap_or_default()
                     );
                     report.rows.push(ScaleRow {
                         backend,
+                        workers,
                         nranks,
                         wall_secs: Some(wall),
                         virt_secs: Some(virt),
@@ -205,9 +232,10 @@ pub fn run() -> ScaleReport {
                     });
                 }
                 Err(note) => {
-                    println!("[scale] {backend}/{nranks}: {note}");
+                    println!("[scale] {label}/{nranks}: {note}");
                     report.rows.push(ScaleRow {
                         backend,
+                        workers,
                         nranks,
                         wall_secs: None,
                         virt_secs: None,
@@ -226,6 +254,7 @@ impl ScaleReport {
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec![
             "Backend",
+            "Workers",
             "Ranks",
             "Wall (s)",
             "Simulated (s)",
@@ -235,6 +264,7 @@ impl ScaleReport {
         for row in &self.rows {
             table.add_row(vec![
                 row.backend.to_string(),
+                row.workers.to_string(),
                 row.nranks.to_string(),
                 row.wall_secs.map(|w| format!("{w:.2}")).unwrap_or_default(),
                 row.virt_secs.map(|v| format!("{v:.3}")).unwrap_or_default(),
@@ -248,13 +278,14 @@ impl ScaleReport {
     /// Serializes the sweep as canonical JSON (floats in shortest-round-trip form).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"match-bench-scale-v1\",\n  \"rows\": [\n");
+        out.push_str("{\n  \"schema\": \"match-bench-scale-v2\",\n  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             let field = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or("null".into());
             out.push_str(&format!(
-                "    {{\"backend\": \"{}\", \"nranks\": {}, \"wall_secs\": {}, \"virt_secs\": {}, \
-                 \"rss_mib\": {}, \"note\": \"{}\"}}{}\n",
+                "    {{\"backend\": \"{}\", \"workers\": {}, \"nranks\": {}, \"wall_secs\": {}, \
+                 \"virt_secs\": {}, \"rss_mib\": {}, \"note\": \"{}\"}}{}\n",
                 row.backend.name(),
+                row.workers,
                 row.nranks,
                 field(row.wall_secs),
                 field(row.virt_secs),
@@ -293,13 +324,21 @@ mod tests {
 
     #[test]
     fn kernel_agrees_across_backends_at_smoke_scale() {
-        let a = run_kernel(SchedBackend::Threads, 16, 3, 256 * 1024).unwrap();
-        let b = run_kernel(SchedBackend::Coop, 16, 3, 256 * 1024).unwrap();
+        let a = run_kernel(SchedBackend::Threads, 1, 16, 3, 256 * 1024).unwrap();
+        let b = run_kernel(SchedBackend::Coop, 1, 16, 3, 256 * 1024).unwrap();
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
             "virtual time must be backend-free"
         );
+        for workers in [1, 2, 4] {
+            let c = run_kernel(SchedBackend::Par, workers, 16, 3, 256 * 1024).unwrap();
+            assert_eq!(
+                a.to_bits(),
+                c.to_bits(),
+                "virtual time must not depend on par worker count ({workers})"
+            );
+        }
         assert!(a > 0.0);
     }
 
@@ -307,7 +346,8 @@ mod tests {
     fn report_renders_and_serializes() {
         let report = ScaleReport {
             rows: vec![ScaleRow {
-                backend: SchedBackend::Coop,
+                backend: SchedBackend::Par,
+                workers: 4,
                 nranks: 64,
                 wall_secs: Some(0.5),
                 virt_secs: Some(1.25),
@@ -316,11 +356,12 @@ mod tests {
             }],
         };
         let text = report.render();
-        assert!(text.contains("coop"));
+        assert!(text.contains("par"));
         assert!(text.contains("64"));
         let json = report.to_json();
-        assert!(json.contains("match-bench-scale-v1"));
+        assert!(json.contains("match-bench-scale-v2"));
         assert!(json.contains("\"nranks\": 64"));
+        assert!(json.contains("\"workers\": 4"));
     }
 
     #[test]

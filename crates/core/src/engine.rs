@@ -12,7 +12,12 @@
 //! * **parallelism** — independent experiments of a matrix run concurrently on a
 //!   work-stealing pool of `std` threads bounded by [`SuiteEngine::jobs`] (the
 //!   `MATCH_JOBS` environment variable, defaulting to the host's available
-//!   parallelism), while each experiment still runs its own thread-per-rank cluster;
+//!   parallelism). The engine's core budget (`MATCH_CORES`, defaulting to the host's
+//!   available parallelism) is divided between concurrent experiments and the
+//!   per-experiment scheduler: an engine with `j` jobs publishes
+//!   `max(1, cores / j)` as the default worker count of the `par` rank scheduler
+//!   (overridable via `MATCH_WORKERS`), so `jobs × workers` never oversubscribes
+//!   the budget;
 //! * **fallibility** — a failed rank no longer panics the process: runs return
 //!   `Result<RunReport, `[`SuiteError`]`>` carrying the experiment label and the
 //!   per-rank errors, and matrix runs surface the first failing cell.
@@ -29,6 +34,11 @@ use crate::runner;
 
 /// Environment variable bounding the number of experiments run concurrently.
 pub const JOBS_ENV_VAR: &str = "MATCH_JOBS";
+
+/// Environment variable bounding the engine's total core budget: the product of
+/// concurrent experiments (`MATCH_JOBS`) and per-experiment `par` scheduler workers
+/// stays within this many cores. Defaults to the host's available parallelism.
+pub const CORES_ENV_VAR: &str = "MATCH_CORES";
 
 /// An experiment (or the engine running it) failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +121,7 @@ impl std::error::Error for SuiteError {}
 #[derive(Debug)]
 pub struct SuiteEngine {
     jobs: usize,
+    workers_per_job: usize,
     cache: ResultCache,
 }
 
@@ -131,9 +142,19 @@ impl SuiteEngine {
 
     /// Creates an engine running at most `jobs` experiments concurrently (`0` is
     /// treated as `1`).
+    ///
+    /// The core budget ([`core_budget`], i.e. `MATCH_CORES` or the host's available
+    /// parallelism) left over after dividing by `jobs` — at least 1 — is published
+    /// as the default worker count of the `par` rank scheduler, so experiments
+    /// running concurrently under this engine do not oversubscribe the host. An
+    /// explicit `MATCH_WORKERS` still takes precedence over this default.
     pub fn with_jobs(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let workers_per_job = (core_budget() / jobs).max(1);
+        mpisim::set_default_par_workers(workers_per_job);
         SuiteEngine {
-            jobs: jobs.max(1),
+            jobs,
+            workers_per_job,
             cache: ResultCache::new(),
         }
     }
@@ -154,6 +175,12 @@ impl SuiteEngine {
     /// The maximum number of experiments this engine runs concurrently.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The `par` scheduler worker count this engine published as the per-experiment
+    /// default: `max(1, core_budget / jobs)`.
+    pub fn workers_per_job(&self) -> usize {
+        self.workers_per_job
     }
 
     /// Runs (or recalls) one experiment. Panics inside the computation are contained
@@ -255,17 +282,26 @@ impl SuiteEngine {
     }
 }
 
-/// `MATCH_JOBS` if set and positive, otherwise the host's available parallelism.
+/// `MATCH_JOBS` if set and positive, otherwise the full core budget.
 fn default_jobs() -> usize {
-    std::env::var(JOBS_ENV_VAR)
+    positive_env(JOBS_ENV_VAR).unwrap_or_else(core_budget)
+}
+
+/// The engine's total core budget: `MATCH_CORES` if set and positive, otherwise the
+/// host's available parallelism (1 when that cannot be determined).
+pub fn core_budget() -> usize {
+    positive_env(CORES_ENV_VAR).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn positive_env(var: &str) -> Option<usize> {
+    std::env::var(var)
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
 }
 
 #[cfg(test)]
@@ -343,6 +379,32 @@ mod tests {
         assert_eq!(SuiteEngine::with_jobs(0).jobs(), 1);
         assert!(SuiteEngine::new().jobs() >= 1);
         assert_eq!(SuiteEngine::global().jobs(), SuiteEngine::global().jobs());
+    }
+
+    #[test]
+    fn core_budget_is_split_between_jobs_and_workers() {
+        let budget = core_budget();
+        assert!(budget >= 1);
+        for jobs in [1, 2, 3, 8, budget, budget * 4] {
+            let engine = SuiteEngine::with_jobs(jobs);
+            assert_eq!(engine.workers_per_job(), (budget / jobs).max(1));
+            if jobs <= budget {
+                assert!(
+                    engine.jobs() * engine.workers_per_job() <= budget,
+                    "{jobs} jobs × {} workers oversubscribes a budget of {budget}",
+                    engine.workers_per_job()
+                );
+            } else {
+                // More jobs than cores: each job still gets the floor of one worker.
+                assert_eq!(engine.workers_per_job(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn workers_per_job_floor_is_one() {
+        assert_eq!(SuiteEngine::with_jobs(usize::MAX / 2).workers_per_job(), 1);
+        assert!(SuiteEngine::serial().workers_per_job() >= 1);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod table;
 pub mod table1;
 
 pub use cache::{CacheStats, ExperimentId};
-pub use engine::{SuiteEngine, SuiteError};
+pub use engine::{core_budget, SuiteEngine, SuiteError, CORES_ENV_VAR, JOBS_ENV_VAR};
 pub use experiment::{Experiment, FailureScenario, SuiteOptions};
 pub use figures::{FigureData, FigureRow};
 pub use findings::Findings;

@@ -19,6 +19,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::MpiError;
+use crate::sched::WaitToken;
 use crate::time::SimTime;
 
 /// Type-erased contribution/output values exchanged through a rendezvous.
@@ -31,13 +32,19 @@ pub enum SlotWait<'a> {
     /// Thread backend: block on the slot's internal condition variable, with a long
     /// timeout as a pure fallback (failure transitions wake waiters explicitly).
     Condvar,
-    /// Cooperative backend: `park` releases the slot lock and suspends the calling
-    /// task until woken; `wake` is invoked by whichever member publishes progress
-    /// (outputs ready, round drained) so parked members resume. No timeouts exist on
-    /// this path.
+    /// Fiber backends (`coop`/`par`): `prepare` snapshots the slot's wait channel
+    /// *before* the wait condition is re-checked, `park` releases the slot lock and
+    /// suspends the calling task until woken (or returns immediately if a wake
+    /// invalidated the token), and `wake` is invoked by whichever member publishes
+    /// progress (outputs ready, round drained) so parked members resume. No timeouts
+    /// exist on this path: slot-progress wakes are issued under the slot lock, and
+    /// cluster-wide transitions invalidate prepared tokens, so no wakeup can be lost.
     Park {
+        /// Snapshots the slot's wait channel (called with the slot lock held, before
+        /// the condition check the park guards).
+        prepare: &'a dyn Fn() -> WaitToken,
         /// Suspends the calling task (called with the slot lock released).
-        park: &'a dyn Fn(),
+        park: &'a dyn Fn(WaitToken),
         /// Wakes every task parked on this slot.
         wake: &'a dyn Fn(),
     },
@@ -214,8 +221,19 @@ impl CollSlot {
 
         let mut st = self.state.lock();
 
-        // Wait for the previous round to fully drain before joining a new one.
-        while st.phase == Phase::Delivering && st.outputs[member].is_none() {
+        // Wait for the previous round to fully drain before joining a new one. The
+        // token is prepared before the condition and abort checks: slot-progress
+        // wakes happen under the slot lock we hold, and cluster-wide transition
+        // wakes (which change what `abort_check` returns) invalidate the token, so
+        // the park below can never sleep through either.
+        loop {
+            let token = match wait {
+                SlotWait::Park { prepare, .. } => Some(prepare()),
+                SlotWait::Condvar => None,
+            };
+            if !(st.phase == Phase::Delivering && st.outputs[member].is_none()) {
+                break;
+            }
             if let Some(err) = abort_check() {
                 return Err(err);
             }
@@ -226,7 +244,7 @@ impl CollSlot {
                 }
                 SlotWait::Park { park, .. } => {
                     drop(st);
-                    park();
+                    park(token.expect("token prepared above"));
                     self.state.lock()
                 }
             };
@@ -276,8 +294,15 @@ impl CollSlot {
             self.cv.notify_all();
             wait.notify();
         } else {
-            // Wait for the round to complete.
-            while !(st.phase == Phase::Delivering && st.round == my_round) {
+            // Wait for the round to complete (token-before-check, as above).
+            loop {
+                let token = match wait {
+                    SlotWait::Park { prepare, .. } => Some(prepare()),
+                    SlotWait::Condvar => None,
+                };
+                if st.phase == Phase::Delivering && st.round == my_round {
+                    break;
+                }
                 if let Some(err) = abort_check() {
                     // Withdraw our contribution so a later repair/reset starts clean.
                     if st.round == my_round && st.contributions[member].is_some() {
@@ -293,7 +318,7 @@ impl CollSlot {
                     }
                     SlotWait::Park { park, .. } => {
                         drop(st);
-                        park();
+                        park(token.expect("token prepared above"));
                         self.state.lock()
                     }
                 };

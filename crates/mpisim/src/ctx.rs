@@ -14,7 +14,8 @@ use crate::error::MpiError;
 use crate::machine::{CollectiveKind, MachineModel, StorageTier};
 use crate::msg::{Message, Payload};
 use crate::sched::coop::CoopYielder;
-use crate::sched::WaitKey;
+use crate::sched::par::ParYielder;
+use crate::sched::{WaitKey, WaitToken, Yielder};
 use crate::state::ClusterState;
 use crate::stats::{RankStats, TimeBreakdown};
 use crate::time::SimTime;
@@ -75,10 +76,10 @@ pub struct RankCtx {
     compute_interference: f64,
     io_interference: f64,
     world: Comm,
-    /// Set when this rank runs on the cooperative backend: blocked operations park
-    /// the rank's fiber instead of waiting on condition variables, and state changes
-    /// other ranks may be parked on are signalled through it.
-    coop: Option<CoopYielder>,
+    /// Set when this rank runs on a fiber backend (`coop` or `par`): blocked
+    /// operations park the rank's fiber instead of waiting on condition variables,
+    /// and state changes other ranks may be parked on are signalled through it.
+    yielder: Option<Yielder>,
 }
 
 impl std::fmt::Debug for RankCtx {
@@ -101,10 +102,17 @@ impl RankCtx {
     /// Creates the context for `rank` on the cooperative backend: blocked operations
     /// park the rank's fiber through `yielder` instead of blocking the host thread.
     pub(crate) fn new_coop(rank: usize, state: Arc<ClusterState>, yielder: CoopYielder) -> Self {
-        Self::with_backend(rank, state, Some(yielder))
+        Self::with_backend(rank, state, Some(Yielder::Coop(yielder)))
     }
 
-    fn with_backend(rank: usize, state: Arc<ClusterState>, coop: Option<CoopYielder>) -> Self {
+    /// Creates the context for `rank` on the parallel backend: like
+    /// [`RankCtx::new_coop`], but parks are token-validated against racing wakeups
+    /// from other worker threads.
+    pub(crate) fn new_par(rank: usize, state: Arc<ClusterState>, yielder: ParYielder) -> Self {
+        Self::with_backend(rank, state, Some(Yielder::Par(yielder)))
+    }
+
+    fn with_backend(rank: usize, state: Arc<ClusterState>, yielder: Option<Yielder>) -> Self {
         let world = Comm::new(Arc::clone(&state.world), rank);
         RankCtx {
             rank,
@@ -116,20 +124,32 @@ impl RankCtx {
             compute_interference: 0.0,
             io_interference: 0.0,
             world,
-            coop,
+            yielder,
         }
     }
 
     // ----- backend plumbing ----------------------------------------------------------
 
-    /// Suspends this rank until the wait channel `key` is signalled (cooperative
-    /// backend) or sleeps for `fallback` host time (thread backend, where the
+    /// Snapshots the wait channel `key` for a subsequent [`RankCtx::park_or_sleep`].
+    /// Must be read **before** the condition the park guards is checked: on the
+    /// parallel backend the token is what detects a wake racing the check (the park
+    /// then returns immediately); on the other backends it is inert.
+    pub(crate) fn wait_token(&self, key: WaitKey) -> WaitToken {
+        match &self.yielder {
+            Some(y) => y.wait_token(key),
+            None => WaitToken::immediate(key),
+        }
+    }
+
+    /// Suspends this rank until the token's wait channel is signalled (fiber
+    /// backends) or sleeps for `fallback` host time (thread backend, where the
     /// corresponding state change broadcasts a wakeup anyway). The caller re-checks
-    /// its condition in a loop around this — on the cooperative backend the
-    /// check-then-park sequence is atomic (one OS thread), so no wakeup can be lost.
-    pub(crate) fn park_or_sleep(&self, key: WaitKey, fallback: std::time::Duration) {
-        match &self.coop {
-            Some(y) => y.park(key, self.now),
+    /// its condition in a loop around this, re-reading the token each pass; parks
+    /// whose token a wake has invalidated return immediately, so no wakeup can be
+    /// lost.
+    pub(crate) fn park_or_sleep(&self, token: WaitToken, fallback: std::time::Duration) {
+        match &self.yielder {
+            Some(y) => y.park(token, self.now),
             None => std::thread::sleep(fallback),
         }
     }
@@ -137,7 +157,7 @@ impl RankCtx {
     /// Signals the wait channel `key` (no-op on the thread backend, whose waiters use
     /// condvars or polling instead of channels).
     pub(crate) fn wake_channel(&self, key: WaitKey) {
-        if let Some(y) = &self.coop {
+        if let Some(y) = &self.yielder {
             y.wake(key);
         }
     }
@@ -362,11 +382,14 @@ impl RankCtx {
     /// the rank parks on the failure-event channel and every failure publication
     /// wakes it.
     pub fn wait_for_failure_events(&self, events: u64) {
-        while self.state.failure_events() < events && self.state.failed_count() == 0 {
-            self.park_or_sleep(
-                WaitKey::FAILURE_EVENTS,
-                std::time::Duration::from_micros(100),
-            );
+        loop {
+            // Token before the condition: a publication racing the check invalidates
+            // the park below instead of being lost.
+            let token = self.wait_token(WaitKey::FAILURE_EVENTS);
+            if self.state.failure_events() >= events || self.state.failed_count() > 0 {
+                return;
+            }
+            self.park_or_sleep(token, std::time::Duration::from_micros(100));
         }
     }
 
@@ -570,6 +593,13 @@ impl RankCtx {
                     .ok_or_else(|| MpiError::Internal("message from non-member".into()))?;
                 return Ok((src_comm_rank, msg.tag, msg.payload));
             }
+            // Token before *both* conditions the park guards — the health check and
+            // the mailbox probe: a failure publication or a send racing either one
+            // invalidates the park below instead of being lost (parallel backend).
+            let token = self
+                .yielder
+                .as_ref()
+                .map(|y| y.wait_token(WaitKey::mailbox(self.rank)));
             if let Some(err) = self.state.health_error(comm.shared()) {
                 match err {
                     // Abort and revocation interrupt a blocked receive unconditionally.
@@ -592,20 +622,24 @@ impl RankCtx {
                     }
                 }
             }
-            matched = match &self.coop {
+            matched = match &self.yielder {
                 // Thread backend: the search and the wait happen under one mailbox
                 // lock so a concurrent push can never be missed.
                 None => {
                     mailbox.match_or_wait(comm.id(), src_global, tag_sel, self.state.poll_interval)
                 }
-                // Cooperative backend: a failed match parks this rank's fiber on its
+                // Fiber backends: a failed match parks this rank's fiber on its
                 // mailbox channel; the next matching (or any) send to this rank — or
-                // any cluster-wide failure transition — wakes it. Check-then-park is
-                // atomic here (one OS thread), so no separate lock is needed.
+                // any cluster-wide failure transition — wakes it. On `coop` the
+                // check-then-park is atomic (one OS thread); on `par` the token read
+                // above detects a racing send and turns the park into a no-op.
                 Some(y) => match mailbox.try_match(comm.id(), src_global, tag_sel) {
                     Some(msg) => Some(msg),
                     None => {
-                        y.park(WaitKey::mailbox(self.rank), self.now);
+                        y.park(
+                            token.expect("token read above when a yielder is set"),
+                            self.now,
+                        );
                         None
                     }
                 },
@@ -687,21 +721,26 @@ impl RankCtx {
                     .then_some(err),
             }
         };
-        let coop = self.coop.clone();
+        let yielder = self.yielder.clone();
         let slot_key = WaitKey::object(&comm.shared().slot);
         let entry_time = self.now;
-        let park = || {
-            if let Some(y) = &coop {
-                y.park(slot_key, entry_time);
+        let prepare = || match &yielder {
+            Some(y) => y.wait_token(slot_key),
+            None => WaitToken::immediate(slot_key),
+        };
+        let park = |token: WaitToken| {
+            if let Some(y) = &yielder {
+                y.park(token, entry_time);
             }
         };
         let wake = || {
-            if let Some(y) = &coop {
+            if let Some(y) = &yielder {
                 y.wake(slot_key);
             }
         };
-        let wait = if coop.is_some() {
+        let wait = if yielder.is_some() {
             SlotWait::Park {
+                prepare: &prepare,
                 park: &park,
                 wake: &wake,
             }
@@ -1165,21 +1204,26 @@ impl RankCtx {
         self.state.set_parked(self.rank);
         let state = Arc::clone(&self.state);
         let nprocs = self.state.nprocs;
-        let coop = self.coop.clone();
+        let yielder = self.yielder.clone();
         let slot_key = WaitKey::object(&self.state.recovery_slot);
         let entry_time = self.now;
-        let park = || {
-            if let Some(y) = &coop {
-                y.park(slot_key, entry_time);
+        let prepare = || match &yielder {
+            Some(y) => y.wait_token(slot_key),
+            None => WaitToken::immediate(slot_key),
+        };
+        let park = |token: WaitToken| {
+            if let Some(y) = &yielder {
+                y.park(token, entry_time);
             }
         };
         let wake = || {
-            if let Some(y) = &coop {
+            if let Some(y) = &yielder {
                 y.wake(slot_key);
             }
         };
-        let wait = if coop.is_some() {
+        let wait = if yielder.is_some() {
             SlotWait::Park {
+                prepare: &prepare,
                 park: &park,
                 wake: &wake,
             }

@@ -16,8 +16,12 @@
 //! * stacks are `mmap`ed with a leading [`GUARD_SIZE`] `PROT_NONE` guard region on
 //!   Linux, so a fiber overflowing its stack faults instead of silently corrupting a
 //!   neighbouring allocation (elsewhere a plain aligned heap allocation is used);
+//! * dropped stacks are returned to a process-wide free list (capped at
+//!   [`stack::POOL_MAX_BYTES`]) keyed by mapping size, so back-to-back jobs — and the
+//!   [`par`](super::par) backend's worker threads in particular — reuse warm mappings
+//!   instead of serializing on `mmap`/`munmap` in the kernel;
 //! * there is no scheduler in here — just "create with an entry function" and "switch"
-//!   — policy lives in the [`coop`](super::coop) module.
+//!   — policy lives in the [`coop`](super::coop) and [`par`](super::par) modules.
 //!
 //! # Safety model
 //!
@@ -183,6 +187,33 @@ mod stack {
         fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
     }
 
+    /// Total bytes of unmapped-but-pooled stack memory the process keeps around.
+    /// Generous enough for a 4k-rank coop job's stacks (4096 × 64 KiB = 256 MiB)
+    /// to be reused wholesale by the next job in a sweep.
+    pub const POOL_MAX_BYTES: usize = 256 * 1024 * 1024;
+
+    /// Free list of retired stacks, grouped by mapping length. Bases are stored as
+    /// `usize` (the mappings are not referenced by anyone while pooled, so there is
+    /// no aliasing to express — and `usize` keeps the state `Send`).
+    struct PoolState {
+        /// `(mapping_len, bases)` per size class. Jobs use one or two distinct stack
+        /// sizes, so a linear scan over classes is cheaper than a map.
+        classes: Vec<(usize, Vec<usize>)>,
+        bytes: usize,
+    }
+
+    static POOL: std::sync::Mutex<PoolState> = std::sync::Mutex::new(PoolState {
+        classes: Vec::new(),
+        bytes: 0,
+    });
+
+    fn lock_pool() -> std::sync::MutexGuard<'static, PoolState> {
+        // A panic while holding the pool lock cannot leave the free list in an
+        // inconsistent state (push/pop are atomic w.r.t. the list), so poisoning
+        // is safe to ignore.
+        POOL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// An anonymous mapping with a `PROT_NONE` guard region at its low end. The usable
     /// stack grows down from `base + len` towards the guard.
     pub struct Stack {
@@ -190,9 +221,20 @@ mod stack {
         len: usize,
     }
 
+    // SAFETY: a Stack is a plain owned mapping with no thread affinity; the par
+    // backend moves stacks (inside Fibers) between the spawning thread and workers.
+    unsafe impl Send for Stack {}
+
     impl Stack {
         pub fn new(usable: usize) -> Stack {
             let len = usable + GUARD_SIZE;
+            if let Some(base) = pool_take(len) {
+                // Pooled mappings keep their guard protection; the old stack
+                // contents are garbage, which is exactly what a fresh mapping's
+                // zeroes are to the fiber trampoline — `Fiber::new` plants the
+                // initial frame either way.
+                return Stack { base, len };
+            }
             // SAFETY: plain anonymous private mapping; checked for MAP_FAILED below.
             let base = unsafe {
                 mmap(
@@ -226,11 +268,47 @@ mod stack {
 
     impl Drop for Stack {
         fn drop(&mut self) {
+            if pool_put(self.base, self.len) {
+                return;
+            }
             // SAFETY: unmaps exactly the region mapped in `new`.
             unsafe {
                 munmap(self.base.cast(), self.len);
             }
         }
+    }
+
+    /// Pops a pooled mapping of exactly `len` bytes, if one is available.
+    fn pool_take(len: usize) -> Option<*mut u8> {
+        let mut pool = lock_pool();
+        let class = pool.classes.iter_mut().find(|(l, _)| *l == len)?;
+        let base = class.1.pop()?;
+        pool.bytes -= len;
+        Some(base as *mut u8)
+    }
+
+    /// Returns a mapping to the pool; `false` means the cap is hit and the caller
+    /// must unmap it instead.
+    fn pool_put(base: *mut u8, len: usize) -> bool {
+        let mut pool = lock_pool();
+        if pool.bytes + len > POOL_MAX_BYTES {
+            return false;
+        }
+        pool.bytes += len;
+        match pool.classes.iter_mut().find(|(l, _)| *l == len) {
+            Some(class) => class.1.push(base as usize),
+            None => pool.classes.push((len, vec![base as usize])),
+        }
+        true
+    }
+
+    #[cfg(test)]
+    pub fn pooled_count(len: usize) -> usize {
+        let pool = lock_pool();
+        pool.classes
+            .iter()
+            .find(|(l, _)| *l == len)
+            .map_or(0, |(_, bases)| bases.len())
     }
 }
 
@@ -379,6 +457,35 @@ mod tests {
         pp.fiber_ctx = unsafe { *fiber.context_slot() };
         unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
         assert!(pp.counter.get() > 0);
+    }
+
+    #[test]
+    fn dropped_stacks_are_pooled_and_reused() {
+        // A size class no other test uses, so concurrent tests cannot race on it.
+        const USABLE: usize = MIN_STACK_SIZE + 13 * 4096;
+        const MAPPED: usize = USABLE + GUARD_SIZE;
+        assert_eq!(stack::pooled_count(MAPPED), 0);
+        {
+            let fibers: Vec<Fiber> = (0..4)
+                .map(|_| Fiber::new(USABLE, pingpong_entry, std::ptr::null_mut()))
+                .collect();
+            drop(fibers);
+        }
+        assert_eq!(stack::pooled_count(MAPPED), 4);
+        // Reuse drains the pool instead of mapping fresh stacks...
+        let reused = Fiber::new(USABLE, pingpong_entry, std::ptr::null_mut());
+        assert_eq!(stack::pooled_count(MAPPED), 3);
+        // ...and a reused stack still runs code (ping-pong over a recycled mapping).
+        let mut pp = PingPong {
+            main_ctx: 0,
+            fiber_ctx: 0,
+            counter: Cell::new(0),
+        };
+        drop(reused);
+        let mut fiber = Fiber::new(USABLE, pingpong_entry, &mut pp as *mut _ as *mut ());
+        pp.fiber_ctx = unsafe { *fiber.context_slot() };
+        unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
+        assert_eq!(pp.counter.get(), 1);
     }
 
     #[test]

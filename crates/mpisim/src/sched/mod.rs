@@ -9,7 +9,7 @@
 //! [`RunOutcome`](crate::RunOutcome)s. That property is the contract of the
 //! [`RankScheduler`] trait, and the backend-equivalence test suite enforces it.
 //!
-//! Two backends implement the trait:
+//! Three backends implement the trait:
 //!
 //! * [`ThreadScheduler`] (**`threads`**) — one OS thread per rank, true host
 //!   parallelism, blocking implemented with condition variables plus explicit
@@ -23,17 +23,25 @@
 //!   mailbox polling, no condition variables and no fallback heartbeats exist on this
 //!   path, which removes the per-rank host-thread cost entirely and lifts the
 //!   practical rank ceiling from hundreds to tens of thousands.
+//! * [`ParScheduler`] (**`par`**) — the multi-core variant of `coop`: the virtual-time
+//!   run queue is sharded over `MATCH_WORKERS` worker threads with deterministic
+//!   contiguous rank-block ownership, each worker driving its own `(clock, rank)`
+//!   min-heap of pinned fibers, with token-validated park/wake channels at every
+//!   communication edge and published per-worker virtual-time watermarks. Best for
+//!   paper-scale jobs (≥ ~2k ranks) on multi-core hosts.
 //!
 //! The backend is selected per job through
 //! [`ClusterConfig::backend`](crate::ClusterConfig) (defaulting to the
 //! `MATCH_BACKEND` environment variable, then to `threads`).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::ctx::RankCtx;
 use crate::error::MpiError;
 use crate::runtime::{ClusterConfig, RankOutcome};
 use crate::state::ClusterState;
+use crate::time::SimTime;
 
 pub(crate) mod coop;
 #[cfg(all(
@@ -41,8 +49,10 @@ pub(crate) mod coop;
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 pub(crate) mod fiber;
+pub(crate) mod par;
 
 pub use coop::CoopScheduler;
+pub use par::ParScheduler;
 
 /// Whether the cooperative backend's fiber runtime is available on this target
 /// (Linux on x86-64 or AArch64). Elsewhere [`CoopScheduler`] degrades to the thread
@@ -52,8 +62,58 @@ pub const COOP_SUPPORTED: bool = cfg!(all(
     any(target_arch = "x86_64", target_arch = "aarch64")
 ));
 
-/// Environment variable selecting the default scheduler backend (`threads` or `coop`).
+/// Environment variable selecting the default scheduler backend (`threads`, `coop` or
+/// `par`).
 pub const BACKEND_ENV_VAR: &str = "MATCH_BACKEND";
+
+/// Environment variable selecting the default worker-thread count of the `par`
+/// backend. Explicit [`ClusterConfig::workers`](crate::ClusterConfig) settings win
+/// over it; when neither is set, the process-wide default published by the suite
+/// engine's core-budget arithmetic (see [`set_default_par_workers`]) applies, and
+/// failing that the host's available parallelism.
+pub const WORKERS_ENV_VAR: &str = "MATCH_WORKERS";
+
+/// Environment variable bounding how far a `par` worker may run ahead of the slowest
+/// worker's published virtual-time watermark, in simulated seconds. Unset (the
+/// default) disables the pacing gate entirely — it is never needed for correctness,
+/// only to bound memory skew on pathological workloads (see the `par` module docs).
+pub const HORIZON_ENV_VAR: &str = "MATCH_HORIZON";
+
+/// Process-wide default `par` worker count published by the suite engine (0 = unset).
+static DEFAULT_PAR_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Publishes a process-wide default worker count for `par` jobs whose configuration
+/// does not pin one explicitly. The suite engine calls this with its core-budget
+/// arithmetic (`MATCH_CORES / MATCH_JOBS`) so that concurrently running experiments
+/// do not oversubscribe the host; the `MATCH_WORKERS` environment variable still
+/// overrides it when the user pins a count by hand.
+pub fn set_default_par_workers(workers: usize) {
+    DEFAULT_PAR_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// Resolves the worker count of a `par` job: an explicit per-job setting, then the
+/// `MATCH_WORKERS` environment variable, then the engine-published process default,
+/// then the host's available parallelism.
+pub(crate) fn resolve_workers(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(s) = std::env::var(WORKERS_ENV_VAR) {
+        match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!(
+                "warning: {WORKERS_ENV_VAR}='{s}' is not a positive worker count; ignoring"
+            ),
+        }
+    }
+    let engine_default = DEFAULT_PAR_WORKERS.load(Ordering::Relaxed);
+    if engine_default > 0 {
+        return engine_default;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Which scheduler backend a job runs on (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -63,11 +123,15 @@ pub enum SchedBackend {
     Threads,
     /// All ranks as cooperative fibers over a virtual-time run queue in one OS thread.
     Coop,
+    /// The virtual-time run queue sharded over `MATCH_WORKERS` worker threads, each
+    /// owning a contiguous rank block of pinned fibers.
+    Par,
 }
 
 impl SchedBackend {
     /// Every backend, in the order benches sweep them.
-    pub const ALL: [SchedBackend; 2] = [SchedBackend::Threads, SchedBackend::Coop];
+    pub const ALL: [SchedBackend; 3] =
+        [SchedBackend::Threads, SchedBackend::Coop, SchedBackend::Par];
 
     /// Reads the backend from the `MATCH_BACKEND` environment variable, defaulting to
     /// [`SchedBackend::Threads`]. Unrecognized values fall back to the default (with a
@@ -77,7 +141,7 @@ impl SchedBackend {
             Err(_) => SchedBackend::Threads,
             Ok(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!(
-                    "warning: {BACKEND_ENV_VAR}='{s}' is not a backend (threads|coop); \
+                    "warning: {BACKEND_ENV_VAR}='{s}' is not a backend (threads|coop|par); \
                      using threads"
                 );
                 SchedBackend::Threads
@@ -85,11 +149,12 @@ impl SchedBackend {
         }
     }
 
-    /// The backend's canonical name (`"threads"` / `"coop"`).
+    /// The backend's canonical name (`"threads"` / `"coop"` / `"par"`).
     pub fn name(self) -> &'static str {
         match self {
             SchedBackend::Threads => "threads",
             SchedBackend::Coop => "coop",
+            SchedBackend::Par => "par",
         }
     }
 }
@@ -101,6 +166,7 @@ impl std::str::FromStr for SchedBackend {
         match s.trim().to_ascii_lowercase().as_str() {
             "threads" | "thread" => Ok(SchedBackend::Threads),
             "coop" | "fiber" | "fibers" => Ok(SchedBackend::Coop),
+            "par" | "parallel" => Ok(SchedBackend::Par),
             other => Err(format!("unknown scheduler backend '{other}'")),
         }
     }
@@ -249,6 +315,75 @@ pub(crate) trait JobWaker: Send + Sync {
     fn wake_all_parked(&self);
 }
 
+/// A snapshot of a wait channel's state, read **before** the caller checks its wait
+/// condition and consumed by the park that follows a failed check.
+///
+/// On the single-threaded `coop` backend the check-then-park sequence is atomic by
+/// construction and the token carries no information. On the multi-worker `par`
+/// backend it is an eventcount: the park validates — under the channel's registry
+/// lock — that neither the channel's sequence number nor the cluster-wide wake epoch
+/// has moved since the token was read, and returns *without suspending* if either
+/// did. A wake that raced between the condition check and the park therefore can
+/// never be lost; the caller's retry loop simply re-checks its condition.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitToken {
+    pub(crate) key: WaitKey,
+    pub(crate) epoch: u64,
+    pub(crate) seq: u64,
+}
+
+impl WaitToken {
+    /// A token that always validates (thread/coop backends, where validation is
+    /// unnecessary: threads sleep on condvars, coop parks atomically).
+    pub(crate) fn immediate(key: WaitKey) -> WaitToken {
+        WaitToken {
+            key,
+            epoch: 0,
+            seq: 0,
+        }
+    }
+}
+
+/// The per-rank park/wake handle of whichever fiber backend the rank runs on. Held by
+/// [`RankCtx`] when (and only when) the rank runs on the `coop` or `par` backend.
+#[derive(Debug, Clone)]
+pub(crate) enum Yielder {
+    /// Single-threaded cooperative scheduling: parks are unconditional (the
+    /// check-then-park sequence is atomic on one OS thread).
+    Coop(coop::CoopYielder),
+    /// Sharded multi-worker scheduling: parks are token-validated (see [`WaitToken`]).
+    Par(par::ParYielder),
+}
+
+impl Yielder {
+    /// Reads a wait token for `key`; must be called before the caller checks the
+    /// condition it would park on.
+    pub(crate) fn wait_token(&self, key: WaitKey) -> WaitToken {
+        match self {
+            Yielder::Coop(_) => WaitToken::immediate(key),
+            Yielder::Par(y) => y.wait_token(key),
+        }
+    }
+
+    /// Parks the calling rank on the token's channel; returns when a wakeup resumes
+    /// it, or immediately if the token no longer validates. `now` is the rank's
+    /// virtual clock, which orders it in the run queue on wakeup.
+    pub(crate) fn park(&self, token: WaitToken, now: SimTime) {
+        match self {
+            Yielder::Coop(y) => y.park(token.key, now),
+            Yielder::Par(y) => y.park(token, now),
+        }
+    }
+
+    /// Wakes every rank parked on `key`.
+    pub(crate) fn wake(&self, key: WaitKey) {
+        match self {
+            Yielder::Coop(y) => y.wake(key),
+            Yielder::Par(y) => y.wake(key),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,10 +393,13 @@ mod tests {
         assert_eq!("threads".parse::<SchedBackend>(), Ok(SchedBackend::Threads));
         assert_eq!("Coop".parse::<SchedBackend>(), Ok(SchedBackend::Coop));
         assert_eq!("fibers".parse::<SchedBackend>(), Ok(SchedBackend::Coop));
+        assert_eq!("par".parse::<SchedBackend>(), Ok(SchedBackend::Par));
+        assert_eq!("parallel".parse::<SchedBackend>(), Ok(SchedBackend::Par));
         assert!("green-threads".parse::<SchedBackend>().is_err());
         assert_eq!(SchedBackend::Coop.to_string(), "coop");
+        assert_eq!(SchedBackend::Par.to_string(), "par");
         assert_eq!(SchedBackend::default(), SchedBackend::Threads);
-        assert_eq!(SchedBackend::ALL.len(), 2);
+        assert_eq!(SchedBackend::ALL.len(), 3);
     }
 
     #[test]

@@ -143,8 +143,10 @@ fn survivor_rendezvous(
     let key = WaitKey::object(&shared.survivor_rounds);
 
     // Deposit phase: wait until the previous round has fully drained, then join the
-    // current round.
+    // current round. The token is read before each condition check so a progress
+    // signal racing the check invalidates the park (parallel backend).
     let my_seq = loop {
+        let token = ctx.wait_token(key);
         {
             let mut rounds = shared.survivor_rounds.lock();
             if rounds.finished.is_none() {
@@ -153,10 +155,11 @@ fn survivor_rendezvous(
                 break seq;
             }
         }
-        ctx.park_or_sleep(key, POLL);
+        ctx.park_or_sleep(token, POLL);
     };
 
     loop {
+        let token = ctx.wait_token(key);
         {
             let mut rounds = shared.survivor_rounds.lock();
             if let Some(res) = rounds.finished.clone() {
@@ -218,7 +221,7 @@ fn survivor_rendezvous(
                 }
             }
         }
-        ctx.park_or_sleep(key, POLL);
+        ctx.park_or_sleep(token, POLL);
     }
 }
 

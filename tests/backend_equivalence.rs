@@ -1,9 +1,15 @@
-//! Backend-equivalence suite: the `threads` and `coop` scheduler backends must be
-//! observationally indistinguishable — every run is a pure function of virtual time,
-//! so a job's results, time breakdowns, statistics and per-attempt accounting must be
-//! **bit-identical** across backends, with and without injected failures. This is the
-//! contract of `mpisim::RankScheduler`, and it is what lets the experiment cache key
-//! omit the backend entirely.
+//! Backend-equivalence suite: the `threads`, `coop` and `par` scheduler backends must
+//! be observationally indistinguishable — every run is a pure function of virtual
+//! time, so a job's results, time breakdowns, statistics and per-attempt accounting
+//! must be **bit-identical** across backends (and, for `par`, across any worker
+//! count), with and without injected failures. This is the contract of
+//! `mpisim::RankScheduler`, and it is what lets the experiment cache key omit the
+//! backend entirely.
+
+/// The `par` worker counts every equivalence test sweeps: the degenerate single
+/// worker, small shard counts that split 4 ranks unevenly, and more workers than
+/// ranks (clamped internally).
+const PAR_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 use std::sync::Arc;
 
@@ -62,12 +68,23 @@ fn run_trace_on(
     trace: FailureTrace,
     fti: FtiConfig,
 ) -> (Vec<RankObservation>, TimeBreakdown) {
+    run_trace_on_workers(backend, 0, strategy, trace, fti)
+}
+
+fn run_trace_on_workers(
+    backend: SchedBackend,
+    workers: usize,
+    strategy: RecoveryStrategy,
+    trace: FailureTrace,
+    fti: FtiConfig,
+) -> (Vec<RankObservation>, TimeBreakdown) {
     let store = CheckpointStore::shared();
     let config = FtConfig::new(strategy, fti).with_fault(trace);
     let cluster = Cluster::new(
         ClusterConfig::with_ranks(NPROCS)
             .nodes(NNODES)
-            .backend(backend),
+            .backend(backend)
+            .workers(workers),
     );
     let outcome = cluster.run(move |ctx| {
         let driver = FtDriver::new(config.clone(), Arc::clone(&store));
@@ -120,6 +137,17 @@ fn failure_free_runs_are_bit_identical_across_backends() {
         );
         assert_eq!(a, b, "{strategy}: per-rank observations diverged");
         assert_eq!(ba, bb, "{strategy}: time breakdowns diverged");
+        for workers in PAR_WORKERS {
+            let (c, bc) = run_trace_on_workers(
+                SchedBackend::Par,
+                workers,
+                strategy,
+                FailureTrace::none(),
+                resilient_config(),
+            );
+            assert_eq!(a, c, "{strategy}: par[w={workers}] observations diverged");
+            assert_eq!(ba, bc, "{strategy}: par[w={workers}] breakdowns diverged");
+        }
     }
 }
 
@@ -145,7 +173,48 @@ fn node_crash_recovery_is_bit_identical_across_backends() {
         );
         assert_eq!(a, b, "{strategy}: node-crash observations diverged");
         assert_eq!(ba, bb, "{strategy}: node-crash breakdowns diverged");
+        for workers in PAR_WORKERS {
+            let (c, bc) = run_trace_on_workers(
+                SchedBackend::Par,
+                workers,
+                strategy,
+                trace.clone(),
+                resilient_config(),
+            );
+            assert_eq!(
+                a, c,
+                "{strategy}: par[w={workers}] node-crash observations diverged"
+            );
+            assert_eq!(
+                ba, bc,
+                "{strategy}: par[w={workers}] node-crash breakdowns diverged"
+            );
+        }
     }
+}
+
+/// A rank program that blocks with no simulated event left to produce — here a
+/// receive cycle nobody ever feeds — must be *diagnosed* by the `par` backend with a
+/// panic naming the parked ranks, not hang the suite.
+#[test]
+#[should_panic(expected = "parallel scheduler deadlock")]
+fn par_diagnoses_receive_cycles_instead_of_hanging() {
+    if !match_core::mpisim::COOP_SUPPORTED {
+        // Without fiber support `par` falls back to thread-per-rank, which cannot
+        // diagnose; keep the should_panic contract honest on such hosts.
+        panic!("parallel scheduler deadlock diagnosis needs fiber support");
+    }
+    let cluster = Cluster::new(
+        ClusterConfig::with_ranks(NPROCS)
+            .backend(SchedBackend::Par)
+            .workers(2),
+    );
+    cluster.run(|ctx| {
+        let world = ctx.world();
+        let from = (ctx.rank() + 1) % world.size();
+        let _ = ctx.recv_bytes(&world, from as i32, 7)?;
+        Ok(())
+    });
 }
 
 /// The `RunReport` level of the same property: a full experiment (real proxy
@@ -161,18 +230,30 @@ fn experiment_run_reports_are_equal_across_backends() {
     .with_options(&SuiteOptions::smoke())
     .with_failure(true);
     let saved = std::env::var("MATCH_BACKEND").ok();
+    let saved_workers = std::env::var("MATCH_WORKERS").ok();
     std::env::set_var("MATCH_BACKEND", "threads");
     let threads = runner::run_experiment_uncached(&experiment).unwrap();
     std::env::set_var("MATCH_BACKEND", "coop");
     let coop = runner::run_experiment_uncached(&experiment).unwrap();
+    std::env::set_var("MATCH_BACKEND", "par");
+    std::env::set_var("MATCH_WORKERS", "3");
+    let par = runner::run_experiment_uncached(&experiment).unwrap();
     match saved {
         Some(v) => std::env::set_var("MATCH_BACKEND", v),
         None => std::env::remove_var("MATCH_BACKEND"),
+    }
+    match saved_workers {
+        Some(v) => std::env::set_var("MATCH_WORKERS", v),
+        None => std::env::remove_var("MATCH_WORKERS"),
     }
     assert_eq!(
         threads, coop,
         "RunReports must be bit-identical across backends (the cache key omits the \
          backend on the strength of this)"
+    );
+    assert_eq!(
+        threads, par,
+        "RunReports must be bit-identical on the par backend too"
     );
     assert!(threads.failure_injected && threads.restarts >= 1);
 }
@@ -242,7 +323,8 @@ mod proptests {
 
         /// The tentpole property: any seeded trace of up to three events (kills or
         /// node crashes) yields bit-identical per-rank observations and time
-        /// breakdowns under `threads` and `coop`, for all three designs.
+        /// breakdowns under `threads`, `coop` and `par` (at a seed-chosen worker
+        /// count), for all three designs.
         #[test]
         fn seeded_traces_are_bit_identical_across_backends(
             seed in any::<u64>(),
@@ -258,14 +340,22 @@ mod proptests {
                     events.push(FailureSpec::kill_process(rng.next_below(NPROCS), iteration));
                 }
             }
+            let workers = PAR_WORKERS[rng.next_below(PAR_WORKERS.len())];
             let trace = FailureTrace::schedule(events);
             for strategy in RecoveryStrategy::ALL {
                 let (a, ba) = run_trace_on(
                     SchedBackend::Threads, strategy, trace.clone(), resilient_config());
                 let (b, bb) = run_trace_on(
                     SchedBackend::Coop, strategy, trace.clone(), resilient_config());
+                let (c, bc) = run_trace_on_workers(
+                    SchedBackend::Par, workers, strategy, trace.clone(), resilient_config());
                 prop_assert_eq!(&a, &b, "{} diverged on {:?}", strategy, &trace);
                 prop_assert_eq!(&ba, &bb, "{} breakdowns diverged on {:?}", strategy, &trace);
+                prop_assert_eq!(
+                    &a, &c, "{} diverged on par[w={}] on {:?}", strategy, workers, &trace);
+                prop_assert_eq!(
+                    &ba, &bc,
+                    "{} breakdowns diverged on par[w={}] on {:?}", strategy, workers, &trace);
             }
         }
     }
