@@ -17,10 +17,16 @@
 //!   accepts `--backend NAME`),
 //! * `MATCH_RACKS` — rack-count override for the experiment topology (the `nracks`
 //!   sweep knob; must divide the paper-layout node count; the CLI also accepts
-//!   `--racks N`).
+//!   `--racks N`),
+//! * `MATCH_CACHE` / `MATCH_CACHE_DIR` / `MATCH_CACHE_MAX_MB` — the persistent
+//!   result cache: `off` disables the disk layer, the dir overrides its root
+//!   (default `target/match-cache`), and the cap enables mtime-LRU garbage
+//!   collection (see `match_core::persist`; the CLI's `cache stats|gc|clear`
+//!   subcommand inspects and maintains the store).
 
 pub mod micro;
 pub mod scale;
+pub mod warm;
 
 use match_core::matrix::MatrixOptions;
 use match_core::mtbf::MtbfSweep;

@@ -2,8 +2,24 @@
 //!
 //! ```text
 //! match-bench [--jobs N] [--json] [--backend threads|coop|par] [--workers N] \
-//!             [--racks N] [table1|fig5|...|fig10|mtbf|findings|micro|scale|all ...]
+//!             [--racks N] [--expect-warm] \
+//!             [table1|fig5|...|fig10|mtbf|findings|micro|scale|cachebench|all ...]
+//! match-bench cache stats|gc|clear
 //! ```
+//!
+//! Results persist across invocations: unless `MATCH_CACHE=off`, every simulated
+//! cell is written through to the content-addressed disk store (root
+//! `MATCH_CACHE_DIR`, default `target/match-cache`), so a rerun of the same
+//! figures in a fresh process performs zero simulations — the `disk` counters on
+//! each target's cache line show the reuse. `--expect-warm` turns that into a
+//! contract: the process exits nonzero if any figure cell had to be simulated
+//! (the CI warm-cache job runs figures twice and passes this on the second run).
+//! The `cache` subcommand inspects and maintains the store: `stats` prints the
+//! root/entry/byte counts, `gc` runs one mtime-LRU sweep down to
+//! `MATCH_CACHE_MAX_MB`, and `clear` removes every entry. The `cachebench`
+//! target times a cold-vs-warm Fig. 6 matrix against a private store (with
+//! `--json`: written to `BENCH_PR7.json`); like `micro`/`scale` it is not part
+//! of `all`.
 //!
 //! `--backend` selects the scheduler backend simulated jobs run on (equivalent to
 //! `MATCH_BACKEND`): `threads` is one OS thread per rank, `coop` multiplexes all
@@ -40,12 +56,13 @@ use std::time::Instant;
 
 use match_bench::{
     figure_to_json, micro, mtbf_options_from_env, mtbf_to_json, options_from_env,
-    print_engine_line, print_figure, print_recovery_series, scale,
+    print_engine_line, print_figure, print_recovery_series, scale, warm,
 };
 use match_core::figures;
 use match_core::findings::Findings;
 use match_core::matrix::full_suite_matrix;
 use match_core::mtbf::mtbf_sweep_with_engine;
+use match_core::persist::{DiskCache, CACHE_MAX_MB_ENV_VAR};
 use match_core::table1::table1;
 use match_core::SuiteEngine;
 
@@ -177,6 +194,83 @@ fn run_scale(json: bool) {
     println!();
 }
 
+/// Runs the cold-vs-warm persistent-cache benchmark; with `json`, also writes
+/// `BENCH_PR7.json`.
+fn run_cachebench(json: bool, jobs: Option<usize>, options: &match_core::matrix::MatrixOptions) {
+    println!("Persistent-cache cold vs. warm (fig6 matrix, private store)");
+    match warm::run(jobs, options) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if json {
+                let path = "BENCH_PR7.json";
+                if let Err(error) = std::fs::write(path, report.to_json()) {
+                    eprintln!("failed to write {path}: {error}");
+                    std::process::exit(1);
+                }
+                println!("[wrote {path}]");
+            }
+            println!();
+        }
+        Err(error) => {
+            eprintln!("target 'cachebench' failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `match-bench cache stats|gc|clear` maintenance subcommand. Never returns.
+fn run_cache_command(args: &[String]) -> ! {
+    let sub = match args {
+        [one] => one.as_str(),
+        _ => {
+            eprintln!("usage: match-bench cache stats|gc|clear");
+            std::process::exit(2);
+        }
+    };
+    let Some(disk) = DiskCache::global() else {
+        println!("persistent cache is disabled (MATCH_CACHE=off)");
+        std::process::exit(0);
+    };
+    match sub {
+        "stats" => {
+            let usage = disk.usage();
+            println!("root:    {}", disk.root().display());
+            println!("entries: {}", usage.entries);
+            println!("bytes:   {}", usage.bytes);
+            match disk.max_bytes() {
+                Some(max) => println!("cap:     {max} bytes ({CACHE_MAX_MB_ENV_VAR})"),
+                None => println!("cap:     none ({CACHE_MAX_MB_ENV_VAR} unset)"),
+            }
+        }
+        "gc" => match disk.max_bytes() {
+            Some(max) => {
+                let outcome = disk.gc(max);
+                println!(
+                    "evicted {} entries ({} bytes); {} entries / {} bytes remain under the \
+                     {max}-byte cap",
+                    outcome.evicted,
+                    outcome.bytes_freed,
+                    outcome.remaining.entries,
+                    outcome.remaining.bytes,
+                );
+            }
+            None => {
+                eprintln!("cache gc needs a cap: set {CACHE_MAX_MB_ENV_VAR}");
+                std::process::exit(2);
+            }
+        },
+        "clear" => {
+            let removed = disk.clear();
+            println!("removed {removed} entries from {}", disk.root().display());
+        }
+        other => {
+            eprintln!("unknown cache subcommand '{other}' (expected stats, gc or clear)");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(0);
+}
+
 /// Runs the micro benchmark suite; with `json`, also writes `BENCH_PR2.json`.
 fn run_micro(json: bool, jobs: Option<usize>) {
     let report = micro::run(true, jobs);
@@ -195,11 +289,13 @@ fn run_micro(json: bool, jobs: Option<usize>) {
 fn main() {
     let mut jobs: Option<usize> = None;
     let mut json = false;
+    let mut expect_warm = false;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--expect-warm" => expect_warm = true,
             "--jobs" | "-j" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse::<usize>() {
@@ -259,6 +355,9 @@ fn main() {
             target => targets.push(target.to_string()),
         }
     }
+    if targets.first().is_some_and(|t| t == "cache") {
+        run_cache_command(&targets[1..]);
+    }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
@@ -280,10 +379,10 @@ fn main() {
     // Reject typos before any simulation runs — a bad name at the end of the list
     // must not surface only after minutes of matrix work.
     for name in &expanded {
-        if !TARGETS.contains(name) && *name != "micro" && *name != "scale" {
+        if !TARGETS.contains(name) && !["micro", "scale", "cachebench"].contains(name) {
             eprintln!(
                 "unknown target '{name}' (expected table1, fig5..fig10, mtbf, findings, micro, \
-                 scale, all)"
+                 scale, cachebench, all; or the 'cache stats|gc|clear' subcommand)"
             );
             std::process::exit(2);
         }
@@ -312,8 +411,26 @@ fn main() {
             run_micro(json, jobs);
         } else if name == "scale" {
             run_scale(json);
+        } else if name == "cachebench" {
+            run_cachebench(json, jobs, &options);
         } else {
             run_target(name, &engine, &options, json);
         }
+    }
+
+    // The warm-start contract check: with a populated cache directory, a rerun
+    // must have answered every figure cell without simulating (micro/scale use
+    // private engines and are exempt by design).
+    if expect_warm {
+        let stats = engine.cache_stats();
+        if stats.disk_misses > 0 {
+            eprintln!(
+                "--expect-warm: {} cell(s) were simulated instead of recalled \
+                 (cache: {stats})",
+                stats.disk_misses
+            );
+            std::process::exit(1);
+        }
+        println!("[warm start confirmed: every cell recalled, zero simulations]");
     }
 }

@@ -1,0 +1,86 @@
+//! Build script computing the *source fingerprint* of the simulation stack.
+//!
+//! The persistent result cache (`match_core::persist`) stores `RunReport`s on disk
+//! and its whole contract is "recall == recompute, bit-identical". That only holds
+//! while the simulator that produced an entry is the simulator reading it back: any
+//! edit to the virtual-time machinery, the cost model, the proxies or the recovery
+//! designs may legitimately change every simulated number. Instead of asking humans
+//! to remember a version bump, this script hashes every source file of the crates
+//! that influence simulated results into a 64-bit FNV-1a fingerprint and bakes it
+//! into the binary (`MATCH_SOURCE_FINGERPRINT`). Cache entries carry the
+//! fingerprint in their header; a mismatch is a silent miss, so a stale cache
+//! directory (e.g. a CI `target/` restored from an older commit) degrades to a
+//! recompute-and-rewrite, never to serving outdated results.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The crates whose sources determine simulated results. `bench`/`suite` are
+/// deliberately absent: they only present results. The `parking_lot`/`rand`
+/// shims are included because the arrival models sample through them.
+const FINGERPRINTED_CRATES: [&str; 7] = [
+    "core",
+    "fti",
+    "mpisim",
+    "parking_lot",
+    "proxies",
+    "rand",
+    "recovery",
+];
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn fnv1a64(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
+    let crates_dir = manifest.parent().expect("crates/ dir").to_path_buf();
+
+    let mut files = Vec::new();
+    for krate in FINGERPRINTED_CRATES {
+        let src = crates_dir.join(krate).join("src");
+        println!("cargo:rerun-if-changed={}", src.display());
+        collect_sources(&src, &mut files);
+    }
+
+    // Hash (stable relative path, contents) pairs in sorted order so the
+    // fingerprint does not depend on directory iteration order or the absolute
+    // checkout location.
+    let mut keyed: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|path| {
+            let rel = path
+                .strip_prefix(&crates_dir)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (rel, path)
+        })
+        .collect();
+    keyed.sort();
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (rel, path) in &keyed {
+        fnv1a64(&mut hash, rel.as_bytes());
+        fnv1a64(&mut hash, &[0]);
+        fnv1a64(&mut hash, &fs::read(path).unwrap_or_default());
+    }
+    println!("cargo:rustc-env=MATCH_SOURCE_FINGERPRINT={hash:016x}");
+}

@@ -5,15 +5,22 @@
 //! invocations re-run identical cells. The cache keys every run by an
 //! [`ExperimentId`] — a canonical encoding of *every* field of an
 //! [`Experiment`], including the execution scale and seed — so two
-//! experiments collide exactly when they describe the same simulation. Failure-free
-//! cells are bit-deterministic, so a recall equals a recompute exactly; with-failure
-//! cells carry the simulator's microsecond-level failure-detection jitter between
-//! fresh runs, and the cache pins the first computed report for them.
+//! experiments collide exactly when they describe the same simulation. Every run —
+//! failure-free or with injected failures — is bit-deterministic (failure detection
+//! resolves in virtual time), so the cache contract is exact: a recall equals a
+//! recompute, bit-identical, always. That is also why the scheduler backend and
+//! worker count deliberately do not enter the key.
 //!
 //! The cache is thread-safe and deduplicates *in-flight* computation: when two engine
 //! workers ask for the same cell concurrently, one computes while the other blocks on
 //! the cell's condition variable and receives the finished report, so no cell is ever
 //! simulated twice within a process.
+//!
+//! A cache may additionally be backed by a persistent content-addressed
+//! [`DiskCache`]: lookups then go memory → disk → compute, and computed reports are
+//! written through, so a *fresh process* recalls everything an earlier one computed
+//! (see [`crate::persist`] for the on-disk format and crash-safety rules). Only
+//! successful reports persist — errors and contained panics stay in-process.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +30,7 @@ use recovery::RunReport;
 
 use crate::engine::SuiteError;
 use crate::experiment::Experiment;
+use crate::persist::{DiskCache, DiskLookup};
 
 /// Canonical cache key derived from every field of an [`Experiment`].
 ///
@@ -111,17 +119,61 @@ impl ExperimentId {
             seed: experiment.seed,
         }
     }
+
+    /// The canonical little-endian byte encoding of this id: every field, in
+    /// declaration order, with `usize` widened to 8 bytes. This — not
+    /// `std::hash::Hash`, whose state is unstable across releases and processes —
+    /// is what the persistent cache digests into a content address and stores in
+    /// each entry's header for verification (see [`crate::persist`]).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = crate::persist::Enc::new();
+        enc.u8(self.app);
+        enc.u8(self.input);
+        enc.u8(self.strategy);
+        enc.usize(self.nprocs);
+        enc.usize(self.topology.0);
+        enc.usize(self.topology.1);
+        enc.u8(self.scenario.0);
+        enc.u32(self.scenario.1);
+        enc.u8(self.scenario.2);
+        enc.u8(self.scenario.3);
+        enc.u8(self.scenario.4);
+        enc.u64(self.scale_linear_fraction_bits);
+        enc.u64(self.scale_iteration_cap);
+        enc.usize(self.scale_min_extent);
+        enc.u32(self.repetitions);
+        enc.u64(self.seed);
+        enc.into_bytes()
+    }
 }
 
 /// Snapshot of the cache's hit/miss counters.
+///
+/// The memory-level counters (`hits`/`misses`) keep their historical meaning: a
+/// "miss" is a lookup the in-memory map could not answer. The `disk_*` counters
+/// break those misses down by what happened next: answered from the persistent
+/// store (`disk_hits`) or actually simulated (`disk_misses` — this is the "how
+/// many simulations ran" counter, and it counts computes even when the disk
+/// layer is disabled).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from a finished or in-flight entry.
+    /// Lookups answered from a finished or in-flight in-memory entry.
     pub hits: u64,
-    /// Lookups that had to compute the cell.
+    /// Lookups the in-memory map could not answer.
     pub misses: u64,
-    /// Number of cached cells.
+    /// Number of cached cells in memory.
     pub entries: usize,
+    /// Memory misses answered from the persistent disk store.
+    pub disk_hits: u64,
+    /// Memory misses that fell through to an actual simulation (disk miss, disk
+    /// layer disabled, or a corrupt entry).
+    pub disk_misses: u64,
+    /// Reports written through to the persistent store.
+    pub disk_writes: u64,
+    /// Disk entries that were present but corrupt/unreadable (each one degraded
+    /// to a recompute and was rewritten). Stale entries from another simulator
+    /// build or layout version count as plain disk misses, not errors.
+    pub disk_read_errors: u64,
 }
 
 impl CacheStats {
@@ -140,11 +192,16 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} entries ({:.0}% hit rate)",
+            "{} hits, {} misses, {} entries ({:.0}% hit rate); disk: {} hits, {} misses, \
+             {} writes, {} read errors",
             self.hits,
             self.misses,
             self.entries,
-            self.hit_rate() * 100.0
+            self.hit_rate() * 100.0,
+            self.disk_hits,
+            self.disk_misses,
+            self.disk_writes,
+            self.disk_read_errors,
         )
     }
 }
@@ -178,18 +235,39 @@ impl Cell {
     }
 }
 
-/// A thread-safe, in-memory map from [`ExperimentId`] to finished run reports.
+/// A thread-safe, in-memory map from [`ExperimentId`] to finished run reports,
+/// optionally backed by a persistent [`DiskCache`].
 #[derive(Debug, Default)]
 pub struct ResultCache {
     cells: Mutex<HashMap<ExperimentId, Arc<Cell>>>,
+    disk: Option<Arc<DiskCache>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_read_errors: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty in-memory cache with no persistent backing.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache backed by `disk` (when `Some`): memory misses
+    /// consult the store before computing, and computed reports are written
+    /// through.
+    pub fn with_disk(disk: Option<Arc<DiskCache>>) -> Self {
+        ResultCache {
+            disk,
+            ..Self::default()
+        }
+    }
+
+    /// The persistent store backing this cache, when one is attached.
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
     }
 
     /// Returns the cached result for `id`, computing it with `compute` on first
@@ -218,10 +296,34 @@ impl ResultCache {
         };
         if is_owner {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // Memory missed; the persistent layer answers next. A corrupt entry is
+            // a silent miss (counted) — the recompute below rewrites it.
+            if let Some(disk) = &self.disk {
+                match disk.load(&id) {
+                    DiskLookup::Hit(report) => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        let result = Ok(report);
+                        cell.fill(result.clone());
+                        return result;
+                    }
+                    DiskLookup::Miss => {}
+                    DiskLookup::Corrupt => {
+                        self.disk_read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
             // Convert a panicking compute into an error so waiters are not stranded
             // on a cell that will never fill.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
                 .unwrap_or_else(|payload| Err(SuiteError::panicked_experiment(label, payload)));
+            // Write-through: only successful reports persist (errors and contained
+            // panics are process-local), and a failed write never fails the run.
+            if let (Some(disk), Ok(report)) = (&self.disk, &result) {
+                if disk.store(&id, report).is_ok() {
+                    self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             cell.fill(result.clone());
             result
         } else {
@@ -247,10 +349,16 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cells.lock().expect("cache map lock").len(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_read_errors: self.disk_read_errors.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every *finished* entry and resets the counters. Cells whose first
+    /// Drops every *finished* in-memory entry and resets the counters (the
+    /// persistent store, if any, is untouched — use
+    /// [`DiskCache::clear`] for that). Cells whose first
     /// computation is still in flight are kept, so their owner fills a cell that
     /// waiters (current and future) still see — the compute-once guarantee survives
     /// a concurrent `clear`.
@@ -259,6 +367,10 @@ impl ResultCache {
         cells.retain(|_, cell| cell.slot.lock().expect("cache cell lock").is_none());
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.disk_misses.store(0, Ordering::Relaxed);
+        self.disk_writes.store(0, Ordering::Relaxed);
+        self.disk_read_errors.store(0, Ordering::Relaxed);
     }
 }
 

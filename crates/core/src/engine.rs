@@ -8,7 +8,10 @@
 //!   [`ExperimentId`] in a thread-safe
 //!   [`ResultCache`], so overlapping matrices (Fig. 6 and
 //!   Fig. 7 share every cell; the findings re-derive from the Fig. 6 matrix) never
-//!   simulate the same cell twice in one process;
+//!   simulate the same cell twice in one process; unless `MATCH_CACHE=off`, the
+//!   cache is also backed by the persistent content-addressed [`DiskCache`], so
+//!   *fresh processes* recall earlier results from disk instead of re-simulating
+//!   — a warm figure rerun performs zero simulations;
 //! * **parallelism** — independent experiments of a matrix run concurrently on a
 //!   work-stealing pool of `std` threads bounded by [`SuiteEngine::jobs`] (the
 //!   `MATCH_JOBS` environment variable, defaulting to the host's available
@@ -23,13 +26,14 @@
 //!   per-rank errors, and matrix runs surface the first failing cell.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use mpisim::MpiError;
 use recovery::RunReport;
 
 use crate::cache::{CacheStats, ExperimentId, ResultCache};
 use crate::experiment::Experiment;
+use crate::persist::DiskCache;
 use crate::runner;
 
 /// Environment variable bounding the number of experiments run concurrently.
@@ -141,7 +145,9 @@ impl SuiteEngine {
     }
 
     /// Creates an engine running at most `jobs` experiments concurrently (`0` is
-    /// treated as `1`).
+    /// treated as `1`), backed by the process-wide persistent result store the
+    /// environment describes (see [`DiskCache::global`]; `MATCH_CACHE=off`
+    /// disables it).
     ///
     /// The core budget ([`core_budget`], i.e. `MATCH_CORES` or the host's available
     /// parallelism) left over after dividing by `jobs` — at least 1 — is published
@@ -149,13 +155,21 @@ impl SuiteEngine {
     /// running concurrently under this engine do not oversubscribe the host. An
     /// explicit `MATCH_WORKERS` still takes precedence over this default.
     pub fn with_jobs(jobs: usize) -> Self {
+        Self::with_jobs_and_disk(jobs, DiskCache::global())
+    }
+
+    /// Creates an engine like [`SuiteEngine::with_jobs`] but with an explicit
+    /// persistent store (or none), instead of the environment-described one.
+    /// Lookups go memory → disk → compute with write-through; several engines
+    /// sharing one store recall each other's results across processes.
+    pub fn with_jobs_and_disk(jobs: usize, disk: Option<Arc<DiskCache>>) -> Self {
         let jobs = jobs.max(1);
         let workers_per_job = (core_budget() / jobs).max(1);
         mpisim::set_default_par_workers(workers_per_job);
         SuiteEngine {
             jobs,
             workers_per_job,
-            cache: ResultCache::new(),
+            cache: ResultCache::with_disk(disk),
         }
     }
 
@@ -271,12 +285,22 @@ impl SuiteEngine {
     }
 
     /// Hit/miss counters of the engine's cache. Counters track *scheduled* cells: a
-    /// matrix row recalled during result collection does not bump them.
+    /// matrix row recalled during result collection does not bump them. The
+    /// `disk_misses` counter is the number of cells this engine actually
+    /// simulated — zero on a fully warm-started run.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Drops every cached result (mainly for tests that measure cold-cache work).
+    /// The persistent result store backing this engine's cache, when one is
+    /// attached (`MATCH_CACHE=off` and [`SuiteEngine::with_jobs_and_disk`] with
+    /// `None` detach it).
+    pub fn disk_cache(&self) -> Option<&Arc<DiskCache>> {
+        self.cache.disk()
+    }
+
+    /// Drops every cached in-memory result (mainly for tests that measure
+    /// cold-cache work). The persistent store is untouched.
     pub fn clear_cache(&self) {
         self.cache.clear();
     }

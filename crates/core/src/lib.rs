@@ -10,7 +10,8 @@
 //!
 //! * [`engine::SuiteEngine`] — the execution engine: runs experiments in parallel
 //!   (bounded by the `MATCH_JOBS` environment variable), caches every result by
-//!   content ([`cache::ExperimentId`]), and reports failures as
+//!   content ([`cache::ExperimentId`]) both in memory and — across processes — in
+//!   the persistent [`persist::DiskCache`], and reports failures as
 //!   [`engine::SuiteError`] values instead of panicking;
 //! * [`Experiment`] / [`runner::run_experiment`] — run one workload under one design
 //!   at one scale, with or without an injected process failure, averaged over
@@ -49,6 +50,7 @@ pub mod figures;
 pub mod findings;
 pub mod matrix;
 pub mod mtbf;
+pub mod persist;
 pub mod runner;
 pub mod table;
 pub mod table1;
@@ -59,6 +61,7 @@ pub use experiment::{Experiment, FailureScenario, SuiteOptions};
 pub use figures::{FigureData, FigureRow};
 pub use findings::Findings;
 pub use mtbf::{MtbfSweep, MtbfSweepOptions};
+pub use persist::{DiskCache, CACHE_DIR_ENV_VAR, CACHE_ENV_VAR, CACHE_MAX_MB_ENV_VAR};
 
 // Re-export the building blocks so downstream users (examples, benches) need only one
 // dependency.
