@@ -176,7 +176,7 @@ pub fn run() -> ScaleReport {
     }
 
     let mut report = ScaleReport::default();
-    let mut virt_by_ranks: std::collections::HashMap<usize, f64> = Default::default();
+    let mut virt_by_ranks: std::collections::BTreeMap<usize, f64> = Default::default();
     for &(backend, workers) in &cells {
         let label = if backend == SchedBackend::Par {
             format!("{backend}[w={workers}]")

@@ -1,0 +1,426 @@
+//! A minimal Rust lexer: just enough to tell code apart from comments, string
+//! literals and character literals, so the rules in [`crate::rules`] never fire on
+//! prose. This is deliberately *not* a parser — the rules are token-pattern matchers
+//! — but it is a real lexer: nested block comments, raw strings with arbitrary `#`
+//! fences, byte strings, char-literal-vs-lifetime disambiguation and escape
+//! sequences are all handled, which is exactly the part a regex-based "linter"
+//! gets wrong.
+
+/// One lexed token. `line` is the 1-based source line of the token's first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, fence stripped).
+    Ident(String),
+    /// A single punctuation byte (`::` arrives as two `Punct(':')` tokens).
+    Punct(char),
+    /// A string literal (normal, raw or byte); the content between the quotes,
+    /// escapes left unprocessed — the rules only substring-scan it.
+    Str(String),
+    /// A character or byte literal (content irrelevant to every rule).
+    CharLit,
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+    /// A `//`-style comment, doc or plain; content without the leading slashes.
+    LineComment(String),
+    /// A `/* ... */` comment (nesting folded in); content without the delimiters.
+    BlockComment(String),
+}
+
+impl TokKind {
+    /// The comment text, if this token is a comment.
+    pub fn comment_text(&self) -> Option<&str> {
+        match self {
+            TokKind::LineComment(s) | TokKind::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for the two comment variants.
+    pub fn is_comment(&self) -> bool {
+        self.comment_text().is_some()
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals simply run to
+/// the end of the file (the real compiler rejects such files long before the linter
+/// matters).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line, 0),
+                b'r' => self.r_prefixed(line),
+                b'b' => self.b_prefixed(line),
+                b'\'' => self.quote(line),
+                _ if is_ident_start(b) => self.ident(line),
+                _ if b.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.pos += 1;
+                    self.push(TokKind::Punct(b as char), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, line: usize) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn take_str(&self, start: usize, end: usize) -> String {
+        String::from_utf8_lossy(&self.bytes[start..end]).into_owned()
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut start = self.pos + 2;
+        // Fold the doc markers (`///`, `//!`) into the comment text's lead so the
+        // rules see `/ # Safety` etc.; they only substring-scan, so this is harmless.
+        while self.bytes.get(start) == Some(&b'/') || self.bytes.get(start) == Some(&b'!') {
+            start += 1;
+        }
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end] != b'\n' {
+            end += 1;
+        }
+        self.pos = end;
+        let text = self.take_str(start, end);
+        self.push(TokKind::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        let text = self.take_str(start, end);
+        self.push(TokKind::BlockComment(text), line);
+    }
+
+    /// A normal (escaped) string literal; `self.pos` is at the opening quote.
+    fn string(&mut self, line: usize, _fences: usize) {
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    // A `\<newline>` continuation still advances the line count.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.pos = (self.pos + 1).min(self.bytes.len());
+        let text = self.take_str(start, end);
+        self.push(TokKind::Str(text), line);
+    }
+
+    /// Something starting with `r`: raw string (`r"…"`, `r#"…"#`), raw identifier
+    /// (`r#ident`) or a plain identifier that begins with `r`.
+    fn r_prefixed(&mut self, line: usize) {
+        let mut fences = 0;
+        while self.peek(1 + fences) == Some(b'#') {
+            fences += 1;
+        }
+        match self.peek(1 + fences) {
+            Some(b'"') => {
+                self.pos += 1 + fences;
+                self.raw_string(line, fences);
+            }
+            Some(c) if fences == 1 && is_ident_start(c) => {
+                // Raw identifier `r#ident`: strip the fence, lex as an identifier.
+                self.pos += 2;
+                self.ident(line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// Something starting with `b`: byte string (`b"…"`), raw byte string
+    /// (`br#"…"#`), byte literal (`b'x'`) or a plain identifier beginning with `b`.
+    fn b_prefixed(&mut self, line: usize) {
+        match self.peek(1) {
+            Some(b'"') => {
+                self.pos += 1;
+                self.string(line, 0);
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                self.quote(line);
+            }
+            Some(b'r') => {
+                let mut fences = 0;
+                while self.peek(2 + fences) == Some(b'#') {
+                    fences += 1;
+                }
+                if self.peek(2 + fences) == Some(b'"') {
+                    self.pos += 2 + fences;
+                    self.raw_string(line, fences);
+                } else {
+                    self.ident(line);
+                }
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// A raw string body; `self.pos` is at the opening quote, `fences` is the number
+    /// of `#` marks that must follow the closing quote.
+    fn raw_string(&mut self, line: usize, fences: usize) {
+        self.pos += 1;
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' && (1..=fences).all(|i| self.peek(i) == Some(b'#')) {
+                end = self.pos;
+                self.pos += 1 + fences;
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = self.take_str(start, end);
+        self.push(TokKind::Str(text), line);
+    }
+
+    /// A single quote: either a char/byte literal or a lifetime.
+    fn quote(&mut self, line: usize) {
+        match self.peek(1) {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokKind::CharLit, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char literal; `'a` followed by anything but a closing
+                // quote is a lifetime. Scan the identifier to find out.
+                let mut end = self.pos + 2;
+                while self.bytes.get(end).is_some_and(|&b| is_ident_continue(b)) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    self.push(TokKind::CharLit, line);
+                } else {
+                    // Lifetime: emit the quote as punctuation, the name as an ident.
+                    self.pos += 1;
+                    self.push(TokKind::Punct('\''), line);
+                    self.ident(line);
+                }
+            }
+            // `'x'` where x is punctuation (e.g. `'*'`), or a stray quote.
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                self.pos += 3;
+                self.push(TokKind::CharLit, line);
+            }
+            _ => {
+                self.pos += 1;
+                self.push(TokKind::Punct('\''), line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| is_ident_continue(b))
+        {
+            self.pos += 1;
+        }
+        let text = self.take_str(start, self.pos);
+        self.push(TokKind::Ident(text), line);
+    }
+
+    fn number(&mut self, line: usize) {
+        // Greedy over digits, `_`, type suffixes and hex letters; a `.` is consumed
+        // only when a digit follows, so `0..n` ranges stay two separate tokens.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let in_number = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|c| c.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Num, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let src = r###"
+            // Instant::now() in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "Instant::now()";
+            let r = r#"HashMap::new()"#;
+            let b = b"DefaultHasher";
+            let actual = compute();
+        "###;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "Instant" || i == "HashMap" || i == "DefaultHasher"));
+        assert!(ids.contains(&"actual".to_string()));
+        assert!(ids.contains(&"compute".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert_eq!(ids.iter().filter(|i| *i == "a").count(), 3);
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = lex("let c = 'x'; let n = '\\n'; let star = '*';");
+        let chars = toks.iter().filter(|t| t.kind == TokKind::CharLit).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_terminate_correctly() {
+        let toks = lex(r####"let s = r##"quote " and "# inside"##; let t = after;"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r##"quote " and "# inside"##.to_string()]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("after".into())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb\nc */\nfn f() {}\n\"x\ny\"\nlast";
+        let toks = lex(src);
+        let f = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("fn".into()))
+            .unwrap();
+        assert_eq!(f.line, 4);
+        let last = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("last".into()))
+            .unwrap();
+        assert_eq!(last.line, 7);
+    }
+
+    #[test]
+    fn escaped_newline_continuations_count_lines() {
+        let src = "let s = \"a \\\n         b\";\nlast";
+        let toks = lex(src);
+        let last = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("last".into()))
+            .unwrap();
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn string_content_is_preserved_for_knob_scanning() {
+        let toks = lex(r#"let v = std::env::var("MATCH_EXAMPLE_KNOB");"#);
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            TokKind::Str(s) if s == "MATCH_EXAMPLE_KNOB"
+        )));
+    }
+}

@@ -1,0 +1,257 @@
+//! `match-lint`: in-tree static analysis enforcing the workspace's determinism and
+//! unsafe-containment contracts.
+//!
+//! Everything this reproduction publishes rests on one invariant: the same
+//! `ExperimentId` yields a bit-identical `RunReport` across `MATCH_JOBS`, all three
+//! scheduler backends, any `par` worker count, and cache recall vs. recompute. The
+//! CI byte-diff jobs prove that invariant *dynamically*; this crate rejects the
+//! known hazard classes *statically*, before they cost a debugging session against
+//! a 16k-rank run. See [`rules`] for the rule set and the waiver syntax, and
+//! [`knobs`] for the `MATCH_*` environment-knob registry.
+//!
+//! The analyzer is zero-dependency and token-level: a real lexer ([`lexer`])
+//! strips comments, strings and char literals so rules never fire on prose, but
+//! there is no parser — rules are token-pattern matchers scoped by path. That is
+//! the sweet spot for an in-tree linter: precise enough to have zero false
+//! positives on this tree, simple enough that adding a rule is an afternoon, not
+//! a project.
+
+pub mod knobs;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, FileReport, UNSAFE_ALLOWED};
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rules `match-lint` enforces. `WaiverSyntax` is synthetic: it reports
+/// malformed waiver comments and cannot itself be waived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    NoWallClock,
+    NoUnstableHash,
+    OrderedIteration,
+    FloatReductionOrder,
+    UnsafeContainment,
+    SafetyComment,
+    KnobRegistry,
+    WaiverSyntax,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 8] = [
+        Rule::NoWallClock,
+        Rule::NoUnstableHash,
+        Rule::OrderedIteration,
+        Rule::FloatReductionOrder,
+        Rule::UnsafeContainment,
+        Rule::SafetyComment,
+        Rule::KnobRegistry,
+        Rule::WaiverSyntax,
+    ];
+
+    /// The kebab-case name used in output and in waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoUnstableHash => "no-unstable-hash",
+            Rule::OrderedIteration => "ordered-iteration",
+            Rule::FloatReductionOrder => "float-reduction-order",
+            Rule::UnsafeContainment => "unsafe-containment",
+            Rule::SafetyComment => "safety-comment",
+            Rule::KnobRegistry => "knob-registry",
+            Rule::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether an in-source waiver may suppress this rule.
+    pub fn waivable(self) -> bool {
+        self != Rule::WaiverSyntax
+    }
+
+    /// One-line description for `--list-rules` and the README.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => {
+                "host wall-clock (Instant/SystemTime/thread::sleep) forbidden in simulation code"
+            }
+            Rule::NoUnstableHash => {
+                "std::hash machinery forbidden in persistence/cache-key code (in-tree FNV only)"
+            }
+            Rule::OrderedIteration => {
+                "HashMap/HashSet forbidden in report/figure/serialization modules"
+            }
+            Rule::FloatReductionOrder => {
+                "f64 sum/fold over an unordered collection's values flagged in cost accounting"
+            }
+            Rule::UnsafeContainment => "unsafe only legal inside the four audited modules",
+            Rule::SafetyComment => "every unsafe site needs a // SAFETY: comment stating its invariant",
+            Rule::KnobRegistry => {
+                "every MATCH_* literal must be registered (knobs.rs), read somewhere, and in the README"
+            }
+            Rule::WaiverSyntax => "malformed or reason-less match-lint waiver comments",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a file, a 1-based line, the rule that fired, and prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The aggregated result of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub waivers_used: usize,
+}
+
+impl WorkspaceReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints the workspace rooted at `root`: every `.rs` file under `crates/`,
+/// `tests/` and `examples/` (skipping `target/`), plus the workspace-level knob
+/// checks (dead registry entries, README coverage).
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    let mut knob_uses: Vec<String> = Vec::new();
+    for path in &files {
+        let rel = relative_slash(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let file_report = lint_source(&rel, &src);
+        report.violations.extend(file_report.violations);
+        report.waivers_used += file_report.waivers_used;
+        knob_uses.extend(file_report.knob_uses);
+        report.files_scanned += 1;
+    }
+
+    // Workspace-level knob checks. Usage means a string literal in code — a doc
+    // mention alone does not keep a knob alive.
+    let registry_src = include_str!("knobs.rs");
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    for knob in knobs::KNOBS {
+        if !knob_uses.iter().any(|u| u == knob.name) {
+            report.violations.push(Violation {
+                file: "crates/lint/src/knobs.rs".to_string(),
+                line: registry_entry_line(registry_src, knob.name),
+                rule: Rule::KnobRegistry,
+                message: format!(
+                    "registered knob `{}` is read nowhere in the workspace; delete \
+                     the entry or restore the read",
+                    knob.name
+                ),
+            });
+        }
+        if !readme.contains(&format!("`{}`", knob.name)) {
+            report.violations.push(Violation {
+                file: "README.md".to_string(),
+                line: 1,
+                rule: Rule::KnobRegistry,
+                message: format!(
+                    "knob `{}` is missing from README.md; add a row to the knob \
+                     table ({})",
+                    knob.name, knob.doc
+                ),
+            });
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Locates the workspace root: `explicit` if given, else the nearest ancestor of
+/// `cwd` whose `Cargo.toml` declares `[workspace]`, else this crate's parent
+/// workspace (useful when invoked via `cargo run` from anywhere).
+pub fn find_root(explicit: Option<&Path>, cwd: &Path) -> PathBuf {
+    if let Some(r) = explicit {
+        return r.to_path_buf();
+    }
+    let mut dir = Some(cwd);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn registry_entry_line(src: &str, name: &str) -> usize {
+    let needle = format!("\"{name}\"");
+    src.lines()
+        .position(|l| l.contains(&needle))
+        .map(|i| i + 1)
+        .unwrap_or(1)
+}

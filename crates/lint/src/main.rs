@@ -1,0 +1,121 @@
+//! The `match-lint` CLI: lints the workspace tree and exits nonzero on any
+//! violation. Human-readable by default; `--json` emits a machine-readable report
+//! (schema `match-lint-v1`) for CI artifact upload.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use match_lint::{find_root, lint_workspace, Rule};
+
+const USAGE: &str = "\
+match-lint — static analysis of the determinism and unsafe-containment contracts
+
+USAGE: match-lint [--json] [--root <dir>] [--list-rules]
+
+  --json        emit a JSON report (schema match-lint-v1) instead of text
+  --root <dir>  workspace root (default: nearest ancestor with [workspace])
+  --list-rules  print the rule set with one-line summaries and exit
+
+Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<22} {}", rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = find_root(root.as_deref(), &cwd);
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"match-lint-v1\",\n");
+        out.push_str(&format!(
+            "  \"root\": \"{}\",\n",
+            escape(&root.display().to_string())
+        ));
+        out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+        out.push_str(&format!("  \"waivers_used\": {},\n", report.waivers_used));
+        out.push_str("  \"violations\": [");
+        for (i, v) in report.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                escape(&v.file),
+                v.line,
+                v.rule,
+                escape(&v.message)
+            ));
+        }
+        out.push_str(if report.violations.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        println!("{out}");
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "match-lint: {} violation(s) across {} file(s) scanned ({} waiver(s) honoured)",
+            report.violations.len(),
+            report.files_scanned,
+            report.waivers_used
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -150,6 +150,9 @@ impl RankCtx {
     pub(crate) fn park_or_sleep(&self, token: WaitToken, fallback: std::time::Duration) {
         match &self.yielder {
             Some(y) => y.park(token, self.now),
+            // match-lint: allow(no-wall-clock) -- threads backend's documented host-time
+            // fallback: the 5ms nap only paces a poll loop re-checked against virtual
+            // state, so host timing never reaches any simulation result.
             None => std::thread::sleep(fallback),
         }
     }

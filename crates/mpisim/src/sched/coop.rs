@@ -84,6 +84,8 @@ pub(crate) struct CoopShared {
 // in ClusterState is only used for `wake_all_parked`, which touches the mutex-guarded
 // queues, never the context slots.
 unsafe impl Send for CoopShared {}
+// SAFETY: same single-thread discipline as the Send impl above — shared references
+// only ever dereference the context slots from the job's one OS thread.
 unsafe impl Sync for CoopShared {}
 
 impl CoopShared {
@@ -300,9 +302,11 @@ where
         }
     }));
     match outcome {
-        // SAFETY: out/panic_slot point into vectors owned by run_fibers, which only
-        // reads them after this fiber is Done.
+        // SAFETY: `out` points into a vector owned by run_fibers, which only reads
+        // it after this fiber is Done; slot `rank` is written by this fiber alone.
         Ok(o) => unsafe { *job.out = Some(o) },
+        // SAFETY: as for `out` — `panic_slot` is this rank's private slot in a
+        // vector that outlives every fiber of the job.
         Err(p) => unsafe { *job.panic_slot = Some(p) },
     }
     job.shared.finish(rank)
@@ -337,8 +341,10 @@ where
             state: Arc::clone(&state),
             shared: Arc::clone(&shared),
             body: body as *const F,
-            // SAFETY: in-bounds; the vectors are never resized while fibers live.
+            // SAFETY: in-bounds (`rank < nprocs`, the vector's length); the vector
+            // is never resized while fibers live.
             out: unsafe { outcomes.as_mut_ptr().add(rank) },
+            // SAFETY: same in-bounds offset into the equally sized panics vector.
             panic_slot: unsafe { panics.as_mut_ptr().add(rank) },
         })
         .collect();

@@ -402,11 +402,15 @@ mod tests {
         for _ in 0..3 {
             pp.counter.set(pp.counter.get() + 1);
             let main = pp.main_ctx;
+            // SAFETY: `main` was saved by the test thread's last switch into this
+            // fiber; the save slot lives in the PingPong, which outlives the fiber.
             unsafe { switch_context(&mut pp.fiber_ctx, main) };
         }
         pp.counter.set(pp.counter.get() + 1000);
         loop {
             let main = pp.main_ctx;
+            // SAFETY: as above — the test thread is suspended in `main` whenever
+            // this fiber runs, and both executions share one OS thread.
             unsafe { switch_context(&mut pp.fiber_ctx, main) };
         }
     }
@@ -419,11 +423,16 @@ mod tests {
             counter: Cell::new(0),
         };
         let mut fiber = Fiber::new(MIN_STACK_SIZE, pingpong_entry, &mut pp as *mut _ as *mut ());
+        // SAFETY: the fiber was just created and has never run: its slot holds the
+        // initial context planted by `Fiber::new`.
         pp.fiber_ctx = unsafe { *fiber.context_slot() };
         for expect in 1..=3u64 {
+            // SAFETY: `fiber_ctx` is the fiber's latest suspension (initial, then
+            // re-saved by each of its switches back); `fiber` stays alive throughout.
             unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
             assert_eq!(pp.counter.get(), expect);
         }
+        // SAFETY: as in the loop above — one more resume of the same live fiber.
         unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
         assert_eq!(pp.counter.get(), 1003);
     }
@@ -438,10 +447,14 @@ mod tests {
                 recurse(depth - 1, acc + 1) + locals[0]
             }
         }
+        // SAFETY: `arg` is the address of the test's PingPong, alive for the whole
+        // test and only accessed by one execution at a time (single OS thread).
         let pp = unsafe { &mut *(arg as *mut PingPong) };
         pp.counter.set(recurse(64, 1));
         loop {
             let main = pp.main_ctx;
+            // SAFETY: the test thread is suspended in `main`; its save slot outlives
+            // the fiber.
             unsafe { switch_context(&mut pp.fiber_ctx, main) };
         }
     }
@@ -454,7 +467,10 @@ mod tests {
             counter: Cell::new(0),
         };
         let mut fiber = Fiber::new(256 * 1024, deep_frames_entry, &mut pp as *mut _ as *mut ());
+        // SAFETY: freshly created fiber — the slot holds its initial context.
         pp.fiber_ctx = unsafe { *fiber.context_slot() };
+        // SAFETY: resuming that initial context on the same thread; `fiber` (and its
+        // stack) outlive the switch.
         unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
         assert!(pp.counter.get() > 0);
     }
@@ -483,7 +499,11 @@ mod tests {
         };
         drop(reused);
         let mut fiber = Fiber::new(USABLE, pingpong_entry, &mut pp as *mut _ as *mut ());
+        // SAFETY: freshly created fiber (on a recycled mapping) — the slot holds the
+        // initial context planted by `Fiber::new`.
         pp.fiber_ctx = unsafe { *fiber.context_slot() };
+        // SAFETY: resuming that initial context on the same thread; `fiber` stays
+        // alive across the switch.
         unsafe { switch_context(&mut pp.main_ctx, pp.fiber_ctx) };
         assert_eq!(pp.counter.get(), 1);
     }

@@ -150,6 +150,8 @@ pub(crate) struct ParShared {
 // context slots). Initial slot installation on the spawning thread happens-before the
 // workers start.
 unsafe impl Send for ParShared {}
+// SAFETY: same pinned-owner discipline as the Send impl above — shared references
+// only dereference a context slot from the one worker thread that owns it.
 unsafe impl Sync for ParShared {}
 
 impl ParShared {
@@ -506,10 +508,13 @@ where
         }
     }));
     match outcome {
-        // SAFETY: out/panic_slot point into vectors owned by run_workers, which only
-        // reads them after the worker threads have joined.
+        // SAFETY: `out` points into a vector owned by run_workers, which only reads
+        // it after the worker threads have joined; slot `rank` is written by this
+        // fiber alone.
         Ok(o) => unsafe { *job.out = Some(o) },
         Err(p) => {
+            // SAFETY: as for `out` — `panic_slot` is this rank's private slot in a
+            // vector that outlives the worker threads.
             unsafe { *job.panic_slot = Some(p) };
             // A dead rank may leave peers parked on it forever: abandon the job so
             // every worker drains out and the panic propagates through the join.
@@ -569,8 +574,10 @@ where
             state: Arc::clone(&state),
             shared: Arc::clone(&shared),
             body: body as *const F,
-            // SAFETY: in-bounds; the vectors are never resized while fibers live.
+            // SAFETY: in-bounds (`rank < nprocs`, the vector's length); the vector
+            // is never resized while fibers live.
             out: unsafe { outcomes.as_mut_ptr().add(rank) },
+            // SAFETY: same in-bounds offset into the equally sized panics vector.
             panic_slot: unsafe { panics.as_mut_ptr().add(rank) },
         })
         .collect();
