@@ -80,6 +80,7 @@ impl ExperimentId {
             RecoveryStrategy::Restart => 0,
             RecoveryStrategy::Ulfm => 1,
             RecoveryStrategy::Reinit => 2,
+            RecoveryStrategy::Shrink => 3,
         };
         let scenario = match experiment.scenario {
             crate::experiment::FailureScenario::None => (0, 0, 0, 0, 0),

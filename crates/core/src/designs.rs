@@ -1,0 +1,95 @@
+//! The design registry: the single enumeration of the fault-tolerance design axis.
+//!
+//! Every consumer that sweeps "all designs" — the experiment matrices
+//! ([`crate::matrix`]), the figure generators ([`crate::figures`]), the MTBF sweep
+//! ([`crate::mtbf`]), [`crate::engine::SuiteEngine::run_all_designs`] and the
+//! findings ([`crate::findings`]) — enumerates the axis through
+//! [`enabled_designs`]. A design added to [`recovery::RecoveryStrategy::ALL`] then
+//! shows up in every figure at once, and a figure can never silently drop one: the
+//! registry tests (and the coverage test in [`crate::figures`]) compare figure rows
+//! against this list.
+//!
+//! The beyond-the-paper `SHRINK-FTI` design is part of the axis by default.
+//! Setting the `MATCH_SHRINK` environment variable to `0`/`off` restricts the
+//! suite to the paper's original three designs
+//! ([`recovery::RecoveryStrategy::PAPER`]), reproducing the published figures
+//! verbatim. Any other value (or no value) keeps all four designs. The choice does
+//! not enter the cache key: disabling a design only stops scheduling it, and the
+//! per-design results that do run are bit-identical either way.
+
+use recovery::RecoveryStrategy;
+
+/// Environment variable selecting the design axis: `0`/`off` restricts the suite
+/// to the paper's three designs, anything else (including unset) enables the
+/// fourth, shrinking design `SHRINK-FTI` as well.
+pub const SHRINK_ENV_VAR: &str = "MATCH_SHRINK";
+
+/// The designs the suite currently sweeps, in figure order (the paper's three
+/// first, `SHRINK-FTI` last when enabled). Honours [`SHRINK_ENV_VAR`].
+pub fn enabled_designs() -> &'static [RecoveryStrategy] {
+    match std::env::var(SHRINK_ENV_VAR) {
+        Ok(value) if disables_shrink(&value) => &RecoveryStrategy::PAPER,
+        _ => &RecoveryStrategy::ALL,
+    }
+}
+
+/// The figure names of the enabled designs (`"RESTART-FTI"`, ...), in the same
+/// order as [`enabled_designs`].
+pub fn enabled_design_names() -> Vec<&'static str> {
+    enabled_designs().iter().map(|s| s.design_name()).collect()
+}
+
+/// Whether a `MATCH_SHRINK` value turns the shrinking design off.
+fn disables_shrink(value: &str) -> bool {
+    matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "0" | "off" | "false" | "no"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_axis_is_all_four_designs_with_shrink_last() {
+        // The test environment does not set MATCH_SHRINK, so the registry exposes
+        // the full axis: the paper's prefix untouched, the shrinking design last
+        // (figure ordering of the first three bars never changes).
+        let designs = enabled_designs();
+        assert_eq!(designs.len(), 4);
+        assert_eq!(designs[..3], RecoveryStrategy::PAPER);
+        assert_eq!(designs[3], RecoveryStrategy::Shrink);
+        assert_eq!(
+            enabled_design_names(),
+            vec!["RESTART-FTI", "ULFM-FTI", "REINIT-FTI", "SHRINK-FTI"]
+        );
+    }
+
+    #[test]
+    fn off_values_restrict_to_the_paper_axis() {
+        for off in ["0", "off", "OFF", " Off ", "false", "no"] {
+            assert!(disables_shrink(off), "{off:?} must disable SHRINK-FTI");
+        }
+        for on in ["1", "on", "", "yes", "shrink"] {
+            assert!(!disables_shrink(on), "{on:?} must keep SHRINK-FTI enabled");
+        }
+    }
+
+    #[test]
+    fn every_enabled_design_has_a_distinct_name_and_protocol() {
+        // The registry is the single enumeration the figures trust; duplicate or
+        // colliding names would silently merge bars.
+        let names = enabled_design_names();
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        // Exactly one design shrinks the world.
+        assert_eq!(
+            enabled_designs()
+                .iter()
+                .filter(|s| s.shrinks_world())
+                .count(),
+            1
+        );
+    }
+}

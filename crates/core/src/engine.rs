@@ -270,10 +270,11 @@ impl SuiteEngine {
             .collect()
     }
 
-    /// Runs the same workload under all three designs, in
-    /// [`recovery::RecoveryStrategy::ALL`] order (Restart, Ulfm, Reinit).
+    /// Runs the same workload under every design of the registry, in
+    /// [`crate::designs::enabled_designs`] order (Restart, Ulfm, Reinit, then
+    /// Shrink unless `MATCH_SHRINK=0`).
     pub fn run_all_designs(&self, base: &Experiment) -> Result<Vec<RunReport>, SuiteError> {
-        let experiments: Vec<Experiment> = recovery::RecoveryStrategy::ALL
+        let experiments: Vec<Experiment> = crate::designs::enabled_designs()
             .iter()
             .map(|&strategy| {
                 let mut e = *base;
@@ -385,17 +386,22 @@ mod tests {
     }
 
     #[test]
-    fn run_all_designs_orders_like_the_strategy_list() {
+    fn run_all_designs_orders_like_the_design_registry() {
         let engine = SuiteEngine::serial();
         let reports = engine
             .run_all_designs(&smoke(RecoveryStrategy::Restart, true))
             .unwrap();
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), 4);
         assert_eq!(reports[0].strategy, RecoveryStrategy::Restart);
         assert_eq!(reports[1].strategy, RecoveryStrategy::Ulfm);
         assert_eq!(reports[2].strategy, RecoveryStrategy::Reinit);
+        assert_eq!(reports[3].strategy, RecoveryStrategy::Shrink);
         assert!(reports[2].recovery_time() < reports[1].recovery_time());
         assert!(reports[1].recovery_time() < reports[0].recovery_time());
+        // The shrinking design pays a real recovery (revoke + shrink + agree plus
+        // the data redistribution) but never a job relaunch.
+        assert!(reports[3].recovery_time().as_secs() > 0.0);
+        assert!(reports[3].recovery_time() < reports[0].recovery_time());
     }
 
     #[test]

@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn fig5_rows_cover_all_designs_and_groups() {
         let data = fig5_scaling_no_failure(&tiny_options()).unwrap();
-        assert_eq!(data.rows.len(), 2 * 3);
+        assert_eq!(data.rows.len(), 2 * 4);
         assert!(!data.with_failure);
         for row in &data.rows {
             assert!(row.application > 0.0);
@@ -275,7 +275,39 @@ mod tests {
         let text = data.render();
         assert!(text.contains("Figure 5"));
         assert!(text.contains("REINIT-FTI"));
-        assert_eq!(data.rows_for(ProxyKind::Hpccg).len(), 6);
+        assert!(text.contains("SHRINK-FTI"));
+        assert_eq!(data.rows_for(ProxyKind::Hpccg).len(), 8);
+    }
+
+    #[test]
+    fn no_figure_silently_drops_a_registry_design() {
+        // The registry is the single source of the design axis: every
+        // (application, group) cell of every figure must carry every enabled
+        // design. A generator that enumerated a hardcoded subset would fail here.
+        let expected: Vec<&str> = crate::designs::enabled_design_names();
+        let options = tiny_options();
+        for data in [
+            fig5_scaling_no_failure(&options).unwrap(),
+            fig6_scaling_with_failure(&options).unwrap(),
+            fig7_recovery_scaling(&options).unwrap(),
+        ] {
+            let mut cells: std::collections::BTreeMap<(String, String), Vec<&str>> =
+                std::collections::BTreeMap::new();
+            for row in &data.rows {
+                cells
+                    .entry((row.app.name().to_string(), row.group.clone()))
+                    .or_default()
+                    .push(row.design.as_str());
+            }
+            assert!(!cells.is_empty());
+            for ((app, group), designs) in &cells {
+                assert_eq!(
+                    designs, &expected,
+                    "{}: cell {app}/{group} dropped a design",
+                    data.title
+                );
+            }
+        }
     }
 
     #[test]
@@ -292,7 +324,12 @@ mod tests {
             let restart = get("RESTART-FTI");
             let ulfm = get("ULFM-FTI");
             let reinit = get("REINIT-FTI");
+            let shrink = get("SHRINK-FTI");
             assert!(reinit > 0.0);
+            assert!(
+                shrink > 0.0 && shrink < restart,
+                "group {group}: shrink {shrink} must cost recovery but never a relaunch"
+            );
             assert!(
                 reinit < ulfm,
                 "group {group}: reinit {reinit} !< ulfm {ulfm}"
@@ -316,7 +353,7 @@ mod tests {
             },
         };
         let data = fig8_input_no_failure(&options).unwrap();
-        assert_eq!(data.rows.len(), 3 * 3);
+        assert_eq!(data.rows.len(), 3 * 4);
         let groups: std::collections::BTreeSet<_> =
             data.rows.iter().map(|r| r.group.clone()).collect();
         assert_eq!(groups.len(), 3);

@@ -31,6 +31,11 @@ pub struct Findings {
     /// Average of ULFM application time / Restart (baseline) application time: the
     /// application-execution inflation caused by ULFM's background work.
     pub ulfm_app_inflation_avg: f64,
+    /// Average of Shrink recovery time / Reinit recovery time (0.0 when the figure
+    /// carries no `SHRINK-FTI` rows, e.g. under `MATCH_SHRINK=0`). Beyond the
+    /// paper: shrinking pays revoke + shrink + agree plus the data redistribution,
+    /// but never a respawn or a job relaunch.
+    pub shrink_over_reinit_avg: f64,
 }
 
 impl Findings {
@@ -46,17 +51,20 @@ impl Findings {
     ///
     /// # Panics
     ///
-    /// Panics if the figure does not contain all three designs for some cell.
+    /// Panics if the figure does not contain the paper's three designs for some
+    /// cell. `SHRINK-FTI` rows are aggregated when present (they are absent under
+    /// `MATCH_SHRINK=0`).
     pub fn from_figure(data: &FigureData) -> Findings {
         let mut ulfm_ratio = Vec::new();
         let mut restart_ratio = Vec::new();
         let mut restart_over_ulfm = Vec::new();
+        let mut shrink_ratio = Vec::new();
         let mut ckpt_fraction = Vec::new();
         let mut app_inflation = Vec::new();
 
         let mut cells: std::collections::BTreeMap<
             (String, String),
-            [Option<&crate::figures::FigureRow>; 3],
+            [Option<&crate::figures::FigureRow>; 4],
         > = std::collections::BTreeMap::new();
         for row in &data.rows {
             let entry = cells
@@ -66,6 +74,7 @@ impl Findings {
                 "RESTART-FTI" => entry[0] = Some(row),
                 "ULFM-FTI" => entry[1] = Some(row),
                 "REINIT-FTI" => entry[2] = Some(row),
+                "SHRINK-FTI" => entry[3] = Some(row),
                 other => panic!("unknown design {other}"),
             }
         }
@@ -75,14 +84,21 @@ impl Findings {
             let ulfm = designs[1].unwrap_or_else(|| panic!("missing ULFM-FTI for {app}/{group}"));
             let reinit =
                 designs[2].unwrap_or_else(|| panic!("missing REINIT-FTI for {app}/{group}"));
+            let shrink = designs[3];
             if data.with_failure && reinit.recovery > 0.0 {
                 ulfm_ratio.push(ulfm.recovery / reinit.recovery);
                 restart_ratio.push(restart.recovery / reinit.recovery);
                 if ulfm.recovery > 0.0 {
                     restart_over_ulfm.push(restart.recovery / ulfm.recovery);
                 }
+                if let Some(shrink) = shrink {
+                    shrink_ratio.push(shrink.recovery / reinit.recovery);
+                }
             }
-            for row in [restart, ulfm, reinit] {
+            for row in [Some(restart), Some(ulfm), Some(reinit), shrink]
+                .into_iter()
+                .flatten()
+            {
                 if row.total() > 0.0 {
                     ckpt_fraction.push(row.checkpoint_write / row.total());
                 }
@@ -109,6 +125,7 @@ impl Findings {
             restart_over_ulfm_avg: avg(&restart_over_ulfm),
             checkpoint_fraction_avg: avg(&ckpt_fraction),
             ulfm_app_inflation_avg: avg(&app_inflation),
+            shrink_over_reinit_avg: avg(&shrink_ratio),
         }
     }
 
@@ -150,6 +167,13 @@ impl Findings {
             "grows with scale".to_string(),
             format!("{:.2}x", self.ulfm_app_inflation_avg),
         ]);
+        if self.shrink_over_reinit_avg > 0.0 {
+            t.add_row(vec![
+                "Shrink recovery / Reinit recovery (avg)".to_string(),
+                "beyond the paper".to_string(),
+                format!("{:.1}x", self.shrink_over_reinit_avg),
+            ]);
+        }
         t
     }
 }
@@ -191,9 +215,33 @@ mod tests {
         assert!((f.restart_over_ulfm_avg - 2.5).abs() < 1e-9);
         assert!((f.ulfm_app_inflation_avg - 1.2).abs() < 1e-9);
         assert!(f.checkpoint_fraction_avg > 0.0 && f.checkpoint_fraction_avg < 1.0);
+        // Without SHRINK-FTI rows (the MATCH_SHRINK=0 shape) the shrink ratio is
+        // absent from the numbers and the table alike.
+        assert_eq!(f.shrink_over_reinit_avg, 0.0);
         let table = f.to_table().render();
         assert!(table.contains("Paper"));
         assert!(table.contains("4.0x"));
+        assert!(!table.contains("Shrink recovery"));
+    }
+
+    #[test]
+    fn shrink_rows_feed_the_shrink_ratio_when_present() {
+        let mut data = synthetic_figure();
+        data.rows.push(FigureRow {
+            app: ProxyKind::Hpccg,
+            group: "64".to_string(),
+            design: "SHRINK-FTI".to_string(),
+            application: 11.0,
+            checkpoint_write: 1.5,
+            recovery: 2.0,
+        });
+        let f = Findings::from_figure(&data);
+        assert!((f.shrink_over_reinit_avg - 2.0).abs() < 1e-9);
+        // The paper ratios are untouched by the extra design.
+        assert!((f.ulfm_over_reinit_avg - 4.0).abs() < 1e-9);
+        let table = f.to_table().render();
+        assert!(table.contains("Shrink recovery / Reinit recovery"));
+        assert!(table.contains("2.0x"));
     }
 
     #[test]

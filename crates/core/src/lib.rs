@@ -2,9 +2,11 @@
 //!
 //! This crate ties the substrates together into the benchmark suite the MATCH paper
 //! describes: six proxy applications ([`match_proxies`](proxies)) instrumented with
-//! FTI checkpointing ([`fti`]) and driven under three MPI fault-tolerance designs
-//! ([`recovery`]) on a simulated cluster ([`mpisim`]), plus the experiment matrix,
-//! figure generators and findings extraction of the paper's evaluation (Section V).
+//! FTI checkpointing ([`fti`]) and driven under the MPI fault-tolerance designs
+//! ([`recovery`]) on a simulated cluster ([`mpisim`]) — the paper's three plus the
+//! beyond-the-paper shrinking `SHRINK-FTI` (see [`designs`] for the registry every
+//! figure enumerates) — plus the experiment matrix, figure generators and findings
+//! extraction of the paper's evaluation (Section V).
 //!
 //! The main entry points are:
 //!
@@ -44,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod designs;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
@@ -56,6 +59,7 @@ pub mod table;
 pub mod table1;
 
 pub use cache::{CacheStats, ExperimentId};
+pub use designs::{enabled_design_names, enabled_designs, SHRINK_ENV_VAR};
 pub use engine::{core_budget, SuiteEngine, SuiteError, CORES_ENV_VAR, JOBS_ENV_VAR};
 pub use experiment::{Experiment, FailureScenario, SuiteOptions};
 pub use figures::{FigureData, FigureRow};

@@ -1,7 +1,8 @@
 //! The paper's experiment matrices.
 //!
 //! Section V-B of the paper defines two sweeps, both run with and without fault
-//! injection and for all three designs:
+//! injection and for every design of the registry ([`crate::designs`] — the
+//! paper's three plus `SHRINK-FTI` unless `MATCH_SHRINK=0`):
 //!
 //! * the **scaling sweep** — every application on 64, 128, 256 and 512 processes
 //!   (LULESH: 64 and 512) at the small input (Figs. 5–7);
@@ -14,8 +15,8 @@
 //! [`MatrixOptions::paper`] uses the original 64–512.
 
 use proxies::{InputSize, ProxyKind};
-use recovery::RecoveryStrategy;
 
+use crate::designs::enabled_designs;
 use crate::experiment::{Experiment, SuiteOptions};
 
 /// Options controlling the generated matrices.
@@ -109,7 +110,7 @@ pub fn scaling_matrix(options: &MatrixOptions, inject_failure: bool) -> Vec<Expe
     let mut experiments = Vec::new();
     for &app in &options.apps {
         for nprocs in scaled_process_counts(app, options) {
-            for strategy in RecoveryStrategy::ALL {
+            for &strategy in enabled_designs() {
                 experiments.push(
                     Experiment::new(app, InputSize::Small, nprocs, strategy)
                         .with_options(&options.suite)
@@ -127,7 +128,7 @@ pub fn input_size_matrix(options: &MatrixOptions, inject_failure: bool) -> Vec<E
     let mut experiments = Vec::new();
     for &app in &options.apps {
         for input in InputSize::ALL {
-            for strategy in RecoveryStrategy::ALL {
+            for &strategy in enabled_designs() {
                 experiments.push(
                     Experiment::new(app, input, options.default_procs, strategy)
                         .with_options(&options.suite)
@@ -162,12 +163,31 @@ mod tests {
     fn paper_matrix_sizes_match_the_evaluation() {
         let options = MatrixOptions::paper();
         let scaling = scaling_matrix(&options, false);
-        // 5 apps x 4 scales x 3 designs + LULESH x 2 scales x 3 designs = 60 + 6 = 66.
-        assert_eq!(scaling.len(), 66);
+        // 5 apps x 4 scales x 4 designs + LULESH x 2 scales x 4 designs = 80 + 8 = 88.
+        assert_eq!(scaling.len(), 88);
         let inputs = input_size_matrix(&options, true);
-        // 6 apps x 3 sizes x 3 designs.
-        assert_eq!(inputs.len(), 54);
+        // 6 apps x 3 sizes x 4 designs.
+        assert_eq!(inputs.len(), 72);
         assert!(inputs.iter().all(|e| e.nprocs == 64 && e.inject_failure()));
+    }
+
+    #[test]
+    fn every_matrix_cell_group_covers_the_whole_design_registry() {
+        // Dropping a design from a sweep must fail loudly, not shrink a figure: every
+        // (app, nprocs) group of the scaling sweep and every (app, input) group of
+        // the input-size sweep carries exactly the registry's designs, in order.
+        let designs: Vec<_> = crate::designs::enabled_designs().to_vec();
+        let options = MatrixOptions::laptop();
+        let scaling = scaling_matrix(&options, true);
+        for chunk in scaling.chunks(designs.len()) {
+            let got: Vec<_> = chunk.iter().map(|e| e.strategy).collect();
+            assert_eq!(got, designs, "scaling sweep group dropped a design");
+        }
+        let inputs = input_size_matrix(&options, true);
+        for chunk in inputs.chunks(designs.len()) {
+            let got: Vec<_> = chunk.iter().map(|e| e.strategy).collect();
+            assert_eq!(got, designs, "input-size sweep group dropped a design");
+        }
     }
 
     #[test]
@@ -189,7 +209,7 @@ mod tests {
             .with_apps(vec![ProxyKind::Hpccg])
             .with_process_counts(vec![4, 8]);
         let scaling = scaling_matrix(&options, false);
-        assert_eq!(scaling.len(), 2 * 3);
+        assert_eq!(scaling.len(), 2 * 4);
         assert!(scaling.iter().all(|e| e.app == ProxyKind::Hpccg));
         assert_eq!(options.default_procs, 4);
     }
@@ -204,8 +224,8 @@ mod tests {
     fn full_suite_matrix_is_the_union_of_the_four_sweeps() {
         let options = MatrixOptions::paper();
         let all = full_suite_matrix(&options);
-        // 66 scaling cells and 54 input cells, each with and without failure.
-        assert_eq!(all.len(), 2 * 66 + 2 * 54);
-        assert_eq!(all.iter().filter(|e| e.inject_failure()).count(), 66 + 54);
+        // 88 scaling cells and 72 input cells, each with and without failure.
+        assert_eq!(all.len(), 2 * 88 + 2 * 72);
+        assert_eq!(all.iter().filter(|e| e.inject_failure()).count(), 88 + 72);
     }
 }

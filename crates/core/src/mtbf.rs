@@ -21,8 +21,8 @@
 //! loss, which is exactly what the figure is meant to expose.
 
 use proxies::{InputSize, ProxyKind};
-use recovery::RecoveryStrategy;
 
+use crate::designs::enabled_designs;
 use crate::engine::{SuiteEngine, SuiteError};
 use crate::experiment::{Experiment, FailureScenario, SuiteOptions};
 use crate::matrix::MatrixOptions;
@@ -178,8 +178,9 @@ pub fn mtbf_sweep_with_engine(
 ) -> Result<MtbfSweep, SuiteError> {
     // Schedule every cell (baselines + ladder) as one wave so the worker pool
     // saturates once; the per-cell reports are then recalled from the cache.
+    let designs = enabled_designs();
     let mut experiments = Vec::new();
-    for strategy in RecoveryStrategy::ALL {
+    for &strategy in designs {
         let base = Experiment::new(options.app, options.input, options.nprocs, strategy)
             .with_options(&options.suite);
         experiments.push(base);
@@ -196,7 +197,7 @@ pub fn mtbf_sweep_with_engine(
 
     let mut rows = Vec::new();
     let per_design = 1 + options.node_mtbf_ladder.len();
-    for (d, strategy) in RecoveryStrategy::ALL.iter().enumerate() {
+    for (d, strategy) in designs.iter().enumerate() {
         let baseline = &reports[d * per_design];
         let baseline_total = baseline.total_time.as_secs();
         for (i, &mtbf) in options.node_mtbf_ladder.iter().enumerate() {
@@ -252,7 +253,14 @@ mod tests {
     fn sweep_produces_rows_per_design_and_rung() {
         let engine = SuiteEngine::with_jobs(2);
         let sweep = mtbf_sweep_with_engine(&engine, &tiny_sweep()).unwrap();
-        assert_eq!(sweep.rows.len(), 3 * 2);
+        assert_eq!(sweep.rows.len(), 4 * 2);
+        for design in crate::designs::enabled_design_names() {
+            assert_eq!(
+                sweep.rows_for(design).len(),
+                2,
+                "{design} missing from the sweep"
+            );
+        }
         for row in &sweep.rows {
             assert!(row.total > 0.0);
             assert!(row.efficiency > 0.0 && row.efficiency <= 1.0 + 1e-9);

@@ -60,7 +60,8 @@ pub const CACHE_MAX_MB_ENV_VAR: &str = "MATCH_CACHE_MAX_MB";
 
 /// Version of the on-disk entry layout. Bumping it silently invalidates every
 /// existing entry (old files decode as a stale miss and are rewritten).
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2: the attempt log records the surviving world size (SHRINK-FTI).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening every cache entry.
 const MAGIC: [u8; 8] = *b"MATCHRC1";
@@ -292,6 +293,7 @@ fn strategy_tag(strategy: RecoveryStrategy) -> u8 {
         RecoveryStrategy::Restart => 0,
         RecoveryStrategy::Ulfm => 1,
         RecoveryStrategy::Reinit => 2,
+        RecoveryStrategy::Shrink => 3,
     }
 }
 
@@ -300,6 +302,7 @@ fn strategy_from_tag(tag: u8) -> Result<RecoveryStrategy, DecodeError> {
         0 => Ok(RecoveryStrategy::Restart),
         1 => Ok(RecoveryStrategy::Ulfm),
         2 => Ok(RecoveryStrategy::Reinit),
+        3 => Ok(RecoveryStrategy::Shrink),
         _ => Err(DecodeError::BadValue("recovery strategy tag")),
     }
 }
@@ -365,6 +368,7 @@ pub fn encode_report(report: &RunReport) -> Vec<u8> {
         enc.f64_bits(attempt.span_secs);
         enc.f64_bits(attempt.recovery_secs);
         enc.bool(attempt.completed);
+        enc.usize(attempt.survivors);
     }
     enc.into_bytes()
 }
@@ -380,7 +384,7 @@ fn decode_report_body(dec: &mut Dec<'_>) -> Result<RunReport, DecodeError> {
     let attempts = dec.u32()?;
     let failure_events = dec.u64()?;
     let nattempts = dec.u32()?;
-    // An attempt record is 21 bytes; reject counts the remaining bytes cannot
+    // An attempt record is 29 bytes; reject counts the remaining bytes cannot
     // possibly satisfy before allocating.
     let mut attempt_log = Vec::with_capacity((nattempts as usize).min(4096));
     for _ in 0..nattempts {
@@ -389,6 +393,7 @@ fn decode_report_body(dec: &mut Dec<'_>) -> Result<RunReport, DecodeError> {
             span_secs: dec.f64_bits()?,
             recovery_secs: dec.f64_bits()?,
             completed: dec.bool()?,
+            survivors: dec.usize()?,
         });
     }
     Ok(RunReport {
@@ -826,12 +831,14 @@ mod tests {
                     span_secs: 3.125,
                     recovery_secs: 0.5,
                     completed: false,
+                    survivors: 8,
                 },
                 AttemptSummary {
                     attempt: 2,
                     span_secs: 9.5,
                     recovery_secs: 0.0,
                     completed: true,
+                    survivors: 7,
                 },
             ],
         }

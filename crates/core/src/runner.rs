@@ -173,12 +173,14 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
         let mut span = 0.0f64;
         let mut recovery = 0.0f64;
         let mut completed = false;
+        let mut survivors = 0usize;
         for rank in outcome.ranks() {
             if let Ok(o) = &rank.result {
                 if let Some(rec) = o.attempt_log.get(i) {
                     span = span.max(rec.ended_at.saturating_sub(rec.started_at).as_secs());
                     recovery = recovery.max(rec.recovery.as_secs());
                     completed |= rec.completed;
+                    survivors = survivors.max(rec.survivors);
                 }
             }
         }
@@ -187,6 +189,7 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
             span_secs: span,
             recovery_secs: recovery,
             completed,
+            survivors,
         });
     }
 
@@ -204,11 +207,11 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
     })
 }
 
-/// Runs the same workload under all three designs and returns the reports in the
-/// paper's order (RESTART-FTI, ULFM-FTI, REINIT-FTI is presented as REINIT last in the
-/// text but the figures order the bars RESTART, REINIT, ULFM; here we return them in
-/// [`recovery::RecoveryStrategy::ALL`] order: Restart, Ulfm, Reinit). Scheduled through the
-/// process-wide engine, so the three designs run concurrently when jobs allow.
+/// Runs the same workload under every design of the registry and returns the
+/// reports in [`crate::designs::enabled_designs`] order: the paper's three designs
+/// first (Restart, Ulfm, Reinit), then the shrinking design unless
+/// `MATCH_SHRINK=0`. Scheduled through the process-wide engine, so the designs run
+/// concurrently when jobs allow.
 pub fn run_all_designs(base: &Experiment) -> Result<Vec<RunReport>, SuiteError> {
     SuiteEngine::global().run_all_designs(base)
 }
@@ -249,12 +252,25 @@ mod tests {
     fn all_designs_complete_and_are_ordered_on_recovery() {
         let base = smoke_experiment(RecoveryStrategy::Restart, true);
         let reports = run_all_designs(&base).unwrap();
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), crate::designs::enabled_designs().len());
         let restart = &reports[0];
         let ulfm = &reports[1];
         let reinit = &reports[2];
+        let shrink = &reports[3];
         assert!(reinit.recovery_time() < ulfm.recovery_time());
         assert!(ulfm.recovery_time() < restart.recovery_time());
+        assert!(shrink.recovery_time().as_secs() > 0.0);
+        // The surviving world size is recorded per attempt: after the single
+        // injected failure the shrinking design continues one rank short, while the
+        // non-shrinking designs restore the full world.
+        assert!(shrink
+            .attempt_log
+            .iter()
+            .any(|a| a.survivors == base.nprocs - 1));
+        assert!(restart
+            .attempt_log
+            .iter()
+            .all(|a| a.survivors == base.nprocs));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use mpisim::{Comm, MpiError, Payload, RankCtx, TimeCategory};
 use crate::config::FtiConfig;
 use crate::level::{read_checkpoint_at, write_checkpoint_payload, ReadOutcome, WriteOutcome};
 use crate::meta::{CheckpointMeta, FtiStats};
-use crate::protect::{Protectable, ProtectedObject};
+use crate::protect::{block_range, ObjectLayout, Protectable, ProtectedObject};
 use crate::store::CheckpointStore;
 
 /// Whether the application is starting fresh or restarting from a checkpoint
@@ -149,15 +149,65 @@ impl Fti {
     /// Registration records the object's identifier, name and current size; the data
     /// itself is passed to [`Fti::checkpoint`] and [`Fti::recover`].
     pub fn protect<T: Protectable + ?Sized>(&mut self, id: u32, name: &str, object: &T) {
+        self.register(id, name, object.byte_len(), ObjectLayout::Replicated);
+    }
+
+    /// Registers one rank-local block of a globally partitioned array for
+    /// checkpointing. The job holds `total_units` indivisible units across the FTI
+    /// communicator, block-distributed with the canonical [`block_range`] formula;
+    /// this rank's registered object must hold exactly its block. The layout is
+    /// recorded in every checkpoint's metadata, which is what lets a shrinking
+    /// recovery re-partition the data over the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object's serialized size is not an integral number of units for
+    /// this rank's block.
+    pub fn protect_partitioned<T: Protectable + ?Sized>(
+        &mut self,
+        id: u32,
+        name: &str,
+        object: &T,
+        total_units: u64,
+    ) {
         let bytes = object.byte_len();
+        let (_, count) = block_range(total_units, self.comm.size(), self.comm.rank());
+        let unit_bytes = if count > 0 {
+            assert!(
+                (bytes as u64).is_multiple_of(count),
+                "object {id} ({name}): {bytes} bytes is not a whole number of units \
+                 for a block of {count} of {total_units} units"
+            );
+            (bytes as u64 / count) as usize
+        } else {
+            assert_eq!(
+                bytes, 0,
+                "a rank with no units must register an empty block"
+            );
+            0
+        };
+        self.register(
+            id,
+            name,
+            bytes,
+            ObjectLayout::Block {
+                total_units,
+                unit_bytes,
+            },
+        );
+    }
+
+    fn register(&mut self, id: u32, name: &str, bytes: usize, layout: ObjectLayout) {
         if let Some(existing) = self.registry.iter_mut().find(|o| o.id == id) {
             existing.name = name.to_string();
             existing.bytes = bytes;
+            existing.layout = layout;
         } else {
             self.registry.push(ProtectedObject {
                 id,
                 name: name.to_string(),
                 bytes,
+                layout,
             });
         }
     }
@@ -219,6 +269,13 @@ impl Fti {
             object_lens.push(flat.len() - start);
         }
         let payload = Payload::from(flat);
+        let layout_of = |id: u32| {
+            self.registry
+                .iter()
+                .find(|o| o.id == id)
+                .map(|o| o.layout)
+                .unwrap_or(ObjectLayout::Replicated)
+        };
         let meta = CheckpointMeta {
             ckpt_id: self.next_ckpt_id,
             iteration,
@@ -226,6 +283,7 @@ impl Fti {
             bytes: payload.len(),
             object_ids: objects.iter().map(|(id, _)| *id).collect(),
             object_lens,
+            object_layouts: objects.iter().map(|(id, _)| layout_of(*id)).collect(),
         };
 
         let prev = ctx.set_category(TimeCategory::CheckpointWrite);

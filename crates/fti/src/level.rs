@@ -128,7 +128,10 @@ pub fn write_checkpoint_payload(
         }
         CheckpointLevel::L2 => {
             ctx.charge_storage_write(StorageTier::RamDisk, payload_bytes);
-            let partner = ctx.topology().partner_rank(rank);
+            // Partner selection is communicator-aware: on the full world it is the
+            // historical topology mapping (bit-identical placement); on a shrunk
+            // survivor communicator the partner is picked among the survivors.
+            let partner = crate::placement::partner_rank_in(ctx.topology(), comm, rank);
             let partner_node = ctx.topology().node_of(partner);
             // The partner copy is charged by the failure domain it actually crosses:
             // the rack-local fabric, or the rack uplinks when the partner mapping
@@ -173,7 +176,7 @@ pub fn write_checkpoint_payload(
             // `group_size` nodes (see `crate::placement`), and the k+m shards are
             // scattered round-robin over the block — one shard per node when the
             // block is full-width, so the group survives the loss of any `m` nodes.
-            let group = crate::placement::l3_group(ctx.topology(), rank, cfg.group_size);
+            let group = crate::placement::l3_group_in(ctx.topology(), comm, rank, cfg.group_size);
             blobs.insert(
                 BlobKind::Primary,
                 StoredBlob {
@@ -308,9 +311,29 @@ pub fn read_checkpoint_at(
     iteration: Option<u64>,
 ) -> Result<Option<ReadOutcome>, MpiError> {
     let rank = ctx.rank();
+    read_checkpoint_of(ctx, cfg, store, rank, iteration)
+}
+
+/// Like [`read_checkpoint_at`], but reads the checkpoint set of an arbitrary
+/// `owner` rank instead of the caller's own. Used by shrinking recovery, where a
+/// survivor adopts the checkpoint of a retired rank and re-partitions its data: the
+/// read charges the caller's clock by the failure domain each blob actually crosses
+/// (a dead rank's surviving blobs live on *other* nodes, so adoption reads are
+/// remote by construction).
+///
+/// # Errors
+///
+/// Same error conditions as [`read_checkpoint`].
+pub fn read_checkpoint_of(
+    ctx: &mut RankCtx,
+    cfg: &FtiConfig,
+    store: &CheckpointStore,
+    owner: usize,
+    iteration: Option<u64>,
+) -> Result<Option<ReadOutcome>, MpiError> {
     let sets = match iteration {
-        Some(it) => store.set_at(rank, it).into_iter().collect::<Vec<_>>(),
-        None => store.sets_newest_first(rank),
+        Some(it) => store.set_at(owner, it).into_iter().collect::<Vec<_>>(),
+        None => store.sets_newest_first(owner),
     };
     if sets.is_empty() {
         return Ok(None);
@@ -368,9 +391,12 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
     let meta = &set.meta;
     let reader_node = ctx.topology().node_of(ctx.rank());
 
-    // Fast path: the primary (node-local) copy is still there.
+    // Fast path: the primary copy is still there. For the owner's own reads the
+    // primary is node-local (RAM disk, as always); an adoption read of a dead rank's
+    // set fetches the primary across the domain separating the reader from it.
     if let Some(primary) = set.blobs.get(&BlobKind::Primary) {
-        ctx.charge_storage_read(StorageTier::RamDisk, primary.data.len());
+        let tier = storage_tier_for(ctx.topology(), reader_node, primary.placement);
+        ctx.charge_storage_read(tier, primary.data.len());
         return Some(ReadOutcome {
             objects: meta.split_payload(&primary.data),
             iteration: meta.iteration,
@@ -463,6 +489,7 @@ mod tests {
             bytes: objects.iter().map(Vec::len).sum(),
             object_ids: (0..objects.len() as u32).collect(),
             object_lens: objects.iter().map(Vec::len).collect(),
+            object_layouts: vec![crate::protect::ObjectLayout::Replicated; objects.len()],
         }
     }
 

@@ -64,8 +64,10 @@ pub mod meta;
 pub mod placement;
 pub mod protect;
 pub mod rs_code;
+pub mod shrink;
 pub mod store;
 
 pub use api::{Fti, FtiStatus};
 pub use config::{CheckpointLevel, FtiConfig};
-pub use protect::Protectable;
+pub use protect::{block_range, ObjectLayout, Protectable};
+pub use shrink::{redistribute_after_shrink, ShrinkOutcome};

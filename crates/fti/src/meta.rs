@@ -1,6 +1,7 @@
 //! Checkpoint metadata.
 
 use crate::config::CheckpointLevel;
+use crate::protect::ObjectLayout;
 
 /// Metadata describing one stored checkpoint set of one rank.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +21,10 @@ pub struct CheckpointMeta {
     /// [`CheckpointMeta::object_ids`]. Used to slice the flat payload back into
     /// objects during recovery.
     pub object_lens: Vec<usize>,
+    /// Global layout of each protected object, in the same order as
+    /// [`CheckpointMeta::object_ids`]. Stored in the checkpoint itself so a shrinking
+    /// recovery can re-partition the data without the (dead) owner's registry.
+    pub object_layouts: Vec<ObjectLayout>,
 }
 
 impl CheckpointMeta {
@@ -72,6 +77,7 @@ mod tests {
             bytes: 6,
             object_ids: vec![0, 1, 7],
             object_lens: vec![1, 2, 3],
+            object_layouts: vec![ObjectLayout::Replicated; 3],
         };
         assert_eq!(m.object_count(), 3);
         let parts = m.split_payload(&[1, 2, 3, 4, 5, 6]);

@@ -18,7 +18,7 @@
 //! counts the *surviving* shards of the group and decodes when at least `k` remain,
 //! cascading to the L4 parallel-file-system copy (or a fresh start) otherwise.
 
-use mpisim::Topology;
+use mpisim::{Comm, Topology};
 
 /// The L3 encoding group of one rank: its identifier and the node block its shards
 /// are scattered over.
@@ -55,6 +55,67 @@ pub fn l3_group(topology: &Topology, rank: usize, group_size: usize) -> L3Group 
         group: block * topology.ranks_per_node() + local,
         nodes: (start..end).collect(),
         position: node - start,
+    }
+}
+
+/// The L2 checkpoint partner of global rank `rank` on communicator `comm`.
+///
+/// On a full-world communicator this is exactly [`Topology::partner_rank`] — the
+/// fast path keeps every pre-shrink run bit-identical to the historical placement.
+/// On a shrunk survivor communicator the partner is chosen **among the surviving
+/// members**: the member half-way around the member list, which crosses nodes (and
+/// racks, while the survivors still span more than one) because members are ordered
+/// by global rank. A dead rank can therefore never be picked as a partner again.
+pub fn partner_rank_in(topology: &Topology, comm: &Comm, rank: usize) -> usize {
+    if comm.size() == topology.nranks() {
+        return topology.partner_rank(rank);
+    }
+    let idx = comm
+        .members()
+        .iter()
+        .position(|&m| m == rank)
+        .expect("rank must be a member of the communicator");
+    let shift = (comm.size() / 2).max(1);
+    comm.members()[(idx + shift) % comm.size()]
+}
+
+/// The L3 encoding group of global rank `rank` on communicator `comm`.
+///
+/// On a full-world communicator this is exactly [`l3_group`] (bit-identical
+/// placement). On a shrunk survivor communicator the node blocks are rebuilt over
+/// the **nodes that still host members**: dead nodes drop out of every block, so no
+/// shard is ever placed on storage a retired rank's crash already erased.
+pub fn l3_group_in(topology: &Topology, comm: &Comm, rank: usize, group_size: usize) -> L3Group {
+    if comm.size() == topology.nranks() {
+        return l3_group(topology, rank, group_size);
+    }
+    let mut nodes: Vec<usize> = comm
+        .members()
+        .iter()
+        .map(|&m| topology.node_of(m))
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let my_node = topology.node_of(rank);
+    let pos = nodes
+        .iter()
+        .position(|&n| n == my_node)
+        .expect("rank's node must host a member");
+    // Local index of `rank` among the surviving members sharing its node.
+    let local = comm
+        .members()
+        .iter()
+        .filter(|&&m| topology.node_of(m) == my_node)
+        .position(|&m| m == rank)
+        .expect("rank must be a member of the communicator");
+    let width = group_size.max(2).min(nodes.len());
+    let block = pos / width;
+    let start = block * width;
+    let end = (start + width).min(nodes.len());
+    L3Group {
+        group: block * topology.ranks_per_node() + local,
+        nodes: nodes[start..end].to_vec(),
+        position: pos - start,
     }
 }
 

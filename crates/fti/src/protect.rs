@@ -93,6 +93,45 @@ impl Protectable for u64 {
     }
 }
 
+/// How a protected object's bytes relate to the global problem, which decides what
+/// happens to them when a shrinking recovery removes ranks from the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectLayout {
+    /// Per-rank state with no global decomposition (scalars, counters, whole-array
+    /// copies). On a world shrink every survivor keeps its own copy and the dead
+    /// ranks' copies are dropped.
+    Replicated,
+    /// One contiguous block of a globally partitioned array: the job holds
+    /// `total_units` indivisible units of `unit_bytes` bytes each, block-distributed
+    /// over the communicator (see [`block_range`]). On a world shrink the survivors
+    /// re-partition the units and redistribute the bytes as real messages.
+    Block {
+        /// Global number of units across the whole communicator.
+        total_units: u64,
+        /// Serialized size of one unit in bytes.
+        unit_bytes: usize,
+    },
+}
+
+/// The `[start, start + count)` unit range owned by `part` of `parts` under the
+/// canonical block distribution: every part holds `total / parts` units and the first
+/// `total % parts` parts hold one extra. This is the same formula the proxy
+/// applications use for their domain decompositions, so a redistributed checkpoint
+/// slice lands exactly where the restarted application expects it.
+pub fn block_range(total_units: u64, parts: usize, part: usize) -> (u64, u64) {
+    assert!(
+        part < parts,
+        "partition index {part} out of range ({parts})"
+    );
+    let parts = parts as u64;
+    let part = part as u64;
+    let base = total_units / parts;
+    let extra = total_units % parts;
+    let start = part * base + part.min(extra);
+    let count = base + u64::from(part < extra);
+    (start, count)
+}
+
 /// Metadata describing a protected object, registered through `Fti::protect`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtectedObject {
@@ -102,6 +141,9 @@ pub struct ProtectedObject {
     pub name: String,
     /// Size of the object's serialized representation at registration time, in bytes.
     pub bytes: usize,
+    /// The object's global layout (replicated per-rank state, or a block of a
+    /// partitioned array that can be redistributed after a shrink).
+    pub layout: ObjectLayout,
 }
 
 #[cfg(test)]
@@ -159,5 +201,25 @@ mod tests {
         let mut target = vec![9.0; 100];
         target.restore_from(&original.to_bytes());
         assert_eq!(target.len(), 4);
+    }
+
+    #[test]
+    fn block_range_tiles_the_domain_for_any_part_count() {
+        for total in [0u64, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 7, 8, 13] {
+                let mut next = 0u64;
+                for part in 0..parts {
+                    let (start, count) = block_range(total, parts, part);
+                    assert_eq!(start, next, "parts must tile contiguously");
+                    next = start + count;
+                }
+                assert_eq!(next, total, "parts must cover exactly the domain");
+                // Balanced: counts differ by at most one unit.
+                let counts: Vec<u64> = (0..parts).map(|p| block_range(total, parts, p).1).collect();
+                let min = counts.iter().min().unwrap();
+                let max = counts.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
     }
 }

@@ -324,6 +324,7 @@ mod tests {
                 bytes,
                 object_ids: vec![0],
                 object_lens: vec![bytes],
+                object_layouts: vec![crate::protect::ObjectLayout::Replicated],
             },
             blobs,
             diff_hashes: None,

@@ -140,6 +140,11 @@ pub const KNOBS: &[Knob] = &[
         doc: "par worker ladder of the scale target",
     },
     Knob {
+        name: "MATCH_SHRINK",
+        default: "1",
+        doc: "set to 0/off/false/no to drop SHRINK-FTI and sweep only the paper's three designs",
+    },
+    Knob {
         name: "MATCH_SOURCE_FINGERPRINT",
         default: "set by crates/core/build.rs",
         doc: "build-time source digest baked into persistent cache entries (not user-set)",

@@ -182,6 +182,13 @@ impl RankCtx {
         self.world.clone()
     }
 
+    /// Replaces this rank's world communicator. Used by shrinking recovery: after
+    /// [`crate::ulfm::shrink_recovery`] the survivors continue on the shrunk
+    /// communicator as their new world, with the retired ranks gone for good.
+    pub fn set_world(&mut self, world: Comm) {
+        self.world = world;
+    }
+
     /// The current virtual time of this rank.
     pub fn now(&self) -> SimTime {
         self.now
@@ -232,6 +239,25 @@ impl RankCtx {
     /// recovery).
     pub fn failure_events(&self) -> u64 {
         self.state.failure_events()
+    }
+
+    /// The failure-event count as of this rank's own death, or 0 while it has never
+    /// been killed. Unlike [`RankCtx::failure_events`], this is deterministic for a
+    /// casualty even when later events share its injection iteration: events fire in
+    /// a globally serialized order and the count is recorded at kill time.
+    pub fn failure_events_at_death(&self) -> u64 {
+        self.state.failure_events_at_death(self.rank)
+    }
+
+    /// The ranks permanently retired by shrinking recoveries (ascending). Empty
+    /// under the non-shrinking designs, whose recoveries revive every rank.
+    pub fn retired_ranks(&self) -> Vec<usize> {
+        self.state.retired_ranks()
+    }
+
+    /// How many ranks have been permanently retired by shrinking recoveries.
+    pub fn retired_count(&self) -> usize {
+        self.state.retired_count()
     }
 
     /// The shared cluster state (crate-internal; used by the ULFM and Reinit modules).

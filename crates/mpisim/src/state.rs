@@ -26,6 +26,10 @@ pub enum ProcState {
     Alive,
     /// The process has suffered a fail-stop failure and has not yet been replaced.
     Failed,
+    /// The process failed and was permanently removed from the job by a shrinking
+    /// recovery: it is never revived, owns no communicator membership anymore, and
+    /// the job completes without it.
+    Retired,
 }
 
 /// Cluster-wide shared state for one simulated job.
@@ -40,10 +44,21 @@ pub struct ClusterState {
     pub mailboxes: Vec<Mailbox>,
     /// Per-rank liveness, indexed by global rank.
     liveness: Vec<Mutex<ProcState>>,
-    /// Number of currently failed processes (fast path for health checks).
+    /// Number of currently failed processes (fast path for health checks). Retired
+    /// ranks are *not* counted: once a shrinking recovery removes them from the job
+    /// they no longer disturb the survivors' health checks.
     nfailed: AtomicUsize,
+    /// Number of ranks permanently retired by shrinking recoveries.
+    nretired: AtomicUsize,
     /// Monotonically increasing count of failure events (used by tests and detectors).
     failure_events: AtomicU64,
+    /// Per-rank value of `failure_events` at the instant the rank was last marked
+    /// failed (0 while never killed). Failure events fire in a globally serialized
+    /// order (the injector's detection barrier admits event *i+1* only after event
+    /// *i* has fired), so this is a deterministic observable — unlike a live read of
+    /// the counter by a casualty, which races with later events of the same
+    /// iteration. Cleared on revival.
+    death_events: Vec<AtomicU64>,
     /// Virtual-time stamp (IEEE-754 bits of seconds) of the *earliest* failure of the
     /// current disruption epoch, or [`u64::MAX`] when no failure is outstanding. This
     /// is what makes failure detection deterministic: a rank observes the failure only
@@ -111,7 +126,9 @@ impl ClusterState {
             mailboxes: (0..nprocs).map(|_| Mailbox::new()).collect(),
             liveness: (0..nprocs).map(|_| Mutex::new(ProcState::Alive)).collect(),
             nfailed: AtomicUsize::new(0),
+            nretired: AtomicUsize::new(0),
             failure_events: AtomicU64::new(0),
+            death_events: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             fail_time_bits: AtomicU64::new(u64::MAX),
             parked: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
             global_disruption: AtomicBool::new(false),
@@ -166,7 +183,8 @@ impl ClusterState {
                 self.fail_time_bits
                     .fetch_min(at.as_secs().to_bits(), Ordering::SeqCst);
                 self.nfailed.fetch_add(1, Ordering::SeqCst);
-                self.failure_events.fetch_add(1, Ordering::SeqCst);
+                let count = self.failure_events.fetch_add(1, Ordering::SeqCst) + 1;
+                self.death_events[rank].store(count, Ordering::SeqCst);
                 true
             } else {
                 false
@@ -250,15 +268,55 @@ impl ClusterState {
         *self.job_waker.lock() = None;
     }
 
-    /// Marks every rank alive again (non-shrinking recovery replaces failed processes).
+    /// Marks every *failed* rank alive again (non-shrinking recovery replaces failed
+    /// processes). Retired ranks stay retired: a shrinking recovery removed them from
+    /// the job for good, and a later non-shrinking repair of the survivors must not
+    /// resurrect them.
     pub fn revive_all(&self) {
-        for l in &self.liveness {
-            *l.lock() = ProcState::Alive;
+        for (rank, l) in self.liveness.iter().enumerate() {
+            let mut st = l.lock();
+            if *st == ProcState::Failed {
+                *st = ProcState::Alive;
+                self.death_events[rank].store(0, Ordering::SeqCst);
+            }
         }
         self.nfailed.store(0, Ordering::SeqCst);
     }
 
-    /// Number of currently failed processes.
+    /// Permanently retires every currently failed rank (shrinking recovery: the dead
+    /// processes are not replaced). Returns the retired ranks in ascending order.
+    pub fn retire_failed_ranks(&self) -> Vec<usize> {
+        let mut retired = Vec::new();
+        for (rank, l) in self.liveness.iter().enumerate() {
+            let mut st = l.lock();
+            if *st == ProcState::Failed {
+                *st = ProcState::Retired;
+                retired.push(rank);
+            }
+        }
+        self.nfailed.fetch_sub(retired.len(), Ordering::SeqCst);
+        self.nretired.fetch_add(retired.len(), Ordering::SeqCst);
+        retired
+    }
+
+    /// Whether `rank` was permanently retired by a shrinking recovery.
+    pub fn is_retired(&self, rank: usize) -> bool {
+        *self.liveness[rank].lock() == ProcState::Retired
+    }
+
+    /// The ranks permanently retired by shrinking recoveries, ascending.
+    pub fn retired_ranks(&self) -> Vec<usize> {
+        (0..self.nprocs)
+            .filter(|&r| *self.liveness[r].lock() == ProcState::Retired)
+            .collect()
+    }
+
+    /// Number of ranks permanently retired by shrinking recoveries.
+    pub fn retired_count(&self) -> usize {
+        self.nretired.load(Ordering::SeqCst)
+    }
+
+    /// Number of currently failed processes (excluding retired ranks).
     pub fn failed_count(&self) -> usize {
         self.nfailed.load(Ordering::SeqCst)
     }
@@ -268,9 +326,22 @@ impl ClusterState {
         self.failure_events.load(Ordering::SeqCst)
     }
 
-    /// Global ranks currently failed.
+    /// The value of the failure-event counter at the instant `rank` was last marked
+    /// failed, or 0 while the rank has never been killed (cleared again on revival).
+    /// Because failure events fire in a globally serialized order, this is
+    /// deterministic even when several events share an injection iteration — the
+    /// per-casualty observable a live [`ClusterState::failure_events`] read cannot
+    /// provide.
+    pub fn failure_events_at_death(&self, rank: usize) -> u64 {
+        self.death_events[rank].load(Ordering::SeqCst)
+    }
+
+    /// Global ranks failed in the current epoch (not including permanently retired
+    /// ranks of earlier shrink recoveries).
     pub fn failed_ranks(&self) -> Vec<usize> {
-        (0..self.nprocs).filter(|&r| !self.is_alive(r)).collect()
+        (0..self.nprocs)
+            .filter(|&r| *self.liveness[r].lock() == ProcState::Failed)
+            .collect()
     }
 
     /// Global ranks currently alive.
@@ -348,6 +419,25 @@ impl ClusterState {
                 Some(t) if now >= t => Some(err),
                 _ => None,
             },
+        }
+    }
+
+    /// Completes a *shrinking* repair: ends the disruption epoch without reviving
+    /// anyone (the failed ranks were just retired by
+    /// [`ClusterState::retire_failed_ranks`]), drops every in-flight message and
+    /// unparks the survivors. Retired ranks stay parked — they can never act again.
+    /// Called exactly once per shrink recovery by the last survivor to reach the
+    /// shrink rendezvous, while every survivor is inside it.
+    pub fn complete_shrink_repair(&self) {
+        self.global_disruption.store(false, Ordering::SeqCst);
+        self.fail_time_bits.store(u64::MAX, Ordering::SeqCst);
+        for (rank, p) in self.parked.iter().enumerate() {
+            if self.is_alive(rank) {
+                p.store(false, Ordering::SeqCst);
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.clear();
         }
     }
 

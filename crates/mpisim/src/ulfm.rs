@@ -97,6 +97,158 @@ pub fn nonshrinking_recovery_cost(ctx: &RankCtx, nprocs: usize, nfailed: usize) 
     ctx.machine().ulfm_recovery_cost(nprocs, nfailed)
 }
 
+/// The total modelled cost of the ULFM *shrinking* recovery protocol
+/// (revoke + shrink + agree — no spawn and no merge, because the failed processes
+/// are never replaced), as used by the beyond-the-paper `SHRINK-FTI` design.
+/// `nprocs` is the communicator size *before* the shrink.
+pub fn shrinking_recovery_cost(ctx: &RankCtx, nprocs: usize) -> SimTime {
+    let m = ctx.machine();
+    m.ulfm_revoke_cost(nprocs) + m.ulfm_shrink_cost(nprocs) + m.ulfm_agree_cost(nprocs)
+}
+
+/// Shrinking recovery rendezvous: every surviving member of `comm` gathers here, the
+/// failed members are *permanently retired* from the cluster (never respawned), and
+/// each survivor receives a freshly registered communicator containing exactly the
+/// survivor set in ascending global-rank order.
+///
+/// The last survivor to arrive performs the epoch repair exactly once, while every
+/// other survivor is parked inside the rendezvous:
+///
+/// 1. drains the pending node-failure list and hands it to `repair_hook`, so the
+///    caller can erase node-local checkpoint storage before anyone reads it again;
+/// 2. retires the failed ranks ([`crate::state::ClusterState::retire_failed_ranks`]);
+/// 3. ends the disruption epoch — failure-visibility clock, mailboxes and parked
+///    flags of the survivors are reset — without reviving anyone
+///    ([`crate::state::ClusterState::complete_shrink_repair`]);
+/// 4. registers the shrunk communicator and publishes the common completion time
+///    `max(survivor entry times) + cost`.
+///
+/// `cost` is the full modelled recovery cost the survivors synchronize over
+/// (typically failure detection plus [`shrinking_recovery_cost`]).
+///
+/// # Errors
+///
+/// Returns [`MpiError::SelfFailed`] if the caller is (or becomes) a casualty of the
+/// current epoch: it was dead on entry, it was killed after depositing but before the
+/// round completed (it is then not a member of the shrunk communicator), or every
+/// member of `comm` died so no survivor set exists.
+pub fn shrink_recovery(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    cost: SimTime,
+    repair_hook: impl FnOnce(&[usize]),
+) -> Result<Comm, MpiError> {
+    let me = ctx.rank();
+    let cluster = Arc::clone(ctx.cluster());
+    let shared = Arc::clone(comm.shared());
+    let entry_time = ctx.now();
+    let key = WaitKey::object(&shared.survivor_rounds);
+
+    // Park first: survivors still blocked in application operations must be able to
+    // conclude that no more messages can arrive from ranks already gathered here.
+    cluster.set_parked(me);
+
+    // NOTE: deliberately no host-time liveness check on entry — whether this rank is
+    // a casualty of the epoch is decided by membership in the communicator the
+    // finisher publishes, which is a pure function of virtual time. Each
+    // communicator hosts at most one shrink round (the next epoch runs on the shrunk
+    // communicator), so a round that already finished can only mean this caller was
+    // excluded from it: a casualty killed after its attempt aborted but before it
+    // reached the rendezvous. It must not disturb the drain accounting.
+    let my_seq = {
+        let mut rounds = shared.survivor_rounds.lock();
+        if rounds.finished.is_some() {
+            return Err(MpiError::SelfFailed);
+        }
+        let seq = rounds.seq;
+        rounds.arrivals.push((me, entry_time, 0));
+        seq
+    };
+
+    let mut repair_hook = Some(repair_hook);
+    loop {
+        let token = ctx.wait_token(key);
+        {
+            let mut rounds = shared.survivor_rounds.lock();
+            if let Some(res) = rounds.finished.clone() {
+                if res.seq == my_seq {
+                    rounds.collected += 1;
+                    let drained = rounds.collected >= res.participants;
+                    if drained {
+                        rounds.seq += 1;
+                        rounds.arrivals.clear();
+                        rounds.finished = None;
+                        rounds.collected = 0;
+                    }
+                    drop(rounds);
+                    if drained {
+                        ctx.wake_channel(key);
+                    }
+                    ctx.elapse(res.finish_time.saturating_sub(entry_time));
+                    ctx.stats_mut().collectives += 1;
+                    let new_shared = res.new_comm.ok_or_else(|| {
+                        MpiError::Internal("shrink recovery produced no communicator".into())
+                    })?;
+                    return match new_shared.rank_of(me) {
+                        Some(idx) => Ok(Comm::new(new_shared, idx)),
+                        // Killed after depositing but before the round completed:
+                        // membership in the published communicator is the
+                        // virtual-time-deterministic casualty test (the host-time
+                        // liveness flag must not be consulted here).
+                        None => Err(MpiError::SelfFailed),
+                    };
+                }
+            } else if rounds.seq == my_seq {
+                let alive_members = alive_members_of(&cluster, &shared);
+                if alive_members.is_empty() {
+                    // Everyone died: no finisher can ever complete this round.
+                    return Err(MpiError::SelfFailed);
+                }
+                let arrived_alive: Vec<(usize, SimTime)> = rounds
+                    .arrivals
+                    .iter()
+                    .filter(|(r, _, _)| cluster.is_alive(*r))
+                    .map(|(r, t, _)| (*r, *t))
+                    .collect();
+                if arrived_alive.len() >= alive_members.len() {
+                    // Every survivor has arrived: this caller repairs the epoch and
+                    // finishes the round.
+                    let max_entry = arrived_alive
+                        .iter()
+                        .map(|(_, t)| *t)
+                        .fold(SimTime::ZERO, SimTime::max);
+                    let crashed_nodes = cluster.take_pending_node_failures();
+                    if let Some(hook) = repair_hook.take() {
+                        hook(&crashed_nodes);
+                    }
+                    cluster.retire_failed_ranks();
+                    cluster.complete_shrink_repair();
+                    let id = cluster.next_comm_id();
+                    let c = CommShared::new(id, alive_members.clone());
+                    cluster.register_comm(&c);
+                    rounds.finished = Some(SurvivorResult {
+                        seq: my_seq,
+                        finish_time: max_entry + cost,
+                        value: 0,
+                        // Every depositor — including casualties killed after
+                        // depositing — collects exactly once, so the drain count is
+                        // independent of host scheduling.
+                        participants: rounds.arrivals.len(),
+                        new_comm: Some(c),
+                    });
+                    drop(rounds);
+                    // Members parked waiting for the round's result, plus anything
+                    // blocked on state the repair just reset.
+                    ctx.wake_channel(key);
+                    cluster.wake_all_waiters();
+                    continue;
+                }
+            }
+        }
+        ctx.park_or_sleep(token, POLL);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum CombineOp {
     And,
@@ -324,6 +476,62 @@ mod tests {
         }
         assert_eq!(ok, 3);
         assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn shrink_recovery_retires_the_dead_and_continues_on_the_survivor_comm() {
+        let cluster = thread_cluster(4);
+        let outcome = cluster.run(|ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 1 {
+                return Err(ctx.kill_self());
+            }
+            while ctx.failed_ranks().is_empty() {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            let cost = shrinking_recovery_cost(ctx, world.size());
+            let shrunk = shrink_recovery(ctx, &world, cost, |_crashed| {})?;
+            assert_eq!(shrunk.size(), 3);
+            assert!(!shrunk.contains(1));
+            // The casualty is permanently retired, not left failed: the epoch is
+            // healthy again without anyone having been revived.
+            assert!(ctx.cluster().is_retired(1));
+            assert_eq!(ctx.cluster().retired_count(), 1);
+            assert_eq!(ctx.cluster().failed_count(), 0);
+            assert!(ctx.failed_ranks().is_empty());
+            // Normal collectives work among the survivors.
+            let sum = ctx.allreduce_sum_f64(&shrunk, 1.0)?;
+            assert_eq!(sum, 3.0);
+            Ok(shrunk.size())
+        });
+        let mut ok = 0;
+        let mut failed = 0;
+        for r in outcome.results() {
+            match r {
+                Ok(size) => {
+                    assert_eq!(*size, 3);
+                    ok += 1;
+                }
+                Err(MpiError::SelfFailed) => failed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok, 3);
+        assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn shrinking_costs_less_than_nonshrinking() {
+        let cluster = Cluster::new(ClusterConfig::with_ranks(2));
+        let outcome = cluster.run(|ctx| {
+            let shrink = shrinking_recovery_cost(ctx, 128);
+            let nonshrink = nonshrinking_recovery_cost(ctx, 128, 1);
+            assert!(shrink.as_secs() > 0.0);
+            // No spawn + merge step, so the shrink protocol itself must be cheaper.
+            assert!(shrink < nonshrink);
+            Ok(())
+        });
+        assert!(outcome.all_ok());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use fti::{Fti, Protectable};
 use mpisim::{Comm, MpiError, RankCtx};
 use recovery::FaultInjector;
 
-use crate::common::{checksum, distributed_norm2, halo_exchange, AppOutput, ProxyApp};
+use crate::common::{checksum, distributed_norm2, halo_exchange, world_slab, AppOutput, ProxyApp};
 
 /// AMG parameters: per-process fine-grid dimensions (from `-n nx ny nz`) and the
 /// number of V-cycles.
@@ -256,6 +256,12 @@ impl ProxyApp for Amg {
         self.params.cycles
     }
 
+    fn global_units(&self, initial_ranks: usize) -> u64 {
+        // One unit = one fine-grid x/y plane; z is never coarsened, so the same slab
+        // boundaries apply on every level of the hierarchy.
+        (self.params.nz * initial_ranks) as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -263,20 +269,31 @@ impl ProxyApp for Amg {
         injector: &FaultInjector,
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
+        let global_nz = self.global_units(ctx.topology().nranks()) as usize;
+        let (z_start, local_nz) = world_slab(&world, global_nz);
+        // The per-level z extent is the rank's current slab of the global z axis;
+        // semi-coarsening only halves x/y, so the slab is the same on every level.
         let levels: Vec<Level> = self
             .params
             .levels()
             .into_iter()
-            .map(|(nx, ny, nz)| Level { nx, ny, nz })
+            .map(|(nx, ny, _)| Level {
+                nx,
+                ny,
+                nz: local_nz,
+            })
             .collect();
         let fine = levels[0];
         let n = fine.n();
 
-        // Anisotropic-ish right-hand side: a smooth bump that differs per rank so the
-        // global solution is rank-dependent but deterministic.
+        // Anisotropic-ish right-hand side: a smooth bump defined by the *global* grid
+        // index, so that after a shrink the survivors reproduce exactly the forcing of
+        // the planes they adopt.
+        let plane = fine.nx * fine.ny;
         let b: Vec<f64> = (0..n)
             .map(|i| {
-                let phase = (i % 17) as f64 / 17.0 + ctx.rank() as f64 * 0.01;
+                let g = z_start * plane + i;
+                let phase = (g % 17) as f64 / 17.0;
                 1.0 + 0.5 * (phase * std::f64::consts::TAU).sin()
             })
             .collect();
@@ -285,7 +302,7 @@ impl ProxyApp for Amg {
         let mut iteration: u64 = 0;
         let mut resnorm: f64 = f64::MAX;
 
-        fti.protect(0, "x", &x);
+        fti.protect_partitioned(0, "x", &x, global_nz as u64);
         fti.protect(1, "iteration", &iteration);
         fti.protect(2, "resnorm", &resnorm);
         if fti.status().is_restart() {
@@ -330,6 +347,7 @@ impl ProxyApp for Amg {
             iterations: iteration,
             checksum: global,
             figure_of_merit: resnorm,
+            owned_units: (z_start as u64, local_nz as u64),
         })
     }
 }

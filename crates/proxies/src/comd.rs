@@ -15,7 +15,7 @@ use fti::{Fti, Protectable};
 use mpisim::{Comm, MpiError, RankCtx};
 use recovery::FaultInjector;
 
-use crate::common::{checksum, AppOutput, DetRng, ProxyApp};
+use crate::common::{checksum, world_slab, AppOutput, DetRng, ProxyApp};
 
 /// Lennard-Jones cutoff radius in reduced units.
 const CUTOFF: f64 = 2.5;
@@ -212,6 +212,12 @@ impl ProxyApp for Comd {
         self.params.steps
     }
 
+    fn global_units(&self, _initial_ranks: usize) -> u64 {
+        // CoMD's box is already globally sized: one unit = one x lattice plane of
+        // ny x nz particles, regardless of how many ranks share it.
+        self.params.nx as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -219,12 +225,15 @@ impl ProxyApp for Comd {
         injector: &FaultInjector,
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
+        // The x slab is derived from the current world, so that after a shrink the
+        // survivors split the same global box among themselves.
+        let (x_start, x_count) = world_slab(&world, self.params.nx);
         let (mut positions, mut velocities, slab_min, slab_max) =
-            self.init_particles(ctx.rank(), ctx.nprocs());
+            self.init_particles(world.rank(), world.size());
         let mut step: u64 = 0;
 
-        fti.protect(0, "positions", &positions);
-        fti.protect(1, "velocities", &velocities);
+        fti.protect_partitioned(0, "positions", &positions, self.params.nx as u64);
+        fti.protect_partitioned(1, "velocities", &velocities, self.params.nx as u64);
         fti.protect(2, "step", &step);
         if fti.status().is_restart() {
             fti.recover(
@@ -280,6 +289,7 @@ impl ProxyApp for Comd {
             iterations: step,
             checksum: global,
             figure_of_merit: total_energy,
+            owned_units: (x_start as u64, x_count as u64),
         })
     }
 }

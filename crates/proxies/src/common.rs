@@ -59,6 +59,11 @@ pub struct AppOutput {
     /// An application-specific quality metric (final residual norm, total energy,
     /// modularity, ...).
     pub figure_of_merit: f64,
+    /// The half-open range `(start, count)` of global partition units this rank owned
+    /// when it finished (z-planes, x-slabs or vertices, see
+    /// [`ProxyApp::global_units`]). After a shrinking recovery the survivors' ranges
+    /// must exactly tile `0..global_units`.
+    pub owned_units: (u64, u64),
 }
 
 /// A proxy application instance, parameterised by its input problem.
@@ -68,6 +73,13 @@ pub trait ProxyApp: Send + Sync {
 
     /// The number of main-loop iterations this instance will execute.
     fn iterations(&self) -> u64;
+
+    /// The number of global partition units the application block-decomposes over the
+    /// *current* world communicator: z-planes for the stencil codes, x-slabs for CoMD,
+    /// vertices for miniVite. The global problem is sized from `initial_ranks` (the
+    /// machine's full rank count) so that a world shrunk by ULFM recovery continues on
+    /// the *same* global domain, merely re-partitioned over the survivors.
+    fn global_units(&self, initial_ranks: usize) -> u64;
 
     /// Runs the application main loop on this rank: compute, communicate, checkpoint
     /// through `fti`, and consult `injector` at the top of every iteration.
@@ -136,6 +148,15 @@ impl BlockPartition {
     pub fn total(&self) -> usize {
         self.total
     }
+}
+
+/// The calling rank's slab of a globally sized 1-D block decomposition: `global_units`
+/// units partitioned over the ranks of `comm`. Returns `(start, count)` in global
+/// units. Matches `fti::block_range`, so data protected with
+/// `Fti::protect_partitioned` lands exactly on these boundaries after a shrink.
+pub fn world_slab(comm: &Comm, global_units: usize) -> (usize, usize) {
+    let p = BlockPartition::new(global_units, comm.size());
+    (p.start(comm.rank()), p.count(comm.rank()))
 }
 
 /// Exchanges boundary planes with the 1-D neighbours of this rank: sends `to_prev` to

@@ -16,7 +16,7 @@ use fti::{Fti, Protectable};
 use mpisim::{Comm, MpiError, RankCtx};
 use recovery::FaultInjector;
 
-use crate::common::{checksum, distributed_dot, halo_exchange, AppOutput, ProxyApp};
+use crate::common::{checksum, distributed_dot, halo_exchange, world_slab, AppOutput, ProxyApp};
 
 /// HPCCG parameters: the per-process grid dimensions (the meaning of the `nx ny nz`
 /// command-line arguments of the original proxy) and the CG iteration bound.
@@ -80,10 +80,13 @@ impl Hpccg {
     }
 
     /// Applies the 27-point stencil operator `y = A v`, using the halo planes received
-    /// from the z-neighbours (empty slices mean a physical domain boundary).
+    /// from the z-neighbours (empty slices mean a physical domain boundary). The local
+    /// z extent is derived from `v`, because the rank's slab of the global z axis
+    /// changes when the world shrinks.
     fn spmv(&self, v: &[f64], below: &[f64], above: &[f64], y: &mut [f64]) -> f64 {
-        let (nx, ny, nz) = (self.params.nx, self.params.ny, self.params.nz);
+        let (nx, ny) = (self.params.nx, self.params.ny);
         let plane = nx * ny;
+        let nz = v.len() / plane;
         let mut flops = 0.0;
         for iz in 0..nz {
             for iy in 0..ny {
@@ -154,6 +157,11 @@ impl ProxyApp for Hpccg {
         self.params.max_iterations
     }
 
+    fn global_units(&self, initial_ranks: usize) -> u64 {
+        // One unit = one x/y plane of the global chimney stacked along z.
+        (self.params.nz * initial_ranks) as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -161,7 +169,12 @@ impl ProxyApp for Hpccg {
         injector: &FaultInjector,
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
-        let n = self.params.local_points();
+        // The global chimney: `nz` planes per rank of the machine's full world,
+        // block-partitioned over the ranks that are currently alive. On a full world
+        // every rank gets exactly `params.nz` planes, as before.
+        let global_nz = self.global_units(ctx.topology().nranks()) as usize;
+        let (z_start, local_nz) = world_slab(&world, global_nz);
+        let n = self.params.nx * self.params.ny * local_nz;
 
         // Right-hand side: the classic HPCCG choice b_i = 27 - (number of neighbours),
         // which makes x = 1 the exact solution of the interior problem.
@@ -174,9 +187,9 @@ impl ProxyApp for Hpccg {
         let mut iteration: u64 = 0;
         let mut rr = distributed_dot(ctx, &world, &r, &r)?;
 
-        fti.protect(0, "x", &x);
-        fti.protect(1, "r", &r);
-        fti.protect(2, "p", &p);
+        fti.protect_partitioned(0, "x", &x, global_nz as u64);
+        fti.protect_partitioned(1, "r", &r, global_nz as u64);
+        fti.protect_partitioned(2, "p", &p, global_nz as u64);
         fti.protect(3, "iteration", &iteration);
         fti.protect(4, "rr", &rr);
 
@@ -238,6 +251,7 @@ impl ProxyApp for Hpccg {
             iterations: iteration,
             checksum: global_checksum,
             figure_of_merit: rr.sqrt(),
+            owned_units: (z_start as u64, local_nz as u64),
         })
     }
 }

@@ -18,7 +18,7 @@ use fti::{Fti, Protectable};
 use mpisim::{MpiError, RankCtx};
 use recovery::FaultInjector;
 
-use crate::common::{checksum, halo_exchange, AppOutput, ProxyApp};
+use crate::common::{checksum, halo_exchange, world_slab, AppOutput, ProxyApp};
 
 /// Ideal-gas constant for the equation of state.
 const GAMMA: f64 = 1.4;
@@ -87,6 +87,11 @@ impl ProxyApp for Lulesh {
         self.params.steps
     }
 
+    fn global_units(&self, initial_ranks: usize) -> u64 {
+        // One unit = one s x s element plane of the global column of cubes.
+        (self.params.s * initial_ranks) as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -95,7 +100,9 @@ impl ProxyApp for Lulesh {
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
         let s = self.params.s;
-        let n = self.params.local_elements();
+        let global_nz = self.global_units(ctx.topology().nranks()) as usize;
+        let (z_start, local_nz) = world_slab(&world, global_nz);
+        let n = s * s * local_nz;
         let plane = s * s;
 
         // Element state: specific internal energy, pressure, relative volume and a
@@ -107,16 +114,16 @@ impl ProxyApp for Lulesh {
         let mut sim_time = 0.0f64;
         let mut step: u64 = 0;
 
-        // The Sedov blast: deposit a large point energy in the corner element of
-        // rank 0 (the origin of the global mesh).
-        if ctx.rank() == 0 {
+        // The Sedov blast: deposit a large point energy in the corner element of the
+        // global mesh — whichever rank currently owns global z-plane 0.
+        if z_start == 0 {
             energy[self.idx(0, 0, 0)] = 3.948746e+7;
         }
 
-        fti.protect(0, "energy", &energy);
-        fti.protect(1, "pressure", &pressure);
-        fti.protect(2, "volume", &volume);
-        fti.protect(3, "divergence", &divergence);
+        fti.protect_partitioned(0, "energy", &energy, global_nz as u64);
+        fti.protect_partitioned(1, "pressure", &pressure, global_nz as u64);
+        fti.protect_partitioned(2, "volume", &volume, global_nz as u64);
+        fti.protect_partitioned(3, "divergence", &divergence, global_nz as u64);
         fti.protect(4, "time", &sim_time);
         fti.protect(5, "step", &step);
         if fti.status().is_restart() {
@@ -156,7 +163,7 @@ impl ProxyApp for Lulesh {
             //    viscosity from the energy gradient to the z neighbours, and the energy
             //    / volume update.
             let mut flops = 0.0;
-            for iz in 0..s {
+            for iz in 0..local_nz {
                 for iy in 0..s {
                     for ix in 0..s {
                         let e = self.idx(ix, iy, iz);
@@ -168,7 +175,7 @@ impl ProxyApp for Lulesh {
                         } else {
                             energy[e]
                         };
-                        let e_above = if iz + 1 < s {
+                        let e_above = if iz + 1 < local_nz {
                             energy[self.idx(ix, iy, iz + 1)]
                         } else if !above.is_empty() {
                             above[iy * s + ix]
@@ -220,6 +227,7 @@ impl ProxyApp for Lulesh {
             iterations: step,
             checksum: global,
             figure_of_merit: total_energy,
+            owned_units: (z_start as u64, local_nz as u64),
         })
     }
 }

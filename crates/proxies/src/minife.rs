@@ -18,7 +18,7 @@ use fti::{Fti, Protectable};
 use mpisim::{Comm, MpiError, RankCtx};
 use recovery::FaultInjector;
 
-use crate::common::{checksum, distributed_dot, halo_exchange, AppOutput, ProxyApp};
+use crate::common::{checksum, distributed_dot, halo_exchange, world_slab, AppOutput, ProxyApp};
 
 /// miniFE parameters: per-process brick dimensions (`-nx -ny -nz`) and the CG
 /// iteration bound.
@@ -97,10 +97,12 @@ impl MiniFe {
     /// Assembles the stiffness matrix: a 27-point coupling whose weights depend on how
     /// many index directions the neighbour shares with the row node (face, edge or
     /// corner coupling of the trilinear hexahedron), plus a dominant diagonal.
-    /// Returns the matrix and the number of floating-point operations spent.
-    fn assemble(&self, ctx: &mut RankCtx) -> Csr {
-        let (nx, ny, nz) = (self.params.nx, self.params.ny, self.params.nz);
-        let n = self.params.local_nodes();
+    /// Returns the matrix and the number of floating-point operations spent. The z
+    /// extent is the rank's current slab of the global z axis, which changes when the
+    /// world shrinks.
+    fn assemble(&self, ctx: &mut RankCtx, nz: usize) -> Csr {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let n = nx * ny * nz;
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut cols = Vec::new();
         let mut values = Vec::new();
@@ -231,6 +233,11 @@ impl ProxyApp for MiniFe {
         self.params.max_iterations
     }
 
+    fn global_units(&self, initial_ranks: usize) -> u64 {
+        // One unit = one x/y node plane of the global brick.
+        (self.params.nz * initial_ranks) as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -238,10 +245,12 @@ impl ProxyApp for MiniFe {
         injector: &FaultInjector,
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
-        let n = self.params.local_nodes();
+        let global_nz = self.global_units(ctx.topology().nranks()) as usize;
+        let (z_start, local_nz) = world_slab(&world, global_nz);
+        let n = self.params.nx * self.params.ny * local_nz;
 
         // Assembly phase (re-executed on restart, like the original application).
-        let matrix = self.assemble(ctx);
+        let matrix = self.assemble(ctx, local_nz);
         let b = vec![1.0f64; n];
 
         let mut x = vec![0.0f64; n];
@@ -250,9 +259,9 @@ impl ProxyApp for MiniFe {
         let mut iteration: u64 = 0;
         let mut rr = distributed_dot(ctx, &world, &r, &r)?;
 
-        fti.protect(0, "x", &x);
-        fti.protect(1, "r", &r);
-        fti.protect(2, "p", &p);
+        fti.protect_partitioned(0, "x", &x, global_nz as u64);
+        fti.protect_partitioned(1, "r", &r, global_nz as u64);
+        fti.protect_partitioned(2, "p", &p, global_nz as u64);
         fti.protect(3, "iteration", &iteration);
         fti.protect(4, "rr", &rr);
         if fti.status().is_restart() {
@@ -313,6 +322,7 @@ impl ProxyApp for MiniFe {
             iterations: iteration,
             checksum: global,
             figure_of_merit: rr.sqrt(),
+            owned_units: (z_start as u64, local_nz as u64),
         })
     }
 }
@@ -339,7 +349,7 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::with_ranks(1));
         let outcome = cluster.run(|ctx| {
             let app = small();
-            let m = app.assemble(ctx);
+            let m = app.assemble(ctx, app.params().nz);
             // Every row: diagonal entry is positive and at least the sum of the
             // magnitudes of the off-diagonal entries (weak diagonal dominance + 1).
             let n = app.params().local_nodes();

@@ -107,6 +107,11 @@ impl ProxyApp for MiniVite {
         self.params.max_iterations
     }
 
+    fn global_units(&self, _initial_ranks: usize) -> u64 {
+        // One unit = one vertex; the generated graph is globally sized already.
+        self.params.vertices as u64
+    }
+
     fn run(
         &self,
         ctx: &mut RankCtx,
@@ -114,13 +119,16 @@ impl ProxyApp for MiniVite {
         injector: &FaultInjector,
     ) -> Result<AppOutput, MpiError> {
         let world = ctx.world();
-        let nprocs = ctx.nprocs();
         let total = self.params.vertices;
-        let partition = BlockPartition::new(total, nprocs);
-        let v_start = partition.start(ctx.rank());
-        let v_count = partition.count(ctx.rank());
+        // Vertices are partitioned over the current world: after a shrink the
+        // survivors re-divide the same graph, and because the generator is
+        // deterministic in the vertex id they can regenerate any adopted vertex's
+        // edges locally.
+        let partition = BlockPartition::new(total, world.size());
+        let v_start = partition.start(world.rank());
+        let v_count = partition.count(world.rank());
 
-        let adjacency = self.generate_local_graph(&partition, ctx.rank());
+        let adjacency = self.generate_local_graph(&partition, world.rank());
         let edge_count: usize = adjacency.iter().map(Vec::len).sum();
         ctx.compute(edge_count as f64 * 3.0);
         // Total edge weight (2m in modularity terms), constant across iterations.
@@ -131,7 +139,7 @@ impl ProxyApp for MiniVite {
         let mut communities: Vec<u64> = (v_start..v_start + v_count).map(|v| v as u64).collect();
         let mut iteration: u64 = 0;
 
-        fti.protect(0, "communities", &communities);
+        fti.protect_partitioned(0, "communities", &communities, total as u64);
         fti.protect(1, "iteration", &iteration);
         if fti.status().is_restart() {
             fti.recover(
@@ -237,6 +245,7 @@ impl ProxyApp for MiniVite {
             iterations: iteration,
             checksum: global,
             figure_of_merit: modularity,
+            owned_units: (v_start as u64, v_count as u64),
         })
     }
 }

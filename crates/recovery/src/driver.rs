@@ -85,13 +85,20 @@ pub struct AttemptRecord {
     /// Virtual time spent in the recovery that followed this attempt
     /// ([`SimTime::ZERO`] for the completed attempt).
     pub recovery: SimTime,
+    /// Number of ranks continuing after this attempt: the world size the next
+    /// attempt runs at (equal to the world size this attempt ran at for the
+    /// non-shrinking designs and for completed attempts), or 0 when this rank
+    /// leaves the job as a shrinking-recovery casualty.
+    pub survivors: usize,
 }
 
 /// What [`FtDriver::execute`] returns on success.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriverOutcome<R> {
-    /// The application's result (from its final, successful attempt).
-    pub value: R,
+    /// The application's result from its final, successful attempt — `None` when
+    /// this rank was removed from the job by a shrinking recovery (its surviving
+    /// peers carry the job to completion and report `Some`).
+    pub value: Option<R>,
     /// Number of times the application closure was invoked (1 = no restart).
     pub attempts: u32,
     /// Number of recoveries this rank participated in.
@@ -184,13 +191,55 @@ impl FtDriver {
                         ended_at: ctx.now(),
                         completed: true,
                         recovery: SimTime::ZERO,
+                        survivors: ctx.world().size(),
                     });
                     return Ok(DriverOutcome {
-                        value,
+                        value: Some(value),
                         attempts,
                         recoveries,
                         attempt_log,
                         failure_events: ctx.failure_events(),
+                    });
+                }
+                Err(e) if e.is_process_failure() && self.config.strategy.shrinks_world() => {
+                    let ended_at = ctx.now();
+                    let continuing = if matches!(e, MpiError::SelfFailed) {
+                        // This rank was killed: under a shrinking design it is not
+                        // respawned — it leaves the job here, permanently.
+                        false
+                    } else {
+                        self.recover_shrink(ctx)?
+                    };
+                    if !continuing {
+                        attempt_log.push(AttemptRecord {
+                            attempt: attempts,
+                            started_at,
+                            ended_at,
+                            completed: false,
+                            recovery: ctx.now().saturating_sub(ended_at),
+                            survivors: 0,
+                        });
+                        // A casualty must not read the live event counter: a later
+                        // event of the same injection iteration races with this
+                        // return on multi-threaded backends. The count as of its own
+                        // death is recorded at kill time and fires in a globally
+                        // serialized order, so it is bit-deterministic.
+                        return Ok(DriverOutcome {
+                            value: None,
+                            attempts,
+                            recoveries,
+                            attempt_log,
+                            failure_events: ctx.failure_events_at_death(),
+                        });
+                    }
+                    recoveries += 1;
+                    attempt_log.push(AttemptRecord {
+                        attempt: attempts,
+                        started_at,
+                        ended_at,
+                        completed: false,
+                        recovery: ctx.now().saturating_sub(ended_at),
+                        survivors: ctx.world().size(),
                     });
                 }
                 Err(e) if e.is_process_failure() => {
@@ -203,6 +252,7 @@ impl FtDriver {
                         ended_at,
                         completed: false,
                         recovery: ctx.now().saturating_sub(ended_at),
+                        survivors: ctx.nprocs(),
                     });
                 }
                 Err(e) => return Err(e),
@@ -229,6 +279,52 @@ impl FtDriver {
                 store.erase_node(node);
             }
         });
+        ctx.set_category(prev);
+        result
+    }
+
+    /// Runs the shrinking (ULFM `MPI_Comm_shrink`) recovery protocol: declares the
+    /// global restart, charges detection plus the revoke→shrink→agree cost, joins the
+    /// shrink rendezvous that retires the dead ranks and builds the survivor
+    /// communicator, installs it as this rank's world, and re-partitions the
+    /// protected dataset over the survivors (real redistribution messages, charged
+    /// to [`TimeCategory::Recovery`]).
+    ///
+    /// Returns `Ok(true)` when this rank continues as a survivor and `Ok(false)`
+    /// when it turns out to be a casualty of the very disruption being recovered
+    /// (it observed a peer's failure, then was killed itself before the shrink).
+    fn recover_shrink(&self, ctx: &mut RankCtx) -> Result<bool, MpiError> {
+        ctx.declare_global_restart();
+        let world = ctx.world();
+        let nfailed = ctx.failed_ranks().len().max(1);
+        let cost = ctx.machine().failure_detection_cost()
+            + self
+                .config
+                .strategy
+                .recovery_cost(ctx.machine(), world.size(), nfailed);
+        let prev = ctx.set_category(TimeCategory::Recovery);
+        let store = Arc::clone(&self.store);
+        let shrunk = mpisim::ulfm::shrink_recovery(ctx, &world, cost, move |crashed_nodes| {
+            for &node in crashed_nodes {
+                store.erase_node(node);
+            }
+        });
+        let result = match shrunk {
+            Ok(new_world) => {
+                let old_members: Vec<usize> = world.members().to_vec();
+                ctx.set_world(new_world.clone());
+                fti::redistribute_after_shrink(
+                    ctx,
+                    &new_world,
+                    &self.config.fti,
+                    &self.store,
+                    &old_members,
+                )
+                .map(|_| true)
+            }
+            Err(MpiError::SelfFailed) => Ok(false),
+            Err(e) => Err(e),
+        };
         ctx.set_category(prev);
         result
     }
@@ -275,7 +371,7 @@ mod tests {
         strategy: RecoveryStrategy,
         fault: impl Into<FailureTrace>,
         nprocs: usize,
-    ) -> (Vec<f64>, mpisim::TimeBreakdown) {
+    ) -> (Vec<Option<f64>>, mpisim::TimeBreakdown) {
         let store = CheckpointStore::shared();
         let config = FtConfig::new(strategy, FtiConfig::default().interval(5)).with_fault(fault);
         let cluster = Cluster::new(ClusterConfig::with_ranks(nprocs));
@@ -299,10 +395,12 @@ mod tests {
 
     #[test]
     fn failure_free_runs_are_correct_for_all_designs() {
+        // Without failures even the shrinking design runs on the full world, so all
+        // four designs must produce the exact failure-free answer.
         for strategy in RecoveryStrategy::ALL {
             let (values, breakdown) = run_design(strategy, FaultPlan::None, 8);
             for v in &values {
-                assert_eq!(*v, expected_value(8, 20), "{strategy}");
+                assert_eq!(*v, Some(expected_value(8, 20)), "{strategy}");
             }
             assert_eq!(
                 breakdown.recovery,
@@ -315,16 +413,108 @@ mod tests {
 
     #[test]
     fn recovered_runs_reproduce_the_failure_free_answer() {
-        for strategy in RecoveryStrategy::ALL {
+        // The paper's three designs restore the full world, so the recovered answer
+        // equals the failure-free one. The shrinking design legitimately computes a
+        // different (smaller-world) answer and has its own tests below.
+        for strategy in RecoveryStrategy::PAPER {
             let (values, breakdown) = run_design(strategy, FaultPlan::kill_rank_at(3, 12), 8);
             for v in &values {
-                assert_eq!(*v, expected_value(8, 20), "{strategy} after recovery");
+                assert_eq!(*v, Some(expected_value(8, 20)), "{strategy} after recovery");
             }
             assert!(
                 breakdown.recovery.as_secs() > 0.0,
                 "{strategy} must pay recovery"
             );
         }
+    }
+
+    #[test]
+    fn shrink_survivors_continue_on_the_smaller_world() {
+        // 8 ranks, rank 3 killed at iteration 12, checkpoints every 5 iterations:
+        // the survivors roll back to iteration 10 (10 iterations of the full-world
+        // sum 36) and finish iterations 11..=20 as a 7-rank world whose per-iteration
+        // sum is 36 - 4 = 32. The casualty reports no value.
+        let (values, breakdown) =
+            run_design(RecoveryStrategy::Shrink, FaultPlan::kill_rank_at(3, 12), 8);
+        let expected = 10.0 * 36.0 + 10.0 * 32.0;
+        for (rank, v) in values.iter().enumerate() {
+            if rank == 3 {
+                assert_eq!(*v, None, "the casualty must not report a value");
+            } else {
+                assert_eq!(*v, Some(expected), "rank {rank} after shrink");
+            }
+        }
+        assert!(breakdown.recovery.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn shrink_attempt_log_records_the_survivor_counts() {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Shrink, FtiConfig::default().interval(5))
+            .with_fault(FaultPlan::kill_rank_at(3, 12));
+        let cluster = Cluster::new(ClusterConfig::with_ranks(8));
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, |ctx, fti, injector| toy_app(ctx, fti, injector, 20))
+        });
+        assert!(outcome.all_ok(), "{:?}", outcome.errors());
+        for (rank, r) in outcome.ranks().iter().enumerate() {
+            let out = r.result.as_ref().unwrap();
+            if rank == 3 {
+                assert_eq!(out.attempts, 1);
+                assert_eq!(out.recoveries, 0);
+                assert_eq!(out.attempt_log.len(), 1);
+                assert!(!out.attempt_log[0].completed);
+                assert_eq!(out.attempt_log[0].survivors, 0, "a casualty leaves nobody");
+            } else {
+                assert_eq!(out.attempts, 2, "rank {rank}");
+                assert_eq!(out.recoveries, 1);
+                assert_eq!(out.attempt_log[0].survivors, 7, "the world shrank to 7");
+                assert!(out.attempt_log[0].recovery.as_secs() > 0.0);
+                assert!(out.attempt_log[1].completed);
+                assert_eq!(out.attempt_log[1].survivors, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_runs_are_bit_deterministic() {
+        for fault in [
+            FaultPlan::kill_rank_at(3, 12),
+            FaultPlan::crash_node_at(1, 7),
+        ] {
+            let (va, a) = run_design(RecoveryStrategy::Shrink, fault, 8);
+            let (vb, b) = run_design(RecoveryStrategy::Shrink, fault, 8);
+            assert_eq!(va, vb, "shrink values must be bit-identical: {fault:?}");
+            assert_eq!(a, b, "shrink breakdowns must be bit-identical: {fault:?}");
+        }
+    }
+
+    #[test]
+    fn multi_event_shrink_retires_every_victim() {
+        // Three disruptions, three shrinks: 8 -> 7 -> 6 -> 5 ranks. Every survivor
+        // agrees on the same final value and every victim reports none.
+        let trace = FailureTrace::schedule(vec![
+            mpisim::FailureSpec::kill_process(2, 4),
+            mpisim::FailureSpec::crash_node(3, 9),
+            mpisim::FailureSpec::kill_process(0, 17),
+        ]);
+        let (values, breakdown) = run_design(RecoveryStrategy::Shrink, trace, 8);
+        let dead = [0usize, 2, 3];
+        let survivor_values: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .filter(|(rank, _)| !dead.contains(rank))
+            .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} must survive")))
+            .collect();
+        assert_eq!(survivor_values.len(), 5);
+        for v in &survivor_values {
+            assert_eq!(*v, survivor_values[0], "survivors must agree");
+        }
+        for &rank in &dead {
+            assert_eq!(values[rank], None, "rank {rank} must be retired");
+        }
+        assert!(breakdown.recovery.as_secs() > 0.0);
     }
 
     #[test]
@@ -349,8 +539,12 @@ mod tests {
         let (_, reinit) = run_design(RecoveryStrategy::Reinit, fault, 8);
         let (_, ulfm) = run_design(RecoveryStrategy::Ulfm, fault, 8);
         let (_, restart) = run_design(RecoveryStrategy::Restart, fault, 8);
+        let (_, shrink) = run_design(RecoveryStrategy::Shrink, fault, 8);
         assert!(reinit.recovery < ulfm.recovery);
         assert!(ulfm.recovery < restart.recovery);
+        // Shrinking skips the spawn/merge phases of non-shrinking ULFM; with a
+        // replicated-only dataset (no redistribution traffic) it recovers faster.
+        assert!(shrink.recovery < ulfm.recovery);
     }
 
     #[test]
@@ -373,7 +567,7 @@ mod tests {
     fn random_fault_plans_recover_too() {
         let (values, breakdown) = run_design(RecoveryStrategy::Reinit, FaultPlan::random(7, 20), 4);
         for v in &values {
-            assert_eq!(*v, expected_value(4, 20));
+            assert_eq!(*v, Some(expected_value(4, 20)));
         }
         assert!(breakdown.recovery.as_secs() > 0.0);
     }
@@ -387,10 +581,14 @@ mod tests {
             mpisim::FailureSpec::crash_node(3, 9),
             mpisim::FailureSpec::kill_process(0, 17),
         ]);
-        for strategy in RecoveryStrategy::ALL {
+        for strategy in RecoveryStrategy::PAPER {
             let (values, breakdown) = run_design(strategy, trace.clone(), 8);
             for v in &values {
-                assert_eq!(*v, expected_value(8, 20), "{strategy} after 3 failures");
+                assert_eq!(
+                    *v,
+                    Some(expected_value(8, 20)),
+                    "{strategy} after 3 failures"
+                );
             }
             assert!(breakdown.recovery.as_secs() > 0.0);
         }
@@ -420,6 +618,8 @@ mod tests {
             assert!(out.attempt_log[1].completed);
             assert_eq!(out.attempt_log[1].recovery, SimTime::ZERO);
             assert!(out.attempt_log[1].started_at >= out.attempt_log[0].ended_at);
+            // Reinit respawns the dead rank: the world never shrinks.
+            assert!(out.attempt_log.iter().all(|a| a.survivors == 4));
         }
     }
 

@@ -441,10 +441,9 @@ fn victims_of(event: &FailureSpec, topology: &Topology) -> Vec<usize> {
 pub struct FaultInjector {
     /// The resolved schedule, ordered by iteration.
     events: Vec<FailureSpec>,
-    /// `thresholds[i]` is the cluster-wide failure-event count after events `0..=i`
-    /// have fired; event `i` is *spent* once the counter has reached it.
-    thresholds: Vec<u64>,
-    /// Per-event victim sets (precomputed from the topology).
+    /// Per-event victim sets (precomputed from the topology). Event `i` is *spent*
+    /// once the cluster-wide failure-event counter (adjusted for permanently retired
+    /// ranks) has absorbed the still-killable victims of events `0..=i`.
     victims: Vec<Vec<usize>>,
 }
 
@@ -458,24 +457,13 @@ impl FaultInjector {
     pub fn new(trace: &FailureTrace, topology: &Topology) -> Result<Self, MpiError> {
         let events = trace.resolve(topology)?;
         let victims: Vec<Vec<usize>> = events.iter().map(|e| victims_of(e, topology)).collect();
-        let mut thresholds = Vec::with_capacity(events.len());
-        let mut total = 0u64;
-        for v in &victims {
-            total += v.len() as u64;
-            thresholds.push(total);
-        }
-        Ok(FaultInjector {
-            events,
-            thresholds,
-            victims,
-        })
+        Ok(FaultInjector { events, victims })
     }
 
     /// An injector that never fires.
     pub fn disabled() -> Self {
         FaultInjector {
             events: Vec::new(),
-            thresholds: Vec::new(),
             victims: Vec::new(),
         }
     }
@@ -510,8 +498,27 @@ impl FaultInjector {
             if !ctx.is_self_alive() {
                 return Err(ctx.acknowledge_killed());
             }
-            let fired = ctx.failure_events();
-            let Some(i) = self.thresholds.iter().position(|&t| fired < t) else {
+            // Shrinking recoveries permanently retire the dead instead of reviving
+            // them. Each retired rank spent exactly one count of the failure-event
+            // counter when it was first killed, and retired victims of later events
+            // can never be killed again — so both the fired count and the per-event
+            // thresholds are adjusted to the still-killable victims. While nobody is
+            // retired (every non-shrinking design) `retired` is empty and this
+            // reduces exactly to the precomputed thresholds. The retired set only
+            // changes inside the shrink rendezvous, which cannot complete while this
+            // rank is here, so the snapshot is stable for the whole loop body.
+            let retired = ctx.retired_ranks();
+            let adjusted_fired = ctx.failure_events() - retired.len() as u64;
+            let mut killable_cum = 0u64;
+            let mut pending = None;
+            for (i, victims) in self.victims.iter().enumerate() {
+                killable_cum += victims.iter().filter(|v| !retired.contains(v)).count() as u64;
+                if adjusted_fired < killable_cum {
+                    pending = Some((i, killable_cum));
+                    break;
+                }
+            }
+            let Some((i, killable_cum)) = pending else {
                 return Self::ok_if_alive(ctx); // every event is spent
             };
             if iteration < self.events[i].at_iteration {
@@ -526,8 +533,9 @@ impl FaultInjector {
             // progress — then the event cannot fire until the job is repaired and the
             // victim replays the iteration, and this rank proceeds into the epoch's
             // deterministic abort protocol instead.
-            ctx.wait_for_failure_events(self.thresholds[i]);
-            if ctx.failure_events() < self.thresholds[i] {
+            let raw_target = killable_cum + retired.len() as u64;
+            ctx.wait_for_failure_events(raw_target);
+            if ctx.failure_events() < raw_target {
                 return Self::ok_if_alive(ctx);
             }
         }

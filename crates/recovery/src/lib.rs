@@ -56,7 +56,7 @@
 //! assert!(outcome.all_ok());
 //! // Every rank computed the same, failure-free answer: 20 iterations x 8 ranks.
 //! for rank in outcome.ranks() {
-//!     assert_eq!(rank.result.as_ref().unwrap().value, 160.0);
+//!     assert_eq!(rank.result.as_ref().unwrap().value, Some(160.0));
 //! }
 //! ```
 

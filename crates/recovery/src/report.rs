@@ -22,6 +22,10 @@ pub struct AttemptSummary {
     pub recovery_secs: f64,
     /// Whether the attempt ran to completion.
     pub completed: bool,
+    /// The world size the *next* attempt runs at (the current world size for a
+    /// completed attempt). Equals the process count for the non-shrinking designs;
+    /// drops by the casualty count after every SHRINK-FTI recovery.
+    pub survivors: usize,
 }
 
 /// Summary of one run of one design.
@@ -146,6 +150,7 @@ mod tests {
                 span_secs: app,
                 recovery_secs: recovery,
                 completed: false,
+                survivors: 64,
             }],
         }
     }

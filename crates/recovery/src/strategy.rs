@@ -1,11 +1,27 @@
-//! The three MPI recovery strategies compared by MATCH.
+//! The design axis: the three MPI recovery strategies compared by MATCH plus the
+//! beyond-the-paper ULFM *shrinking* mode.
+//!
+//! The axis is split into three pieces so recovery semantics live behind one
+//! interface instead of being smeared across the driver, the figures and the cache:
+//!
+//! * [`RecoveryStrategy`] — the tiny `Copy` tag that experiment identities, caches
+//!   and figures carry around;
+//! * [`DesignDescriptor`] — the data-carrying description of a design's static
+//!   properties (names, programming effort, whether the world shrinks);
+//! * [`RecoveryProtocol`] — the behavioural half (background interference and the
+//!   modelled MPI-recovery cost), with one implementation per design.
+//!
+//! Adding a design means adding one protocol impl and one `ALL` entry; everything
+//! downstream enumerates the axis through `RecoveryStrategy::ALL` (or the
+//! `MATCH_SHRINK`-aware registry in `match-core`).
 
 use mpisim::{MachineModel, SimTime};
 
 /// The MPI recovery strategy of a fault-tolerance design.
 ///
 /// Combined with FTI checkpointing these form the paper's three designs
-/// `RESTART-FTI`, `ULFM-FTI` and `REINIT-FTI`.
+/// `RESTART-FTI`, `ULFM-FTI` and `REINIT-FTI`, plus the beyond-the-paper
+/// `SHRINK-FTI` shrinking mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecoveryStrategy {
     /// Tear the job down and restart it from the scheduler (the baseline).
@@ -14,65 +30,202 @@ pub enum RecoveryStrategy {
     Ulfm,
     /// Reinit runtime-level global restart.
     Reinit,
+    /// ULFM shrinking recovery: revoke, shrink, agree — the failed processes are
+    /// permanently retired and the application continues on the survivor
+    /// communicator after redistributing the protected data.
+    Shrink,
+}
+
+/// The static, data-carrying half of a design: everything about it that is a fact
+/// rather than a computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignDescriptor {
+    /// The design name used in the figures (e.g. `"REINIT-FTI"`).
+    pub design_name: &'static str,
+    /// A short lowercase identifier (e.g. `"reinit"`).
+    pub short_name: &'static str,
+    /// Approximate lines of code needed to add the design to a proxy application
+    /// (the paper reports Reinit < 5, ULFM > 200, Restart 0 beyond FTI itself;
+    /// shrinking additionally needs the data-redistribution logic).
+    pub programming_effort_loc: usize,
+    /// Whether recovery retires the failed ranks and continues on the survivor
+    /// communicator (`true`), or restores the original world size (`false`).
+    pub shrinks_world: bool,
+}
+
+/// The behavioural half of a design: how it loads the machine while healthy and
+/// what its MPI-level recovery costs when a failure strikes.
+pub trait RecoveryProtocol: Sync {
+    /// The static description of this design.
+    fn descriptor(&self) -> &'static DesignDescriptor;
+
+    /// The fractional interference this design imposes on application execution and
+    /// on checkpoint I/O while *no* failure is being handled, as
+    /// `(app_fraction, io_fraction)`.
+    fn background_interference(&self, machine: &MachineModel, nprocs: usize) -> (f64, f64);
+
+    /// The modelled MPI-recovery cost for a job of `nprocs` processes of which
+    /// `nfailed` failed, *excluding* the failure-detection latency (which is
+    /// identical for all designs and added by the driver).
+    fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, nfailed: usize) -> SimTime;
+}
+
+struct RestartProtocol;
+struct UlfmProtocol;
+struct ReinitProtocol;
+struct ShrinkProtocol;
+
+static RESTART_DESCRIPTOR: DesignDescriptor = DesignDescriptor {
+    design_name: "RESTART-FTI",
+    short_name: "restart",
+    programming_effort_loc: 0,
+    shrinks_world: false,
+};
+static ULFM_DESCRIPTOR: DesignDescriptor = DesignDescriptor {
+    design_name: "ULFM-FTI",
+    short_name: "ulfm",
+    programming_effort_loc: 200,
+    shrinks_world: false,
+};
+static REINIT_DESCRIPTOR: DesignDescriptor = DesignDescriptor {
+    design_name: "REINIT-FTI",
+    short_name: "reinit",
+    programming_effort_loc: 5,
+    shrinks_world: false,
+};
+static SHRINK_DESCRIPTOR: DesignDescriptor = DesignDescriptor {
+    design_name: "SHRINK-FTI",
+    short_name: "shrink",
+    programming_effort_loc: 250,
+    shrinks_world: true,
+};
+
+impl RecoveryProtocol for RestartProtocol {
+    fn descriptor(&self) -> &'static DesignDescriptor {
+        &RESTART_DESCRIPTOR
+    }
+    fn background_interference(&self, _machine: &MachineModel, _nprocs: usize) -> (f64, f64) {
+        // Restart runs nothing until a failure happens.
+        (0.0, 0.0)
+    }
+    fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, _nfailed: usize) -> SimTime {
+        machine.restart_recovery_cost(nprocs)
+    }
+}
+
+impl RecoveryProtocol for UlfmProtocol {
+    fn descriptor(&self) -> &'static DesignDescriptor {
+        &ULFM_DESCRIPTOR
+    }
+    fn background_interference(&self, machine: &MachineModel, nprocs: usize) -> (f64, f64) {
+        // ULFM's heartbeat failure detector and MPI-call interposition run always.
+        (machine.ulfm_app_overhead(nprocs), machine.ulfm_io_overhead)
+    }
+    fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, nfailed: usize) -> SimTime {
+        machine.ulfm_recovery_cost(nprocs, nfailed.max(1))
+    }
+}
+
+impl RecoveryProtocol for ReinitProtocol {
+    fn descriptor(&self) -> &'static DesignDescriptor {
+        &REINIT_DESCRIPTOR
+    }
+    fn background_interference(&self, _machine: &MachineModel, _nprocs: usize) -> (f64, f64) {
+        // Reinit is free until a failure happens.
+        (0.0, 0.0)
+    }
+    fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, _nfailed: usize) -> SimTime {
+        machine.reinit_recovery_cost(nprocs)
+    }
+}
+
+impl RecoveryProtocol for ShrinkProtocol {
+    fn descriptor(&self) -> &'static DesignDescriptor {
+        &SHRINK_DESCRIPTOR
+    }
+    fn background_interference(&self, machine: &MachineModel, nprocs: usize) -> (f64, f64) {
+        // Shrinking recovery runs on the same ULFM runtime, so it pays the same
+        // heartbeat + interposition overhead while healthy.
+        (machine.ulfm_app_overhead(nprocs), machine.ulfm_io_overhead)
+    }
+    fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, _nfailed: usize) -> SimTime {
+        // Revoke + shrink + agree only: no spawn and no merge, because the failed
+        // processes are never replaced. The data-redistribution traffic is *not*
+        // part of this lump cost — it is sent as real simulated messages by the FTI
+        // layer so link domains are charged faithfully.
+        machine.ulfm_revoke_cost(nprocs)
+            + machine.ulfm_shrink_cost(nprocs)
+            + machine.ulfm_agree_cost(nprocs)
+    }
 }
 
 impl RecoveryStrategy {
-    /// All strategies in the order the paper's figures list them.
-    pub const ALL: [RecoveryStrategy; 3] = [
+    /// All strategies in figure order: the paper's three designs first, then the
+    /// beyond-the-paper shrinking mode.
+    pub const ALL: [RecoveryStrategy; 4] = [
+        RecoveryStrategy::Restart,
+        RecoveryStrategy::Ulfm,
+        RecoveryStrategy::Reinit,
+        RecoveryStrategy::Shrink,
+    ];
+
+    /// The paper's original three designs, in figure order, without `SHRINK-FTI`.
+    pub const PAPER: [RecoveryStrategy; 3] = [
         RecoveryStrategy::Restart,
         RecoveryStrategy::Ulfm,
         RecoveryStrategy::Reinit,
     ];
 
-    /// The design name used in the paper's figures (e.g. `"REINIT-FTI"`).
-    pub fn design_name(&self) -> &'static str {
+    /// The behavioural implementation of this design.
+    pub fn protocol(&self) -> &'static dyn RecoveryProtocol {
         match self {
-            RecoveryStrategy::Restart => "RESTART-FTI",
-            RecoveryStrategy::Ulfm => "ULFM-FTI",
-            RecoveryStrategy::Reinit => "REINIT-FTI",
+            RecoveryStrategy::Restart => &RestartProtocol,
+            RecoveryStrategy::Ulfm => &UlfmProtocol,
+            RecoveryStrategy::Reinit => &ReinitProtocol,
+            RecoveryStrategy::Shrink => &ShrinkProtocol,
         }
     }
 
-    /// A short lowercase identifier (`"restart"`, `"ulfm"`, `"reinit"`).
+    /// The static description of this design.
+    pub fn descriptor(&self) -> &'static DesignDescriptor {
+        self.protocol().descriptor()
+    }
+
+    /// The design name used in the paper's figures (e.g. `"REINIT-FTI"`).
+    pub fn design_name(&self) -> &'static str {
+        self.descriptor().design_name
+    }
+
+    /// A short lowercase identifier (`"restart"`, `"ulfm"`, `"reinit"`, `"shrink"`).
     pub fn short_name(&self) -> &'static str {
-        match self {
-            RecoveryStrategy::Restart => "restart",
-            RecoveryStrategy::Ulfm => "ulfm",
-            RecoveryStrategy::Reinit => "reinit",
-        }
+        self.descriptor().short_name
+    }
+
+    /// Whether recovery retires the failed ranks and continues on the survivor
+    /// communicator instead of restoring the original world size.
+    pub fn shrinks_world(&self) -> bool {
+        self.descriptor().shrinks_world
     }
 
     /// The fractional interference this strategy imposes on application execution and
-    /// on checkpoint I/O while *no* failure is being handled. Only ULFM runs background
-    /// work (its heartbeat failure detector and MPI-call interposition); Restart and
-    /// Reinit are free until a failure happens.
+    /// on checkpoint I/O while *no* failure is being handled. Only the ULFM-based
+    /// designs run background work (heartbeat failure detector and MPI-call
+    /// interposition); Restart and Reinit are free until a failure happens.
     pub fn background_interference(&self, machine: &MachineModel, nprocs: usize) -> (f64, f64) {
-        match self {
-            RecoveryStrategy::Ulfm => (machine.ulfm_app_overhead(nprocs), machine.ulfm_io_overhead),
-            RecoveryStrategy::Restart | RecoveryStrategy::Reinit => (0.0, 0.0),
-        }
+        self.protocol().background_interference(machine, nprocs)
     }
 
     /// The modelled MPI-recovery cost of this strategy for a job of `nprocs` processes
     /// of which `nfailed` failed, *excluding* the failure-detection latency (which is
     /// identical for all strategies and added by the driver).
     pub fn recovery_cost(&self, machine: &MachineModel, nprocs: usize, nfailed: usize) -> SimTime {
-        match self {
-            RecoveryStrategy::Restart => machine.restart_recovery_cost(nprocs),
-            RecoveryStrategy::Ulfm => machine.ulfm_recovery_cost(nprocs, nfailed.max(1)),
-            RecoveryStrategy::Reinit => machine.reinit_recovery_cost(nprocs),
-        }
+        self.protocol().recovery_cost(machine, nprocs, nfailed)
     }
 
     /// Approximate lines of code the paper reports for adding this design to a proxy
-    /// application (Reinit: fewer than 5; ULFM: more than 200; Restart: none beyond
-    /// FTI itself). Exposed for the suite's programming-effort table.
+    /// application. Exposed for the suite's programming-effort table.
     pub fn programming_effort_loc(&self) -> usize {
-        match self {
-            RecoveryStrategy::Restart => 0,
-            RecoveryStrategy::Ulfm => 200,
-            RecoveryStrategy::Reinit => 5,
-        }
+        self.descriptor().programming_effort_loc
     }
 }
 
@@ -91,17 +244,30 @@ mod tests {
         assert_eq!(RecoveryStrategy::Restart.design_name(), "RESTART-FTI");
         assert_eq!(RecoveryStrategy::Ulfm.design_name(), "ULFM-FTI");
         assert_eq!(RecoveryStrategy::Reinit.design_name(), "REINIT-FTI");
+        assert_eq!(RecoveryStrategy::Shrink.design_name(), "SHRINK-FTI");
         assert_eq!(RecoveryStrategy::Reinit.to_string(), "REINIT-FTI");
         assert_eq!(RecoveryStrategy::Ulfm.short_name(), "ulfm");
-        assert_eq!(RecoveryStrategy::ALL.len(), 3);
+        assert_eq!(RecoveryStrategy::Shrink.short_name(), "shrink");
+        assert_eq!(RecoveryStrategy::ALL.len(), 4);
+        // The paper's three designs come first so figure ordering is unchanged, and
+        // they are exactly the non-shrinking prefix of the axis.
+        assert_eq!(RecoveryStrategy::ALL[..3], RecoveryStrategy::PAPER);
+        assert_eq!(RecoveryStrategy::ALL[3], RecoveryStrategy::Shrink);
+        assert!(RecoveryStrategy::PAPER.iter().all(|s| !s.shrinks_world()));
+        assert!(RecoveryStrategy::Shrink.shrinks_world());
     }
 
     #[test]
-    fn only_ulfm_has_background_interference() {
+    fn only_the_ulfm_runtime_has_background_interference() {
         let m = MachineModel::default();
         for p in [64, 512] {
             let (app, io) = RecoveryStrategy::Ulfm.background_interference(&m, p);
             assert!(app > 0.0 && io > 0.0);
+            // Shrink runs on the same ULFM runtime and pays the same overhead.
+            assert_eq!(
+                RecoveryStrategy::Shrink.background_interference(&m, p),
+                (app, io)
+            );
             assert_eq!(
                 RecoveryStrategy::Reinit.background_interference(&m, p),
                 (0.0, 0.0)
@@ -124,8 +290,14 @@ mod tests {
             let restart = RecoveryStrategy::Restart.recovery_cost(&m, p, 1);
             let ulfm = RecoveryStrategy::Ulfm.recovery_cost(&m, p, 1);
             let reinit = RecoveryStrategy::Reinit.recovery_cost(&m, p, 1);
+            let shrink = RecoveryStrategy::Shrink.recovery_cost(&m, p, 1);
             assert!(reinit < ulfm, "at {p} procs");
             assert!(ulfm < restart, "at {p} procs");
+            // The shrink protocol skips spawn + merge, so its lump MPI cost is
+            // strictly below non-shrinking ULFM (redistribution is charged
+            // separately as real messages).
+            assert!(shrink < ulfm, "at {p} procs");
+            assert!(shrink.as_secs() > 0.0, "at {p} procs");
         }
         // Reinit is scale-independent, ULFM is not.
         let m = MachineModel::default();
@@ -144,5 +316,10 @@ mod tests {
                 >= 40 * RecoveryStrategy::Reinit.programming_effort_loc()
         );
         assert_eq!(RecoveryStrategy::Restart.programming_effort_loc(), 0);
+        // Shrinking needs everything non-shrinking ULFM needs plus redistribution.
+        assert!(
+            RecoveryStrategy::Shrink.programming_effort_loc()
+                > RecoveryStrategy::Ulfm.programming_effort_loc()
+        );
     }
 }

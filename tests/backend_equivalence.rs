@@ -53,9 +53,10 @@ fn toy_app(ctx: &mut RankCtx, fti: &mut Fti, injector: &FaultInjector) -> Result
 }
 
 /// Everything observable about one rank's execution, for exact comparison.
+/// `value` is `None` for a rank that left the job as a shrinking-recovery casualty.
 #[derive(Debug, PartialEq)]
 struct RankObservation {
-    value: f64,
+    value: Option<f64>,
     attempts: u32,
     recoveries: u32,
     failure_events: u64,
@@ -167,8 +168,12 @@ fn node_crash_recovery_is_bit_identical_across_backends() {
             trace.clone(),
             resilient_config(),
         );
+        // Shrinking-recovery casualties (value None) report zero recoveries; every
+        // rank that finishes the job must have gone through at least one.
         assert!(
-            a.iter().all(|o| o.recoveries >= 1),
+            a.iter()
+                .filter(|o| o.value.is_some())
+                .all(|o| o.recoveries >= 1),
             "{strategy}: no recovery"
         );
         assert_eq!(a, b, "{strategy}: node-crash observations diverged");
@@ -188,6 +193,152 @@ fn node_crash_recovery_is_bit_identical_across_backends() {
             assert_eq!(
                 ba, bc,
                 "{strategy}: par[w={workers}] node-crash breakdowns diverged"
+            );
+        }
+    }
+}
+
+/// The dedicated shrink leg: a *partitioned* dataset (so the shrinking recovery
+/// actually moves blocks between survivors) run under `SHRINK-FTI` must be
+/// bit-identical across `threads`, `coop` and `par` at every worker count — the
+/// redistribution messages are part of the virtual-time contract.
+#[test]
+fn shrink_redistribution_is_bit_identical_across_backends() {
+    use match_core::proxies::common::world_slab;
+    const TOTAL: usize = 32;
+
+    fn partitioned_app(
+        ctx: &mut RankCtx,
+        fti: &mut Fti,
+        injector: &FaultInjector,
+    ) -> Result<f64, MpiError> {
+        let world = ctx.world();
+        let global = TOTAL * ctx.topology().nranks() / NPROCS;
+        let (start, count) = world_slab(&world, global);
+        let mut x: Vec<f64> = (start..start + count).map(|g| g as f64).collect();
+        let mut step: u64 = 0;
+        fti.protect_partitioned(0, "x", &x, global as u64);
+        fti.protect(1, "step", &step);
+        if fti.status().is_restart() {
+            fti.recover(
+                ctx,
+                &mut [
+                    (0, &mut x as &mut dyn Protectable),
+                    (1, &mut step as &mut dyn Protectable),
+                ],
+            )?;
+        }
+        while step < ITERATIONS {
+            let current = step + 1;
+            injector.maybe_fail(ctx, current)?;
+            ctx.compute(1e4);
+            for v in &mut x {
+                *v += 1.0;
+            }
+            step = current;
+            if fti.should_checkpoint(step) {
+                fti.checkpoint(
+                    ctx,
+                    step,
+                    &[(0, &x as &dyn Protectable), (1, &step as &dyn Protectable)],
+                )?;
+            }
+        }
+        fti.finalize(ctx)?;
+        ctx.allreduce_sum_f64(&world, x.iter().sum())
+    }
+
+    let run = |backend: SchedBackend, workers: usize| {
+        let store = CheckpointStore::shared();
+        let config = FtConfig::new(RecoveryStrategy::Shrink, resilient_config()).with_fault(
+            FailureTrace::schedule(vec![FailureSpec::kill_process(2, 6)]),
+        );
+        let cluster = Cluster::new(
+            ClusterConfig::with_ranks(NPROCS)
+                .nodes(NNODES)
+                .backend(backend)
+                .workers(workers),
+        );
+        let outcome = cluster.run(move |ctx| {
+            let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+            driver.execute(ctx, partitioned_app)
+        });
+        assert!(outcome.all_ok(), "{backend}: {:?}", outcome.errors());
+        let observations: Vec<RankObservation> = outcome
+            .ranks()
+            .iter()
+            .map(|r| {
+                let out: &DriverOutcome<f64> = r.result.as_ref().unwrap();
+                RankObservation {
+                    value: out.value,
+                    attempts: out.attempts,
+                    recoveries: out.recoveries,
+                    failure_events: out.failure_events,
+                    finish_secs_bits: r.finish_time.as_secs().to_bits(),
+                }
+            })
+            .collect();
+        (observations, outcome.max_breakdown())
+    };
+
+    let (a, ba) = run(SchedBackend::Threads, 0);
+    // The casualty reports no value; every survivor owns part of the full array and
+    // agrees on the global sum (each element advanced by every one of the 12 steps).
+    assert_eq!(a[2].value, None);
+    let expected: f64 = (0..TOTAL).map(|g| g as f64 + ITERATIONS as f64).sum();
+    for (rank, o) in a.iter().enumerate() {
+        if rank != 2 {
+            assert_eq!(o.value, Some(expected), "rank {rank}");
+        }
+    }
+    let (b, bb) = run(SchedBackend::Coop, 0);
+    assert_eq!(a, b, "shrink redistribution diverged on coop");
+    assert_eq!(ba, bb, "shrink breakdowns diverged on coop");
+    for workers in PAR_WORKERS {
+        let (c, bc) = run(SchedBackend::Par, workers);
+        assert_eq!(a, c, "shrink redistribution diverged on par[w={workers}]");
+        assert_eq!(ba, bc, "shrink breakdowns diverged on par[w={workers}]");
+    }
+}
+
+/// Regression (found by the seeded proptest below): two process kills landing at
+/// the SAME iteration under the shrinking design must still be bit-identical
+/// across backends and worker counts. The double-kill makes the shrink rendezvous
+/// race-prone: both victims die in one disruption epoch and the survivors must
+/// agree on one combined retirement, not two orderings of partial ones.
+#[test]
+fn simultaneous_kills_under_shrink_are_bit_identical_across_backends() {
+    let trace = FailureTrace::schedule(vec![
+        FailureSpec::kill_process(1, 12),
+        FailureSpec::kill_process(3, 12),
+    ]);
+    for _ in 0..12 {
+        let (a, ba) = run_trace_on(
+            SchedBackend::Threads,
+            RecoveryStrategy::Shrink,
+            trace.clone(),
+            resilient_config(),
+        );
+        let (b, bb) = run_trace_on(
+            SchedBackend::Coop,
+            RecoveryStrategy::Shrink,
+            trace.clone(),
+            resilient_config(),
+        );
+        assert_eq!(a, b, "double-kill shrink diverged on coop");
+        assert_eq!(ba, bb, "double-kill shrink breakdowns diverged on coop");
+        for workers in PAR_WORKERS {
+            let (c, bc) = run_trace_on_workers(
+                SchedBackend::Par,
+                workers,
+                RecoveryStrategy::Shrink,
+                trace.clone(),
+                resilient_config(),
+            );
+            assert_eq!(a, c, "double-kill shrink diverged on par[w={workers}]");
+            assert_eq!(
+                ba, bc,
+                "double-kill shrink breakdowns diverged on par[w={workers}]"
             );
         }
     }
@@ -308,7 +459,7 @@ fn coop_runs_4096_ranks_with_failure_recovery_in_one_process() {
     assert!(outcome.all_ok(), "{:?}", outcome.errors().first());
     for rank in 0..BIG {
         let out = outcome.value_of(rank);
-        assert_eq!(out.value, 8.0 * BIG as f64);
+        assert_eq!(out.value, Some(8.0 * BIG as f64));
         assert_eq!(out.recoveries, 1, "rank {rank} must recover exactly once");
     }
 }
@@ -324,7 +475,9 @@ mod proptests {
         /// The tentpole property: any seeded trace of up to three events (kills or
         /// node crashes) yields bit-identical per-rank observations and time
         /// breakdowns under `threads`, `coop` and `par` (at a seed-chosen worker
-        /// count), for all three designs.
+        /// count), for every design of the axis — including the shrinking one,
+        /// whose survivor set and redistribution traffic must also be a pure
+        /// function of virtual time.
         #[test]
         fn seeded_traces_are_bit_identical_across_backends(
             seed in any::<u64>(),

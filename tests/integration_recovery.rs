@@ -1,6 +1,11 @@
 //! The central correctness property of the suite: for every proxy application and
-//! every fault-tolerance design, a run that suffers (and recovers from) an injected
-//! process failure produces exactly the same answer as a failure-free run.
+//! every non-shrinking fault-tolerance design, a run that suffers (and recovers
+//! from) an injected process failure produces exactly the same answer as a
+//! failure-free run. The shrinking design (`SHRINK-FTI`) finishes the job on the
+//! survivor world — its re-partitioned arithmetic legitimately reorders floating
+//! point, so its contract here is weaker: it must pay recovery, stay finite, and
+//! be bit-deterministic run-to-run (the exact tiling of the survivors' sub-domains
+//! is asserted in the shrink-tiling property suite).
 
 use std::sync::Arc;
 
@@ -31,7 +36,14 @@ fn run_checksum(kind: ProxyKind, strategy: RecoveryStrategy, fault: FaultPlan) -
         "{kind:?}/{strategy:?}: {:?}",
         outcome.errors()
     );
-    let checksum = outcome.value_of(0).value.checksum;
+    // Rank 0 is never the injected victim below, so it always reports a value —
+    // even under the shrinking design, where casualties report `None`.
+    let checksum = outcome
+        .value_of(0)
+        .value
+        .as_ref()
+        .expect("rank 0 survives")
+        .checksum;
     let recovery = outcome.max_breakdown().recovery.as_secs();
     (checksum, recovery)
 }
@@ -46,7 +58,7 @@ fn recovered_runs_reproduce_failure_free_answers_for_every_app_and_design() {
         let fault = FaultPlan::kill_rank_at(2, (iterations * 3 / 4).max(2));
         let (clean, no_recovery) = run_checksum(kind, RecoveryStrategy::Reinit, FaultPlan::None);
         assert_eq!(no_recovery, 0.0);
-        for strategy in RecoveryStrategy::ALL {
+        for strategy in RecoveryStrategy::PAPER {
             let (recovered, recovery_time) = run_checksum(kind, strategy, fault);
             assert!(
                 recovery_time > 0.0,
@@ -57,18 +69,41 @@ fn recovered_runs_reproduce_failure_free_answers_for_every_app_and_design() {
                 "{kind:?}/{strategy:?}: recovered answer differs from the failure-free answer"
             );
         }
+        let (shrunk, recovery_time) = run_checksum(kind, RecoveryStrategy::Shrink, fault);
+        assert!(
+            recovery_time > 0.0,
+            "{kind:?}/Shrink should have paid recovery time"
+        );
+        assert!(shrunk.is_finite(), "{kind:?}/Shrink checksum {shrunk}");
+        let (again, _) = run_checksum(kind, RecoveryStrategy::Shrink, fault);
+        assert_eq!(
+            shrunk, again,
+            "{kind:?}/Shrink: survivor-world answer must be bit-deterministic"
+        );
     }
 }
 
 #[test]
 fn early_failure_before_any_checkpoint_restarts_from_scratch_and_still_matches() {
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let (clean, _) = run_checksum(ProxyKind::Hpccg, strategy, FaultPlan::None);
         let (recovered, recovery) =
             run_checksum(ProxyKind::Hpccg, strategy, FaultPlan::kill_rank_at(1, 1));
         assert!(recovery > 0.0);
         assert_eq!(recovered, clean, "{strategy:?}");
     }
+    // The shrinking design restarts the whole job from scratch on the survivor
+    // world here (no checkpoint exists yet): it must still pay the shrink recovery
+    // and produce a finite, deterministic answer.
+    let fault = FaultPlan::kill_rank_at(1, 1);
+    let (a, recovery) = run_checksum(ProxyKind::Hpccg, RecoveryStrategy::Shrink, fault);
+    assert!(recovery > 0.0);
+    assert!(a.is_finite());
+    let (b, _) = run_checksum(ProxyKind::Hpccg, RecoveryStrategy::Shrink, fault);
+    assert_eq!(
+        a, b,
+        "early-failure shrink answer must be bit-deterministic"
+    );
 }
 
 #[test]

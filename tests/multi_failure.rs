@@ -1,9 +1,11 @@
 //! Integration tests of the multi-failure scenario engine: arbitrary seeded
 //! [`FailureTrace`]s — repeated kills, correlated node crashes that physically erase
 //! node-local checkpoint storage, events landing in checkpoint and recovery windows —
-//! must leave the application's answer bit-identical to a failure-free run for all
-//! three fault-tolerance designs, and the whole simulation must stay deterministic in
-//! virtual time.
+//! must leave the application's answer bit-identical to a failure-free run for the
+//! three non-shrinking fault-tolerance designs, and the whole simulation must stay
+//! deterministic in virtual time. The shrinking design (`SHRINK-FTI`) legitimately
+//! computes a different, two-phase answer — the survivors finish on a smaller world
+//! — which has its own exact expectation below.
 
 use std::sync::Arc;
 
@@ -53,7 +55,7 @@ fn run_trace(
     strategy: RecoveryStrategy,
     trace: FailureTrace,
     fti: FtiConfig,
-) -> (Vec<f64>, match_core::mpisim::TimeBreakdown) {
+) -> (Vec<Option<f64>>, match_core::mpisim::TimeBreakdown) {
     let store = CheckpointStore::shared();
     let config = FtConfig::new(strategy, fti).with_fault(trace);
     let cluster = Cluster::new(ClusterConfig::with_ranks(NPROCS).nodes(NNODES));
@@ -121,7 +123,7 @@ fn run_traced(
     nnodes: usize,
     nracks: usize,
     iterations: u64,
-) -> Vec<(f64, Vec<u64>)> {
+) -> Vec<(Option<f64>, Vec<u64>)> {
     let store = CheckpointStore::shared();
     let config = FtConfig::new(strategy, fti).with_fault(trace);
     let cluster = Cluster::new(
@@ -150,13 +152,33 @@ fn checkpoint_window_failure_rolls_back_across_the_lost_checkpoint() {
     // The event lands at the top of a checkpoint iteration, so the would-be
     // checkpoint is never written and the job resumes from the previous wave.
     let trace = FailureTrace::from(FailureSpec::kill_process(1, 8));
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let (values, breakdown) = run_trace(strategy, trace.clone(), resilient_config());
         for v in &values {
-            assert_eq!(*v, expected_value(), "{strategy}");
+            assert_eq!(*v, Some(expected_value()), "{strategy}");
         }
         assert!(breakdown.recovery.as_secs() > 0.0);
     }
+}
+
+#[test]
+fn shrink_computes_the_exact_two_phase_answer() {
+    // Same checkpoint-window trace under the shrinking design: rank 1 dies at
+    // iteration 8, the survivors roll back to the iteration-4 checkpoint (4 full
+    // 4-rank iterations of sum 1+2+3+4 = 10) and finish iterations 5..=12 on the
+    // 3-rank survivor world. Survivors keep their original rank numbers, so each
+    // shrunk iteration contributes 10 minus the casualty's share: 1+3+4 = 8.
+    let trace = FailureTrace::from(FailureSpec::kill_process(1, 8));
+    let (values, breakdown) = run_trace(RecoveryStrategy::Shrink, trace, resilient_config());
+    let expected = 4.0 * 10.0 + 8.0 * 8.0;
+    for (rank, v) in values.iter().enumerate() {
+        if rank == 1 {
+            assert_eq!(*v, None, "the casualty must not report a value");
+        } else {
+            assert_eq!(*v, Some(expected), "rank {rank} after shrink");
+        }
+    }
+    assert!(breakdown.recovery.as_secs() > 0.0);
 }
 
 #[test]
@@ -167,10 +189,10 @@ fn recovery_window_double_failure_recovers_twice() {
         FailureSpec::kill_process(2, 6),
         FailureSpec::kill_process(0, 7),
     ]);
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let (values, breakdown) = run_trace(strategy, trace.clone(), resilient_config());
         for v in &values {
-            assert_eq!(*v, expected_value(), "{strategy}");
+            assert_eq!(*v, Some(expected_value()), "{strategy}");
         }
         assert!(breakdown.recovery.as_secs() > 0.0);
     }
@@ -182,10 +204,10 @@ fn node_crash_erases_storage_and_falls_back_to_the_partner_copy() {
     // physically erased, so their recovery must go through the partner copies held on
     // node 1 — and the answer must still be exact.
     let trace = FailureTrace::from(FailureSpec::crash_node(0, 6));
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let (values, _) = run_trace(strategy, trace.clone(), resilient_config());
         for v in &values {
-            assert_eq!(*v, expected_value(), "{strategy} after node crash");
+            assert_eq!(*v, Some(expected_value()), "{strategy} after node crash");
         }
     }
 }
@@ -201,10 +223,10 @@ fn rack_cascade_falls_back_to_scratch_or_l4_and_still_reproduces() {
         FailureSpec::crash_node(1, 7),
     ]);
     for fti in [resilient_config(), FtiConfig::default().interval(4)] {
-        for strategy in RecoveryStrategy::ALL {
+        for strategy in RecoveryStrategy::PAPER {
             let (values, _) = run_trace(strategy, trace.clone(), fti.clone());
             for v in &values {
-                assert_eq!(*v, expected_value(), "{strategy} after rack cascade");
+                assert_eq!(*v, Some(expected_value()), "{strategy} after rack cascade");
             }
         }
     }
@@ -225,11 +247,11 @@ fn rack_crash_erasing_m_shards_recovers_through_rs_decode() {
         .interval(4)
         .l4_every(8);
     let trace = FailureTrace::from(FailureSpec::crash_rack(1, 6));
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let results = run_traced(strategy, trace.clone(), fti.clone(), 4, 2, 12);
         let per_iter: f64 = (1..=NPROCS).map(|r| r as f64).sum();
         for (rank, (value, restarts)) in results.iter().enumerate() {
-            assert_eq!(*value, per_iter * 12.0, "{strategy} rank {rank}");
+            assert_eq!(*value, Some(per_iter * 12.0), "{strategy} rank {rank}");
             assert_eq!(
                 restarts,
                 &vec![4],
@@ -255,11 +277,11 @@ fn rack_crash_erasing_more_than_m_shards_falls_back_to_l4() {
         FailureSpec::crash_rack(1, 14),
         FailureSpec::crash_node(1, 15),
     ]);
-    for strategy in RecoveryStrategy::ALL {
+    for strategy in RecoveryStrategy::PAPER {
         let results = run_traced(strategy, trace.clone(), fti.clone(), 4, 2, 16);
         let per_iter: f64 = (1..=NPROCS).map(|r| r as f64).sum();
         for (rank, (value, restarts)) in results.iter().enumerate() {
-            assert_eq!(*value, per_iter * 16.0, "{strategy} rank {rank}");
+            assert_eq!(*value, Some(per_iter * 16.0), "{strategy} rank {rank}");
             assert_eq!(
                 restarts.first(),
                 Some(&12),
@@ -316,7 +338,7 @@ fn sampled_arrival_traces_are_deterministic_in_virtual_time() {
     assert_eq!(va, vb);
     assert_eq!(a, b, "sampled scenario leaked host scheduling");
     for v in &va {
-        assert_eq!(*v, expected_value());
+        assert_eq!(*v, Some(expected_value()));
     }
 }
 
@@ -384,7 +406,10 @@ mod proptests {
         /// Satellite property: any seeded trace of up to three events (kills or node
         /// crashes) whose erasures stay within the aggregate L1/L2/L4 tolerance of
         /// the resilient configuration reproduces the failure-free answer
-        /// bit-for-bit under all three designs.
+        /// bit-for-bit under the three non-shrinking designs (the shrinking design
+        /// intentionally finishes on a smaller world; its exact two-phase answer is
+        /// asserted separately above and its tiling invariant in the proxies
+        /// property suite).
         #[test]
         fn seeded_traces_reproduce_the_failure_free_answer(
             seed in any::<u64>(),
@@ -401,10 +426,10 @@ mod proptests {
                 }
             }
             let trace = FailureTrace::schedule(events);
-            for strategy in RecoveryStrategy::ALL {
+            for strategy in RecoveryStrategy::PAPER {
                 let (values, _) = run_trace(strategy, trace.clone(), resilient_config());
                 for v in &values {
-                    prop_assert_eq!(*v, expected_value());
+                    prop_assert_eq!(*v, Some(expected_value()));
                 }
             }
         }

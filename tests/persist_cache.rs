@@ -60,10 +60,11 @@ fn synthetic_report(seed: u64, nattempts: usize) -> RunReport {
             span_secs: (count() as u32) as f64 / 4096.0,
             recovery_secs: (count() as u32) as f64 / 4096.0,
             completed: i + 1 == nattempts,
+            survivors: (count() % 4096) as usize,
         })
         .collect();
     RunReport {
-        strategy: RecoveryStrategy::ALL[(seed % 3) as usize],
+        strategy: RecoveryStrategy::ALL[(seed as usize) % RecoveryStrategy::ALL.len()],
         nprocs: (count() % 4096) as usize,
         failure_injected: seed.is_multiple_of(2),
         breakdown: mpisim::TimeBreakdown {

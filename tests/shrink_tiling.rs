@@ -1,0 +1,142 @@
+//! Satellite property of the shrinking design: after any sequence of shrink
+//! recoveries, the survivors' sub-domains exactly tile the original problem.
+//!
+//! Every proxy application partitions a globally sized problem over the *current*
+//! world (`world_slab` over [`ProxyApp::global_units`]) and reports the slab it
+//! finished with in [`AppOutput::owned_units`]. Under `SHRINK-FTI` the casualties
+//! are retired for good, so the survivors must re-divide the same global problem
+//! between themselves: their `(start, count)` ranges must be disjoint, contiguous
+//! and cover `0..global_units(initial_ranks)` exactly — no unit of work lost with
+//! the dead ranks, none double-owned.
+
+use std::sync::Arc;
+
+use match_core::fti::store::CheckpointStore;
+use match_core::fti::{CheckpointLevel, FtiConfig};
+use match_core::mpisim::{Cluster, ClusterConfig, FailureSpec};
+use match_core::proxies::registry::{ExecutionScale, ProxySpec};
+use match_core::proxies::{InputSize, ProxyKind};
+use match_core::recovery::{FailureTrace, FtConfig, FtDriver, RecoveryStrategy};
+
+const NPROCS: usize = 4;
+const NNODES: usize = 2;
+
+/// Runs `kind` under the shrinking design with `trace`, returning per-rank
+/// `Some((start, count))` for survivors and `None` for retired casualties,
+/// plus the app's global unit count for the initial world.
+fn run_shrink(kind: ProxyKind, trace: FailureTrace) -> (Vec<Option<(u64, u64)>>, u64) {
+    let spec = ProxySpec::new(kind, InputSize::Small, ExecutionScale::smoke());
+    let global_units = spec.build().global_units(NPROCS);
+    let config = FtConfig::new(
+        RecoveryStrategy::Shrink,
+        FtiConfig::level(CheckpointLevel::L2)
+            .interval(4)
+            .l4_every(8),
+    )
+    .with_fault(trace);
+    let cluster = Cluster::new(ClusterConfig::with_ranks(NPROCS).nodes(NNODES));
+    let store = CheckpointStore::shared();
+    let outcome = cluster.run(|ctx| {
+        let driver = FtDriver::new(config.clone(), Arc::clone(&store));
+        let app = spec.build();
+        driver.execute(ctx, |ctx, fti, injector| app.run(ctx, fti, injector))
+    });
+    assert!(outcome.all_ok(), "{kind:?}: {:?}", outcome.errors());
+    let slabs = outcome
+        .ranks()
+        .iter()
+        .map(|r| {
+            r.result
+                .as_ref()
+                .unwrap()
+                .value
+                .as_ref()
+                .map(|out| out.owned_units)
+        })
+        .collect();
+    (slabs, global_units)
+}
+
+/// The tiling assertion: sorted survivor slabs are gapless, overlap-free and span
+/// exactly `0..global_units`.
+fn assert_tiles(kind: ProxyKind, slabs: &[Option<(u64, u64)>], global_units: u64) {
+    let mut owned: Vec<(u64, u64)> = slabs.iter().copied().flatten().collect();
+    assert!(
+        !owned.is_empty(),
+        "{kind:?}: at least one survivor must report a slab"
+    );
+    owned.sort_unstable();
+    let mut cursor = 0u64;
+    for (start, count) in &owned {
+        assert_eq!(
+            *start, cursor,
+            "{kind:?}: gap or overlap at unit {cursor} (slabs {owned:?})"
+        );
+        assert!(*count > 0, "{kind:?}: empty slab at {start}");
+        cursor += count;
+    }
+    assert_eq!(
+        cursor, global_units,
+        "{kind:?}: survivors tile {cursor} of {global_units} units (slabs {owned:?})"
+    );
+}
+
+#[test]
+fn single_shrink_retiles_the_problem_for_every_proxy() {
+    for kind in ProxyKind::ALL {
+        let iterations = ProxySpec::new(kind, InputSize::Small, ExecutionScale::smoke())
+            .build()
+            .iterations();
+        let trace = FailureTrace::from(FailureSpec::kill_process(2, (iterations * 3 / 4).max(2)));
+        let (slabs, global_units) = run_shrink(kind, trace);
+        assert!(global_units > 0, "{kind:?} reports no global units");
+        assert_eq!(slabs[2], None, "{kind:?}: the casualty must be retired");
+        assert_eq!(
+            slabs.iter().flatten().count(),
+            NPROCS - 1,
+            "{kind:?}: every other rank must survive"
+        );
+        assert_tiles(kind, &slabs, global_units);
+    }
+}
+
+mod proptests {
+    use super::*;
+    use match_core::proxies::common::DetRng;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For every proxy and any seeded trace of up to three events (process
+        /// kills or node crashes), the survivors of the shrinking design exactly
+        /// tile the original problem. A trace that happens to kill the whole world
+        /// leaves no survivors to tile — every rank must then be retired.
+        #[test]
+        fn seeded_shrink_traces_always_tile_the_original_problem(
+            seed in any::<u64>(),
+            nevents in 1usize..4,
+        ) {
+            for kind in ProxyKind::ALL {
+                let iterations = ProxySpec::new(kind, InputSize::Small, ExecutionScale::smoke())
+                    .build()
+                    .iterations();
+                let mut rng = DetRng::new(seed ^ kind as u64);
+                let mut events = Vec::new();
+                for _ in 0..nevents {
+                    let iteration = 1 + rng.next_below(iterations as usize) as u64;
+                    if rng.next_below(4) == 0 {
+                        events.push(FailureSpec::crash_node(rng.next_below(NNODES), iteration));
+                    } else {
+                        events.push(FailureSpec::kill_process(rng.next_below(NPROCS), iteration));
+                    }
+                }
+                let (slabs, global_units) = run_shrink(kind, FailureTrace::schedule(events));
+                if slabs.iter().all(|s| s.is_none()) {
+                    continue; // the trace retired the whole world — nothing to tile
+                }
+                assert_tiles(kind, &slabs, global_units);
+            }
+        }
+    }
+}
