@@ -3,8 +3,9 @@
 //! ```text
 //! match-bench [--jobs N] [--json] [--backend threads|coop|par] [--workers N] \
 //!             [--racks N] [--expect-warm] \
-//!             [table1|fig5|...|fig10|mtbf|findings|micro|scale|cachebench|all ...]
+//!             [table1|fig5|...|fig10|mtbf|findings|micro|scale|cachebench|explore|all ...]
 //! match-bench cache stats|gc|clear
+//! match-bench --replay <artifact.json>
 //! ```
 //!
 //! Results persist across invocations: unless `MATCH_CACHE=off`, every simulated
@@ -32,6 +33,20 @@
 //! sweeps rank counts per backend (and worker counts for `par`) and records
 //! wall-clock and RSS (see [`match_bench::scale`]); like `micro` it is not part
 //! of `all`.
+//!
+//! The `explore` target runs the coverage-guided fault-space explorer (see
+//! [`match_explorer`]): per enabled design it searches the failure-trace space
+//! under a fixed budget (`MATCH_EXPLORE_BUDGET` traces of `MATCH_EXPLORE_PROCS`
+//! ranks × `MATCH_EXPLORE_ITERS` iterations, mutation seed `MATCH_EXPLORE_SEED`,
+//! optional on-disk corpus `MATCH_EXPLORE_CORPUS`) and prints the recovery-path
+//! coverage matrix (with `--json`: written to `explore.json`). Any property
+//! violation is shrunk to a minimal trace and written as a replayable artifact
+//! `explore-repro.json`; `--replay <file>` re-runs such an artifact and verifies
+//! it reproduces its recorded violation and path labels bit-for-bit.
+//! `MATCH_EXPLORE_ASSERT=<substring>` seeds a deliberate violation (asserting the
+//! substring unreachable in any path label) — with it set, finding and shrinking
+//! that violation is the *success* path, which is how CI drives the whole
+//! shrink → replay pipeline. Like `micro`, `explore` is not part of `all`.
 //!
 //! The `mtbf` target runs the MTBF sweep (efficiency vs. failure rate per design, an
 //! MTBF-driven multi-failure arrival process; knobs: `MATCH_MTBF`,
@@ -271,6 +286,97 @@ fn run_cache_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Runs the coverage-guided fault-space explorer; with `json`, also writes
+/// `explore.json`. Violations are shrunk and written to `explore-repro.json`.
+/// With `MATCH_EXPLORE_ASSERT` set, finding (and shrinking) the seeded
+/// assertion violation is the success path; organic violations always fail.
+fn run_explore(json: bool) {
+    let config = match_explorer::ExploreConfig::from_env();
+    let asserting = config.assert_label.is_some();
+    let outcome = match_explorer::Explorer::new(config).run();
+    print!("{}", outcome.report.render());
+    if json {
+        dump_json("explore", outcome.report.to_json());
+    }
+    let mut organic = 0usize;
+    let mut asserted = 0usize;
+    for violation in &outcome.violations {
+        let seeded = violation.property == match_explorer::Property::AssertLabel;
+        if seeded {
+            asserted += 1;
+        } else {
+            organic += 1;
+        }
+        eprintln!(
+            "{} violation under {}: {} (minimal repro: {} event(s), {} iterations)",
+            violation.property.name(),
+            violation.strategy.design_name(),
+            violation.detail,
+            violation.genome.events.len(),
+            violation.genome.iterations,
+        );
+        // First artifact wins; one repro is what the replay step consumes.
+        if organic + asserted == 1 {
+            let path = "explore-repro.json";
+            if let Err(error) = std::fs::write(path, match_explorer::replay::to_artifact(violation))
+            {
+                eprintln!("failed to write {path}: {error}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+    }
+    if organic > 0 {
+        eprintln!("explore: {organic} organic property violation(s)");
+        std::process::exit(1);
+    }
+    if asserting && asserted == 0 {
+        eprintln!(
+            "explore: {} was set but no path label matched it",
+            match_explorer::ASSERT_ENV_VAR
+        );
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// Replays a minimal-repro artifact and verifies the recorded violation and
+/// path labels reproduce bit-for-bit. Never returns.
+fn run_replay(path: &str) -> ! {
+    let artifact = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("failed to read {path}: {error}");
+            std::process::exit(2);
+        }
+    };
+    match match_explorer::replay::replay(&artifact) {
+        Ok(outcome) => {
+            println!(
+                "replayed {} under {}: reproduced={} labels_match={} (paths: {})",
+                outcome.property.name(),
+                outcome.design,
+                outcome.reproduced,
+                outcome.labels_match,
+                outcome.labels.join(" "),
+            );
+            if outcome.verified() {
+                println!("[replay verified]");
+                std::process::exit(0);
+            }
+            eprintln!(
+                "replay mismatch: expected paths {}",
+                outcome.expected_labels.join(" ")
+            );
+            std::process::exit(1);
+        }
+        Err(error) => {
+            eprintln!("bad artifact {path}: {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Runs the micro benchmark suite; with `json`, also writes `BENCH_PR2.json`.
 fn run_micro(json: bool, jobs: Option<usize>) {
     let report = micro::run(true, jobs);
@@ -290,12 +396,21 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut json = false;
     let mut expect_warm = false;
+    let mut replay: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--expect-warm" => expect_warm = true,
+            "--replay" => {
+                let value = args.next().unwrap_or_default();
+                if value.is_empty() {
+                    eprintln!("--replay needs an artifact path");
+                    std::process::exit(2);
+                }
+                replay = Some(value);
+            }
             "--jobs" | "-j" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse::<usize>() {
@@ -355,6 +470,9 @@ fn main() {
             target => targets.push(target.to_string()),
         }
     }
+    if let Some(path) = replay {
+        run_replay(&path);
+    }
     if targets.first().is_some_and(|t| t == "cache") {
         run_cache_command(&targets[1..]);
     }
@@ -379,10 +497,10 @@ fn main() {
     // Reject typos before any simulation runs — a bad name at the end of the list
     // must not surface only after minutes of matrix work.
     for name in &expanded {
-        if !TARGETS.contains(name) && !["micro", "scale", "cachebench"].contains(name) {
+        if !TARGETS.contains(name) && !["micro", "scale", "cachebench", "explore"].contains(name) {
             eprintln!(
                 "unknown target '{name}' (expected table1, fig5..fig10, mtbf, findings, micro, \
-                 scale, cachebench, all; or the 'cache stats|gc|clear' subcommand)"
+                 scale, cachebench, explore, all; or the 'cache stats|gc|clear' subcommand)"
             );
             std::process::exit(2);
         }
@@ -413,6 +531,8 @@ fn main() {
             run_scale(json);
         } else if name == "cachebench" {
             run_cachebench(json, jobs, &options);
+        } else if name == "explore" {
+            run_explore(json);
         } else {
             run_target(name, &engine, &options, json);
         }

@@ -66,6 +66,7 @@ pub use figures::{FigureData, FigureRow};
 pub use findings::Findings;
 pub use mtbf::{MtbfSweep, MtbfSweepOptions};
 pub use persist::{DiskCache, CACHE_DIR_ENV_VAR, CACHE_ENV_VAR, CACHE_MAX_MB_ENV_VAR};
+pub use runner::{run_trace, TraceRunOutcome, TraceRunSpec};
 
 // Re-export the building blocks so downstream users (examples, benches) need only one
 // dependency.

@@ -40,8 +40,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::SystemTime;
 
+use fti::RestoreSource;
 use mpisim::{RankStats, SimTime, TimeBreakdown};
-use recovery::{AttemptSummary, RecoveryStrategy, RunReport};
+use recovery::{AttemptEntry, AttemptSummary, CoveragePath, RecoveryStrategy, Restore, RunReport};
 
 use crate::cache::ExperimentId;
 
@@ -61,7 +62,9 @@ pub const CACHE_MAX_MB_ENV_VAR: &str = "MATCH_CACHE_MAX_MB";
 /// Version of the on-disk entry layout. Bumping it silently invalidates every
 /// existing entry (old files decode as a stale miss and are rewritten).
 /// Version 2: the attempt log records the surviving world size (SHRINK-FTI).
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3: the attempt log records the recovery-path coverage signal
+/// ([`CoveragePath`]) the fault-space explorer steers by.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic bytes opening every cache entry.
 const MAGIC: [u8; 8] = *b"MATCHRC1";
@@ -349,6 +352,57 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<RankStats, DecodeError> {
     })
 }
 
+/// Restore-source tag of a [`CoveragePath`]: 0 = no restore, then the fallback
+/// cascade order.
+fn encode_path(enc: &mut Enc, path: &CoveragePath) {
+    enc.u8(path.entry.index());
+    match path.restore {
+        None => {
+            enc.u8(0);
+            enc.u8(0);
+            enc.u32(0);
+        }
+        Some(r) => {
+            let (src, shards) = match r.source {
+                RestoreSource::Primary => (1u8, 0u32),
+                RestoreSource::Partner => (2, 0),
+                RestoreSource::Decode { shards } => (3, shards as u32),
+                RestoreSource::Pfs => (4, 0),
+            };
+            enc.u8(src);
+            enc.u8(r.level);
+            enc.u32(shards);
+        }
+    }
+    enc.u32(path.erasures);
+}
+
+fn decode_path(dec: &mut Dec<'_>) -> Result<CoveragePath, DecodeError> {
+    let entry =
+        AttemptEntry::from_index(dec.u8()?).ok_or(DecodeError::BadValue("attempt entry tag"))?;
+    let src = dec.u8()?;
+    let level = dec.u8()?;
+    let shards = dec.u32()? as usize;
+    let restore = match src {
+        0 => None,
+        1 => Some(RestoreSource::Primary),
+        2 => Some(RestoreSource::Partner),
+        3 => Some(RestoreSource::Decode { shards }),
+        4 => Some(RestoreSource::Pfs),
+        _ => return Err(DecodeError::BadValue("restore source tag")),
+    }
+    .map(|source| Restore { level, source });
+    if restore.is_some() && !(1..=4).contains(&level) {
+        return Err(DecodeError::BadValue("restore checkpoint level"));
+    }
+    let erasures = dec.u32()?;
+    Ok(CoveragePath {
+        entry,
+        restore,
+        erasures,
+    })
+}
+
 /// Serializes a report into the canonical body encoding (no header/checksum —
 /// see [`encode_entry`] for the full file format).
 pub fn encode_report(report: &RunReport) -> Vec<u8> {
@@ -369,6 +423,7 @@ pub fn encode_report(report: &RunReport) -> Vec<u8> {
         enc.f64_bits(attempt.recovery_secs);
         enc.bool(attempt.completed);
         enc.usize(attempt.survivors);
+        encode_path(&mut enc, &attempt.path);
     }
     enc.into_bytes()
 }
@@ -384,7 +439,7 @@ fn decode_report_body(dec: &mut Dec<'_>) -> Result<RunReport, DecodeError> {
     let attempts = dec.u32()?;
     let failure_events = dec.u64()?;
     let nattempts = dec.u32()?;
-    // An attempt record is 29 bytes; reject counts the remaining bytes cannot
+    // An attempt record is 40 bytes; reject counts the remaining bytes cannot
     // possibly satisfy before allocating.
     let mut attempt_log = Vec::with_capacity((nattempts as usize).min(4096));
     for _ in 0..nattempts {
@@ -394,6 +449,7 @@ fn decode_report_body(dec: &mut Dec<'_>) -> Result<RunReport, DecodeError> {
             recovery_secs: dec.f64_bits()?,
             completed: dec.bool()?,
             survivors: dec.usize()?,
+            path: decode_path(dec)?,
         });
     }
     Ok(RunReport {
@@ -832,6 +888,7 @@ mod tests {
                     recovery_secs: 0.5,
                     completed: false,
                     survivors: 8,
+                    path: CoveragePath::fresh(),
                 },
                 AttemptSummary {
                     attempt: 2,
@@ -839,6 +896,14 @@ mod tests {
                     recovery_secs: 0.0,
                     completed: true,
                     survivors: 7,
+                    path: CoveragePath {
+                        entry: AttemptEntry::Respawn,
+                        restore: Some(Restore {
+                            level: 3,
+                            source: RestoreSource::Decode { shards: 5 },
+                        }),
+                        erasures: 2,
+                    },
                 },
             ],
         }

@@ -9,10 +9,13 @@
 use std::sync::Arc;
 
 use fti::store::CheckpointStore;
-use fti::FtiConfig;
-use mpisim::{Cluster, ClusterConfig};
+use fti::{FtiConfig, Protectable};
+use mpisim::{Cluster, ClusterConfig, RunOutcome};
 use proxies::registry::ProxySpec;
-use recovery::{ArrivalModel, FailureTrace, FaultPlan, FtConfig, FtDriver, RunReport};
+use recovery::{
+    ArrivalModel, DriverOutcome, FailureTrace, FaultPlan, FtConfig, FtDriver, RecoveryStrategy,
+    RunReport,
+};
 
 use crate::engine::{SuiteEngine, SuiteError};
 use crate::experiment::{Experiment, FailureScenario};
@@ -147,6 +150,24 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
         return Err(SuiteError::from_outcome(experiment.label(), &outcome));
     }
 
+    Ok(summarize_outcome(
+        experiment.strategy,
+        experiment.nprocs,
+        experiment.inject_failure(),
+        &outcome,
+    ))
+}
+
+/// Collapses the per-rank driver outcomes of one run to a [`RunReport`]: counters are
+/// maxima over ranks, the per-attempt log takes element-wise maxima (the slowest-rank
+/// convention of the breakdown), and each attempt's recovery path is the most severe
+/// path any rank took (see [`recovery::CoveragePath::severity`]).
+fn summarize_outcome<R>(
+    strategy: RecoveryStrategy,
+    nprocs: usize,
+    failure_injected: bool,
+    outcome: &RunOutcome<DriverOutcome<R>>,
+) -> RunReport {
     let restarts = outcome
         .ranks()
         .iter()
@@ -174,6 +195,8 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
         let mut recovery = 0.0f64;
         let mut completed = false;
         let mut survivors = 0usize;
+        let mut path = recovery::CoveragePath::fresh();
+        let mut erasures = 0u32;
         for rank in outcome.ranks() {
             if let Ok(o) = &rank.result {
                 if let Some(rec) = o.attempt_log.get(i) {
@@ -181,22 +204,31 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
                     recovery = recovery.max(rec.recovery.as_secs());
                     completed |= rec.completed;
                     survivors = survivors.max(rec.survivors);
+                    // Equal severities name the same mechanism (only the erasure
+                    // counts can differ), so "first rank with the maximum severity"
+                    // is order-independent for the label.
+                    if rec.path.severity() > path.severity() {
+                        path = rec.path;
+                    }
+                    erasures = erasures.max(rec.path.erasures);
                 }
             }
         }
+        path.erasures = erasures;
         attempt_log.push(recovery::AttemptSummary {
             attempt: i as u32 + 1,
             span_secs: span,
             recovery_secs: recovery,
             completed,
             survivors,
+            path,
         });
     }
 
-    Ok(RunReport {
-        strategy: experiment.strategy,
-        nprocs: experiment.nprocs,
-        failure_injected: experiment.inject_failure(),
+    RunReport {
+        strategy,
+        nprocs,
+        failure_injected,
         breakdown: outcome.max_breakdown(),
         total_time: outcome.max_time(),
         stats: outcome.total_stats(),
@@ -204,7 +236,7 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
         attempts,
         failure_events,
         attempt_log,
-    })
+    }
 }
 
 /// Runs the same workload under every design of the registry and returns the
@@ -214,6 +246,95 @@ pub fn run_single(experiment: &Experiment, repetition: u32) -> Result<RunReport,
 /// concurrently when jobs allow.
 pub fn run_all_designs(base: &Experiment) -> Result<Vec<RunReport>, SuiteError> {
     SuiteEngine::global().run_all_designs(base)
+}
+
+/// One explicit failure-trace run: a design, an FTI configuration and a concrete
+/// event schedule, with none of [`Experiment`]'s scenario sampling in between. This
+/// is the fault-space explorer's entry point; it deliberately has no cached form —
+/// [`crate::cache::ExperimentId`] keys stay exactly as they are, and explorer runs
+/// never touch the persistent result cache.
+#[derive(Debug, Clone)]
+pub struct TraceRunSpec {
+    /// Number of processes (laid out by [`experiment_cluster`]).
+    pub nprocs: usize,
+    /// Main-loop iterations of the synthetic workload.
+    pub iterations: u64,
+    /// The recovery design to run.
+    pub strategy: RecoveryStrategy,
+    /// The FTI configuration (level, interval, retention schedule).
+    pub fti: FtiConfig,
+    /// The failure events to inject.
+    pub trace: FailureTrace,
+}
+
+/// What [`run_trace`] returns: the usual run summary plus each rank's final value of
+/// the synthetic workload (`None` for shrinking-recovery casualties), so callers can
+/// check answers against a failure-free oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRunOutcome {
+    /// The run summary, including the per-attempt recovery paths.
+    pub report: RunReport,
+    /// Final per-rank values of the synthetic workload.
+    pub values: Vec<Option<f64>>,
+}
+
+/// Runs one explicit failure trace, uncached, under a synthetic iterative workload
+/// (an all-reduce accumulation checkpointed through FTI, the same shape as the
+/// recovery crate's driver tests): cheap enough for search loops, deterministic, and
+/// with a closed-form failure-free answer for oracle checks.
+///
+/// # Errors
+///
+/// Reports invalid traces (victims outside the topology), driver give-ups (more
+/// restarts than the driver's bound) and unreconstructible checkpoints under strict
+/// (no-fallback) configurations as [`SuiteError::RankFailures`].
+pub fn run_trace(spec: &TraceRunSpec) -> Result<TraceRunOutcome, SuiteError> {
+    let iterations = spec.iterations.max(1);
+    let ft_config = FtConfig::new(spec.strategy, spec.fti.clone()).with_fault(spec.trace.clone());
+    let cluster = Cluster::new(experiment_cluster(spec.nprocs));
+    let store = CheckpointStore::shared();
+    let outcome = cluster.run(move |ctx| {
+        let driver = FtDriver::new(ft_config.clone(), Arc::clone(&store));
+        driver.execute(ctx, |ctx, fti, injector| {
+            let world = ctx.world();
+            let mut acc = 0.0f64;
+            let mut start = 1u64;
+            fti.protect(0, "acc", &acc);
+            if fti.status().is_restart() {
+                let at = fti.recover_object(ctx, 0, &mut acc)?;
+                start = at + 1;
+            }
+            for iteration in start..=iterations {
+                injector.maybe_fail(ctx, iteration)?;
+                ctx.compute(5e4);
+                let contribution = ctx.allreduce_sum_f64(&world, (ctx.rank() + 1) as f64)?;
+                acc += contribution;
+                if fti.should_checkpoint(iteration) {
+                    fti.checkpoint(ctx, iteration, &[(0, &acc as &dyn Protectable)])?;
+                }
+            }
+            fti.finalize(ctx)?;
+            Ok(acc)
+        })
+    });
+    if !outcome.all_ok() {
+        return Err(SuiteError::from_outcome(
+            format!("trace[{}@{}]", spec.strategy, spec.nprocs),
+            &outcome,
+        ));
+    }
+    let values = outcome
+        .ranks()
+        .iter()
+        .map(|r| r.result.as_ref().ok().and_then(|o| o.value))
+        .collect();
+    let report = summarize_outcome(
+        spec.strategy,
+        spec.nprocs,
+        spec.trace.injects_failure(),
+        &outcome,
+    );
+    Ok(TraceRunOutcome { report, values })
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! # match-explorer — coverage-guided fault-space exploration with trace shrinking
+//!
+//! The figure matrices sample the fault space the way the paper does: one seeded
+//! random failure per run. This crate searches it instead. A [`search::Explorer`]
+//! mutates explicit failure traces ([`genome::TraceGenome`]: event kinds, victim
+//! rank/node/rack, iteration alignment against checkpoint and recovery windows,
+//! multi-event chains) and runs each candidate through the uncached
+//! [`match_core::run_trace`] entry point. The feedback signal is *structured
+//! recovery-path coverage*: every attempt of a run reports the
+//! [`recovery::CoveragePath`](match_core::recovery::CoveragePath) it exercised
+//! (which checkpoint level actually served the restore, through which redundancy
+//! mechanism, whether the world shrank, how many erasures were absorbed), and a
+//! mutation is kept exactly when its run reaches a path signature no earlier run of
+//! the same design did.
+//!
+//! While searching, every novel run is checked against the explorer's properties
+//! (see [`search::Property`]): bit-identical replay, the closed-form failure-free
+//! oracle for the non-shrinking designs, and survivability of configurations whose
+//! checkpoints live on storage the injected failures cannot destroy. On a
+//! violation, the trace is shrunk to a minimal reproducer by deterministic
+//! event-removal and value-bisection (routed through the workspace `proptest`
+//! shim's [`proptest::shrink`] module) and emitted as a replayable JSON artifact
+//! ([`replay`]).
+//!
+//! Everything is deterministic: the mutation RNG is seeded, `run_trace` results
+//! are bit-identical across scheduler backends and worker counts, and all
+//! aggregation is over ordered containers — so the coverage report is
+//! byte-identical across `MATCH_JOBS`, `MATCH_BACKEND` and `MATCH_WORKERS`.
+//!
+//! Knobs (all optional):
+//!
+//! | variable | default | meaning |
+//! |----------|---------|---------|
+//! | `MATCH_EXPLORE_BUDGET` | 48 | traces evaluated per design |
+//! | `MATCH_EXPLORE_SEED` | 20 | mutation RNG seed |
+//! | `MATCH_EXPLORE_PROCS` | 8 | ranks per explored trace |
+//! | `MATCH_EXPLORE_ITERS` | 12 | main-loop iterations per trace |
+//! | `MATCH_EXPLORE_CORPUS` | off | corpus directory (persistence is opt-in) |
+//! | `MATCH_EXPLORE_ASSERT` | unset | label substring asserted unreachable |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod genome;
+pub mod replay;
+pub mod report;
+pub mod search;
+
+use std::path::PathBuf;
+
+pub use genome::TraceGenome;
+pub use report::ExploreReport;
+pub use search::{ExploreOutcome, Explorer, Property, Violation};
+
+/// Environment variable: traces evaluated per design (default 48).
+pub const BUDGET_ENV_VAR: &str = "MATCH_EXPLORE_BUDGET";
+
+/// Environment variable: the mutation RNG seed (default 20).
+pub const SEED_ENV_VAR: &str = "MATCH_EXPLORE_SEED";
+
+/// Environment variable: ranks per explored trace (default 8).
+pub const PROCS_ENV_VAR: &str = "MATCH_EXPLORE_PROCS";
+
+/// Environment variable: main-loop iterations per trace (default 12).
+pub const ITERS_ENV_VAR: &str = "MATCH_EXPLORE_ITERS";
+
+/// Environment variable: the corpus directory. Persistence is opt-in — unset (or
+/// `off`) keeps the corpus in memory only, so repeated invocations stay
+/// byte-identical; a path both reloads surviving entries as extra seeds and saves
+/// every novel genome.
+pub const CORPUS_ENV_VAR: &str = "MATCH_EXPLORE_CORPUS";
+
+/// Environment variable: a label substring asserted unreachable. When a run
+/// reaches a recovery-path label containing the substring, the explorer treats it
+/// as a property violation, shrinks the trace and emits a replayable artifact —
+/// the mechanism CI uses to prove the whole find → shrink → replay pipeline on a
+/// seeded "violation".
+pub const ASSERT_ENV_VAR: &str = "MATCH_EXPLORE_ASSERT";
+
+/// The explorer's run configuration, typically built [`from_env`](ExploreConfig::from_env).
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Ranks per explored trace.
+    pub nprocs: usize,
+    /// Main-loop iterations per trace.
+    pub iterations: u64,
+    /// Traces evaluated per design (seed traces included).
+    pub budget: u32,
+    /// Mutation RNG seed.
+    pub seed: u64,
+    /// Corpus directory; `None` keeps the corpus in memory only.
+    pub corpus: Option<PathBuf>,
+    /// Label substring asserted unreachable (see [`ASSERT_ENV_VAR`]).
+    pub assert_label: Option<String>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            nprocs: 8,
+            iterations: 12,
+            budget: 48,
+            seed: 20,
+            corpus: None,
+            assert_label: None,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Builds the configuration the `MATCH_EXPLORE_*` environment describes.
+    /// Unparsable values fall back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = ExploreConfig::default();
+        if let Some(n) = parse_env::<usize>(PROCS_ENV_VAR) {
+            config.nprocs = n.max(2);
+        }
+        if let Some(n) = parse_env::<u64>(ITERS_ENV_VAR) {
+            config.iterations = n.max(2);
+        }
+        if let Some(n) = parse_env::<u32>(BUDGET_ENV_VAR) {
+            config.budget = n.max(1);
+        }
+        if let Some(n) = parse_env::<u64>(SEED_ENV_VAR) {
+            config.seed = n;
+        }
+        if let Ok(dir) = std::env::var(CORPUS_ENV_VAR) {
+            let dir = dir.trim();
+            if !dir.is_empty() && !dir.eq_ignore_ascii_case("off") {
+                config.corpus = Some(PathBuf::from(dir));
+            }
+        }
+        if let Ok(label) = std::env::var(ASSERT_ENV_VAR) {
+            let label = label.trim();
+            if !label.is_empty() {
+                config.assert_label = Some(label.to_string());
+            }
+        }
+        config
+    }
+}
+
+fn parse_env<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ExploreConfig::default();
+        assert!(config.nprocs >= 2);
+        assert!(config.iterations >= 2);
+        assert!(config.budget > 0);
+        assert!(config.corpus.is_none());
+        assert!(config.assert_label.is_none());
+    }
+}

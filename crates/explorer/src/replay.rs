@@ -1,0 +1,488 @@
+//! Replayable minimal-repro artifacts.
+//!
+//! A shrunk [`Violation`] is emitted as a small JSON
+//! document carrying everything a later process needs to re-run it: the design,
+//! the violated property (plus the asserted substring for assertion violations,
+//! so no environment is required), the minimal genome, and the recovery-path
+//! labels the violating run reached. [`replay`] re-runs the trace and verifies
+//! both that the violation reproduces and that the reached labels match the
+//! recorded ones bit-for-bit — the contract the CI replay step enforces against a
+//! committed fixture.
+//!
+//! The workspace is offline (no serde), so the artifact is written by hand in
+//! canonical form and read back by a purpose-built recursive-descent scanner for
+//! this one schema. Unknown keys are ignored; any structural error is a `String`
+//! diagnostic, never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use match_core::fti::CheckpointLevel;
+use match_core::recovery::RecoveryStrategy;
+
+use crate::genome::{event_from_name, event_kind_name, TraceGenome};
+use crate::search::{check_property, Property, Violation};
+
+/// Artifact layout version.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// Serializes a violation as a replayable JSON artifact.
+pub fn to_artifact(v: &Violation) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {ARTIFACT_VERSION},");
+    let _ = writeln!(out, "  \"design\": {:?},", v.strategy.design_name());
+    let _ = writeln!(out, "  \"property\": {:?},", v.property.name());
+    if let Some(label) = &v.assert_label {
+        let _ = writeln!(out, "  \"assert\": {label:?},");
+    }
+    let _ = writeln!(out, "  \"nprocs\": {},", v.genome.nprocs);
+    let _ = writeln!(out, "  \"iterations\": {},", v.genome.iterations);
+    let _ = writeln!(out, "  \"level\": {},", v.genome.level.index());
+    let _ = writeln!(out, "  \"interval\": {},", v.genome.interval);
+    out.push_str("  \"events\": [\n");
+    for (i, e) in v.genome.events.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": {:?}, \"victim\": {}, \"iteration\": {}}}{}",
+            event_kind_name(e.kind),
+            e.victim_index(),
+            e.at_iteration,
+            if i + 1 < v.genome.events.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    out.push_str("  ],\n");
+    let labels: Vec<String> = v.labels.iter().map(|l| format!("{l:?}")).collect();
+    let _ = writeln!(out, "  \"labels\": [{}],", labels.join(", "));
+    let _ = writeln!(out, "  \"detail\": {:?}", v.detail);
+    out.push_str("}\n");
+    out
+}
+
+/// What re-running an artifact found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The replayed design.
+    pub design: String,
+    /// The replayed property.
+    pub property: Property,
+    /// Whether the recorded violation still fails.
+    pub reproduced: bool,
+    /// Whether the reached labels equal the recorded ones exactly.
+    pub labels_match: bool,
+    /// The labels the replayed run reached.
+    pub labels: Vec<String>,
+    /// The labels the artifact recorded.
+    pub expected_labels: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// The replay contract: the violation reproduces and reaches the recorded
+    /// recovery paths bit-for-bit.
+    pub fn verified(&self) -> bool {
+        self.reproduced && self.labels_match
+    }
+}
+
+/// Parses an artifact and re-runs it. Structural problems (bad JSON, unknown
+/// design/property/kind names, out-of-range values) are `Err`; a parseable
+/// artifact whose violation no longer reproduces is an `Ok` outcome with
+/// [`ReplayOutcome::verified`] false.
+pub fn replay(artifact: &str) -> Result<ReplayOutcome, String> {
+    let value = parse_json(artifact)?;
+    let obj = value.as_object().ok_or("artifact is not a JSON object")?;
+    let version = get_u64(obj, "version")?;
+    if version != ARTIFACT_VERSION {
+        return Err(format!("unsupported artifact version {version}"));
+    }
+    let design = get_str(obj, "design")?;
+    let strategy = RecoveryStrategy::ALL
+        .into_iter()
+        .find(|s| s.design_name() == design)
+        .ok_or_else(|| format!("unknown design {design:?}"))?;
+    let property_name = get_str(obj, "property")?;
+    let property = Property::from_name(&property_name)
+        .ok_or_else(|| format!("unknown property {property_name:?}"))?;
+    let assert_label = match obj.get("assert") {
+        Some(v) => Some(v.as_str().ok_or("\"assert\" is not a string")?.to_string()),
+        None => None,
+    };
+    let level = get_u64(obj, "level")?;
+    let level = CheckpointLevel::from_index(
+        u8::try_from(level).map_err(|_| format!("level {level} out of range"))?,
+    )
+    .ok_or_else(|| format!("level {level} out of range"))?;
+    let mut events = Vec::new();
+    let Some(Value::Array(raw_events)) = obj.get("events") else {
+        return Err("\"events\" is not an array".into());
+    };
+    for raw in raw_events {
+        let event = raw.as_object().ok_or("event is not an object")?;
+        let kind = get_str(event, "kind")?;
+        let victim = get_u64(event, "victim")? as usize;
+        let iteration = get_u64(event, "iteration")?;
+        events.push(
+            event_from_name(&kind, victim, iteration)
+                .ok_or_else(|| format!("unknown event kind {kind:?}"))?,
+        );
+    }
+    let Some(Value::Array(raw_labels)) = obj.get("labels") else {
+        return Err("\"labels\" is not an array".into());
+    };
+    let mut expected_labels = Vec::new();
+    for raw in raw_labels {
+        expected_labels.push(raw.as_str().ok_or("label is not a string")?.to_string());
+    }
+    let genome = TraceGenome {
+        nprocs: get_u64(obj, "nprocs")? as usize,
+        iterations: get_u64(obj, "iterations")?,
+        level,
+        interval: get_u64(obj, "interval")?,
+        events,
+    };
+    if genome.nprocs < 2 || genome.nprocs > 4096 {
+        return Err(format!("nprocs {} out of range", genome.nprocs));
+    }
+
+    let check = check_property(strategy, &genome, property, assert_label.as_deref());
+    Ok(ReplayOutcome {
+        design,
+        property,
+        reproduced: check.violated,
+        labels_match: check.labels == expected_labels,
+        labels: check.labels,
+        expected_labels,
+    })
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key:?}"))
+}
+
+fn get_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+    Ok(obj
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string {key:?}"))?
+        .to_string())
+}
+
+/// A parsed JSON value (the minimal model this schema needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64; the schema only uses small unsigned integers).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered for deterministic diagnostics).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, anything else is an
+/// error).
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got {:?} at offset {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']', got {:?} at offset {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so continuation bytes
+                    // are valid — copy the whole code point through.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::mpisim::FailureSpec;
+
+    fn violation() -> Violation {
+        let mut genome = TraceGenome::baseline(4, 8);
+        genome.level = CheckpointLevel::L2;
+        genome.events = vec![FailureSpec::crash_node(1, 6)];
+        Violation {
+            strategy: RecoveryStrategy::Reinit,
+            property: Property::AssertLabel,
+            assert_label: Some("L2-partner".to_string()),
+            genome,
+            labels: vec!["fresh".to_string(), "L2-partner".to_string()],
+            detail: "reached a path labelled *L2-partner*".to_string(),
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_and_replays() {
+        let v = violation();
+        let artifact = to_artifact(&v);
+        let outcome = replay(&artifact).expect("parses");
+        assert!(outcome.reproduced, "violation must reproduce");
+        assert!(outcome.labels_match, "{:?}", outcome);
+        assert!(outcome.verified());
+        assert_eq!(outcome.labels, v.labels);
+    }
+
+    #[test]
+    fn stale_labels_fail_the_replay_contract() {
+        let mut v = violation();
+        v.labels = vec!["fresh".to_string(), "L3".to_string()];
+        let outcome = replay(&to_artifact(&v)).expect("parses");
+        assert!(outcome.reproduced);
+        assert!(!outcome.labels_match);
+        assert!(!outcome.verified());
+    }
+
+    #[test]
+    fn structural_errors_are_diagnostics_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"version\": 1}",
+            "nope",
+            "{\"version\": 99, \"design\": \"REINIT-FTI\"}",
+            "{} trailing",
+            "{\"version\": 1, \"design\": \"X\", \"property\": \"oracle\"}",
+        ] {
+            assert!(replay(bad).is_err(), "{bad:?} must be an error");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, {"b": "x\"y\n"}, true, null], "c": -2.5}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["c"], Value::Number(-2.5));
+        let Value::Array(items) = &obj["a"] else {
+            panic!("not an array")
+        };
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(
+            items[1].as_object().unwrap()["b"],
+            Value::String("x\"y\n".to_string())
+        );
+        assert_eq!(items[2], Value::Bool(true));
+        assert_eq!(items[3], Value::Null);
+    }
+}

@@ -5,8 +5,10 @@ use std::sync::Arc;
 use mpisim::ctx::ReduceOp;
 use mpisim::{Comm, MpiError, Payload, RankCtx, TimeCategory};
 
-use crate::config::FtiConfig;
-use crate::level::{read_checkpoint_at, write_checkpoint_payload, ReadOutcome, WriteOutcome};
+use crate::config::{CheckpointLevel, FtiConfig};
+use crate::level::{
+    read_checkpoint_at, write_checkpoint_payload, ReadOutcome, RestoreSource, WriteOutcome,
+};
 use crate::meta::{CheckpointMeta, FtiStats};
 use crate::protect::{block_range, ObjectLayout, Protectable, ProtectedObject};
 use crate::store::CheckpointStore;
@@ -23,6 +25,19 @@ pub enum FtiStatus {
         /// Iteration at which the available checkpoint was taken.
         iteration: u64,
     },
+}
+
+/// A record of the last checkpoint read this instance served — the observable half of
+/// the recovery-path coverage signal: which level's set the data came from, which
+/// redundancy mechanism actually produced it, and the iteration it resumed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreObservation {
+    /// Level of the checkpoint set the data was recovered from.
+    pub level: CheckpointLevel,
+    /// The redundancy mechanism that served the read.
+    pub source: RestoreSource,
+    /// The iteration the restored checkpoint was taken at.
+    pub iteration: u64,
 }
 
 impl FtiStatus {
@@ -58,6 +73,8 @@ pub struct Fti {
     /// reads the set taken at exactly this iteration so every rank resumes from one
     /// consistent checkpoint wave.
     restart_iteration: Option<u64>,
+    /// The last restore this instance served, if any (see [`Fti::last_restore`]).
+    last_restore: Option<RestoreObservation>,
     stats: FtiStats,
     finalized: bool,
 }
@@ -125,6 +142,7 @@ impl Fti {
             next_ckpt_id,
             status,
             restart_iteration: (agreed > 0).then_some(agreed),
+            last_restore: None,
             stats: FtiStats::default(),
             finalized: false,
         })
@@ -373,7 +391,22 @@ impl Fti {
         let prev = ctx.set_category(TimeCategory::CheckpointRead);
         let result = read_checkpoint_at(ctx, &self.config, &self.store, self.restart_iteration);
         ctx.set_category(prev);
-        result?.ok_or_else(|| MpiError::InvalidArgument("no checkpoint to recover from".into()))
+        let read = result?
+            .ok_or_else(|| MpiError::InvalidArgument("no checkpoint to recover from".into()))?;
+        self.last_restore = Some(RestoreObservation {
+            level: read.level,
+            source: read.source,
+            iteration: read.iteration,
+        });
+        Ok(read)
+    }
+
+    /// The last restore this instance served through [`Fti::recover`] or
+    /// [`Fti::recover_object`], if any. A fresh start (no checkpoint read) reports
+    /// `None`. The recovery driver samples this after every attempt to derive the
+    /// attempt's recovery-path coverage signal.
+    pub fn last_restore(&self) -> Option<RestoreObservation> {
+        self.last_restore
     }
 
     /// The metadata of the checkpoint set recovery reads from: the cluster-agreed

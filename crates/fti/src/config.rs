@@ -34,6 +34,28 @@ impl CheckpointLevel {
             CheckpointLevel::L4 => "L4",
         }
     }
+
+    /// The level's conventional number (1..=4), the stable on-disk encoding used by
+    /// the persistent result cache.
+    pub fn index(&self) -> u8 {
+        match self {
+            CheckpointLevel::L1 => 1,
+            CheckpointLevel::L2 => 2,
+            CheckpointLevel::L3 => 3,
+            CheckpointLevel::L4 => 4,
+        }
+    }
+
+    /// The inverse of [`CheckpointLevel::index`]; `None` for anything outside 1..=4.
+    pub fn from_index(index: u8) -> Option<Self> {
+        match index {
+            1 => Some(CheckpointLevel::L1),
+            2 => Some(CheckpointLevel::L2),
+            3 => Some(CheckpointLevel::L3),
+            4 => Some(CheckpointLevel::L4),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CheckpointLevel {

@@ -35,6 +35,28 @@ pub struct WriteOutcome {
     pub stored_bytes: usize,
 }
 
+/// Which redundancy mechanism actually served a checkpoint read.
+///
+/// Together with [`ReadOutcome::level`] this names the recovery path an attempt took
+/// (the coverage signal the fault-space explorer steers by): an L2 restore served by
+/// `Partner` is a different path from an L2 restore whose primary copy survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RestoreSource {
+    /// The primary (node-local) copy was intact.
+    Primary,
+    /// The primary was lost; the partner node's copy served the read (L2).
+    Partner,
+    /// The primary was lost; the payload was Reed–Solomon decoded from the group's
+    /// surviving shards (L3). `shards` is how many shards survived the erasures.
+    Decode {
+        /// Surviving shard count at decode time (`>= k` by construction).
+        shards: usize,
+    },
+    /// Everything node-local was lost; the parallel-file-system base copy served the
+    /// read (L4).
+    Pfs,
+}
+
 /// Outcome of a checkpoint read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadOutcome {
@@ -50,6 +72,8 @@ pub struct ReadOutcome {
     /// The level of the checkpoint set the data was recovered from (with hierarchical
     /// fallback this may be an older, more resilient set than the configured level).
     pub level: CheckpointLevel,
+    /// The redundancy mechanism that served the read.
+    pub source: RestoreSource,
 }
 
 /// Writes one checkpoint at the configured level.
@@ -403,6 +427,7 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
             read_bytes: primary.data.len(),
             degraded: false,
             level: meta.level,
+            source: RestoreSource::Primary,
         });
     }
     // Partner copy (L2) — on a rack-local or off-rack node depending on the mapping.
@@ -415,6 +440,7 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
             read_bytes: partner.data.len(),
             degraded: true,
             level: meta.level,
+            source: RestoreSource::Partner,
         });
     }
     // Reed–Solomon decode (L3): count the group's *surviving* shards after storage
@@ -458,6 +484,7 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
                 read_bytes: shard_bytes,
                 degraded: true,
                 level: meta.level,
+                source: RestoreSource::Decode { shards: available },
             });
         }
     }
@@ -470,6 +497,7 @@ fn try_reconstruct(ctx: &mut RankCtx, cfg: &FtiConfig, set: &CheckpointSet) -> O
             read_bytes: base.data.len(),
             degraded: true,
             level: meta.level,
+            source: RestoreSource::Pfs,
         });
     }
     None

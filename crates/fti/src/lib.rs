@@ -67,7 +67,8 @@ pub mod rs_code;
 pub mod shrink;
 pub mod store;
 
-pub use api::{Fti, FtiStatus};
+pub use api::{Fti, FtiStatus, RestoreObservation};
 pub use config::{CheckpointLevel, FtiConfig};
+pub use level::RestoreSource;
 pub use protect::{block_range, ObjectLayout, Protectable};
 pub use shrink::{redistribute_after_shrink, ShrinkOutcome};

@@ -55,6 +55,36 @@ pub const KNOBS: &[Knob] = &[
         doc: "total core budget split between jobs and per-job par workers",
     },
     Knob {
+        name: "MATCH_EXPLORE_ASSERT",
+        default: "unset",
+        doc: "substring asserted unreachable in any explorer path label (seeds a violation)",
+    },
+    Knob {
+        name: "MATCH_EXPLORE_BUDGET",
+        default: "48",
+        doc: "traces the explorer evaluates per design",
+    },
+    Knob {
+        name: "MATCH_EXPLORE_CORPUS",
+        default: "off",
+        doc: "directory persisting the explorer corpus across runs (off disables)",
+    },
+    Knob {
+        name: "MATCH_EXPLORE_ITERS",
+        default: "12",
+        doc: "main-loop iterations per explored trace",
+    },
+    Knob {
+        name: "MATCH_EXPLORE_PROCS",
+        default: "8",
+        doc: "ranks per explored trace",
+    },
+    Knob {
+        name: "MATCH_EXPLORE_SEED",
+        default: "20",
+        doc: "mutation RNG seed of the explorer",
+    },
+    Knob {
         name: "MATCH_FIG6_BASELINE",
         default: "unset",
         doc: "previously measured fig6 wall-clock recorded as the before in micro JSON",

@@ -71,6 +71,36 @@ impl FailureSpec {
         }
     }
 
+    /// The same failure moved to `iteration` — a trace-mutation hook for the
+    /// fault-space explorer, which bisects event timings against checkpoint and
+    /// recovery windows.
+    pub fn with_iteration(mut self, iteration: u64) -> Self {
+        self.at_iteration = iteration;
+        self
+    }
+
+    /// The same failure retargeted at victim index `victim` (the rank, node or rack
+    /// index, depending on the kind). The mutation hook dual of
+    /// [`FailureSpec::victim_index`].
+    pub fn with_victim(mut self, victim: usize) -> Self {
+        self.kind = match self.kind {
+            FailureKind::ProcessKill { .. } => FailureKind::ProcessKill { rank: victim },
+            FailureKind::NodeCrash { .. } => FailureKind::NodeCrash { node: victim },
+            FailureKind::RackCrash { .. } => FailureKind::RackCrash { rack: victim },
+        };
+        self
+    }
+
+    /// The victim index this spec targets: the rank for a process kill, the node for
+    /// a node crash, the rack for a rack crash.
+    pub fn victim_index(&self) -> usize {
+        match self.kind {
+            FailureKind::ProcessKill { rank } => rank,
+            FailureKind::NodeCrash { node } => node,
+            FailureKind::RackCrash { rack } => rack,
+        }
+    }
+
     /// Whether this spec fires for `rank` (placed by `topology`) at `iteration`.
     pub fn fires_for(&self, rank: usize, topology: &Topology, iteration: u64) -> bool {
         if iteration != self.at_iteration {
@@ -128,6 +158,20 @@ mod tests {
         assert!(!spec.fires_for(0, &t, 5));
         assert_eq!(spec.victim_count(&t), 2);
         assert_eq!(spec.crashed_nodes(&t), vec![2]);
+    }
+
+    #[test]
+    fn mutation_hooks_preserve_kind_and_round_trip_victims() {
+        let spec = FailureSpec::crash_node(2, 5);
+        let moved = spec.with_iteration(9);
+        assert_eq!(moved.kind, spec.kind);
+        assert_eq!(moved.at_iteration, 9);
+        let retargeted = spec.with_victim(3);
+        assert_eq!(retargeted.kind, FailureKind::NodeCrash { node: 3 });
+        assert_eq!(retargeted.at_iteration, 5);
+        assert_eq!(retargeted.victim_index(), 3);
+        assert_eq!(FailureSpec::kill_process(7, 1).victim_index(), 7);
+        assert_eq!(FailureSpec::crash_rack(1, 1).victim_index(), 1);
     }
 
     #[test]

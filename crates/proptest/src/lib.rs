@@ -8,7 +8,11 @@
 //!
 //! * sampling is **deterministic** — every test function derives its RNG seed from its
 //!   own name and the case index, so failures reproduce without a persistence file;
-//! * there is **no shrinking** — a failing case reports the panic directly;
+//! * shrinking is **explicit** — the [`proptest!`] macro reports a failing case
+//!   directly (its inputs are already reproducible from the test name and case
+//!   index), and callers that want a minimal repro run the deterministic
+//!   integer-bisection and delta-debugging shrinkers in [`shrink`] themselves (the
+//!   fault-space explorer routes its trace minimisation through them);
 //! * string strategies support only the tiny regex subset the suite uses
 //!   (character classes with optional `{m,n}` repetition, e.g. `"[a-z][a-z0-9]{0,8}"`).
 
@@ -349,6 +353,84 @@ pub mod option {
     }
 }
 
+/// Deterministic minimal-repro shrinkers.
+///
+/// Each function takes a *failing* input and a predicate that re-runs the property,
+/// returning `true` when the candidate still fails. The result is guaranteed to
+/// still fail (the original is returned unchanged when nothing simpler does), and
+/// is **1-minimal** in the respective move set: no single further halving step
+/// (integers) or single-element removal (vectors) keeps the failure.
+pub mod shrink {
+    /// The classic binary-search shrink ladder for a failing integer: `lo` itself
+    /// first (the simplest possible value), then values halving the distance back
+    /// toward `value`. Empty when `value` is already minimal.
+    pub fn integer_candidates(value: u64, lo: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if value <= lo {
+            return out;
+        }
+        out.push(lo);
+        let mut delta = value - lo;
+        while delta > 1 {
+            delta /= 2;
+            out.push(value - delta);
+        }
+        out
+    }
+
+    /// The smallest `v >= lo` for which `fails(v)` holds, assuming `fails(value)`.
+    /// Deterministic: the same inputs and predicate always walk the same ladder.
+    pub fn minimize_u64(mut value: u64, lo: u64, mut fails: impl FnMut(u64) -> bool) -> u64 {
+        loop {
+            let better = integer_candidates(value, lo)
+                .into_iter()
+                .find(|&c| fails(c));
+            match better {
+                Some(c) => value = c,
+                None => return value,
+            }
+        }
+    }
+
+    /// [`minimize_u64`] for `usize` inputs (victim indices, counts).
+    pub fn minimize_usize(value: usize, lo: usize, mut fails: impl FnMut(usize) -> bool) -> usize {
+        minimize_u64(value as u64, lo as u64, |v| fails(v as usize)) as usize
+    }
+
+    /// Delta-debugging (ddmin-lite) minimisation of a failing sequence: repeatedly
+    /// removes contiguous chunks — halving the chunk size whenever a full pass
+    /// removes nothing — while the predicate keeps failing. The result is a
+    /// subsequence of `items` from which no single element can be removed without
+    /// losing the failure.
+    pub fn minimize_vec<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+        let mut current = items.to_vec();
+        let mut chunk = (current.len() / 2).max(1);
+        loop {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                let mut candidate = current[..start].to_vec();
+                candidate.extend_from_slice(&current[end..]);
+                if fails(&candidate) {
+                    // Keep `start` in place: the next chunk slid into this position.
+                    current = candidate;
+                    removed_any = true;
+                } else {
+                    start = end;
+                }
+            }
+            if removed_any {
+                continue;
+            }
+            if chunk == 1 {
+                return current;
+            }
+            chunk /= 2;
+        }
+    }
+}
+
 /// Per-test configuration (only the case count is honoured).
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {
@@ -444,6 +526,58 @@ mod tests {
             let t = Strategy::sample(&"[a-z]{0,6}", &mut rng);
             assert!(t.len() <= 6);
         }
+    }
+
+    #[test]
+    fn integer_shrink_finds_the_boundary_and_still_fails() {
+        // The property "fails when v >= 17" must shrink 1000 exactly to 17.
+        let fails = |v: u64| v >= 17;
+        let shrunk = crate::shrink::minimize_u64(1000, 0, fails);
+        assert_eq!(shrunk, 17);
+        assert!(fails(shrunk), "shrunk repro no longer fails");
+        // Already-minimal inputs come back unchanged.
+        assert_eq!(crate::shrink::minimize_u64(17, 0, fails), 17);
+        // A floor above the boundary pins the result at the floor.
+        assert_eq!(crate::shrink::minimize_u64(1000, 40, fails), 40);
+        assert_eq!(crate::shrink::minimize_usize(999, 3, |v| v >= 17), 17);
+    }
+
+    #[test]
+    fn integer_candidates_halve_toward_the_failing_value() {
+        assert_eq!(
+            crate::shrink::integer_candidates(16, 0),
+            vec![0, 8, 12, 14, 15]
+        );
+        assert!(crate::shrink::integer_candidates(5, 5).is_empty());
+        assert!(crate::shrink::integer_candidates(3, 9).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_keeps_exactly_the_failure_witnesses() {
+        // The property "fails when both 3 and 7 are present" must shrink a noisy
+        // vector to exactly [3, 7], order preserved.
+        let fails = |items: &[u32]| items.contains(&3) && items.contains(&7);
+        let noisy = vec![9, 1, 3, 4, 4, 2, 7, 8, 0, 5];
+        let shrunk = crate::shrink::minimize_vec(&noisy, fails);
+        assert_eq!(shrunk, vec![3, 7]);
+        assert!(fails(&shrunk), "shrunk repro no longer fails");
+    }
+
+    #[test]
+    fn vec_shrink_result_is_one_minimal_and_a_subsequence() {
+        // "fails when the sum is >= 10" over a vector of ones: any 10 survive, and
+        // removing one more loses the failure.
+        let fails = |items: &[u32]| items.iter().sum::<u32>() >= 10;
+        let shrunk = crate::shrink::minimize_vec(&vec![1u32; 64], fails);
+        assert_eq!(shrunk.len(), 10);
+        assert!(fails(&shrunk));
+        for i in 0..shrunk.len() {
+            let mut fewer = shrunk.clone();
+            fewer.remove(i);
+            assert!(!fails(&fewer), "result was not 1-minimal");
+        }
+        // An unshrinkable failure (the empty vector already fails) ends empty.
+        assert!(crate::shrink::minimize_vec(&[1u32, 2, 3], |_| true).is_empty());
     }
 
     proptest! {

@@ -26,6 +26,7 @@ use fti::{Fti, FtiConfig};
 use mpisim::{MpiError, RankCtx, SimTime, TimeCategory};
 
 use crate::inject::{FailureTrace, FaultInjector};
+use crate::path::{AttemptEntry, CoveragePath};
 use crate::strategy::RecoveryStrategy;
 
 /// Configuration of one fault-tolerance design instance: the recovery strategy, the
@@ -90,6 +91,10 @@ pub struct AttemptRecord {
     /// non-shrinking designs and for completed attempts), or 0 when this rank
     /// leaves the job as a shrinking-recovery casualty.
     pub survivors: usize,
+    /// The recovery path this attempt exercised on this rank: how it was entered,
+    /// which checkpoint level and redundancy mechanism served its restore, and how
+    /// many failure events it absorbed.
+    pub path: CoveragePath,
 }
 
 /// What [`FtDriver::execute`] returns on success.
@@ -160,6 +165,8 @@ impl FtDriver {
         let mut attempts = 0u32;
         let mut recoveries = 0u32;
         let mut attempt_log: Vec<AttemptRecord> = Vec::new();
+        // How the next attempt is entered; the first one is always a fresh start.
+        let mut entry = AttemptEntry::Fresh;
 
         loop {
             attempts += 1;
@@ -170,6 +177,9 @@ impl FtDriver {
                 )));
             }
             let started_at = ctx.now();
+            // Every rank is synchronized here (cluster start or the recovery
+            // rendezvous of the previous epoch), so the event counter is stable.
+            let events_at_start = ctx.failure_events();
 
             let mut fti = Fti::init(self.config.fti.clone(), Arc::clone(&self.store), ctx)?;
             let attempt = match app(ctx, &mut fti, &injector) {
@@ -185,6 +195,7 @@ impl FtDriver {
             };
             match attempt {
                 Ok(value) => {
+                    let events = ctx.failure_events();
                     attempt_log.push(AttemptRecord {
                         attempt: attempts,
                         started_at,
@@ -192,13 +203,18 @@ impl FtDriver {
                         completed: true,
                         recovery: SimTime::ZERO,
                         survivors: ctx.world().size(),
+                        path: CoveragePath::observed(
+                            entry,
+                            fti.last_restore(),
+                            (events.saturating_sub(events_at_start)) as u32,
+                        ),
                     });
                     return Ok(DriverOutcome {
                         value: Some(value),
                         attempts,
                         recoveries,
                         attempt_log,
-                        failure_events: ctx.failure_events(),
+                        failure_events: events,
                     });
                 }
                 Err(e) if e.is_process_failure() && self.config.strategy.shrinks_world() => {
@@ -211,6 +227,12 @@ impl FtDriver {
                         self.recover_shrink(ctx)?
                     };
                     if !continuing {
+                        // A casualty must not read the live event counter: a later
+                        // event of the same injection iteration races with this
+                        // return on multi-threaded backends. The count as of its own
+                        // death is recorded at kill time and fires in a globally
+                        // serialized order, so it is bit-deterministic.
+                        let events = ctx.failure_events_at_death();
                         attempt_log.push(AttemptRecord {
                             attempt: attempts,
                             started_at,
@@ -218,18 +240,18 @@ impl FtDriver {
                             completed: false,
                             recovery: ctx.now().saturating_sub(ended_at),
                             survivors: 0,
+                            path: CoveragePath::observed(
+                                entry,
+                                fti.last_restore(),
+                                (events.saturating_sub(events_at_start)) as u32,
+                            ),
                         });
-                        // A casualty must not read the live event counter: a later
-                        // event of the same injection iteration races with this
-                        // return on multi-threaded backends. The count as of its own
-                        // death is recorded at kill time and fires in a globally
-                        // serialized order, so it is bit-deterministic.
                         return Ok(DriverOutcome {
                             value: None,
                             attempts,
                             recoveries,
                             attempt_log,
-                            failure_events: ctx.failure_events_at_death(),
+                            failure_events: events,
                         });
                     }
                     recoveries += 1;
@@ -240,7 +262,13 @@ impl FtDriver {
                         completed: false,
                         recovery: ctx.now().saturating_sub(ended_at),
                         survivors: ctx.world().size(),
+                        path: CoveragePath::observed(
+                            entry,
+                            fti.last_restore(),
+                            (ctx.failure_events().saturating_sub(events_at_start)) as u32,
+                        ),
                     });
+                    entry = AttemptEntry::Shrink;
                 }
                 Err(e) if e.is_process_failure() => {
                     let ended_at = ctx.now();
@@ -253,7 +281,13 @@ impl FtDriver {
                         completed: false,
                         recovery: ctx.now().saturating_sub(ended_at),
                         survivors: ctx.nprocs(),
+                        path: CoveragePath::observed(
+                            entry,
+                            fti.last_restore(),
+                            (ctx.failure_events().saturating_sub(events_at_start)) as u32,
+                        ),
                     });
+                    entry = AttemptEntry::Respawn;
                 }
                 Err(e) => return Err(e),
             }

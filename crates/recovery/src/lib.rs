@@ -65,10 +65,12 @@
 
 pub mod driver;
 pub mod inject;
+pub mod path;
 pub mod report;
 pub mod strategy;
 
 pub use driver::{AttemptRecord, DriverOutcome, FtConfig, FtDriver};
 pub use inject::{ArrivalDistribution, ArrivalModel, FailureTrace, FaultInjector, FaultPlan};
+pub use path::{AttemptEntry, CoveragePath, Restore};
 pub use report::{AttemptSummary, RunReport};
 pub use strategy::RecoveryStrategy;

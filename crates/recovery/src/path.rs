@@ -1,0 +1,244 @@
+//! The recovery-path coverage signal.
+//!
+//! A [`CoveragePath`] names which recovery machinery one attempt actually exercised:
+//! how the attempt was entered (fresh start, full-world respawn, or a shrinking
+//! recovery), which checkpoint level and redundancy mechanism served its restore (if
+//! any), and how many failure events it absorbed. The fault-space explorer treats the
+//! set of paths a trace reaches as its coverage signal, so the labels produced by
+//! [`CoveragePath::label`] form the canonical path taxonomy:
+//!
+//! | label | meaning |
+//! |-------|---------|
+//! | `fresh` | first attempt, no checkpoint read |
+//! | `scratch` | restarted after a failure with nothing recoverable left |
+//! | `L1` | restore from the node-local L1 copy |
+//! | `L2` / `L2-partner` | L2 restore from the primary / the partner node's copy |
+//! | `L3` / `L3-decode@s` | L3 restore from the primary / RS-decoded from `s` shards |
+//! | `L4` / `L4-pfs` | L4 restore from the local copy / the parallel-file-system base |
+//! | `…+shrink` | the attempt ran on a shrunk survivor communicator |
+//!
+//! Hierarchical retention compounds the matrix: an `L1`-configured run whose newest
+//! set was erased can legitimately restore an older `L4` set, so the label carries the
+//! level of the set that actually served the read, not the configured level.
+
+use fti::{RestoreObservation, RestoreSource};
+
+/// How an attempt was entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttemptEntry {
+    /// The first attempt of the run: no recovery preceded it.
+    Fresh,
+    /// The attempt followed a full-world recovery (the failed ranks were respawned).
+    Respawn,
+    /// The attempt ran on the shrunk survivor communicator of a shrinking recovery.
+    Shrink,
+}
+
+impl AttemptEntry {
+    /// Stable on-disk encoding (0..=2).
+    pub fn index(&self) -> u8 {
+        match self {
+            AttemptEntry::Fresh => 0,
+            AttemptEntry::Respawn => 1,
+            AttemptEntry::Shrink => 2,
+        }
+    }
+
+    /// The inverse of [`AttemptEntry::index`].
+    pub fn from_index(index: u8) -> Option<Self> {
+        match index {
+            0 => Some(AttemptEntry::Fresh),
+            1 => Some(AttemptEntry::Respawn),
+            2 => Some(AttemptEntry::Shrink),
+            _ => None,
+        }
+    }
+}
+
+/// The restore that seeded an attempt: the level of the checkpoint set that served
+/// the read and the redundancy mechanism that produced the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Restore {
+    /// Level of the set the data came from (1..=4; with hierarchical retention this
+    /// can differ from the configured level).
+    pub level: u8,
+    /// The mechanism that served the read.
+    pub source: RestoreSource,
+}
+
+/// The recovery-path coverage signal of one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveragePath {
+    /// How the attempt was entered.
+    pub entry: AttemptEntry,
+    /// The restore that seeded it (`None`: started from iteration zero).
+    pub restore: Option<Restore>,
+    /// Failure events absorbed during the attempt (0 for a clean completion).
+    pub erasures: u32,
+}
+
+impl CoveragePath {
+    /// The path of a run's very first attempt before any restore is observed.
+    pub fn fresh() -> Self {
+        CoveragePath {
+            entry: AttemptEntry::Fresh,
+            restore: None,
+            erasures: 0,
+        }
+    }
+
+    /// Builds the path from the driver's observations.
+    pub fn observed(
+        entry: AttemptEntry,
+        restore: Option<RestoreObservation>,
+        erasures: u32,
+    ) -> Self {
+        CoveragePath {
+            entry,
+            restore: restore.map(|o| Restore {
+                level: o.level.index(),
+                source: o.source,
+            }),
+            erasures,
+        }
+    }
+
+    /// The canonical taxonomy label (see the module docs for the full table).
+    /// Deliberately independent of `erasures`, so one label names one *mechanism*.
+    pub fn label(&self) -> String {
+        let base = match self.restore {
+            None => match self.entry {
+                AttemptEntry::Fresh => "fresh".to_string(),
+                _ => "scratch".to_string(),
+            },
+            Some(r) => {
+                let mut s = format!("L{}", r.level);
+                match r.source {
+                    RestoreSource::Primary => {}
+                    RestoreSource::Partner => s.push_str("-partner"),
+                    RestoreSource::Decode { shards } => {
+                        s.push_str(&format!("-decode@{shards}"));
+                    }
+                    RestoreSource::Pfs => s.push_str("-pfs"),
+                }
+                s
+            }
+        };
+        if self.entry == AttemptEntry::Shrink {
+            format!("{base}+shrink")
+        } else {
+            base
+        }
+    }
+
+    /// A total severity order used when collapsing the per-rank paths of one attempt
+    /// to the run-level summary: the most degraded path any rank took wins. Fresh
+    /// starts rank lowest; a post-failure `scratch` (everything recoverable lost)
+    /// ranks above every successful restore; among restores the fallback cascade
+    /// primary < partner < decode < PFS orders them, with fewer surviving shards
+    /// counting as more severe for decodes.
+    pub fn severity(&self) -> (u8, u8, u8, u8) {
+        let entry = self.entry.index();
+        match self.restore {
+            None => {
+                let src = if self.entry == AttemptEntry::Fresh {
+                    0
+                } else {
+                    5
+                };
+                (entry, src, 0, 0)
+            }
+            Some(r) => {
+                let (src, shard_sev) = match r.source {
+                    RestoreSource::Primary => (1, 0),
+                    RestoreSource::Partner => (2, 0),
+                    RestoreSource::Decode { shards } => {
+                        (3, u8::MAX - shards.min(u8::MAX as usize) as u8)
+                    }
+                    RestoreSource::Pfs => (4, 0),
+                };
+                (entry, src, r.level, shard_sev)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_the_taxonomy() {
+        assert_eq!(CoveragePath::fresh().label(), "fresh");
+        let scratch = CoveragePath {
+            entry: AttemptEntry::Respawn,
+            restore: None,
+            erasures: 1,
+        };
+        assert_eq!(scratch.label(), "scratch");
+        let partner = CoveragePath {
+            entry: AttemptEntry::Respawn,
+            restore: Some(Restore {
+                level: 2,
+                source: RestoreSource::Partner,
+            }),
+            erasures: 1,
+        };
+        assert_eq!(partner.label(), "L2-partner");
+        let decode = CoveragePath {
+            entry: AttemptEntry::Shrink,
+            restore: Some(Restore {
+                level: 3,
+                source: RestoreSource::Decode { shards: 2 },
+            }),
+            erasures: 2,
+        };
+        assert_eq!(decode.label(), "L3-decode@2+shrink");
+        let pfs = CoveragePath {
+            entry: AttemptEntry::Respawn,
+            restore: Some(Restore {
+                level: 4,
+                source: RestoreSource::Pfs,
+            }),
+            erasures: 1,
+        };
+        assert_eq!(pfs.label(), "L4-pfs");
+    }
+
+    #[test]
+    fn severity_orders_the_fallback_cascade() {
+        let mk = |source| CoveragePath {
+            entry: AttemptEntry::Respawn,
+            restore: Some(Restore { level: 3, source }),
+            erasures: 1,
+        };
+        let primary = mk(RestoreSource::Primary);
+        let partner = mk(RestoreSource::Partner);
+        let decode_many = mk(RestoreSource::Decode { shards: 4 });
+        let decode_few = mk(RestoreSource::Decode { shards: 2 });
+        let pfs = mk(RestoreSource::Pfs);
+        let scratch = CoveragePath {
+            entry: AttemptEntry::Respawn,
+            restore: None,
+            erasures: 1,
+        };
+        assert!(primary.severity() < partner.severity());
+        assert!(partner.severity() < decode_many.severity());
+        assert!(decode_many.severity() < decode_few.severity());
+        assert!(decode_few.severity() < pfs.severity());
+        assert!(pfs.severity() < scratch.severity());
+        assert!(CoveragePath::fresh().severity() < primary.severity());
+    }
+
+    #[test]
+    fn entry_indices_round_trip() {
+        for entry in [
+            AttemptEntry::Fresh,
+            AttemptEntry::Respawn,
+            AttemptEntry::Shrink,
+        ] {
+            assert_eq!(AttemptEntry::from_index(entry.index()), Some(entry));
+        }
+        assert_eq!(AttemptEntry::from_index(3), None);
+    }
+}

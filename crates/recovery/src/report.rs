@@ -6,6 +6,7 @@
 
 use mpisim::{RankStats, SimTime, TimeBreakdown};
 
+use crate::path::CoveragePath;
 use crate::strategy::RecoveryStrategy;
 
 /// Per-attempt account of one run: how long each invocation of the application
@@ -26,6 +27,10 @@ pub struct AttemptSummary {
     /// completed attempt). Equals the process count for the non-shrinking designs;
     /// drops by the casualty count after every SHRINK-FTI recovery.
     pub survivors: usize,
+    /// The recovery path this attempt exercised, collapsed over ranks by taking the
+    /// most severe per-rank path (see [`CoveragePath::severity`]); `erasures` is the
+    /// maximum any rank absorbed.
+    pub path: CoveragePath,
 }
 
 /// Summary of one run of one design.
@@ -56,6 +61,12 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The canonical taxonomy labels of the run's attempts, in attempt order — the
+    /// run-level recovery-path signature the fault-space explorer steers by.
+    pub fn path_labels(&self) -> Vec<String> {
+        self.attempt_log.iter().map(|a| a.path.label()).collect()
+    }
+
     /// The application-time component.
     pub fn application_time(&self) -> SimTime {
         self.breakdown.application
@@ -151,6 +162,7 @@ mod tests {
                 recovery_secs: recovery,
                 completed: false,
                 survivors: 64,
+                path: CoveragePath::fresh(),
             }],
         }
     }

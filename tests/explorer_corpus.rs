@@ -1,0 +1,113 @@
+//! Explorer corpus persistence: kept traces round-trip through the on-disk
+//! corpus (atomic temp-file + rename writes, content-addressed names), reloaded
+//! entries seed later runs, and every malformation — truncated, bit-rotted or
+//! foreign files — degrades to re-exploration, never a panic.
+
+use std::fs;
+use std::path::PathBuf;
+
+use match_explorer::{corpus, ExploreConfig, Explorer};
+
+fn temp_corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("match-xpc-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(corpus: PathBuf) -> ExploreConfig {
+    ExploreConfig {
+        nprocs: 4,
+        iterations: 8,
+        budget: 14,
+        seed: 3,
+        corpus: Some(corpus),
+        assert_label: None,
+    }
+}
+
+#[test]
+fn kept_traces_round_trip_and_reseed_the_next_run() {
+    let root = temp_corpus("roundtrip");
+    let first = Explorer::new(config(root.clone())).run();
+    assert!(first.violations.is_empty(), "{:?}", first.violations);
+
+    // Every design persisted its kept traces under its own subdirectory, one
+    // content-addressed entry per novel path signature.
+    for design in &first.report.designs {
+        let sub = root.join(match design.design.as_str() {
+            "RESTART-FTI" => "restart",
+            "ULFM-FTI" => "ulfm",
+            "REINIT-FTI" => "reinit",
+            "SHRINK-FTI" => "shrink",
+            other => panic!("unknown design {other}"),
+        });
+        let reloaded = corpus::load(&sub);
+        assert!(
+            !reloaded.is_empty(),
+            "{}: no corpus entries under {}",
+            design.design,
+            sub.display()
+        );
+        // Entries are canonical: re-encoding a reloaded genome reproduces its
+        // content-addressed file name.
+        for genome in &reloaded {
+            assert!(sub.join(corpus::entry_name(genome)).exists());
+        }
+    }
+
+    // A second run reloads the corpus as extra seeds; with the same budget it
+    // must cover at least the first run's paths and stay violation-free.
+    let second = Explorer::new(config(root.clone())).run();
+    assert!(second.violations.is_empty());
+    for (a, b) in first.report.designs.iter().zip(&second.report.designs) {
+        for path in &a.paths {
+            assert!(
+                b.paths.contains(path),
+                "{}: path {path} lost after corpus reload",
+                a.design
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_and_foreign_entries_degrade_to_re_exploration() {
+    let root = temp_corpus("corrupt");
+    let baseline = Explorer::new(config(root.clone())).run();
+
+    // Vandalise one subdirectory: truncate an entry, bit-flip another, drop a
+    // foreign file next to them.
+    let sub = root.join("restart");
+    let entries: Vec<PathBuf> = fs::read_dir(&sub)
+        .expect("corpus dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "xpc"))
+        .collect();
+    assert!(entries.len() >= 2, "need entries to corrupt");
+    let torn = fs::read(&entries[0]).unwrap();
+    fs::write(&entries[0], &torn[..torn.len() / 2]).unwrap();
+    let mut flipped = fs::read(&entries[1]).unwrap();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    fs::write(&entries[1], flipped).unwrap();
+    fs::write(sub.join("README.txt"), b"not a corpus entry").unwrap();
+
+    // Loading skips the damage; a full explorer run neither panics nor loses
+    // coverage (the seeds re-discover what the dead entries held).
+    let survivors = corpus::load(&sub);
+    assert_eq!(survivors.len(), entries.len() - 2);
+    let rerun = Explorer::new(config(root.clone())).run();
+    assert!(rerun.violations.is_empty());
+    for (a, b) in baseline.report.designs.iter().zip(&rerun.report.designs) {
+        for path in &a.paths {
+            assert!(
+                b.paths.contains(path),
+                "{}: path {path} lost to corpus corruption",
+                a.design
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}

@@ -13,7 +13,10 @@ use std::time::{Duration, SystemTime};
 use match_core::cache::ResultCache;
 use match_core::persist::{self, DiskCache, DiskLookup};
 use match_core::proxies::{InputSize, ProxyKind};
-use match_core::recovery::{AttemptSummary, RecoveryStrategy, RunReport};
+use match_core::fti::RestoreSource;
+use match_core::recovery::{
+    AttemptEntry, AttemptSummary, CoveragePath, RecoveryStrategy, Restore, RunReport,
+};
 use match_core::{mpisim, Experiment, ExperimentId, SuiteEngine, SuiteOptions};
 
 /// A private, initially empty cache root for one test.
@@ -61,6 +64,31 @@ fn synthetic_report(seed: u64, nattempts: usize) -> RunReport {
             recovery_secs: (count() as u32) as f64 / 4096.0,
             completed: i + 1 == nattempts,
             survivors: (count() % 4096) as usize,
+            path: CoveragePath {
+                entry: AttemptEntry::from_index((count() % 3) as u8).unwrap(),
+                restore: match count() % 5 {
+                    0 => None,
+                    1 => Some(Restore {
+                        level: 1,
+                        source: RestoreSource::Primary,
+                    }),
+                    2 => Some(Restore {
+                        level: 2,
+                        source: RestoreSource::Partner,
+                    }),
+                    3 => Some(Restore {
+                        level: 3,
+                        source: RestoreSource::Decode {
+                            shards: (count() % 7) as usize,
+                        },
+                    }),
+                    _ => Some(Restore {
+                        level: 4,
+                        source: RestoreSource::Pfs,
+                    }),
+                },
+                erasures: (count() % 16) as u32,
+            },
         })
         .collect();
     RunReport {
